@@ -1,0 +1,55 @@
+"""Benchmark ``fig4`` / Theorem 5.1: the 1-in-3 3SAT reduction in practice.
+
+Times (a) building the reduction (tree + query), (b) deciding the reduction
+query with the exact selection-enumeration procedure, and (c) deciding it with
+unrestricted backtracking -- the effort of (b) and (c) grows combinatorially
+with the number of clauses, the empirical face of query-complexity
+NP-hardness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.backtracking import boolean_query_holds as bt_holds
+from repro.hardness import (
+    decide_by_selection,
+    reduce_instance,
+    satisfiable_instance,
+    solve_backtracking,
+    unsatisfiable_instance,
+)
+
+
+@pytest.mark.parametrize("clauses", [2, 4, 6])
+def test_build_reduction(benchmark, clauses):
+    instance = satisfiable_instance(clauses + 2, clauses, seed=clauses)
+    result = benchmark(lambda: reduce_instance(instance, "tau4"))
+    assert result.query.size() > 0
+
+
+@pytest.mark.parametrize("clauses", [2, 3, 4])
+def test_decide_reduction_by_selection(benchmark, clauses):
+    instance = satisfiable_instance(clauses + 2, clauses, seed=clauses)
+    reduction = reduce_instance(instance, "tau4")
+    assert benchmark(lambda: decide_by_selection(reduction)) is not None
+
+
+@pytest.mark.parametrize("clauses", [2, 3])
+def test_decide_reduction_by_backtracking(benchmark, clauses):
+    instance = satisfiable_instance(clauses + 2, clauses, seed=clauses)
+    reduction = reduce_instance(instance, "tau4")
+    structure = reduction.structure()
+    assert benchmark(lambda: bt_holds(reduction.query, structure)) is True
+
+
+def test_unsatisfiable_reduction_by_selection(benchmark):
+    reduction = reduce_instance(unsatisfiable_instance(), "tau4")
+    assert benchmark(lambda: decide_by_selection(reduction)) is None
+
+
+@pytest.mark.parametrize("num_variables,num_clauses", [(6, 4), (8, 6), (10, 8)])
+def test_plain_sat_solver(benchmark, num_variables, num_clauses):
+    """Baseline: solving the 1-in-3 instance directly (no tree detour)."""
+    instance = satisfiable_instance(num_variables, num_clauses, seed=num_clauses)
+    assert benchmark(lambda: solve_backtracking(instance)) is not None

@@ -1,0 +1,74 @@
+"""Benchmark ``thm3.5``: near-linear scaling of the X-property evaluator.
+
+Measures the Theorem 3.5 algorithm while scaling (a) the tree and (b) the
+query, plus two ablations called out in DESIGN.md:
+
+* worklist arc consistency vs the literal Horn program of Proposition 3.1,
+* lazy axis access vs materialised axis relations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.arc_consistency import (
+    maximal_arc_consistent,
+    maximal_arc_consistent_horn,
+)
+from repro.evaluation.xprop_evaluator import boolean_query_holds
+from repro.hardness import random_cyclic_query
+from repro.trees import TreeStructure, random_tree
+from repro.trees.axes import Axis, materialise
+
+QUERY = random_cyclic_query(
+    (Axis.CHILD_PLUS, Axis.CHILD_STAR), num_variables=8, num_extra_atoms=4, seed=0
+)
+
+TREES = {
+    size: random_tree(size, alphabet=("A", "B", "C"), seed=size)
+    for size in (100, 200, 400, 800)
+}
+
+
+@pytest.mark.parametrize("size", sorted(TREES))
+def test_tree_scaling(benchmark, size):
+    structure = TreeStructure(TREES[size])
+    benchmark(lambda: boolean_query_holds(QUERY, structure))
+
+
+@pytest.mark.parametrize("num_variables", [4, 8, 16, 32])
+def test_query_scaling(benchmark, num_variables):
+    structure = TreeStructure(TREES[200])
+    query = random_cyclic_query(
+        (Axis.CHILD_PLUS, Axis.CHILD_STAR),
+        num_variables=num_variables,
+        num_extra_atoms=num_variables // 2,
+        seed=num_variables,
+    )
+    benchmark(lambda: boolean_query_holds(query, structure))
+
+
+@pytest.mark.parametrize("size", [50, 100, 200])
+def test_ablation_arc_consistency_worklist(benchmark, size):
+    structure = TreeStructure(random_tree(size, alphabet=("A", "B", "C"), seed=7 * size))
+    benchmark(lambda: maximal_arc_consistent(QUERY, structure))
+
+
+@pytest.mark.parametrize("size", [50, 100, 200])
+def test_ablation_arc_consistency_horn(benchmark, size):
+    structure = TreeStructure(random_tree(size, alphabet=("A", "B", "C"), seed=7 * size))
+    benchmark(lambda: maximal_arc_consistent_horn(QUERY, structure))
+
+
+@pytest.mark.parametrize("size", [100, 200])
+def test_ablation_materialised_axis_relations(benchmark, size):
+    """Cost of materialising the binary relations (the design we avoided)."""
+    tree = TREES[size]
+
+    def materialise_all():
+        return {
+            axis: materialise(tree, axis)
+            for axis in (Axis.CHILD, Axis.CHILD_PLUS, Axis.FOLLOWING)
+        }
+
+    benchmark(materialise_all)

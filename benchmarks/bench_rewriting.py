@@ -1,0 +1,69 @@
+"""Benchmark ``thm6.6/6.10/prop6.14`` and ``fig8``: the CQ -> APQ rewriting.
+
+Times the rewriting itself on (a) the Figure 8 introduction query, (b) random
+cyclic queries per signature family, (c) the Theorem 6.10 literal variant, and
+(d) the linear-time Proposition 6.14 rewriting for {Child, NextSibling}.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardness import random_cyclic_query
+from repro.rewriting import (
+    rewrite_child_nextsibling_apq,
+    to_apq,
+    to_apq_theorem_610,
+)
+from repro.trees.axes import Axis
+from repro.workloads import figure1_query
+
+SIGNATURE_FAMILIES = {
+    "child_childplus": (Axis.CHILD, Axis.CHILD_PLUS),
+    "childstar_nsplus": (Axis.CHILD_STAR, Axis.NEXT_SIBLING_PLUS),
+    "child_following": (Axis.CHILD, Axis.FOLLOWING),
+}
+
+
+def test_figure8_intro_query(benchmark):
+    query = figure1_query()
+    apq = benchmark(lambda: to_apq(query))
+    assert apq.is_acyclic()
+
+
+@pytest.mark.parametrize("family", sorted(SIGNATURE_FAMILIES))
+def test_random_cyclic_queries(benchmark, family):
+    query = random_cyclic_query(
+        SIGNATURE_FAMILIES[family],
+        num_variables=4,
+        num_extra_atoms=1,
+        alphabet=("A", "B"),
+        seed=11,
+    )
+    apq = benchmark(lambda: to_apq(query))
+    assert apq.is_acyclic()
+
+
+def test_theorem_610_literal_variant(benchmark):
+    query = random_cyclic_query(
+        (Axis.CHILD_STAR, Axis.CHILD),
+        num_variables=4,
+        num_extra_atoms=1,
+        alphabet=("A", "B"),
+        seed=3,
+    )
+    apq = benchmark(lambda: to_apq_theorem_610(query))
+    assert apq.is_acyclic()
+
+
+@pytest.mark.parametrize("num_variables", [4, 6, 8])
+def test_prop614_linear_rewriting(benchmark, num_variables):
+    query = random_cyclic_query(
+        (Axis.CHILD, Axis.NEXT_SIBLING),
+        num_variables=num_variables,
+        num_extra_atoms=2,
+        alphabet=("A", "B"),
+        seed=num_variables,
+    )
+    apq = benchmark(lambda: rewrite_child_nextsibling_apq(query))
+    assert apq.size() <= query.size()

@@ -1,0 +1,41 @@
+"""Benchmark ``fig9`` / Theorem 7.1: the succinctness blow-up on D_n.
+
+Times the CQ -> APQ rewriting of the n-diamond queries (the produced APQ size
+grows exponentially in n, so the rewriting time does as well) and the
+evaluation of D_n on the PS(n, p) scattered path structures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import evaluate_on_tree
+from repro.rewriting import to_apq
+from repro.succinctness import all_ps_structures, diamond_query, ps_structure
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4])
+def test_rewrite_diamond_to_apq(benchmark, n):
+    query = diamond_query(n)
+    apq = benchmark(lambda: to_apq(query))
+    assert apq.is_acyclic()
+    assert len(apq) >= 1
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_evaluate_diamond_on_one_ps_structure(benchmark, n):
+    query = diamond_query(n)
+    tree = ps_structure(n, 3, tuple(bool(i % 2) for i in range(n)))
+    result = benchmark(lambda: evaluate_on_tree(query, tree))
+    assert result
+
+
+@pytest.mark.parametrize("n", [2, 3])
+def test_evaluate_diamond_on_all_ps_structures(benchmark, n):
+    query = diamond_query(n)
+    trees = [tree for _choices, tree in all_ps_structures(n, 2)]
+
+    def run() -> bool:
+        return all(evaluate_on_tree(query, tree) for tree in trees)
+
+    assert benchmark(run)

@@ -1,0 +1,49 @@
+"""Benchmark ``thm4.1`` / ``fig3``: checking the X-property mechanically.
+
+Times the Definition 3.2 checker for the positive Theorem 4.1 combinations
+(the check scans all pairs of arcs) and the counterexample search for the
+negative ones, on trees of growing size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trees import Order, random_tree
+from repro.trees.axes import Axis
+from repro.xproperty import all_counterexamples, has_x_property
+
+TREES = {size: random_tree(size, alphabet=("A", "B"), seed=size) for size in (15, 30, 60)}
+
+POSITIVE_CASES = [
+    (Axis.CHILD_PLUS, Order.PRE),
+    (Axis.CHILD_STAR, Order.PRE),
+    (Axis.FOLLOWING, Order.POST),
+    (Axis.CHILD, Order.BFLR),
+    (Axis.NEXT_SIBLING_PLUS, Order.BFLR),
+]
+
+NEGATIVE_CASES = [
+    (Axis.FOLLOWING, Order.PRE),
+    (Axis.CHILD_PLUS, Order.BFLR),
+    (Axis.CHILD, Order.PRE),
+]
+
+
+@pytest.mark.parametrize("size", sorted(TREES))
+@pytest.mark.parametrize("axis,order", POSITIVE_CASES, ids=lambda value: str(value))
+def test_positive_x_property_check(benchmark, size, axis, order):
+    tree = TREES[size]
+    result = benchmark(lambda: has_x_property(tree, axis, order))
+    assert result is True
+
+
+@pytest.mark.parametrize("axis,order", NEGATIVE_CASES, ids=lambda value: str(value))
+def test_negative_x_property_check(benchmark, axis, order):
+    tree = TREES[30]
+    benchmark(lambda: has_x_property(tree, axis, order))
+
+
+def test_figure3_counterexamples(benchmark):
+    result = benchmark(all_counterexamples)
+    assert all(counterexample.confirms_failure for counterexample in result)

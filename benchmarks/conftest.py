@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration.
+
+The benchmarks regenerate the measured side of every table/figure of the
+paper (see DESIGN.md's per-experiment index).  They are run with
+
+    pytest benchmarks/ --benchmark-only
+
+Sizes are kept moderate so the whole suite finishes in a few minutes; the
+experiment modules under ``repro.experiments`` expose the same sweeps with
+adjustable parameters for longer runs.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

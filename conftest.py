@@ -1,0 +1,13 @@
+"""Ensure the ``src`` layout is importable even without an editable install.
+
+The project is normally installed with ``pip install -e .``; in fully offline
+environments where the ``wheel`` package is unavailable that command can fail,
+so the test suite also works straight from a checkout.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

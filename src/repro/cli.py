@@ -1,0 +1,161 @@
+"""Command-line interface: evaluate, classify, rewrite and report.
+
+Usage (after installation, or with ``python -m repro.cli``)::
+
+    python -m repro.cli evaluate --tree doc.xml --query "Q(x) <- item(x), Child(x, p), payment(p)"
+    python -m repro.cli evaluate --sexpr "(S (NP) (VP))" --xpath "//NP"
+    python -m repro.cli classify "Child, Following"
+    python -m repro.cli rewrite "Q <- A(x), Child+(x, z), B(y), Child+(y, z)" --trace
+    python -m repro.cli table1
+    python -m repro.cli report --quick
+
+The CLI is a thin layer over the library; each sub-command maps onto one or
+two public functions, so it doubles as executable documentation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .evaluation import choose_engine, evaluate
+from .queries import ConjunctiveQuery, parse_query, xpath_to_cq
+from .rewriting import RewriteTrace, to_apq
+from .trees import Tree, TreeStructure, from_xml_file, parse_sexpr
+from .trees.axes import axis_from_name
+from .xproperty import classify, order_for, render_table1
+
+
+def _load_tree(args: argparse.Namespace) -> Tree:
+    if getattr(args, "tree", None):
+        return from_xml_file(args.tree)
+    if getattr(args, "sexpr", None):
+        return parse_sexpr(args.sexpr)
+    raise SystemExit("provide a tree via --tree FILE.xml or --sexpr '(A (B))'")
+
+
+def _load_query(args: argparse.Namespace) -> ConjunctiveQuery:
+    if getattr(args, "query", None):
+        return parse_query(args.query)
+    if getattr(args, "xpath", None):
+        return xpath_to_cq(args.xpath)
+    raise SystemExit("provide a query via --query 'Q(x) <- ...' or --xpath '//A[B]'")
+
+
+def _command_evaluate(args: argparse.Namespace) -> int:
+    tree = _load_tree(args)
+    query = _load_query(args)
+    structure = TreeStructure(tree)
+    engine = choose_engine(query)
+    answers = sorted(evaluate(query, structure))
+    print(f"query    : {query}")
+    print(f"signature: {query.signature()}  ({classify(query.signature()).value})")
+    print(f"engine   : {engine.value}")
+    print(f"tree     : {len(tree)} nodes")
+    if query.is_boolean:
+        print(f"answer   : {'true' if answers else 'false'}")
+    else:
+        print(f"answers  : {len(answers)}")
+        limit = args.limit if args.limit is not None else 20
+        for answer in answers[:limit]:
+            labels = [",".join(sorted(tree.labels(node))) or "-" for node in answer]
+            rendered = ", ".join(
+                f"{node}({label})" for node, label in zip(answer, labels)
+            )
+            print(f"    {rendered}")
+        if len(answers) > limit:
+            print(f"    ... {len(answers) - limit} more")
+    return 0
+
+
+def _command_classify(args: argparse.Namespace) -> int:
+    axes = frozenset(
+        axis_from_name(name.strip()) for name in args.axes.split(",") if name.strip()
+    )
+    complexity = classify(axes)
+    order = order_for(axes)
+    print(f"signature : {{{', '.join(sorted(a.value for a in axes))}}}")
+    print(f"complexity: {complexity.value}")
+    if order is not None:
+        print(f"witnessing order with the X-property: <{order.value}")
+    else:
+        print("no single order gives all axes the X-property (Theorem 1.1: NP-complete)")
+    return 0
+
+
+def _command_rewrite(args: argparse.Namespace) -> int:
+    query = _load_query(args)
+    trace: Optional[RewriteTrace] = RewriteTrace() if args.trace else None
+    apq = to_apq(query, trace=trace)
+    print(f"input : {query}")
+    print(f"output: {len(apq)} acyclic disjunct(s), total size {apq.size()}")
+    for disjunct in apq:
+        print(f"    {disjunct}")
+    if apq.is_empty():
+        print("    (empty union: the query is unsatisfiable over trees)")
+    if trace is not None:
+        print()
+        print(trace)
+    return 0
+
+
+def _command_table1(_args: argparse.Namespace) -> int:
+    print(render_table1())
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    from .experiments import report
+
+    print(report.run(quick=args.quick).render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Conjunctive queries over trees (Gottlob, Koch & Schulz) -- reproduction CLI",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    evaluate_parser = commands.add_parser("evaluate", help="evaluate a query on a tree")
+    evaluate_parser.add_argument("--tree", help="XML file containing the data tree")
+    evaluate_parser.add_argument("--sexpr", help="the data tree as an s-expression")
+    evaluate_parser.add_argument("--query", help="conjunctive query in datalog notation")
+    evaluate_parser.add_argument("--xpath", help="query as an XPath expression")
+    evaluate_parser.add_argument("--limit", type=int, default=None, help="max answers to print")
+    evaluate_parser.set_defaults(handler=_command_evaluate)
+
+    classify_parser = commands.add_parser(
+        "classify", help="classify an axis signature (Table I / Theorem 1.1)"
+    )
+    classify_parser.add_argument("axes", help="comma-separated axis names, e.g. 'Child, Following'")
+    classify_parser.set_defaults(handler=_command_classify)
+
+    rewrite_parser = commands.add_parser(
+        "rewrite", help="rewrite a conjunctive query into an acyclic positive query"
+    )
+    rewrite_parser.add_argument("query", nargs="?", default=None, help="query in datalog notation")
+    rewrite_parser.add_argument("--xpath", help="query as an XPath expression")
+    rewrite_parser.add_argument("--trace", action="store_true", help="print the rewrite derivation")
+    rewrite_parser.set_defaults(handler=_command_rewrite)
+
+    table1_parser = commands.add_parser("table1", help="print the regenerated Table I")
+    table1_parser.set_defaults(handler=_command_table1)
+
+    report_parser = commands.add_parser("report", help="run all experiments and print the report")
+    report_parser.add_argument("--quick", action="store_true", help="trim the expensive sweeps")
+    report_parser.set_defaults(handler=_command_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry point
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Evaluation engines for conjunctive queries over trees."""
+
+from .arc_consistency import (
+    is_arc_consistent,
+    maximal_arc_consistent,
+    maximal_arc_consistent_horn,
+)
+from .backtracking import SearchStatistics, count_solutions, find_solution, iter_solutions
+from .domains import Domains, Valuation, initial_domains, valuation_satisfies
+from .planner import (
+    Engine,
+    check_answer,
+    choose_engine,
+    evaluate,
+    evaluate_on_tree,
+    evaluate_union,
+    is_satisfied,
+    satisfying_assignment,
+)
+from .xprop_evaluator import (
+    XPropertyEvaluationError,
+    boolean_query_holds,
+    choose_order,
+    minimum_valuation,
+    witness,
+)
+from . import acyclic
+
+__all__ = [
+    "Domains",
+    "Engine",
+    "SearchStatistics",
+    "Valuation",
+    "XPropertyEvaluationError",
+    "acyclic",
+    "boolean_query_holds",
+    "check_answer",
+    "choose_engine",
+    "choose_order",
+    "count_solutions",
+    "evaluate",
+    "evaluate_on_tree",
+    "evaluate_union",
+    "find_solution",
+    "initial_domains",
+    "is_arc_consistent",
+    "is_satisfied",
+    "iter_solutions",
+    "maximal_arc_consistent",
+    "maximal_arc_consistent_horn",
+    "minimum_valuation",
+    "satisfying_assignment",
+    "valuation_satisfies",
+    "witness",
+]

@@ -1,0 +1,136 @@
+"""Yannakakis-style evaluation of acyclic conjunctive queries.
+
+The paper repeatedly appeals to the classical fact [Yannakakis 1981] that
+acyclic conjunctive queries can be evaluated in polynomial time; the whole
+point of the Section 6 rewriting is to turn arbitrary conjunctive queries over
+trees into (unions of) acyclic ones so that this machinery applies.
+
+For queries whose atoms are unary and binary (our setting), acyclicity means
+the shadow of the query graph is a forest.  On such queries, the subset-maximal
+arc-consistent prevaluation (full semijoin reduction) is *globally* consistent:
+instantiating variables in a root-to-leaf order of each shadow tree never needs
+to backtrack.  This module implements
+
+* :func:`boolean_query_holds` -- Boolean evaluation = arc consistency,
+* :func:`iter_satisfactions` -- backtrack-free enumeration of all satisfying
+  valuations (used by the examples and by answer enumeration for acyclic
+  queries),
+* :func:`count_satisfactions` -- counting without materialising.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Optional
+
+from ..queries.atoms import AxisAtom, Variable
+from ..queries.graph import QueryGraph
+from ..queries.query import ConjunctiveQuery
+from ..trees.structure import TreeStructure
+from .arc_consistency import maximal_arc_consistent
+from .domains import Valuation
+
+
+def boolean_query_holds(
+    query: ConjunctiveQuery,
+    structure: TreeStructure,
+    pinned: Optional[Mapping[Variable, int]] = None,
+) -> bool:
+    """Boolean evaluation of an *acyclic* query.
+
+    For acyclic queries over binary atoms, the existence of an arc-consistent
+    prevaluation is equivalent to satisfiability (semijoin reduction is
+    complete on join trees).  Raises ``ValueError`` on cyclic queries, for
+    which this equivalence does not hold.
+    """
+    graph = QueryGraph(query)
+    if not graph.is_acyclic():
+        raise ValueError("the acyclic evaluator requires an acyclic query")
+    return maximal_arc_consistent(query, structure, pinned) is not None
+
+
+def iter_satisfactions(
+    query: ConjunctiveQuery,
+    structure: TreeStructure,
+    pinned: Optional[Mapping[Variable, int]] = None,
+) -> Iterator[Valuation]:
+    """Enumerate all satisfying valuations of an acyclic query.
+
+    The enumeration instantiates each shadow-tree component root first and
+    then children given their (unique) already-assigned neighbour, filtering
+    with the arc-consistent domains; for acyclic queries this is
+    backtrack-free per solution (each partial assignment extends to at least
+    one solution), though the total number of solutions may of course be
+    large.
+    """
+    graph = QueryGraph(query)
+    if not graph.is_acyclic():
+        raise ValueError("the acyclic evaluator requires an acyclic query")
+    domains = maximal_arc_consistent(query, structure, pinned)
+    if domains is None:
+        return
+    variables = query.variables()
+    if not variables:
+        yield {}
+        return
+
+    # Order variables so that each non-first variable of a component has at
+    # least one earlier neighbour (BFS order over the shadow forest).
+    adjacency: dict[Variable, list[AxisAtom]] = {v: [] for v in variables}
+    for atom in query.axis_atoms():
+        adjacency[atom.source].append(atom)
+        if atom.target != atom.source:
+            adjacency[atom.target].append(atom)
+
+    order: list[Variable] = []
+    seen: set[Variable] = set()
+    for start in variables:
+        if start in seen:
+            continue
+        queue = [start]
+        seen.add(start)
+        while queue:
+            variable = queue.pop(0)
+            order.append(variable)
+            for atom in adjacency[variable]:
+                other = atom.target if atom.source == variable else atom.source
+                if other not in seen:
+                    seen.add(other)
+                    queue.append(other)
+
+    def consistent_with_assigned(
+        variable: Variable, node: int, assignment: Valuation
+    ) -> bool:
+        for atom in adjacency[variable]:
+            other = atom.target if atom.source == variable else atom.source
+            if other == variable:
+                if not structure.axis_holds(atom.axis, node, node):
+                    return False
+                continue
+            if other in assignment:
+                source_node = node if atom.source == variable else assignment[other]
+                target_node = assignment[other] if atom.source == variable else node
+                if not structure.axis_holds(atom.axis, source_node, target_node):
+                    return False
+        return True
+
+    def extend(position: int, assignment: Valuation) -> Iterator[Valuation]:
+        if position == len(order):
+            yield dict(assignment)
+            return
+        variable = order[position]
+        for node in sorted(domains[variable]):
+            if consistent_with_assigned(variable, node, assignment):
+                assignment[variable] = node
+                yield from extend(position + 1, assignment)
+                del assignment[variable]
+
+    yield from extend(0, {})
+
+
+def count_satisfactions(
+    query: ConjunctiveQuery,
+    structure: TreeStructure,
+    pinned: Optional[Mapping[Variable, int]] = None,
+) -> int:
+    """Count all satisfying valuations of an acyclic query."""
+    return sum(1 for _ in iter_satisfactions(query, structure, pinned))

@@ -1,0 +1,246 @@
+"""Arc consistency: the maximal arc-consistent prevaluation (Proposition 3.1).
+
+A prevaluation Phi is *arc-consistent* iff
+
+* for each unary atom ``P(x)`` and each ``v`` in Phi(x), ``P(v)`` holds, and
+* for each binary atom ``R(x, y)``: every ``v`` in Phi(x) has a witness
+  ``w`` in Phi(y) with ``R(v, w)``, and every ``w`` in Phi(y) has a witness
+  ``v`` in Phi(x) with ``R(v, w)``.
+
+Proposition 3.1 phrases the computation of the unique subset-maximal
+arc-consistent prevaluation as a propositional Horn-SAT instance solvable in
+time O(||A|| * |Q|).  Two implementations are provided:
+
+* :func:`maximal_arc_consistent` -- a worklist (AC-3 style) algorithm over the
+  per-variable candidate domains.  It computes exactly the same fixpoint (the
+  greatest simultaneous fixpoint of the deletion rules) and is the one used by
+  the evaluators.
+* :func:`maximal_arc_consistent_horn` -- a literal transcription of the Horn
+  program from the proof (unit propagation over ``Remove(x, v)`` atoms), kept
+  as an ablation baseline and as a cross-check in the tests.
+
+Both return ``None`` when no arc-consistent prevaluation exists (some variable
+loses all candidates), in which case the query is unsatisfiable on the
+structure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Mapping, Optional
+
+from ..queries.atoms import AxisAtom, LabelAtom, Variable
+from ..queries.query import ConjunctiveQuery
+from ..trees.structure import TreeStructure
+from .domains import Domains, initial_domains
+
+
+def maximal_arc_consistent(
+    query: ConjunctiveQuery,
+    structure: TreeStructure,
+    pinned: Optional[Mapping[Variable, int]] = None,
+) -> Optional[Domains]:
+    """Compute the subset-maximal arc-consistent prevaluation (worklist form).
+
+    Returns the prevaluation as a dict of node sets, or ``None`` if some
+    variable ends up with an empty candidate set (no arc-consistent
+    prevaluation exists, hence the query is not satisfied -- Lemma 3.4's
+    complement).
+    """
+    domains = initial_domains(query, structure, pinned)
+    if any(not domain for domain in domains.values()):
+        return None
+
+    axis_atoms = query.axis_atoms()
+    # Atoms touching each variable, for efficient re-queueing.
+    atoms_of: dict[Variable, list[AxisAtom]] = {v: [] for v in query.variables()}
+    for atom in axis_atoms:
+        atoms_of[atom.source].append(atom)
+        if atom.target != atom.source:
+            atoms_of[atom.target].append(atom)
+
+    queue: deque[AxisAtom] = deque(axis_atoms)
+    queued: set[AxisAtom] = set(axis_atoms)
+
+    while queue:
+        atom = queue.popleft()
+        queued.discard(atom)
+        changed_variables = _revise(atom, domains, structure)
+        for variable in changed_variables:
+            if not domains[variable]:
+                return None
+            for neighbour_atom in atoms_of[variable]:
+                if neighbour_atom not in queued:
+                    queue.append(neighbour_atom)
+                    queued.add(neighbour_atom)
+    return domains
+
+
+def _revise(atom: AxisAtom, domains: Domains, structure: TreeStructure) -> list[Variable]:
+    """Remove unsupported candidates for both endpoints of ``atom``.
+
+    Returns the variables whose domains shrank.
+    """
+    changed: list[Variable] = []
+    source_domain = domains[atom.source]
+    target_domain = domains[atom.target]
+
+    if atom.source == atom.target:
+        # Self-loop R(x, x): keep only nodes related to themselves.
+        keep = {v for v in source_domain if structure.axis_holds(atom.axis, v, v)}
+        if keep != source_domain:
+            domains[atom.source] = keep
+            changed.append(atom.source)
+        return changed
+
+    # Forward direction: every v in Phi(source) needs a witness in Phi(target).
+    keep_source = set()
+    for v in source_domain:
+        successors = structure.axis_successors(atom.axis, v)
+        if target_domain.intersection(successors):
+            keep_source.add(v)
+    if keep_source != source_domain:
+        domains[atom.source] = keep_source
+        changed.append(atom.source)
+
+    # Backward direction: every w in Phi(target) needs a witness in Phi(source).
+    source_domain = domains[atom.source]
+    keep_target = set()
+    for w in target_domain:
+        predecessors = structure.axis_predecessors(atom.axis, w)
+        if any(v in source_domain for v in predecessors):
+            keep_target.add(w)
+    if keep_target != target_domain:
+        domains[atom.target] = keep_target
+        changed.append(atom.target)
+    return changed
+
+
+def is_arc_consistent(
+    query: ConjunctiveQuery, structure: TreeStructure, domains: Domains
+) -> bool:
+    """Check the arc-consistency conditions for a given prevaluation."""
+    if any(not domain for domain in domains.values()):
+        return False
+    for atom in query.body:
+        if isinstance(atom, LabelAtom):
+            if any(
+                not structure.unary_holds(atom.label, node)
+                for node in domains[atom.variable]
+            ):
+                return False
+        elif isinstance(atom, AxisAtom):
+            source_domain = domains[atom.source]
+            target_domain = domains[atom.target]
+            for v in source_domain:
+                if not any(
+                    structure.axis_holds(atom.axis, v, w) for w in target_domain
+                ):
+                    return False
+            for w in target_domain:
+                if not any(
+                    structure.axis_holds(atom.axis, v, w) for v in source_domain
+                ):
+                    return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Literal Horn-program implementation (Proposition 3.1), used as an ablation.
+# ---------------------------------------------------------------------------
+
+
+def maximal_arc_consistent_horn(
+    query: ConjunctiveQuery,
+    structure: TreeStructure,
+    pinned: Optional[Mapping[Variable, int]] = None,
+) -> Optional[Domains]:
+    """Compute the maximal arc-consistent prevaluation via the Horn program.
+
+    The propositional atoms are ``Remove(x, v)``; the program contains
+
+    * a fact ``Remove(x, v)`` for each unary atom ``P(x)`` and node ``v`` with
+      ``not P(v)`` (and for pinned variables, each node other than the pin),
+    * for each binary atom ``R(x, y)`` and node ``v``:
+      ``Remove(x, v) <- AND { Remove(y, w) | R(v, w) }``,
+    * for each binary atom ``R(x, y)`` and node ``w``:
+      ``Remove(y, w) <- AND { Remove(x, v) | R(v, w) }``.
+
+    Unit propagation (linear in the program size) computes the least model;
+    the complement of ``Remove`` is the maximal arc-consistent prevaluation.
+    """
+    variables = query.variables()
+    nodes = list(structure.domain())
+
+    # Proposition index: (variable, node) -> proposition id.
+    proposition_of: dict[tuple[Variable, int], int] = {}
+    for variable in variables:
+        for node in nodes:
+            proposition_of[(variable, node)] = len(proposition_of)
+
+    facts: list[int] = []
+    # clauses: body size countdown + head; body_of maps proposition -> clause ids.
+    clause_heads: list[int] = []
+    clause_counts: list[int] = []
+    watchers: dict[int, list[int]] = {}
+
+    def add_clause(head: int, body: list[int]) -> None:
+        if not body:
+            facts.append(head)
+            return
+        clause_id = len(clause_heads)
+        clause_heads.append(head)
+        clause_counts.append(len(body))
+        for proposition in body:
+            watchers.setdefault(proposition, []).append(clause_id)
+
+    # Unary facts.
+    for atom in query.body:
+        if isinstance(atom, LabelAtom):
+            for node in nodes:
+                if not structure.unary_holds(atom.label, node):
+                    facts.append(proposition_of[(atom.variable, node)])
+    if pinned:
+        for variable, pin in pinned.items():
+            for node in nodes:
+                if node != pin:
+                    facts.append(proposition_of[(variable, node)])
+
+    # Binary clauses.
+    for atom in query.axis_atoms():
+        for v in nodes:
+            body = [
+                proposition_of[(atom.target, w)]
+                for w in structure.axis_successors(atom.axis, v)
+            ]
+            add_clause(proposition_of[(atom.source, v)], body)
+        for w in nodes:
+            body = [
+                proposition_of[(atom.source, v)]
+                for v in structure.axis_predecessors(atom.axis, w)
+            ]
+            add_clause(proposition_of[(atom.target, w)], body)
+
+    # Unit propagation over the Horn program.
+    true_propositions: set[int] = set()
+    queue = deque(facts)
+    while queue:
+        proposition = queue.popleft()
+        if proposition in true_propositions:
+            continue
+        true_propositions.add(proposition)
+        for clause_id in watchers.get(proposition, ()):
+            clause_counts[clause_id] -= 1
+            if clause_counts[clause_id] == 0:
+                head = clause_heads[clause_id]
+                if head not in true_propositions:
+                    queue.append(head)
+
+    # Complement: T = (Vars x A) - Remove.
+    domains: Domains = {variable: set() for variable in variables}
+    for (variable, node), proposition in proposition_of.items():
+        if proposition not in true_propositions:
+            domains[variable].add(node)
+    if any(not domain for domain in domains.values()):
+        return None
+    return domains

@@ -1,0 +1,147 @@
+"""The generic backtracking evaluator (the exponential baseline).
+
+This evaluator works for every conjunctive query (cyclic or not, any axes) and
+serves three purposes in the reproduction:
+
+* it is the *baseline* against which the polynomial-time algorithms are
+  compared (Table I benchmarks: the tractable side scales, the NP-hard side
+  blows up),
+* it is the ground truth for correctness tests of the faster evaluators on
+  small instances,
+* with ``count_solutions`` / ``iter_solutions`` it powers answer enumeration
+  for arbitrary queries.
+
+The search uses arc consistency as preprocessing, a smallest-domain-first
+variable order restricted to variables connected to already-assigned ones, and
+forward checking against all atoms incident to the newly assigned variable.
+The worst case remains exponential -- necessarily so, by Section 5.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Optional
+
+from ..queries.atoms import AxisAtom, Variable
+from ..queries.query import ConjunctiveQuery
+from ..trees.structure import TreeStructure
+from .arc_consistency import maximal_arc_consistent
+from .domains import Valuation, valuation_satisfies
+
+
+class SearchStatistics:
+    """Mutable counters describing one backtracking run (used by benchmarks)."""
+
+    def __init__(self) -> None:
+        self.nodes_expanded = 0
+        self.backtracks = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SearchStatistics(nodes={self.nodes_expanded}, backtracks={self.backtracks})"
+
+
+def iter_solutions(
+    query: ConjunctiveQuery,
+    structure: TreeStructure,
+    pinned: Optional[Mapping[Variable, int]] = None,
+    use_arc_consistency: bool = True,
+    statistics: Optional[SearchStatistics] = None,
+) -> Iterator[Valuation]:
+    """Enumerate all satisfying valuations by backtracking search."""
+    variables = query.variables()
+    if not variables:
+        yield {}
+        return
+
+    if use_arc_consistency:
+        domains = maximal_arc_consistent(query, structure, pinned)
+        if domains is None:
+            return
+    else:
+        from .domains import initial_domains
+
+        domains = initial_domains(query, structure, pinned)
+        if any(not domain for domain in domains.values()):
+            return
+
+    atoms_of: dict[Variable, list[AxisAtom]] = {v: [] for v in variables}
+    for atom in query.axis_atoms():
+        atoms_of[atom.source].append(atom)
+        if atom.target != atom.source:
+            atoms_of[atom.target].append(atom)
+
+    stats = statistics if statistics is not None else SearchStatistics()
+
+    def select_variable(assignment: Valuation) -> Variable:
+        unassigned = [v for v in variables if v not in assignment]
+        connected = [
+            v
+            for v in unassigned
+            if any(
+                (atom.source in assignment or atom.target in assignment)
+                for atom in atoms_of[v]
+            )
+        ]
+        pool = connected if connected else unassigned
+        return min(pool, key=lambda v: len(domains[v]))
+
+    def consistent(variable: Variable, node: int, assignment: Valuation) -> bool:
+        for atom in atoms_of[variable]:
+            source = node if atom.source == variable else assignment.get(atom.source)
+            target = node if atom.target == variable else assignment.get(atom.target)
+            if source is None or target is None:
+                continue
+            if not structure.axis_holds(atom.axis, source, target):
+                return False
+        return True
+
+    def search(assignment: Valuation) -> Iterator[Valuation]:
+        if len(assignment) == len(variables):
+            yield dict(assignment)
+            return
+        variable = select_variable(assignment)
+        for node in sorted(domains[variable]):
+            stats.nodes_expanded += 1
+            if consistent(variable, node, assignment):
+                assignment[variable] = node
+                yield from search(assignment)
+                del assignment[variable]
+            else:
+                stats.backtracks += 1
+
+    yield from search({})
+
+
+def boolean_query_holds(
+    query: ConjunctiveQuery,
+    structure: TreeStructure,
+    pinned: Optional[Mapping[Variable, int]] = None,
+    use_arc_consistency: bool = True,
+    statistics: Optional[SearchStatistics] = None,
+) -> bool:
+    """Boolean evaluation: is there at least one satisfying valuation?"""
+    for _ in iter_solutions(
+        query, structure, pinned, use_arc_consistency, statistics
+    ):
+        return True
+    return False
+
+
+def count_solutions(
+    query: ConjunctiveQuery,
+    structure: TreeStructure,
+    pinned: Optional[Mapping[Variable, int]] = None,
+) -> int:
+    """Count all satisfying valuations (exponentially many in the worst case)."""
+    return sum(1 for _ in iter_solutions(query, structure, pinned))
+
+
+def find_solution(
+    query: ConjunctiveQuery,
+    structure: TreeStructure,
+    pinned: Optional[Mapping[Variable, int]] = None,
+) -> Optional[Valuation]:
+    """Return some satisfying valuation, or ``None``."""
+    for solution in iter_solutions(query, structure, pinned):
+        assert valuation_satisfies(query, structure, solution)
+        return solution
+    return None

@@ -1,0 +1,75 @@
+"""Prevaluations, valuations and initial candidate domains (Section 3).
+
+A *prevaluation* Phi assigns to each query variable a non-empty set of nodes;
+a *valuation* theta assigns a single node.  The evaluation algorithms
+manipulate prevaluations as ``dict[Variable, set[int]]`` ("domains") and
+valuations as ``dict[Variable, int]``.
+
+:func:`initial_domains` builds the starting prevaluation: every variable gets
+all nodes satisfying its unary atoms (and, for pinned variables, exactly the
+pinned node).  This corresponds to applying the first clause group of the
+Horn program of Proposition 3.1.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..queries.atoms import LabelAtom, Variable
+from ..queries.query import ConjunctiveQuery
+from ..trees.structure import TreeStructure
+
+Domains = dict[Variable, set[int]]
+Valuation = dict[Variable, int]
+
+
+def initial_domains(
+    query: ConjunctiveQuery,
+    structure: TreeStructure,
+    pinned: Optional[Mapping[Variable, int]] = None,
+) -> Domains:
+    """Per-variable candidate node sets before arc consistency.
+
+    ``pinned`` restricts the given variables to a single node each -- the
+    singleton-relation trick used to reduce answer checking to Boolean
+    evaluation (discussion after Theorem 3.5).
+    """
+    all_nodes = set(structure.domain())
+    domains: Domains = {variable: set(all_nodes) for variable in query.variables()}
+    for atom in query.body:
+        if isinstance(atom, LabelAtom):
+            members = set(structure.unary_members(atom.label))
+            domains[atom.variable] &= members
+    if pinned:
+        for variable, node in pinned.items():
+            if variable not in domains:
+                raise ValueError(f"pinned variable {variable!r} not in the query")
+            domains[variable] &= {node}
+    return domains
+
+
+def is_total(domains: Domains) -> bool:
+    """A prevaluation must assign a *non-empty* set to every variable."""
+    return all(domain for domain in domains.values())
+
+
+def valuation_satisfies(
+    query: ConjunctiveQuery, structure: TreeStructure, valuation: Mapping[Variable, int]
+) -> bool:
+    """Check whether a total valuation satisfies every atom of the query."""
+    from ..queries.atoms import AxisAtom  # local import to keep module load light
+
+    for atom in query.body:
+        if isinstance(atom, LabelAtom):
+            if not structure.unary_holds(atom.label, valuation[atom.variable]):
+                return False
+        elif isinstance(atom, AxisAtom):
+            if not structure.axis_holds(
+                atom.axis, valuation[atom.source], valuation[atom.target]
+            ):
+                return False
+    return True
+
+
+def copy_domains(domains: Domains) -> Domains:
+    return {variable: set(nodes) for variable, nodes in domains.items()}

@@ -1,0 +1,166 @@
+"""The evaluation planner: dispatching on the dichotomy.
+
+Given a query, the planner chooses the cheapest applicable engine:
+
+1. **X-property evaluation** (Theorem 3.5) whenever the query's signature is
+   on the tractable side of the dichotomy (Theorem 1.1),
+2. **acyclic evaluation** (Yannakakis-style) whenever the query graph's shadow
+   is a forest -- this covers every signature, since acyclic queries are
+   tractable regardless of the axes used,
+3. **backtracking search** otherwise (cyclic query over an NP-hard signature;
+   by Section 5 no general polynomial algorithm is expected).
+
+k-ary answer enumeration is reduced to Boolean evaluation with singleton
+("pinned") domains, exactly as described after Theorem 3.5: checking whether a
+tuple is an answer adds fresh singleton unary relations, so a k-ary query is
+answered in ``O(|A|^k . ||A|| . |Q|)`` on the tractable side.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from itertools import product
+from typing import Iterable, Mapping, Optional
+
+from ..queries.apq import UnionQuery, as_union
+from ..queries.graph import QueryGraph
+from ..queries.query import ConjunctiveQuery
+from ..trees.structure import TreeStructure
+from ..trees.tree import Tree
+from ..xproperty.dichotomy import is_tractable
+from . import acyclic, backtracking, xprop_evaluator
+from .arc_consistency import maximal_arc_consistent
+from .domains import Valuation
+
+
+class Engine(str, Enum):
+    """Available evaluation engines."""
+
+    AUTO = "auto"
+    XPROPERTY = "xproperty"
+    ACYCLIC = "acyclic"
+    BACKTRACKING = "backtracking"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def choose_engine(query: ConjunctiveQuery) -> Engine:
+    """Pick the engine the planner would use for this query."""
+    if is_tractable(query.signature()):
+        return Engine.XPROPERTY
+    if QueryGraph(query).is_acyclic():
+        return Engine.ACYCLIC
+    return Engine.BACKTRACKING
+
+
+def is_satisfied(
+    query: ConjunctiveQuery,
+    structure: TreeStructure,
+    engine: Engine = Engine.AUTO,
+    pinned: Optional[Mapping[str, int]] = None,
+) -> bool:
+    """Boolean evaluation of (the existential closure of) a query."""
+    boolean_query = query.as_boolean()
+    chosen = choose_engine(boolean_query) if engine is Engine.AUTO else engine
+    if chosen is Engine.XPROPERTY:
+        return xprop_evaluator.boolean_query_holds(boolean_query, structure, pinned=pinned)
+    if chosen is Engine.ACYCLIC:
+        return acyclic.boolean_query_holds(boolean_query, structure, pinned=pinned)
+    return backtracking.boolean_query_holds(boolean_query, structure, pinned=pinned)
+
+
+def check_answer(
+    query: ConjunctiveQuery,
+    structure: TreeStructure,
+    answer: tuple[int, ...],
+    engine: Engine = Engine.AUTO,
+) -> bool:
+    """Is ``answer`` (a tuple of nodes, one per head variable) in the result?
+
+    Implements the singleton-relation reduction to Boolean evaluation.
+    """
+    if len(answer) != query.arity:
+        raise ValueError(
+            f"answer arity {len(answer)} does not match query arity {query.arity}"
+        )
+    pinned = dict(zip(query.head, answer))
+    return is_satisfied(query, structure, engine, pinned)
+
+
+def evaluate(
+    query: ConjunctiveQuery,
+    structure: TreeStructure,
+    engine: Engine = Engine.AUTO,
+) -> frozenset[tuple[int, ...]]:
+    """Compute all answers of a k-ary query.
+
+    Boolean queries return ``{()}`` when satisfied and the empty set otherwise.
+    k-ary queries enumerate candidate head tuples from the subset-maximal
+    arc-consistent prevaluation (a sound over-approximation of the answer
+    projection) and check each tuple via the Boolean reduction.
+    """
+    if query.is_boolean:
+        return frozenset({()}) if is_satisfied(query, structure, engine) else frozenset()
+
+    domains = maximal_arc_consistent(query, structure)
+    if domains is None:
+        return frozenset()
+    candidate_sets = [sorted(domains[variable]) for variable in query.head]
+    answers: set[tuple[int, ...]] = set()
+    for candidate in product(*candidate_sets):
+        # Head variables may repeat; a repeated variable must get one node.
+        pinned: dict[str, int] = {}
+        consistent = True
+        for variable, node in zip(query.head, candidate):
+            if variable in pinned and pinned[variable] != node:
+                consistent = False
+                break
+            pinned[variable] = node
+        if not consistent:
+            continue
+        if is_satisfied(query, structure, engine, pinned):
+            answers.add(tuple(candidate))
+    return frozenset(answers)
+
+
+def evaluate_union(
+    union: UnionQuery | ConjunctiveQuery,
+    structure: TreeStructure,
+    engine: Engine = Engine.AUTO,
+) -> frozenset[tuple[int, ...]]:
+    """Evaluate a union of conjunctive queries (a PQ / APQ)."""
+    union = as_union(union)
+    answers: set[tuple[int, ...]] = set()
+    for disjunct in union:
+        answers.update(evaluate(disjunct, structure, engine))
+    return frozenset(answers)
+
+
+def evaluate_on_tree(
+    query: ConjunctiveQuery | UnionQuery,
+    tree: Tree,
+    engine: Engine = Engine.AUTO,
+) -> frozenset[tuple[int, ...]]:
+    """Convenience wrapper evaluating directly on a tree (full Ax signature)."""
+    structure = TreeStructure(tree)
+    if isinstance(query, UnionQuery):
+        return evaluate_union(query, structure, engine)
+    return evaluate(query, structure, engine)
+
+
+def satisfying_assignment(
+    query: ConjunctiveQuery,
+    structure: TreeStructure,
+) -> Optional[Valuation]:
+    """Return some satisfying valuation of the query's body (or ``None``).
+
+    Uses the X-property witness on tractable signatures and backtracking
+    otherwise.
+    """
+    boolean_query = query.as_boolean()
+    if is_tractable(boolean_query.signature()):
+        witness = xprop_evaluator.witness(boolean_query, structure)
+        if witness is not None:
+            return witness
+    return backtracking.find_solution(boolean_query, structure)

@@ -1,0 +1,73 @@
+"""Assemble the full experiment report (the content behind EXPERIMENTS.md).
+
+``python -m repro.experiments.report`` runs every experiment and prints the
+combined report; ``write_report(path)`` writes it to a file.  The benchmarks
+under ``benchmarks/`` time the same code paths with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+
+from . import figure8, figure9, polytime, rewriting_report, table1, table2, xproperty_figures
+
+
+@dataclass
+class FullReport:
+    sections: list[tuple[str, str]]
+
+    def render(self) -> str:
+        parts: list[str] = []
+        for title, body in self.sections:
+            parts.append("=" * 78)
+            parts.append(title)
+            parts.append("=" * 78)
+            parts.append(body)
+            parts.append("")
+        return "\n".join(parts)
+
+
+def run(quick: bool = False) -> FullReport:
+    """Run every experiment; ``quick=True`` trims the expensive sweeps."""
+    sections: list[tuple[str, str]] = []
+    sections.append(
+        ("Experiment table1 -- Table I (dichotomy)", table1.run(full=not quick).render())
+    )
+    sections.append(("Experiment table2 -- Table II (NAND)", table2.run().render()))
+    sections.append(
+        (
+            "Experiments fig2/fig3/thm4.1 -- X-property",
+            xproperty_figures.run(num_trees=6 if quick else 12).render(),
+        )
+    )
+    sections.append(
+        ("Experiment thm3.5 -- polynomial-time evaluation", polytime.run().render())
+    )
+    sections.append(
+        ("Experiment fig8 -- CQ -> APQ rewrite trace", figure8.run().render(include_trace=False))
+    )
+    sections.append(
+        (
+            "Experiments thm6.6/6.9/6.10/prop6.14 -- expressiveness",
+            rewriting_report.run(quick=quick).render(),
+        )
+    )
+    sections.append(
+        (
+            "Experiment fig9/thm7.1 -- succinctness",
+            figure9.run(max_n=3 if quick else 4).render(),
+        )
+    )
+    return FullReport(sections)
+
+
+def write_report(path: str, quick: bool = False) -> None:
+    report = run(quick=quick)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(report.render())
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    quick_flag = "--quick" in sys.argv
+    print(run(quick=quick_flag).render())

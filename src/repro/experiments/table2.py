@@ -1,0 +1,44 @@
+"""Experiment ``table2``: regenerate Table II (the NAND gadget distances).
+
+Table II is the function ``NAND(k, l)`` used by the Theorem 5.2 wiring.  The
+experiment regenerates the table and records the structural sanity checks that
+can be made without the (figure-only) gadget tree: the table is symmetric
+under ``NAND(k, l) = NAND(4 - l, 4 - k)`` and strictly decreasing in ``k`` /
+increasing in ``l``, reflecting that a higher selected position on the left
+needs more Following steps to block a lower position on the right.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardness.nand import NAND, nand, render_table2
+
+
+@dataclass
+class Table2Result:
+    values: dict[tuple[int, int], int]
+    antisymmetric: bool
+    monotone: bool
+
+    def render(self) -> str:
+        lines = ["Table II (NAND(k, l) Following-step distances)", ""]
+        lines.append(render_table2())
+        lines.append("")
+        lines.append(f"NAND(k, l) = NAND(4 - l, 4 - k) holds: {self.antisymmetric}")
+        lines.append(
+            f"Monotone (decreasing in k, increasing in l): {self.monotone}"
+        )
+        return "\n".join(lines)
+
+
+def run() -> Table2Result:
+    antisymmetric = all(
+        nand(k, l) == nand(4 - l, 4 - k) for k in (1, 2, 3) for l in (1, 2, 3)
+    )
+    monotone = all(
+        nand(k, l) > nand(k + 1, l) for k in (1, 2) for l in (1, 2, 3)
+    ) and all(
+        nand(k, l) < nand(k, l + 1) for k in (1, 2, 3) for l in (1, 2)
+    )
+    return Table2Result(values=dict(NAND), antisymmetric=antisymmetric, monotone=monotone)

@@ -1,0 +1,59 @@
+"""Section 5: NP-hardness machinery (1-in-3 3SAT, reductions, hard instances)."""
+
+from .hard_instances import (
+    HardWorkload,
+    grid_query,
+    hard_workload,
+    random_cyclic_query,
+    theorem51_workload,
+)
+from .nand import NAND, nand, render_table2
+from .sat import (
+    Assignment,
+    OneInThreeInstance,
+    brute_force_solutions,
+    count_solutions,
+    is_satisfiable,
+    random_instance,
+    satisfiable_instance,
+    solve_backtracking,
+    unsatisfiable_instance,
+)
+from .theorem51 import (
+    Theorem51Reduction,
+    build_data_tree,
+    build_query,
+    decide_by_selection,
+    decode_assignment,
+    decode_selection,
+    encode_selection,
+    reduce_instance,
+)
+
+__all__ = [
+    "Assignment",
+    "HardWorkload",
+    "NAND",
+    "OneInThreeInstance",
+    "Theorem51Reduction",
+    "brute_force_solutions",
+    "build_data_tree",
+    "build_query",
+    "count_solutions",
+    "decide_by_selection",
+    "decode_assignment",
+    "decode_selection",
+    "encode_selection",
+    "grid_query",
+    "hard_workload",
+    "is_satisfiable",
+    "nand",
+    "random_cyclic_query",
+    "random_instance",
+    "reduce_instance",
+    "render_table2",
+    "satisfiable_instance",
+    "solve_backtracking",
+    "theorem51_workload",
+    "unsatisfiable_instance",
+]

@@ -1,0 +1,153 @@
+"""Calibrated hard query instances for the NP-hard signatures of Table I.
+
+The paper proves NP-hardness of the remaining two-axis signatures (Theorems
+5.2-5.8) with clause gadgets whose data trees are only given as figures that
+the available text does not fully specify (see DESIGN.md, substitution 2).
+For the *empirical* side of the Table I reproduction we therefore use
+generator-based hard instances:
+
+* :func:`theorem51_workload` -- the exact Theorem 5.1 reduction (the verified
+  gadget), parameterised by the number of clauses; used for the
+  ``{Child, Child+}`` / ``{Child, Child*}`` cells,
+* :func:`random_cyclic_query` / :func:`grid_query` -- dense cyclic queries over
+  an arbitrary two-axis signature, which exercise the exponential behaviour of
+  generic evaluation on the NP-hard cells while the same shapes remain easy on
+  the tractable cells (evaluated by the X-property algorithm),
+* :func:`hard_workload` -- a convenience bundle (tree + query batches) used by
+  ``benchmarks/bench_table1.py`` and ``benchmarks/bench_hardness.py``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..queries.atoms import AxisAtom, LabelAtom
+from ..queries.query import ConjunctiveQuery
+from ..trees.axes import Axis
+from ..trees.generators import random_tree
+from ..trees.structure import Signature, TreeStructure
+from ..trees.tree import Tree
+from .sat import OneInThreeInstance, satisfiable_instance
+from .theorem51 import Theorem51Reduction, reduce_instance
+
+
+@dataclass(frozen=True)
+class HardWorkload:
+    """A (structure, queries) pair used by the hardness benchmarks."""
+
+    structure: TreeStructure
+    queries: tuple[ConjunctiveQuery, ...]
+    description: str
+
+
+def theorem51_workload(
+    num_clauses: int,
+    num_variables: Optional[int] = None,
+    variant: str = "tau4",
+    seed: int = 0,
+) -> Theorem51Reduction:
+    """A satisfiable 1-in-3 instance of the given size run through Theorem 5.1."""
+    num_variables = num_variables if num_variables is not None else max(3, num_clauses + 2)
+    instance = satisfiable_instance(num_variables, num_clauses, seed=seed)
+    return reduce_instance(instance, variant)  # type: ignore[arg-type]
+
+
+def random_cyclic_query(
+    axes: Sequence[Axis],
+    num_variables: int,
+    num_extra_atoms: int,
+    alphabet: Sequence[str] = ("A", "B", "C"),
+    label_probability: float = 0.5,
+    seed: Optional[int] = None,
+) -> ConjunctiveQuery:
+    """A random Boolean query guaranteed to contain undirected cycles.
+
+    The query graph is a *directed-acyclic ring*: a path
+    ``v0 -> v1 -> ... -> v(n-1)`` plus the chord ``v0 -> v(n-1)``, which closes
+    an undirected cycle without creating a directed one (a directed ring would
+    be trivially unsatisfiable over trees by Lemma 6.4 and would make the
+    instances worthless).  ``num_extra_atoms`` additional chords are added,
+    always oriented from the lower-indexed to the higher-indexed variable so
+    the graph stays a DAG; axes are drawn uniformly from ``axes`` and unary
+    label atoms are sprinkled in.  Such queries are the generic "hard shape"
+    on NP-hard signatures and the generic "easy shape" on tractable ones.
+    """
+    if num_variables < 3:
+        raise ValueError("need at least three variables for a cyclic query")
+    rng = random.Random(seed)
+    variables = [f"v{i}" for i in range(num_variables)]
+    atoms: list = []
+    for index in range(num_variables - 1):
+        atoms.append(
+            AxisAtom(rng.choice(list(axes)), variables[index], variables[index + 1])
+        )
+    atoms.append(AxisAtom(rng.choice(list(axes)), variables[0], variables[-1]))
+    for _ in range(num_extra_atoms):
+        first, second = sorted(rng.sample(range(num_variables), 2))
+        atoms.append(
+            AxisAtom(rng.choice(list(axes)), variables[first], variables[second])
+        )
+    for variable in variables:
+        if rng.random() < label_probability:
+            atoms.append(LabelAtom(rng.choice(list(alphabet)), variable))
+    return ConjunctiveQuery((), tuple(atoms), name="random-cyclic")
+
+
+def grid_query(
+    vertical: Axis,
+    horizontal: Axis,
+    rows: int,
+    columns: int,
+    alphabet: Sequence[str] = (),
+    seed: Optional[int] = None,
+) -> ConjunctiveQuery:
+    """A rows x columns grid query: vertical atoms down columns, horizontal along rows.
+
+    Grid queries are maximally cyclic for their size and are the classic
+    worst-case shape for structural-decomposition-based evaluation.
+    """
+    rng = random.Random(seed)
+    atoms: list = []
+    variable = lambda r, c: f"g{r}_{c}"  # noqa: E731 - tiny local helper
+    for r in range(rows):
+        for c in range(columns):
+            if c + 1 < columns:
+                atoms.append(AxisAtom(horizontal, variable(r, c), variable(r, c + 1)))
+            if r + 1 < rows:
+                atoms.append(AxisAtom(vertical, variable(r, c), variable(r + 1, c)))
+            if alphabet and rng.random() < 0.4:
+                atoms.append(LabelAtom(rng.choice(list(alphabet)), variable(r, c)))
+    return ConjunctiveQuery((), tuple(atoms), name=f"grid-{rows}x{columns}")
+
+
+def hard_workload(
+    axes: Sequence[Axis],
+    tree_size: int = 60,
+    num_queries: int = 5,
+    num_variables: int = 8,
+    num_extra_atoms: int = 4,
+    seed: int = 0,
+) -> HardWorkload:
+    """A bundle of random cyclic queries over a random tree for a signature."""
+    tree = random_tree(
+        tree_size,
+        alphabet=("A", "B", "C"),
+        max_children=3,
+        unlabeled_probability=0.2,
+        seed=seed,
+    )
+    signature = Signature(frozenset(axes))
+    structure = TreeStructure(tree, signature)
+    queries = tuple(
+        random_cyclic_query(
+            axes,
+            num_variables=num_variables,
+            num_extra_atoms=num_extra_atoms,
+            seed=seed * 1000 + index,
+        )
+        for index in range(num_queries)
+    )
+    description = "random cyclic queries over " + ", ".join(a.value for a in axes)
+    return HardWorkload(structure, queries, description)

@@ -1,0 +1,41 @@
+"""Table II: the NAND(k, l) gadget distances of Theorem 5.2.
+
+In the reduction from 1-in-3 3SAT to conjunctive queries over
+``{Child, Following}`` (Theorem 5.2), the interaction between two clause
+gadgets is wired with atoms ``Following^NAND(k, l)(x, y)``: they forbid the
+query variables labelled ``L_k`` (in the left copy) and ``L_l`` (in the right
+copy) from *both* being mapped to their topmost data-tree positions.
+
+The table (paper's Table II)::
+
+    k \\ l   1    2    3
+    1      10   13   18
+    2       5    8   13
+    3       2    5   10
+"""
+
+from __future__ import annotations
+
+#: Table II of the paper.
+NAND: dict[tuple[int, int], int] = {
+    (1, 1): 10, (1, 2): 13, (1, 3): 18,
+    (2, 1): 5,  (2, 2): 8,  (2, 3): 13,
+    (3, 1): 2,  (3, 2): 5,  (3, 3): 10,
+}
+
+
+def nand(k: int, l: int) -> int:
+    """The number of ``Following`` steps for positions ``k`` and ``l`` (1-based)."""
+    try:
+        return NAND[(k, l)]
+    except KeyError as error:
+        raise ValueError("NAND is defined for k, l in {1, 2, 3}") from error
+
+
+def render_table2() -> str:
+    """Regenerate Table II as text."""
+    lines = ["k\\l   1    2    3"]
+    for k in (1, 2, 3):
+        row = "  ".join(f"{nand(k, l):3d}" for l in (1, 2, 3))
+        lines.append(f"{k}    {row}")
+    return "\n".join(lines)

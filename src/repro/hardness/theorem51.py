@@ -1,0 +1,217 @@
+"""The Theorem 5.1 reduction: 1-in-3 3SAT -> CQ over {Child, Child+} / {Child, Child*}.
+
+This is the one NP-hardness gadget of Section 5 that is fully recoverable from
+the proof text (the Figure 4 data tree is described implicitly by the
+satisfying valuations used in the correctness argument), so the reproduction
+implements it exactly and verifies it mechanically against the brute-force
+1-in-3 3SAT solver.
+
+The fixed data tree over the alphabet ``{X, Y, L1, L2, L3}``:
+
+* a chain of three ``X``-labelled nodes ``v1 -> v2 -> v3`` (``v1`` the root);
+* below ``v3``, three chains ("branches") of ten nodes each,
+  ``w[m][1] ... w[m][10]`` for ``m = 1, 2, 3``;
+* ``w[m][m]`` carries label ``Y``;
+* ``w[m][t]`` for ``t = 4..10`` carries the two labels ``{L1, L2, L3} - {Lm}``;
+* ``w[m][5+m]`` additionally carries ``Lm`` (so it is the only node of branch
+  ``m`` labelled ``Lm``).
+
+The query for an instance ``C_1, ..., C_m`` (ordered clauses of three positive
+literals):
+
+* for each clause ``i``: ``X(x_i), Y(y_i), Child^3(x_i, y_i)``;
+* for every pair of clause positions that share a literal -- the k-th literal
+  of ``C_i`` equals the l-th literal of ``C_j`` (``i != j``) -- a variable
+  ``z_{k,l,i,j}`` with atoms ``L_k(z)``, ``Child^o(y_i, z)`` and
+  ``Child^(8+k-l)(x_j, z)``, where ``o`` is ``+`` on ``tau4 = {Child, Child+}``
+  and ``*`` on ``tau5 = {Child, Child*}``.
+
+The query is satisfiable on the fixed tree iff the instance has a 1-in-3
+solution; :func:`decode_selection` recovers the per-clause literal selection
+from a satisfying valuation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Optional
+
+from ..queries.atoms import AxisAtom, LabelAtom
+from ..queries.query import ConjunctiveQuery, axis_chain
+from ..trees.axes import Axis
+from ..trees.node import Node
+from ..trees.structure import Signature, TreeStructure
+from ..trees.tree import Tree
+from .sat import Assignment, OneInThreeInstance
+
+Variant = Literal["tau4", "tau5"]
+
+#: Depth of each branch below v3 in the fixed data tree.
+_BRANCH_LENGTH = 10
+
+
+@dataclass(frozen=True)
+class Theorem51Reduction:
+    """The output of the reduction: fixed tree, query and bookkeeping."""
+
+    instance: OneInThreeInstance
+    variant: Variant
+    tree: Tree
+    query: ConjunctiveQuery
+    #: node id of v_k for k = 1, 2, 3
+    v_nodes: tuple[int, int, int]
+    #: node id of w[m][t], keyed by (m, t), both 1-based
+    w_nodes: dict[tuple[int, int], int]
+
+    def structure(self) -> TreeStructure:
+        """The reduction's fixed tree packaged with the variant's signature."""
+        axes = (
+            Signature.of(Axis.CHILD, Axis.CHILD_PLUS)
+            if self.variant == "tau4"
+            else Signature.of(Axis.CHILD, Axis.CHILD_STAR)
+        )
+        return TreeStructure(self.tree, axes)
+
+
+def build_data_tree() -> tuple[Tree, tuple[int, int, int], dict[tuple[int, int], int]]:
+    """Build the fixed Figure 4 data tree.
+
+    Returns the tree together with the node ids of ``v1, v2, v3`` and of the
+    branch nodes ``w[m][t]``.
+    """
+    v1 = Node(("X",))
+    v2 = v1.add(("X",))
+    v3 = v2.add(("X",))
+    w_node_objects: dict[tuple[int, int], Node] = {}
+    for m in (1, 2, 3):
+        parent = v3
+        for t in range(1, _BRANCH_LENGTH + 1):
+            labels: set[str] = set()
+            if t == m:
+                labels.add("Y")
+            if 4 <= t <= _BRANCH_LENGTH:
+                labels.update(f"L{k}" for k in (1, 2, 3) if k != m)
+            if t == 5 + m:
+                labels.add(f"L{m}")
+            parent = parent.add(labels)
+            w_node_objects[(m, t)] = parent
+    tree = Tree(v1)
+    v_ids = (tree.nodes.index(v1), tree.nodes.index(v2), tree.nodes.index(v3))
+    w_ids = {key: node.index for key, node in w_node_objects.items()}
+    return tree, v_ids, w_ids
+
+
+def build_query(instance: OneInThreeInstance, variant: Variant = "tau4") -> ConjunctiveQuery:
+    """Build the Boolean conjunctive query encoding the instance."""
+    if variant not in ("tau4", "tau5"):
+        raise ValueError("variant must be 'tau4' or 'tau5'")
+    descendant_axis = Axis.CHILD_PLUS if variant == "tau4" else Axis.CHILD_STAR
+    atoms: list = []
+    for i, _clause in enumerate(instance.clauses, start=1):
+        atoms.append(LabelAtom("X", f"x{i}"))
+        atoms.append(LabelAtom("Y", f"y{i}"))
+        atoms.extend(axis_chain(Axis.CHILD, 3, f"x{i}", f"y{i}"))
+    for i, clause_i in enumerate(instance.clauses, start=1):
+        for j, clause_j in enumerate(instance.clauses, start=1):
+            if i == j:
+                continue
+            for k, literal_k in enumerate(clause_i, start=1):
+                for l, literal_l in enumerate(clause_j, start=1):
+                    if literal_k != literal_l:
+                        continue
+                    z = f"z_{k}_{l}_{i}_{j}"
+                    atoms.append(LabelAtom(f"L{k}", z))
+                    atoms.append(AxisAtom(descendant_axis, f"y{i}", z))
+                    atoms.extend(axis_chain(Axis.CHILD, 8 + k - l, f"x{j}", z))
+    return ConjunctiveQuery((), tuple(atoms), name=f"Thm5.1[{variant}]")
+
+
+def reduce_instance(
+    instance: OneInThreeInstance, variant: Variant = "tau4"
+) -> Theorem51Reduction:
+    """Run the full reduction for an instance."""
+    tree, v_ids, w_ids = build_data_tree()
+    query = build_query(instance, variant)
+    return Theorem51Reduction(instance, variant, tree, query, v_ids, w_ids)
+
+
+def encode_selection(
+    reduction: Theorem51Reduction, selection: list[int]
+) -> dict[str, int]:
+    """The valuation of the proof's forward direction for a literal selection.
+
+    ``selection[i - 1] = k`` selects the k-th literal of clause ``C_i``.  Only
+    the clause variables ``x_i, y_i`` and the coincidence variables ``z`` are
+    assigned (chain variables are left to the evaluator); the returned partial
+    valuation can be used as pinning to confirm that it extends to a
+    satisfaction.
+    """
+    instance = reduction.instance
+    if len(selection) != instance.num_clauses:
+        raise ValueError("selection length must match the number of clauses")
+    valuation: dict[str, int] = {}
+    for i, sigma_i in enumerate(selection, start=1):
+        valuation[f"x{i}"] = reduction.v_nodes[sigma_i - 1]
+        valuation[f"y{i}"] = reduction.w_nodes[(sigma_i, sigma_i)]
+    for i, clause_i in enumerate(instance.clauses, start=1):
+        for j, clause_j in enumerate(instance.clauses, start=1):
+            if i == j:
+                continue
+            for k, literal_k in enumerate(clause_i, start=1):
+                for l, literal_l in enumerate(clause_j, start=1):
+                    if literal_k != literal_l:
+                        continue
+                    z = f"z_{k}_{l}_{i}_{j}"
+                    sigma_i, sigma_j = selection[i - 1], selection[j - 1]
+                    valuation[z] = reduction.w_nodes[(sigma_i, 5 + k - l + sigma_j)]
+    return valuation
+
+
+def decide_by_selection(reduction: Theorem51Reduction) -> Optional[list[int]]:
+    """Decide satisfiability of the reduction query by selection enumeration.
+
+    Any satisfaction must map each ``x_i`` to one of ``v1, v2, v3`` (those are
+    the only ``X``-labelled nodes), so the query is satisfiable iff it is
+    satisfiable under one of the ``3^m`` pinnings of the ``x_i``.  Each pinned
+    check is cheap (almost everything else is forced), which makes this an
+    exact decision procedure for reduction queries that is much faster than
+    unrestricted backtracking on unsatisfiable instances.  Returns a
+    witnessing selection or ``None``.
+    """
+    from itertools import product as _product
+
+    from ..evaluation import backtracking as _backtracking
+
+    structure = reduction.structure()
+    for selection in _product((1, 2, 3), repeat=reduction.instance.num_clauses):
+        pinned = {
+            f"x{i + 1}": reduction.v_nodes[position - 1]
+            for i, position in enumerate(selection)
+        }
+        if _backtracking.boolean_query_holds(reduction.query, structure, pinned=pinned):
+            return list(selection)
+    return None
+
+
+def decode_selection(
+    reduction: Theorem51Reduction, valuation: dict[str, int]
+) -> list[int]:
+    """Recover the per-clause literal selection from a satisfying valuation."""
+    selection: list[int] = []
+    for i in range(1, reduction.instance.num_clauses + 1):
+        node = valuation[f"x{i}"]
+        try:
+            selection.append(reduction.v_nodes.index(node) + 1)
+        except ValueError as error:
+            raise ValueError(
+                f"x{i} is mapped to node {node}, which is not one of v1, v2, v3"
+            ) from error
+    return selection
+
+
+def decode_assignment(
+    reduction: Theorem51Reduction, valuation: dict[str, int]
+) -> Assignment:
+    """Recover a full truth assignment from a satisfying valuation."""
+    selection = decode_selection(reduction, valuation)
+    return reduction.instance.selection_to_assignment(selection)

@@ -1,0 +1,45 @@
+"""Query model: conjunctive queries, query graphs, APQs, parsing, XPath."""
+
+from .apq import UnionQuery, as_union
+from .atoms import Atom, AxisAtom, LabelAtom, Variable, axis, label
+from .containment import (
+    answers_on,
+    contained_on,
+    contained_on_samples,
+    contained_on_trees,
+    equivalent_on_samples,
+    equivalent_on_trees,
+)
+from .graph import QueryGraph, has_directed_cycle, is_acyclic
+from .parser import QueryParseError, parse_query
+from .query import ConjunctiveQuery, QueryBuilder, axis_chain
+from .xpath import XPathTranslationError, apq_to_xpath, cq_to_xpath, xpath_to_cq
+
+__all__ = [
+    "Atom",
+    "AxisAtom",
+    "ConjunctiveQuery",
+    "LabelAtom",
+    "QueryBuilder",
+    "QueryGraph",
+    "QueryParseError",
+    "UnionQuery",
+    "Variable",
+    "XPathTranslationError",
+    "answers_on",
+    "apq_to_xpath",
+    "as_union",
+    "axis",
+    "axis_chain",
+    "contained_on",
+    "contained_on_samples",
+    "contained_on_trees",
+    "cq_to_xpath",
+    "equivalent_on_samples",
+    "equivalent_on_trees",
+    "has_directed_cycle",
+    "is_acyclic",
+    "label",
+    "parse_query",
+    "xpath_to_cq",
+]

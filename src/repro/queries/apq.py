@@ -1,0 +1,104 @@
+"""Positive queries and acyclic positive queries (Section 6).
+
+* ``PQ[F]``  -- positive queries: finite unions of conjunctive queries over F,
+* ``APQ[F]`` -- acyclic positive queries: unions of *acyclic* conjunctive
+  queries over F.
+
+:class:`UnionQuery` represents either; :meth:`UnionQuery.is_acyclic` tells
+whether it qualifies as an APQ.  The size of an APQ is the sum of the sizes of
+its constituent conjunctive queries (Section 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..trees.structure import Signature
+from .graph import is_acyclic
+from .query import ConjunctiveQuery
+
+
+@dataclass(frozen=True)
+class UnionQuery:
+    """A finite union of conjunctive queries with a common arity."""
+
+    disjuncts: tuple[ConjunctiveQuery, ...]
+    name: str = "Q"
+
+    def __post_init__(self) -> None:
+        arities = {query.arity for query in self.disjuncts}
+        if len(arities) > 1:
+            raise ValueError(f"all disjuncts must share one arity, got {sorted(arities)}")
+
+    @classmethod
+    def of(cls, *queries: ConjunctiveQuery, name: str = "Q") -> "UnionQuery":
+        return cls(tuple(queries), name)
+
+    @classmethod
+    def from_iterable(
+        cls, queries: Iterable[ConjunctiveQuery], name: str = "Q"
+    ) -> "UnionQuery":
+        return cls(tuple(queries), name)
+
+    # -- structure -------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[ConjunctiveQuery]:
+        return iter(self.disjuncts)
+
+    def __len__(self) -> int:
+        return len(self.disjuncts)
+
+    @property
+    def arity(self) -> int:
+        return self.disjuncts[0].arity if self.disjuncts else 0
+
+    @property
+    def is_boolean(self) -> bool:
+        return self.arity == 0
+
+    def is_empty(self) -> bool:
+        """An empty union is the unsatisfiable query."""
+        return not self.disjuncts
+
+    def is_acyclic(self) -> bool:
+        """True iff every disjunct is acyclic, i.e. the union is an APQ."""
+        return all(is_acyclic(query) for query in self.disjuncts)
+
+    def signature(self) -> Signature:
+        axes = frozenset()
+        for query in self.disjuncts:
+            axes |= query.signature().axes
+        return Signature(axes)
+
+    def size(self) -> int:
+        """Sum of constituent query sizes (the Section 7 size measure)."""
+        return sum(query.size() for query in self.disjuncts)
+
+    # -- simplification --------------------------------------------------------
+
+    def deduplicated(self) -> "UnionQuery":
+        """Remove syntactically duplicate disjuncts (same head, same atom set)."""
+        seen: set[tuple] = set()
+        kept: list[ConjunctiveQuery] = []
+        for query in self.disjuncts:
+            key = (query.head, frozenset(query.body))
+            if key not in seen:
+                seen.add(key)
+                kept.append(query)
+        return UnionQuery(tuple(kept), self.name)
+
+    def union(self, other: "UnionQuery") -> "UnionQuery":
+        return UnionQuery(self.disjuncts + other.disjuncts, self.name)
+
+    def __str__(self) -> str:
+        if not self.disjuncts:
+            return f"{self.name}: (empty union / unsatisfiable)"
+        return "\n UNION \n".join(str(query) for query in self.disjuncts)
+
+
+def as_union(query: ConjunctiveQuery | UnionQuery) -> UnionQuery:
+    """Lift a single conjunctive query to a one-disjunct union."""
+    if isinstance(query, UnionQuery):
+        return query
+    return UnionQuery((query,), query.name)

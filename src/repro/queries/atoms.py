@@ -1,0 +1,80 @@
+"""Query atoms: unary label atoms and binary axis atoms.
+
+A conjunctive query body is a set of atoms over variables (Section 2).  Two
+kinds of atoms appear in the paper:
+
+* ``Label_a(x)`` -- written here as :class:`LabelAtom` with ``label = "a"``,
+* ``R(x, y)`` for ``R`` an axis -- written here as :class:`AxisAtom`.
+
+Both are immutable and hashable so that query bodies can be represented as
+(ordered) tuples and used in sets during rewriting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..trees.axes import Axis
+
+
+Variable = str
+
+
+@dataclass(frozen=True, order=True)
+class LabelAtom:
+    """A unary atom ``label(variable)``.
+
+    ``label`` may be a tree label or the name of an extra unary relation of
+    the structure (e.g. a singleton relation used for pinning answers).
+    """
+
+    label: str
+    variable: Variable
+
+    def variables(self) -> tuple[Variable, ...]:
+        return (self.variable,)
+
+    def rename(self, mapping: dict[Variable, Variable]) -> "LabelAtom":
+        return LabelAtom(self.label, mapping.get(self.variable, self.variable))
+
+    def __str__(self) -> str:
+        return f"{self.label}({self.variable})"
+
+
+@dataclass(frozen=True, order=True)
+class AxisAtom:
+    """A binary atom ``axis(source, target)``."""
+
+    axis: Axis
+    source: Variable
+    target: Variable
+
+    def variables(self) -> tuple[Variable, ...]:
+        return (self.source, self.target)
+
+    def rename(self, mapping: dict[Variable, Variable]) -> "AxisAtom":
+        return AxisAtom(
+            self.axis,
+            mapping.get(self.source, self.source),
+            mapping.get(self.target, self.target),
+        )
+
+    def is_loop(self) -> bool:
+        return self.source == self.target
+
+    def __str__(self) -> str:
+        return f"{self.axis.value}({self.source}, {self.target})"
+
+
+Atom = Union[LabelAtom, AxisAtom]
+
+
+def label(label_name: str, variable: Variable) -> LabelAtom:
+    """Shorthand constructor for a unary atom."""
+    return LabelAtom(label_name, variable)
+
+
+def axis(axis_value: Axis, source: Variable, target: Variable) -> AxisAtom:
+    """Shorthand constructor for a binary atom."""
+    return AxisAtom(axis_value, source, target)

@@ -1,0 +1,132 @@
+"""Containment and equivalence testing for queries over trees.
+
+Exact containment of conjunctive queries over trees is harder than over
+unrestricted relational structures (the canonical-database homomorphism test of
+Chandra & Merlin is only sound in one direction because not every structure is
+a tree).  The reproduction therefore offers two complementary tools:
+
+* :func:`contained_on_trees` / :func:`equivalent_on_trees` -- *exhaustive*
+  checks on all labelled trees up to a size bound (sound and complete for that
+  bounded universe; small bounds only),
+* :func:`contained_on_samples` / :func:`equivalent_on_samples` -- randomised
+  testing on larger random trees (sound for refutation, probabilistic for
+  confirmation).
+
+These are exactly what the test-suite and the experiments need: the rewriting
+theorems (6.6, 6.9, 6.10) are checked by comparing a query and its APQ
+translation on both universes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional, Sequence
+
+from ..trees.generators import all_trees, random_tree
+from ..trees.structure import TreeStructure
+from ..trees.tree import Tree
+from .apq import UnionQuery, as_union
+from .query import ConjunctiveQuery
+
+QueryLike = ConjunctiveQuery | UnionQuery
+
+
+def _answers(query: QueryLike, tree: Tree) -> frozenset[tuple[int, ...]]:
+    # Imported lazily to avoid a circular dependency (evaluation uses queries).
+    from ..evaluation.planner import evaluate
+
+    structure = TreeStructure(tree)
+    union = as_union(query)
+    results: set[tuple[int, ...]] = set()
+    for disjunct in union:
+        results.update(evaluate(disjunct, structure))
+    return frozenset(results)
+
+
+def contained_on(
+    query: QueryLike, other: QueryLike, trees: Iterable[Tree]
+) -> Optional[Tree]:
+    """Check ``query ⊆ other`` on the given trees.
+
+    Returns ``None`` if no counterexample was found, otherwise the first tree
+    on which some answer of ``query`` is missing from ``other``.
+    """
+    for tree in trees:
+        if not _answers(query, tree) <= _answers(other, tree):
+            return tree
+    return None
+
+
+def contained_on_trees(
+    query: QueryLike, other: QueryLike, max_size: int = 4,
+    alphabet: Sequence[str] = ("A", "B"),
+) -> Optional[Tree]:
+    """Exhaustive containment check on all trees with <= ``max_size`` nodes."""
+    return contained_on(query, other, all_trees(max_size, alphabet))
+
+
+def equivalent_on_trees(
+    query: QueryLike, other: QueryLike, max_size: int = 4,
+    alphabet: Sequence[str] = ("A", "B"),
+) -> Optional[Tree]:
+    """Exhaustive equivalence check; returns a distinguishing tree or ``None``."""
+    for tree in all_trees(max_size, alphabet):
+        if _answers(query, tree) != _answers(other, tree):
+            return tree
+    return None
+
+
+def _sample_trees(
+    count: int,
+    size: int,
+    alphabet: Sequence[str],
+    seed: Optional[int],
+    unlabeled_probability: float,
+) -> list[Tree]:
+    rng = random.Random(seed)
+    return [
+        random_tree(
+            size,
+            alphabet=alphabet,
+            max_children=4,
+            unlabeled_probability=unlabeled_probability,
+            rng=rng,
+        )
+        for _ in range(count)
+    ]
+
+
+def contained_on_samples(
+    query: QueryLike,
+    other: QueryLike,
+    samples: int = 30,
+    size: int = 20,
+    alphabet: Sequence[str] = ("A", "B", "C"),
+    seed: Optional[int] = 0,
+    unlabeled_probability: float = 0.2,
+) -> Optional[Tree]:
+    """Randomised containment check; returns a counterexample tree or ``None``."""
+    trees = _sample_trees(samples, size, alphabet, seed, unlabeled_probability)
+    return contained_on(query, other, trees)
+
+
+def equivalent_on_samples(
+    query: QueryLike,
+    other: QueryLike,
+    samples: int = 30,
+    size: int = 20,
+    alphabet: Sequence[str] = ("A", "B", "C"),
+    seed: Optional[int] = 0,
+    unlabeled_probability: float = 0.2,
+) -> Optional[Tree]:
+    """Randomised equivalence check; returns a distinguishing tree or ``None``."""
+    trees = _sample_trees(samples, size, alphabet, seed, unlabeled_probability)
+    for tree in trees:
+        if _answers(query, tree) != _answers(other, tree):
+            return tree
+    return None
+
+
+def answers_on(query: QueryLike, tree: Tree) -> frozenset[tuple[int, ...]]:
+    """Public helper: the answer set of a query (or union) on one tree."""
+    return _answers(query, tree)

@@ -1,0 +1,314 @@
+"""Query graphs (Section 2) and the cycle notions of Section 6.
+
+The query graph of a conjunctive query is a directed multigraph whose vertices
+are the query variables, whose (labelled) edges are the binary atoms, and whose
+vertex labels are the unary atoms.  Section 6 distinguishes
+
+* **directed cycles** -- cycles of the directed multigraph (including
+  self-loops and pairs of opposite edges), handled by Lemma 6.4, and
+* **undirected cycles** -- cycles of the *shadow* multigraph (parallel edges
+  count as a cycle of length two), whose absence defines acyclicity of the
+  conjunctive query.
+
+This module provides the graph view plus the cycle detection used by the
+rewriting algorithm of Lemma 6.5 and by the acyclic (Yannakakis-style)
+evaluator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from .atoms import AxisAtom, Variable
+from .query import ConjunctiveQuery
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A uniquely-identified edge of the query graph (one per axis atom)."""
+
+    index: int
+    atom: AxisAtom
+
+    @property
+    def source(self) -> Variable:
+        return self.atom.source
+
+    @property
+    def target(self) -> Variable:
+        return self.atom.target
+
+
+class QueryGraph:
+    """Directed multigraph view of a conjunctive query."""
+
+    def __init__(self, query: ConjunctiveQuery):
+        self.query = query
+        self.vertices: tuple[Variable, ...] = query.variables()
+        self.edges: tuple[Edge, ...] = tuple(
+            Edge(index, atom) for index, atom in enumerate(query.axis_atoms())
+        )
+        self.out_edges: dict[Variable, list[Edge]] = {v: [] for v in self.vertices}
+        self.in_edges: dict[Variable, list[Edge]] = {v: [] for v in self.vertices}
+        for edge in self.edges:
+            self.out_edges[edge.source].append(edge)
+            self.in_edges[edge.target].append(edge)
+
+    # -- shadow (undirected) structure -----------------------------------------
+
+    def adjacency(self) -> dict[Variable, list[tuple[Variable, Edge]]]:
+        """Shadow adjacency: for each vertex, (neighbour, edge) pairs."""
+        adjacency: dict[Variable, list[tuple[Variable, Edge]]] = {
+            vertex: [] for vertex in self.vertices
+        }
+        for edge in self.edges:
+            adjacency[edge.source].append((edge.target, edge))
+            if edge.source != edge.target:
+                adjacency[edge.target].append((edge.source, edge))
+        return adjacency
+
+    def find_undirected_cycle(self) -> Optional[list[Edge]]:
+        """Return the edges of some undirected cycle of the shadow multigraph.
+
+        Self-loops and parallel edges count as cycles (of length 1 and 2).
+        Returns ``None`` when the shadow is a forest, i.e. the query is
+        acyclic in the sense of the paper.
+        """
+        for edge in self.edges:
+            if edge.source == edge.target:
+                return [edge]
+        adjacency = self.adjacency()
+        visited: set[Variable] = set()
+        for start in self.vertices:
+            if start in visited:
+                continue
+            # Iterative DFS storing, for each vertex, the edge used to reach it.
+            parent_edge: dict[Variable, Optional[Edge]] = {start: None}
+            stack: list[Variable] = [start]
+            order: list[Variable] = []
+            while stack:
+                vertex = stack.pop()
+                if vertex in visited:
+                    continue
+                visited.add(vertex)
+                order.append(vertex)
+                for neighbour, edge in adjacency[vertex]:
+                    if neighbour not in parent_edge:
+                        parent_edge[neighbour] = edge
+                        stack.append(neighbour)
+                    else:
+                        incoming = parent_edge[vertex]
+                        if incoming is not None and incoming.index == edge.index:
+                            continue
+                        if neighbour in visited or neighbour in parent_edge:
+                            cycle = self._reconstruct_cycle(
+                                parent_edge, vertex, neighbour, edge
+                            )
+                            if cycle is not None:
+                                return cycle
+        return None
+
+    def _reconstruct_cycle(
+        self,
+        parent_edge: dict[Variable, Optional[Edge]],
+        vertex: Variable,
+        neighbour: Variable,
+        closing_edge: Edge,
+    ) -> Optional[list[Edge]]:
+        """Build the cycle closed by ``closing_edge`` between the DFS-tree paths."""
+
+        def path_to_root(start: Variable) -> list[tuple[Variable, Optional[Edge]]]:
+            path = [(start, parent_edge.get(start))]
+            current = start
+            while parent_edge.get(current) is not None:
+                edge = parent_edge[current]
+                assert edge is not None
+                current = edge.source if edge.target == current else edge.target
+                path.append((current, parent_edge.get(current)))
+            return path
+
+        path_v = path_to_root(vertex)
+        path_n = path_to_root(neighbour)
+        vertices_v = [vertex_ for vertex_, _ in path_v]
+        vertices_n = {vertex_: position for position, (vertex_, _) in enumerate(path_n)}
+        # Find the lowest common ancestor in the DFS tree.
+        lca_position_v = None
+        for position, vertex_ in enumerate(vertices_v):
+            if vertex_ in vertices_n:
+                lca_position_v = position
+                break
+        if lca_position_v is None:
+            return None
+        lca = vertices_v[lca_position_v]
+        cycle_edges: list[Edge] = [closing_edge]
+        for vertex_, edge in path_v[:lca_position_v]:
+            if edge is not None:
+                cycle_edges.append(edge)
+        for vertex_, edge in path_n[: vertices_n[lca]]:
+            if edge is not None:
+                cycle_edges.append(edge)
+        # A valid cycle needs at least two distinct edges (or a self loop,
+        # handled earlier).
+        unique = {edge.index for edge in cycle_edges}
+        if len(unique) < 2:
+            return None
+        return cycle_edges
+
+    def is_acyclic(self) -> bool:
+        """Acyclicity in the paper's sense: the shadow multigraph is a forest."""
+        return self.find_undirected_cycle() is None
+
+    def connected_components(self) -> list[set[Variable]]:
+        """Connected components of the shadow graph (isolated vertices too)."""
+        adjacency = self.adjacency()
+        remaining = set(self.vertices)
+        components: list[set[Variable]] = []
+        while remaining:
+            start = next(iter(remaining))
+            component = {start}
+            frontier = [start]
+            while frontier:
+                vertex = frontier.pop()
+                for neighbour, _ in adjacency[vertex]:
+                    if neighbour not in component:
+                        component.add(neighbour)
+                        frontier.append(neighbour)
+            components.append(component)
+            remaining -= component
+        return components
+
+    # -- directed structure ----------------------------------------------------
+
+    def strongly_connected_components(self) -> list[set[Variable]]:
+        """Tarjan's algorithm (iterative) on the directed multigraph."""
+        index_counter = 0
+        indices: dict[Variable, int] = {}
+        lowlinks: dict[Variable, int] = {}
+        on_stack: set[Variable] = set()
+        stack: list[Variable] = []
+        components: list[set[Variable]] = []
+
+        for root in self.vertices:
+            if root in indices:
+                continue
+            work: list[tuple[Variable, int]] = [(root, 0)]
+            while work:
+                vertex, child_index = work.pop()
+                if child_index == 0:
+                    indices[vertex] = index_counter
+                    lowlinks[vertex] = index_counter
+                    index_counter += 1
+                    stack.append(vertex)
+                    on_stack.add(vertex)
+                recurse = False
+                out = self.out_edges[vertex]
+                while child_index < len(out):
+                    successor = out[child_index].target
+                    child_index += 1
+                    if successor not in indices:
+                        work.append((vertex, child_index))
+                        work.append((successor, 0))
+                        recurse = True
+                        break
+                    if successor in on_stack:
+                        lowlinks[vertex] = min(lowlinks[vertex], indices[successor])
+                if recurse:
+                    continue
+                if lowlinks[vertex] == indices[vertex]:
+                    component: set[Variable] = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.add(member)
+                        if member == vertex:
+                            break
+                    components.append(component)
+                if work:
+                    parent = work[-1][0]
+                    lowlinks[parent] = min(lowlinks[parent], lowlinks[vertex])
+        return components
+
+    def directed_cycle_components(self) -> list[set[Variable]]:
+        """SCCs that actually contain a directed cycle.
+
+        These are the SCCs with more than one vertex, plus singletons carrying
+        a self-loop atom.
+        """
+        loops = {edge.source for edge in self.edges if edge.source == edge.target}
+        return [
+            component
+            for component in self.strongly_connected_components()
+            if len(component) > 1 or next(iter(component)) in loops
+        ]
+
+    def has_directed_cycle(self) -> bool:
+        return bool(self.directed_cycle_components())
+
+    def edges_within(self, component: set[Variable]) -> list[Edge]:
+        """Edges with both endpoints inside ``component``."""
+        return [
+            edge
+            for edge in self.edges
+            if edge.source in component and edge.target in component
+        ]
+
+    def reachable_from(self, start: Variable) -> set[Variable]:
+        """Vertices reachable from ``start`` following edge directions."""
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            vertex = frontier.pop()
+            for edge in self.out_edges[vertex]:
+                if edge.target not in seen:
+                    seen.add(edge.target)
+                    frontier.append(edge.target)
+        return seen
+
+    def variable_paths(self) -> list[list[Variable]]:
+        """All maximal variable-paths (Section 7's Pi_Q) of a DAG query graph.
+
+        A variable-path runs from an in-degree-zero variable to an
+        out-degree-zero variable following edge directions.  Only meaningful
+        for query graphs without directed cycles (DABCQs); raises otherwise.
+        """
+        if self.has_directed_cycle():
+            raise ValueError("variable_paths() requires a query graph without directed cycles")
+        sources = [
+            vertex for vertex in self.vertices if not self.in_edges[vertex]
+        ]
+        paths: list[list[Variable]] = []
+
+        def extend(path: list[Variable]) -> None:
+            vertex = path[-1]
+            out = self.out_edges[vertex]
+            if not out:
+                paths.append(list(path))
+                return
+            for edge in out:
+                path.append(edge.target)
+                extend(path)
+                path.pop()
+
+        for source in sources:
+            extend([source])
+        if not sources and self.vertices:
+            # Isolated-vertex-free graphs with no sources only happen with
+            # directed cycles, excluded above; a single isolated vertex is its
+            # own path.
+            pass
+        for vertex in self.vertices:
+            if not self.in_edges[vertex] and not self.out_edges[vertex]:
+                # Isolated vertices were already added as length-1 paths by the
+                # loop above (they are sources); nothing to do.
+                pass
+        return paths
+
+
+def is_acyclic(query: ConjunctiveQuery) -> bool:
+    """Convenience wrapper: acyclicity of a conjunctive query."""
+    return QueryGraph(query).is_acyclic()
+
+
+def has_directed_cycle(query: ConjunctiveQuery) -> bool:
+    return QueryGraph(query).has_directed_cycle()

@@ -1,0 +1,148 @@
+"""A datalog-style parser for conjunctive queries.
+
+The concrete syntax mirrors the paper's rule notation::
+
+    Q(z) <- A(x), Child(x, y), B(y), Following(x, z), C(z)
+
+* The head is ``Name(v1, ..., vk)``; ``Name()`` or ``Name`` gives a Boolean
+  query.
+* Binary atoms use the axis names ``Child``, ``Child+``, ``Child*``,
+  ``NextSibling``, ``NextSibling+``, ``NextSibling*``, ``Following`` (and the
+  aliases accepted by :func:`repro.trees.axes.axis_from_name`).
+* The shortcut ``Child^3(x, y)`` expands to a chain of three ``Child`` atoms
+  through fresh variables, as in Section 5.
+* Every other predicate ``P(x)`` with one argument is a label atom.
+* ``<-`` and ``:-`` are both accepted as the rule arrow.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from ..trees.axes import Axis, axis_from_name
+from .atoms import Atom, AxisAtom, LabelAtom
+from .query import ConjunctiveQuery, axis_chain
+
+_ATOM_PATTERN = re.compile(
+    r"""
+    (?P<predicate>[A-Za-z_@][\w@.\-]*[+*]?)       # predicate name, may end in + or *
+    (?:\^(?P<power>\d+))?                          # optional ^k shortcut
+    \s*\(\s*
+    (?P<arguments>[^()]*)
+    \)\s*
+    """,
+    re.VERBOSE,
+)
+
+_AXIS_NAMES = {
+    "Child",
+    "Child+",
+    "Child*",
+    "NextSibling",
+    "NextSibling+",
+    "NextSibling*",
+    "Following",
+    "DocumentOrder",
+    "SuccPre",
+    "Parent",
+    "Ancestor",
+    "AncestorOrSelf",
+    "PreviousSibling",
+    "PrecedingSibling",
+    "Preceding",
+    "Self",
+    "Descendant",
+    "DescendantOrSelf",
+    "FollowingSibling",
+}
+
+
+class QueryParseError(ValueError):
+    """Raised when a query string cannot be parsed."""
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse a conjunctive query from the datalog-style notation."""
+    text = text.strip()
+    if "<-" in text:
+        head_text, body_text = text.split("<-", 1)
+    elif ":-" in text:
+        head_text, body_text = text.split(":-", 1)
+    else:
+        head_text, body_text = "Q()", text
+
+    name, head = _parse_head(head_text.strip())
+    body = _parse_body(body_text.strip())
+    try:
+        query = ConjunctiveQuery(tuple(head), tuple(body), name)
+    except ValueError as error:
+        raise QueryParseError(str(error)) from error
+    if not query.is_safe():
+        raise QueryParseError(
+            f"unsafe query: head variables must occur in the body ({text!r})"
+        )
+    return query
+
+
+def _parse_head(text: str) -> tuple[str, list[str]]:
+    if not text:
+        return "Q", []
+    match = re.fullmatch(r"([A-Za-z_]\w*)\s*(?:\(\s*([^()]*)\s*\))?", text)
+    if not match:
+        raise QueryParseError(f"cannot parse query head: {text!r}")
+    name = match.group(1)
+    arguments = match.group(2)
+    if arguments is None or not arguments.strip():
+        return name, []
+    variables = [argument.strip() for argument in arguments.split(",")]
+    if any(not variable for variable in variables):
+        raise QueryParseError(f"empty head variable in {text!r}")
+    return name, variables
+
+
+def _parse_body(text: str) -> list[Atom]:
+    if not text or text.lower() == "true":
+        return []
+    atoms: list[Atom] = []
+    position = 0
+    while position < len(text):
+        while position < len(text) and text[position] in " ,\n\t":
+            position += 1
+        if position >= len(text):
+            break
+        match = _ATOM_PATTERN.match(text, position)
+        if not match:
+            raise QueryParseError(f"cannot parse atom at: {text[position:position + 40]!r}")
+        predicate = match.group("predicate")
+        power = match.group("power")
+        arguments = [
+            argument.strip()
+            for argument in match.group("arguments").split(",")
+            if argument.strip()
+        ]
+        atoms.extend(_make_atoms(predicate, power, arguments))
+        position = match.end()
+    return atoms
+
+
+def _make_atoms(predicate: str, power: str | None, arguments: list[str]) -> Iterable[Atom]:
+    if predicate in _AXIS_NAMES:
+        if len(arguments) != 2:
+            raise QueryParseError(
+                f"axis atom {predicate} expects two arguments, got {arguments}"
+            )
+        axis = axis_from_name(predicate)
+        if power is not None:
+            return axis_chain(axis, int(power), arguments[0], arguments[1])
+        return [AxisAtom(axis, arguments[0], arguments[1])]
+    if power is not None:
+        raise QueryParseError(f"^k shortcut only applies to axis atoms, not {predicate}")
+    if len(arguments) == 1:
+        return [LabelAtom(predicate, arguments[0])]
+    if len(arguments) == 2:
+        # Unknown binary predicate: give a helpful error instead of guessing.
+        raise QueryParseError(
+            f"unknown binary relation {predicate!r}; known axes: {sorted(_AXIS_NAMES)}"
+        )
+    raise QueryParseError(f"atom {predicate} has unsupported arity {len(arguments)}")

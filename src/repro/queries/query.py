@@ -1,0 +1,259 @@
+"""Conjunctive queries over trees (Section 2).
+
+A k-ary conjunctive query is written in datalog rule notation::
+
+    Q(z) <- A(x), Child(x, y), B(y), Following(x, z), C(z)
+
+:class:`ConjunctiveQuery` stores the head variables and the body atoms.  The
+0-ary queries are Boolean, the unary ones monadic.  Queries are immutable;
+transformations (variable substitution, atom addition/removal) return new
+queries, which keeps the Section 6 rewrite system side-effect free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Iterable, Mapping, Optional, Sequence
+
+from ..trees.axes import Axis
+from ..trees.structure import Signature
+from .atoms import Atom, AxisAtom, LabelAtom, Variable
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """An immutable conjunctive query.
+
+    Parameters
+    ----------
+    head:
+        The tuple of free (answer) variables; empty for Boolean queries.
+    body:
+        The atoms of the body.  Duplicates are removed while preserving order.
+    name:
+        Optional display name (used in experiment output).
+    """
+
+    head: tuple[Variable, ...]
+    body: tuple[Atom, ...]
+    name: str = "Q"
+
+    def __post_init__(self) -> None:
+        deduplicated = tuple(dict.fromkeys(self.body))
+        object.__setattr__(self, "body", deduplicated)
+
+    def is_safe(self) -> bool:
+        """Do all head variables occur in the body?
+
+        Unsafe queries are still meaningful over a finite tree (a head
+        variable without body occurrences simply ranges over all nodes), and
+        intermediate results of the Section 6 rewriting may temporarily be
+        unsafe; the textual parser, however, rejects unsafe input queries.
+        """
+        body_variables = {
+            variable for atom in self.body for variable in atom.variables()
+        }
+        return all(variable in body_variables for variable in self.head)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        head: Sequence[Variable] = (),
+        body: Iterable[Atom] = (),
+        name: str = "Q",
+    ) -> "ConjunctiveQuery":
+        return cls(tuple(head), tuple(body), name)
+
+    @classmethod
+    def boolean(cls, body: Iterable[Atom], name: str = "Q") -> "ConjunctiveQuery":
+        return cls((), tuple(body), name)
+
+    # -- basic accessors -------------------------------------------------------
+
+    def variables(self) -> tuple[Variable, ...]:
+        """All variables in order of first occurrence (head first)."""
+        seen: dict[Variable, None] = dict.fromkeys(self.head)
+        for atom in self.body:
+            for variable in atom.variables():
+                seen.setdefault(variable, None)
+        return tuple(seen)
+
+    @property
+    def arity(self) -> int:
+        return len(self.head)
+
+    @property
+    def is_boolean(self) -> bool:
+        return not self.head
+
+    @property
+    def is_monadic(self) -> bool:
+        return len(self.head) == 1
+
+    def label_atoms(self) -> tuple[LabelAtom, ...]:
+        return tuple(atom for atom in self.body if isinstance(atom, LabelAtom))
+
+    def axis_atoms(self) -> tuple[AxisAtom, ...]:
+        return tuple(atom for atom in self.body if isinstance(atom, AxisAtom))
+
+    def labels_of(self, variable: Variable) -> frozenset[str]:
+        return frozenset(
+            atom.label
+            for atom in self.body
+            if isinstance(atom, LabelAtom) and atom.variable == variable
+        )
+
+    def signature(self) -> Signature:
+        """The set of axes used by the query."""
+        return Signature(frozenset(atom.axis for atom in self.axis_atoms()))
+
+    def labels(self) -> frozenset[str]:
+        return frozenset(atom.label for atom in self.label_atoms())
+
+    def size(self) -> int:
+        """|Q| -- the number of atoms in the body (Section 7's size measure)."""
+        return len(self.body)
+
+    # -- transformations -------------------------------------------------------
+
+    def rename(self, mapping: Mapping[Variable, Variable]) -> "ConjunctiveQuery":
+        """Apply a variable substitution to head and body."""
+        mapping = dict(mapping)
+        new_head = tuple(mapping.get(variable, variable) for variable in self.head)
+        new_body = tuple(atom.rename(mapping) for atom in self.body)
+        return ConjunctiveQuery(new_head, new_body, self.name)
+
+    def substitute(self, old: Variable, new: Variable) -> "ConjunctiveQuery":
+        """Replace every occurrence of ``old`` by ``new``."""
+        return self.rename({old: new})
+
+    def with_atoms(self, *atoms: Atom) -> "ConjunctiveQuery":
+        return ConjunctiveQuery(self.head, self.body + tuple(atoms), self.name)
+
+    def without_atoms(self, *atoms: Atom) -> "ConjunctiveQuery":
+        to_remove = set(atoms)
+        return ConjunctiveQuery(
+            self.head,
+            tuple(atom for atom in self.body if atom not in to_remove),
+            self.name,
+        )
+
+    def with_head(self, head: Sequence[Variable]) -> "ConjunctiveQuery":
+        return ConjunctiveQuery(tuple(head), self.body, self.name)
+
+    def with_name(self, name: str) -> "ConjunctiveQuery":
+        return ConjunctiveQuery(self.head, self.body, name)
+
+    def as_boolean(self) -> "ConjunctiveQuery":
+        """Drop the head (existentially quantify all variables)."""
+        return ConjunctiveQuery((), self.body, self.name)
+
+    def fresh_variable(self, prefix: str = "v") -> Variable:
+        """A variable name not yet used by the query."""
+        used = set(self.variables())
+        for index in count():
+            candidate = f"{prefix}{index}"
+            if candidate not in used:
+                return candidate
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # -- display ---------------------------------------------------------------
+
+    def __str__(self) -> str:
+        head = f"{self.name}({', '.join(self.head)})"
+        body = ", ".join(str(atom) for atom in self.body)
+        return f"{head} <- {body}" if body else f"{head} <- true"
+
+    def pretty(self) -> str:
+        """A multi-line rendering, one atom per line."""
+        lines = [f"{self.name}({', '.join(self.head)}) <-"]
+        lines.extend(f"    {atom}" for atom in self.body)
+        return "\n".join(lines)
+
+
+def axis_chain(
+    axis: Axis,
+    length: int,
+    source: Variable,
+    target: Variable,
+    fresh_prefix: str = "_c",
+) -> list[AxisAtom]:
+    """Expand the paper's shortcut ``axis^k(x, y)`` into a chain of atoms.
+
+    ``Child^3(x, y)`` becomes ``Child(x, _c0), Child(_c0, _c1), Child(_c1, y)``
+    with fresh intermediate variables.  ``length`` must be >= 1.
+    The fresh prefix is combined with the endpoint names so that chains built
+    independently do not collide.
+    """
+    if length < 1:
+        raise ValueError("chain length must be >= 1")
+    variables = [source]
+    for index in range(length - 1):
+        variables.append(f"{fresh_prefix}_{source}_{target}_{index}")
+    variables.append(target)
+    return [
+        AxisAtom(axis, variables[index], variables[index + 1])
+        for index in range(length)
+    ]
+
+
+class QueryBuilder:
+    """A small fluent builder for conjunctive queries.
+
+    Example
+    -------
+    >>> from repro.trees.axes import Axis
+    >>> query = (QueryBuilder("Q")
+    ...     .label("A", "x").child("x", "y").label("B", "y")
+    ...     .following("x", "z").label("C", "z")
+    ...     .select("z").build())
+    """
+
+    def __init__(self, name: str = "Q"):
+        self._name = name
+        self._head: list[Variable] = []
+        self._body: list[Atom] = []
+
+    def label(self, label_name: str, variable: Variable) -> "QueryBuilder":
+        self._body.append(LabelAtom(label_name, variable))
+        return self
+
+    def atom(self, axis: Axis, source: Variable, target: Variable) -> "QueryBuilder":
+        self._body.append(AxisAtom(axis, source, target))
+        return self
+
+    def chain(
+        self, axis: Axis, length: int, source: Variable, target: Variable
+    ) -> "QueryBuilder":
+        self._body.extend(axis_chain(axis, length, source, target))
+        return self
+
+    # Named helpers for the common axes keep query-building code readable.
+
+    def child(self, source: Variable, target: Variable) -> "QueryBuilder":
+        return self.atom(Axis.CHILD, source, target)
+
+    def descendant(self, source: Variable, target: Variable) -> "QueryBuilder":
+        return self.atom(Axis.CHILD_PLUS, source, target)
+
+    def descendant_or_self(self, source: Variable, target: Variable) -> "QueryBuilder":
+        return self.atom(Axis.CHILD_STAR, source, target)
+
+    def next_sibling(self, source: Variable, target: Variable) -> "QueryBuilder":
+        return self.atom(Axis.NEXT_SIBLING, source, target)
+
+    def following_sibling(self, source: Variable, target: Variable) -> "QueryBuilder":
+        return self.atom(Axis.NEXT_SIBLING_PLUS, source, target)
+
+    def following(self, source: Variable, target: Variable) -> "QueryBuilder":
+        return self.atom(Axis.FOLLOWING, source, target)
+
+    def select(self, *variables: Variable) -> "QueryBuilder":
+        self._head.extend(variables)
+        return self
+
+    def build(self) -> ConjunctiveQuery:
+        return ConjunctiveQuery(tuple(self._head), tuple(self._body), self._name)

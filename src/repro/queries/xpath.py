@@ -1,0 +1,330 @@
+"""Translation between an XPath fragment and (acyclic) conjunctive queries.
+
+Section 1 of the paper observes that acyclic conjunctive queries over trees
+generalise the navigational fragment of XPath, e.g.::
+
+    //A[B]/following::C
+      ==  Q(z) <- A(x), Child(x, y), B(y), Following(x, z), C(z)
+
+and Remark 6.1 notes that unary APQs over the XPath axes correspond to
+positive Core XPath.  This module implements both directions for the
+navigational (Core XPath) fragment:
+
+* :func:`xpath_to_cq` -- parse a forward/backward-axis location path with
+  nested predicates into an acyclic monadic conjunctive query,
+* :func:`cq_to_xpath` -- render a *connected acyclic* monadic conjunctive
+  query as an XPath expression (linear time, as per Remark 6.1),
+* :func:`apq_to_xpath` -- render an APQ as an XPath union (``|``).
+
+The supported XPath surface syntax:
+
+* steps separated by ``/``; ``//`` abbreviates ``/descendant-or-self::node()/``
+  as usual,
+* a step is ``axis::test`` where ``axis`` is one of the navigational axes and
+  ``test`` is a label or ``node()``/``*`` (any node),
+* the abbreviation ``label`` means ``child::label``,
+* predicates ``[relative path]`` may nest and may start with an axis or ``//``.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Iterator, Optional
+
+from ..trees.axes import Axis, INVERSE, XPATH_AXIS_NAMES
+from .apq import UnionQuery
+from .atoms import Atom, AxisAtom, LabelAtom, Variable
+from .graph import QueryGraph
+from .query import ConjunctiveQuery
+
+
+class XPathTranslationError(ValueError):
+    """Raised when an expression or query is outside the supported fragment."""
+
+
+#: Axis -> XPath axis name (for rendering).  NextSibling / NextSibling* have no
+#: XPath counterpart (the paper notes XPath does not support them).
+AXIS_TO_XPATH: dict[Axis, str] = {
+    Axis.CHILD: "child",
+    Axis.CHILD_PLUS: "descendant",
+    Axis.CHILD_STAR: "descendant-or-self",
+    Axis.NEXT_SIBLING_PLUS: "following-sibling",
+    Axis.FOLLOWING: "following",
+    Axis.PARENT: "parent",
+    Axis.ANCESTOR: "ancestor",
+    Axis.ANCESTOR_OR_SELF: "ancestor-or-self",
+    Axis.PRECEDING_SIBLING: "preceding-sibling",
+    Axis.PRECEDING: "preceding",
+    Axis.SELF: "self",
+}
+
+#: XPath-expressible axes when read backwards (target -> source).
+_INVERSE_TO_XPATH: dict[Axis, str] = {
+    Axis.CHILD: "parent",
+    Axis.CHILD_PLUS: "ancestor",
+    Axis.CHILD_STAR: "ancestor-or-self",
+    Axis.NEXT_SIBLING_PLUS: "preceding-sibling",
+    Axis.FOLLOWING: "preceding",
+    Axis.PARENT: "child",
+    Axis.ANCESTOR: "descendant",
+    Axis.ANCESTOR_OR_SELF: "descendant-or-self",
+    Axis.PRECEDING_SIBLING: "following-sibling",
+    Axis.PRECEDING: "following",
+    Axis.SELF: "self",
+}
+
+
+# ---------------------------------------------------------------------------
+# XPath -> conjunctive query
+# ---------------------------------------------------------------------------
+
+
+def xpath_to_cq(expression: str, name: str = "Q") -> ConjunctiveQuery:
+    """Translate a navigational XPath expression into a monadic acyclic CQ.
+
+    The query's single head variable denotes the nodes selected by the
+    expression.  Absolute expressions (starting with ``/`` or ``//``) anchor
+    the first step at the document root via an auxiliary unlabelled variable
+    constrained to have no constraints (the root is simply where evaluation of
+    ``descendant-or-self`` starts); relative expressions start at an
+    unconstrained context variable.
+    """
+    translator = _XPathTranslator(name)
+    return translator.translate(expression)
+
+
+class _XPathTranslator:
+    def __init__(self, name: str):
+        self.name = name
+        self._counter = count()
+        self.atoms: list[Atom] = []
+
+    def fresh(self) -> Variable:
+        return f"x{next(self._counter)}"
+
+    def translate(self, expression: str) -> ConjunctiveQuery:
+        expression = expression.strip()
+        if not expression:
+            raise XPathTranslationError("empty XPath expression")
+        start = self.fresh()
+        result = self._translate_path(expression, start)
+        if not self.atoms:
+            # Expression like "." -- selects the context node itself.
+            self.atoms.append(AxisAtom(Axis.SELF, start, result))
+        return ConjunctiveQuery((result,), tuple(self.atoms), self.name)
+
+    # -- path handling ---------------------------------------------------------
+
+    def _translate_path(self, path: str, context: Variable) -> Variable:
+        steps = _split_steps(path)
+        current = context
+        for axis_name, test, predicates in steps:
+            current = self._translate_step(axis_name, test, predicates, current)
+        return current
+
+    def _translate_step(
+        self,
+        axis_name: str,
+        test: str,
+        predicates: list[str],
+        context: Variable,
+    ) -> Variable:
+        if axis_name not in XPATH_AXIS_NAMES:
+            raise XPathTranslationError(f"unsupported XPath axis: {axis_name!r}")
+        axis = XPATH_AXIS_NAMES[axis_name]
+        target = self.fresh()
+        if axis in (Axis.PARENT, Axis.ANCESTOR, Axis.ANCESTOR_OR_SELF,
+                    Axis.PRECEDING_SIBLING, Axis.PRECEDING):
+            # Backward axes are expressed by swapping the argument pair of the
+            # corresponding forward axis (they are redundant in CQs).
+            forward = INVERSE[axis]
+            self.atoms.append(AxisAtom(forward, target, context))
+        elif axis is Axis.SELF:
+            self.atoms.append(AxisAtom(Axis.SELF, context, target))
+        else:
+            self.atoms.append(AxisAtom(axis, context, target))
+        if test not in ("node()", "*", "."):
+            self.atoms.append(LabelAtom(test, target))
+        for predicate in predicates:
+            self._translate_path(predicate, target)
+        return target
+
+
+def _split_steps(path: str) -> list[tuple[str, str, list[str]]]:
+    """Split a location path into (axis, node-test, predicates) triples.
+
+    Our trees have no separate document node, so absolute paths ("/..." and
+    "//...") are interpreted as starting *anywhere*: a leading abbreviated
+    child step becomes a ``descendant-or-self`` step (which in particular lets
+    ``//S`` and ``/S`` select a root labelled ``S``).
+    """
+    steps: list[tuple[str, str, list[str]]] = []
+    position = 0
+    text = path.strip()
+    absolute = False
+    leading_double = False
+    if text.startswith("//"):
+        absolute = leading_double = True
+        text = text[2:]
+    elif text.startswith("/"):
+        absolute = True
+        text = text[1:]
+    while text:
+        # Find the end of this step (a '/' at bracket depth 0).
+        depth = 0
+        end = len(text)
+        double = False
+        for index, char in enumerate(text):
+            if char == "[":
+                depth += 1
+            elif char == "]":
+                depth -= 1
+            elif char == "/" and depth == 0:
+                end = index
+                double = text[index:index + 2] == "//"
+                break
+        step_text = text[:end].strip()
+        if step_text:
+            steps.append(_parse_step(step_text))
+        if double:
+            steps.append(("descendant-or-self", "node()", []))
+            text = text[end + 2:]
+        else:
+            text = text[end + 1:] if end < len(text) else ""
+    if absolute and steps:
+        first_axis, first_test, first_predicates = steps[0]
+        if first_axis == "child":
+            steps[0] = ("descendant-or-self", first_test, first_predicates)
+        elif leading_double:
+            steps.insert(0, ("descendant-or-self", "node()", []))
+    return steps
+
+
+def _parse_step(step: str) -> tuple[str, str, list[str]]:
+    predicates: list[str] = []
+    while step.endswith("]"):
+        depth = 0
+        for index in range(len(step) - 1, -1, -1):
+            if step[index] == "]":
+                depth += 1
+            elif step[index] == "[":
+                depth -= 1
+                if depth == 0:
+                    predicates.insert(0, step[index + 1:-1])
+                    step = step[:index]
+                    break
+        else:
+            raise XPathTranslationError(f"unbalanced predicate brackets in {step!r}")
+    step = step.strip()
+    if "[" in step or "]" in step:
+        raise XPathTranslationError(f"unbalanced predicate brackets in step {step!r}")
+    if "::" in step:
+        axis_name, test = step.split("::", 1)
+    elif step == ".":
+        axis_name, test = "self", "node()"
+    elif step == "..":
+        axis_name, test = "parent", "node()"
+    else:
+        axis_name, test = "child", step
+    return axis_name.strip(), test.strip(), predicates
+
+
+# ---------------------------------------------------------------------------
+# Conjunctive query -> XPath
+# ---------------------------------------------------------------------------
+
+
+def cq_to_xpath(query: ConjunctiveQuery) -> str:
+    """Render a connected acyclic monadic CQ as an XPath expression.
+
+    The head variable becomes the selected step; every other variable becomes
+    a predicate hanging off the path.  Raises :class:`XPathTranslationError`
+    when the query is not monadic, not acyclic, not connected, or uses
+    ``NextSibling``/``NextSibling*`` (which have no XPath counterpart).
+    """
+    if not query.is_monadic:
+        raise XPathTranslationError("only monadic queries can become XPath expressions")
+    graph = QueryGraph(query)
+    if not graph.is_acyclic():
+        raise XPathTranslationError("only acyclic queries can become XPath expressions")
+    components = graph.connected_components()
+    head = query.head[0]
+    head_component = next(component for component in components if head in component)
+    if len(components) > 1 and any(component != head_component for component in components
+                                   if component):
+        other = [component for component in components if component != head_component]
+        if any(other):
+            raise XPathTranslationError(
+                "disconnected queries are not in the supported XPath fragment"
+            )
+
+    adjacency: dict[Variable, list[tuple[Variable, str]]] = {
+        variable: [] for variable in query.variables()
+    }
+    for atom in query.axis_atoms():
+        forward = _forward_step_axis(atom.axis)
+        backward = _backward_step_axis(atom.axis)
+        adjacency[atom.source].append((atom.target, forward))
+        adjacency[atom.target].append((atom.source, backward))
+
+    def node_test(variable: Variable) -> str:
+        labels = sorted(query.labels_of(variable))
+        if not labels:
+            return "node()"
+        primary = labels[0]
+        return primary
+
+    def extra_label_predicates(variable: Variable) -> list[str]:
+        labels = sorted(query.labels_of(variable))
+        return [f"self::{label}" for label in labels[1:]]
+
+    visited: set[Variable] = set()
+
+    def render_subtree(variable: Variable) -> list[str]:
+        """Predicates describing the unexplored neighbours of ``variable``."""
+        predicates = extra_label_predicates(variable)
+        for neighbour, step_axis in adjacency[variable]:
+            if neighbour in visited:
+                continue
+            visited.add(neighbour)
+            inner = render_subtree(neighbour)
+            step = f"{step_axis}::{node_test(neighbour)}"
+            step += "".join(f"[{predicate}]" for predicate in inner)
+            predicates.append(step)
+        return predicates
+
+    # Root the expression at the head variable and express everything else as
+    # predicates; XPath then selects exactly the head variable's matches.
+    visited.add(head)
+    predicates = render_subtree(head)
+    expression = f"/descendant-or-self::{_self_step(query, head)}"
+    expression += "".join(f"[{predicate}]" for predicate in predicates)
+    return expression
+
+
+def _self_step(query: ConjunctiveQuery, head: Variable) -> str:
+    labels = sorted(query.labels_of(head))
+    return labels[0] if labels else "node()"
+
+
+def _forward_step_axis(axis: Axis) -> str:
+    if axis in AXIS_TO_XPATH:
+        return AXIS_TO_XPATH[axis]
+    raise XPathTranslationError(
+        f"axis {axis.value} has no XPath counterpart (not in the XPath axis set)"
+    )
+
+
+def _backward_step_axis(axis: Axis) -> str:
+    if axis in _INVERSE_TO_XPATH:
+        return _INVERSE_TO_XPATH[axis]
+    raise XPathTranslationError(
+        f"axis {axis.value} has no XPath counterpart when traversed backwards"
+    )
+
+
+def apq_to_xpath(apq: UnionQuery) -> str:
+    """Render an APQ (union of acyclic monadic CQs) as an XPath union."""
+    if apq.is_empty():
+        raise XPathTranslationError("the empty union has no XPath rendering")
+    return " | ".join(cq_to_xpath(query) for query in apq)

@@ -1,0 +1,49 @@
+"""Section 6: join lifters, cycle elimination and the CQ -> APQ rewriting."""
+
+from .child_nextsibling import rewrite_child_nextsibling, rewrite_child_nextsibling_apq
+from .cycles import eliminate_directed_cycles, is_trivially_unsatisfiable
+from .lifters import (
+    Conjunction,
+    Equality,
+    Lifter,
+    LifterAtom,
+    THEOREM_66_AXES,
+    find_lifter_counterexample,
+    lifter,
+    paper_theorem_69_lifter,
+    phi_holds,
+)
+from .to_apq import (
+    RewriteBudgetExceeded,
+    RewriteError,
+    RewriteStep,
+    RewriteTrace,
+    eliminate_following,
+    expand_child_star,
+    to_apq,
+    to_apq_theorem_610,
+)
+
+__all__ = [
+    "Conjunction",
+    "Equality",
+    "Lifter",
+    "LifterAtom",
+    "RewriteBudgetExceeded",
+    "RewriteError",
+    "RewriteStep",
+    "RewriteTrace",
+    "THEOREM_66_AXES",
+    "eliminate_directed_cycles",
+    "eliminate_following",
+    "expand_child_star",
+    "find_lifter_counterexample",
+    "is_trivially_unsatisfiable",
+    "lifter",
+    "paper_theorem_69_lifter",
+    "phi_holds",
+    "rewrite_child_nextsibling",
+    "rewrite_child_nextsibling_apq",
+    "to_apq",
+    "to_apq_theorem_610",
+]

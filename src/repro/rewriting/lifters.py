@@ -1,0 +1,323 @@
+"""Join lifters (Definition 6.2) and the lifter tables of Theorems 6.6 and 6.9.
+
+A *join lifter* for binary relations R and S is a positive quantifier-free DNF
+formula ``psi_{R,S}(x, y, z)`` equivalent (over all trees) to
+
+    phi_{R,S}(x, y, z)  =  R(x, z) and S(y, z)
+
+whose conjunctions each consist of at most one binary atom per variable pair
+plus possibly one equality, in one of the five shapes (a)-(e) of Definition
+6.2.  The rewriting algorithm of Lemma 6.5 uses them to push joins upwards in
+the query graph until every disjunct is acyclic.
+
+Representation: a lifter is a :class:`Lifter` holding a tuple of
+:class:`Conjunction` objects; each conjunction has binary atoms over the three
+roles ``x``, ``y``, ``z`` and at most one equality between roles.
+
+Two tables are provided.
+
+* :func:`lifter` -- the Theorem 6.6 table covering all pairs of axes from
+  ``{Child, Child+, Child*, NextSibling, NextSibling+, NextSibling*}``.  Every
+  entry is verified against its defining equivalence by the test-suite (on all
+  small trees and on random larger trees).
+* :func:`paper_theorem_69_lifter` -- a literal transcription of the Theorem
+  6.9 formulas for pairs involving ``Following``.  Our mechanical verification
+  (see ``tests/test_rewriting_lifters.py``) shows that, under the standard
+  XPath/Eq.(1) semantics of ``Following``, the printed formulas for
+  ``psi_{Child,Following}``, ``psi_{NextSibling,Following}``,
+  ``psi_{NextSibling+,Following}`` and ``psi_{NextSibling*,Following}`` miss
+  the case in which ``y`` lies strictly *inside* the subtree of a node whose
+  subtree precedes ``z`` (e.g. ``y`` a proper descendant of ``x`` when
+  ``NextSibling(x, z)`` holds), so they are *not* join lifters in the sense of
+  Definition 6.2.  The default CQ -> APQ pipeline therefore eliminates
+  ``Following`` via Eq. (1) and the Child*-expansion of Theorem 6.10, which
+  only needs the verified Theorem 6.6 table; the literal Theorem 6.9 table is
+  retained for documentation and for the discrepancy report in
+  EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterable, Optional, Sequence
+
+from ..trees.axes import Axis, holds
+from ..trees.tree import Tree
+
+Role = str  # "x", "y" or "z"
+
+
+@dataclass(frozen=True)
+class LifterAtom:
+    """A binary atom over lifter roles, e.g. ``Child(x, z)``."""
+
+    axis: Axis
+    source: Role
+    target: Role
+
+    def __str__(self) -> str:
+        return f"{self.axis.value}({self.source}, {self.target})"
+
+
+@dataclass(frozen=True)
+class Equality:
+    """An equality between two roles, e.g. ``x = y``."""
+
+    left: Role
+    right: Role
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class Conjunction:
+    """One disjunct of a lifter: binary atoms plus at most one equality."""
+
+    atoms: tuple[LifterAtom, ...]
+    equality: Optional[Equality] = None
+
+    def __str__(self) -> str:
+        parts = [str(atom) for atom in self.atoms]
+        if self.equality is not None:
+            parts.append(str(self.equality))
+        return " & ".join(parts)
+
+    def holds_on(self, tree: Tree, assignment: dict[Role, int]) -> bool:
+        if self.equality is not None:
+            if assignment[self.equality.left] != assignment[self.equality.right]:
+                return False
+        return all(
+            holds(tree, atom.axis, assignment[atom.source], assignment[atom.target])
+            for atom in self.atoms
+        )
+
+
+@dataclass(frozen=True)
+class Lifter:
+    """A join lifter: a DNF over the roles x, y, z."""
+
+    r: Axis
+    s: Axis
+    conjunctions: tuple[Conjunction, ...]
+
+    def holds_on(self, tree: Tree, x: int, y: int, z: int) -> bool:
+        assignment = {"x": x, "y": y, "z": z}
+        return any(conjunction.holds_on(tree, assignment) for conjunction in self.conjunctions)
+
+    def __str__(self) -> str:
+        body = " | ".join(f"({conjunction})" for conjunction in self.conjunctions)
+        return f"psi_{{{self.r.value},{self.s.value}}}(x,y,z) = {body}"
+
+
+def phi_holds(tree: Tree, r: Axis, s: Axis, x: int, y: int, z: int) -> bool:
+    """The defining formula phi_{R,S}(x, y, z) = R(x, z) and S(y, z)."""
+    return holds(tree, r, x, z) and holds(tree, s, y, z)
+
+
+def _atom(axis: Axis, source: Role, target: Role) -> LifterAtom:
+    return LifterAtom(axis, source, target)
+
+
+def _conj(*atoms: LifterAtom, eq: Optional[tuple[Role, Role]] = None) -> Conjunction:
+    return Conjunction(tuple(atoms), Equality(*eq) if eq else None)
+
+
+_VERTICAL = {Axis.CHILD, Axis.CHILD_PLUS, Axis.CHILD_STAR}
+_HORIZONTAL = {Axis.NEXT_SIBLING, Axis.NEXT_SIBLING_PLUS, Axis.NEXT_SIBLING_STAR}
+_BASE = {Axis.CHILD, Axis.NEXT_SIBLING}
+_STAR = {Axis.CHILD: Axis.CHILD_STAR, Axis.NEXT_SIBLING: Axis.NEXT_SIBLING_STAR}
+_PLUS = {Axis.CHILD: Axis.CHILD_PLUS, Axis.NEXT_SIBLING: Axis.NEXT_SIBLING_PLUS}
+
+#: The axes covered by the Theorem 6.6 table.
+THEOREM_66_AXES: frozenset[Axis] = frozenset(_VERTICAL | _HORIZONTAL)
+
+
+def _swapped(inner: Lifter, r: Axis, s: Axis) -> Lifter:
+    """The "otherwise" case of Theorem 6.6: psi_{R,S}(x,y,z) = psi_{S,R}(y,x,z)."""
+    swap = {"x": "y", "y": "x", "z": "z"}
+    conjunctions = []
+    for conjunction in inner.conjunctions:
+        atoms = tuple(
+            LifterAtom(atom.axis, swap[atom.source], swap[atom.target])
+            for atom in conjunction.atoms
+        )
+        equality = (
+            Equality(swap[conjunction.equality.left], swap[conjunction.equality.right])
+            if conjunction.equality is not None
+            else None
+        )
+        conjunctions.append(Conjunction(atoms, equality))
+    return Lifter(r, s, tuple(conjunctions))
+
+
+def lifter(r: Axis, s: Axis) -> Lifter:
+    """The Theorem 6.6 join lifter ``psi_{R,S}`` for axes of its table.
+
+    Raises ``ValueError`` for pairs outside the table (i.e. involving
+    ``Following``); use the Theorem 6.10 elimination instead.
+    """
+    if r not in THEOREM_66_AXES or s not in THEOREM_66_AXES:
+        raise ValueError(
+            f"Theorem 6.6 covers only {sorted(a.value for a in THEOREM_66_AXES)}; "
+            f"got ({r.value}, {s.value})"
+        )
+    direct = _lifter_direct(r, s)
+    if direct is not None:
+        return direct
+    swapped_inner = _lifter_direct(s, r)
+    if swapped_inner is None:  # pragma: no cover - the table is total up to swap
+        raise AssertionError(f"no lifter for ({r.value}, {s.value})")
+    return _swapped(swapped_inner, r, s)
+
+
+def _lifter_direct(r: Axis, s: Axis) -> Optional[Lifter]:
+    """The non-swapped rows of the Theorem 6.6 table (None if only the swap applies)."""
+    # Row 1: R = S in {Child, NextSibling}.
+    if r == s and r in _BASE:
+        return Lifter(r, s, (_conj(_atom(r, "x", "z"), eq=("x", "y")),))
+
+    # Row 2: R = S in {Child*, NextSibling*}.
+    if r == s and r in (Axis.CHILD_STAR, Axis.NEXT_SIBLING_STAR):
+        return Lifter(
+            r,
+            s,
+            (
+                _conj(_atom(r, "x", "z"), _atom(r, "y", "x")),
+                _conj(_atom(r, "x", "y"), _atom(r, "y", "z")),
+            ),
+        )
+
+    # Row 3: R = S in {Child+, NextSibling+}.
+    if r == s and r in (Axis.CHILD_PLUS, Axis.NEXT_SIBLING_PLUS):
+        return Lifter(
+            r,
+            s,
+            (
+                _conj(_atom(r, "x", "z"), _atom(r, "y", "x")),
+                _conj(_atom(r, "x", "y"), _atom(r, "y", "z")),
+                _conj(_atom(r, "x", "z"), eq=("x", "y")),
+            ),
+        )
+
+    # Row 4: R in {Child, NextSibling}, S = R*.
+    if r in _BASE and s == _STAR[r]:
+        return Lifter(
+            r,
+            s,
+            (
+                _conj(_atom(r, "x", "z"), eq=("y", "z")),
+                _conj(_atom(r, "x", "z"), _atom(s, "y", "x")),
+            ),
+        )
+
+    # Row 5: R in {Child, NextSibling}, S = R+.
+    if r in _BASE and s == _PLUS[r]:
+        return Lifter(
+            r,
+            s,
+            (
+                _conj(_atom(r, "x", "z"), eq=("x", "y")),
+                _conj(_atom(r, "x", "z"), _atom(s, "y", "x")),
+            ),
+        )
+
+    # Row 6: R = chi+, S = chi* for chi in {Child, NextSibling}.
+    for base in _BASE:
+        if r == _PLUS[base] and s == _STAR[base]:
+            return Lifter(
+                r,
+                s,
+                (
+                    _conj(_atom(r, "x", "z"), eq=("y", "z")),
+                    _conj(_atom(r, "x", "z"), _atom(s, "y", "x")),
+                    _conj(_atom(r, "y", "z"), _atom(s, "x", "y")),
+                ),
+            )
+
+    # Row 7: R a sibling axis, S in {Child, Child+}.
+    if r in _HORIZONTAL and s in (Axis.CHILD, Axis.CHILD_PLUS):
+        return Lifter(r, s, (_conj(_atom(r, "x", "z"), _atom(s, "y", "x")),))
+
+    # Row 8: R a sibling axis, S = Child*.
+    if r in _HORIZONTAL and s is Axis.CHILD_STAR:
+        return Lifter(
+            r,
+            s,
+            (
+                _conj(_atom(r, "x", "z"), eq=("y", "z")),
+                _conj(_atom(r, "x", "z"), _atom(Axis.CHILD_PLUS, "y", "x")),
+            ),
+        )
+
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Theorem 6.9: the printed Following lifters (literal transcription).
+# ---------------------------------------------------------------------------
+
+
+def paper_theorem_69_lifter(r: Axis) -> Lifter:
+    """The formula ``psi_{R,Following}`` exactly as printed in Theorem 6.9.
+
+    See the module docstring: our verification shows the formulas for
+    R in {Child, NextSibling, NextSibling+, NextSibling*} are not equivalent
+    to ``phi_{R,Following}`` under the Eq. (1) semantics of ``Following``, so
+    these are *not* used by the default rewriting pipeline.  They are exposed
+    for the reproduction's discrepancy analysis (EXPERIMENTS.md).
+    """
+    following = Axis.FOLLOWING
+    if r is Axis.NEXT_SIBLING:
+        return Lifter(r, following, (
+            _conj(_atom(r, "x", "z"), eq=("x", "y")),
+            _conj(_atom(r, "x", "z"), _atom(following, "y", "x")),
+        ))
+    if r is Axis.NEXT_SIBLING_PLUS:
+        return Lifter(r, following, (
+            _conj(_atom(r, "x", "z"), eq=("x", "y")),
+            _conj(_atom(r, "x", "z"), _atom(following, "y", "x")),
+            _conj(_atom(r, "x", "y"), _atom(r, "y", "z")),
+        ))
+    if r is Axis.NEXT_SIBLING_STAR:
+        return Lifter(r, following, (
+            _conj(_atom(r, "x", "z"), _atom(following, "y", "x")),
+            _conj(_atom(r, "x", "y"), _atom(Axis.NEXT_SIBLING_PLUS, "y", "z")),
+        ))
+    if r is Axis.CHILD:
+        return Lifter(r, following, (
+            _conj(_atom(r, "x", "z"), eq=("x", "y")),
+            _conj(_atom(r, "x", "z"), _atom(following, "y", "x")),
+            _conj(_atom(r, "x", "y"), _atom(Axis.NEXT_SIBLING_PLUS, "y", "z")),
+        ))
+    if r is Axis.FOLLOWING:
+        return Lifter(r, following, (
+            _conj(_atom(r, "x", "z"), eq=("x", "y")),
+            _conj(_atom(r, "x", "z"), _atom(following, "y", "x")),
+            _conj(_atom(r, "x", "y"), _atom(following, "y", "z")),
+        ))
+    raise ValueError(f"Theorem 6.9 defines no formula for R = {r.value}")
+
+
+# ---------------------------------------------------------------------------
+# Verification
+# ---------------------------------------------------------------------------
+
+
+def find_lifter_counterexample(
+    candidate: Lifter, trees: Iterable[Tree]
+) -> Optional[tuple[Tree, int, int, int]]:
+    """Search the given trees for a triple on which psi and phi disagree.
+
+    Returns ``(tree, x, y, z)`` for the first disagreement, or ``None`` when
+    the candidate behaves as a join lifter on every supplied tree.
+    """
+    for tree in trees:
+        nodes = range(len(tree))
+        for x, y, z in product(nodes, nodes, nodes):
+            psi = candidate.holds_on(tree, x, y, z)
+            phi = phi_holds(tree, candidate.r, candidate.s, x, y, z)
+            if psi != phi:
+                return (tree, x, y, z)
+    return None

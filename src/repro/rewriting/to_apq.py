@@ -1,0 +1,375 @@
+"""The CQ -> APQ rewriting algorithm (Lemma 6.5, Theorems 6.6 / 6.10).
+
+Given a conjunctive query over tree axes, the algorithm produces an equivalent
+*acyclic positive query* (a union of acyclic conjunctive queries):
+
+1. ``Following`` atoms are eliminated using Eq. (1) of Section 2
+   (``Following(x, y) = Child*(z1, x) & NextSibling+(z1, z2) & Child*(z2, y)``),
+   the first step of the Theorem 6.10 translation;
+2. directed cycles are removed by Lemma 6.4 (identify variables on
+   reflexive-axis cycles, drop unsatisfiable disjuncts);
+3. while some disjunct still has an undirected cycle, a bottommost cycle
+   variable ``z`` is chosen (no directed path from ``z`` to another cycle
+   variable), the two cycle atoms ``R(x, z)``, ``S(y, z)`` entering ``z`` are
+   replaced using the join lifter ``psi_{R,S}`` of Theorem 6.6, producing one
+   new disjunct per lifter conjunction (equalities are applied as variable
+   substitutions).
+
+The number of produced disjuncts is at most ``k^(|V| * |E|)`` (Lemma 6.5); the
+implementation guards against runaway blow-up with an explicit disjunct/step
+budget and raises :class:`RewriteBudgetExceeded` when it is hit.
+
+An optional :class:`RewriteTrace` records every step, which is how Figure 8's
+rewrite derivation is regenerated (see :mod:`repro.experiments.figure8`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Iterable, Optional
+
+from ..queries.apq import UnionQuery
+from ..queries.atoms import AxisAtom, Variable
+from ..queries.graph import Edge, QueryGraph
+from ..queries.query import ConjunctiveQuery
+from ..trees.axes import Axis
+from .cycles import eliminate_directed_cycles
+from .lifters import Conjunction, Lifter, lifter
+
+
+class RewriteError(RuntimeError):
+    """Raised when the rewrite algorithm reaches an unexpected state."""
+
+
+class RewriteBudgetExceeded(RewriteError):
+    """Raised when the rewriting would exceed the configured step budget."""
+
+
+@dataclass
+class RewriteStep:
+    """One recorded step of the rewriting (for traces / Figure 8)."""
+
+    operation: str
+    before: ConjunctiveQuery
+    after: tuple[ConjunctiveQuery, ...]
+    detail: str = ""
+
+    def __str__(self) -> str:
+        lines = [f"[{self.operation}] {self.detail}".rstrip()]
+        lines.append(f"  before: {self.before}")
+        if self.after:
+            for result in self.after:
+                lines.append(f"  after:  {result}")
+        else:
+            lines.append("  after:  (dropped as unsatisfiable)")
+        return "\n".join(lines)
+
+
+@dataclass
+class RewriteTrace:
+    """The full derivation of one ``to_apq`` run."""
+
+    steps: list[RewriteStep] = field(default_factory=list)
+
+    def record(
+        self,
+        operation: str,
+        before: ConjunctiveQuery,
+        after: Iterable[ConjunctiveQuery],
+        detail: str = "",
+    ) -> None:
+        self.steps.append(RewriteStep(operation, before, tuple(after), detail))
+
+    def __str__(self) -> str:
+        return "\n\n".join(str(step) for step in self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+def eliminate_following(
+    query: ConjunctiveQuery, trace: Optional[RewriteTrace] = None
+) -> ConjunctiveQuery:
+    """Replace each ``Following`` atom by its Eq. (1) definition."""
+    current = query
+    fresh_counter = count()
+    following_atoms = [atom for atom in query.axis_atoms() if atom.axis is Axis.FOLLOWING]
+    for atom in following_atoms:
+        z1 = f"_f{next(fresh_counter)}"
+        z2 = f"_f{next(fresh_counter)}"
+        while z1 in current.variables() or z2 in current.variables():
+            z1 = f"_f{next(fresh_counter)}"
+            z2 = f"_f{next(fresh_counter)}"
+        replacement = (
+            AxisAtom(Axis.CHILD_STAR, z1, atom.source),
+            AxisAtom(Axis.NEXT_SIBLING_PLUS, z1, z2),
+            AxisAtom(Axis.CHILD_STAR, z2, atom.target),
+        )
+        rewritten = current.without_atoms(atom).with_atoms(*replacement)
+        if trace is not None:
+            trace.record(
+                "eliminate-following",
+                current,
+                (rewritten,),
+                f"replace {atom} by Eq. (1)",
+            )
+        current = rewritten
+    return current
+
+
+def expand_child_star(query: ConjunctiveQuery) -> list[ConjunctiveQuery]:
+    """The Theorem 6.10 expansion: each ``Child*`` atom becomes ``Child+`` or ``=``.
+
+    Produces up to ``2^n`` conjunctive queries for ``n`` Child* atoms.  The
+    default pipeline does not need this step (the Theorem 6.6 lifters handle
+    Child* directly); it is kept for the literal Theorem 6.10 reproduction and
+    for the ablation benchmark.
+    """
+    finished: list[ConjunctiveQuery] = []
+    pending: list[ConjunctiveQuery] = [query]
+    while pending:
+        candidate = pending.pop()
+        star_atoms = [
+            atom for atom in candidate.axis_atoms() if atom.axis is Axis.CHILD_STAR
+        ]
+        if not star_atoms:
+            finished.append(candidate)
+            continue
+        atom = star_atoms[0]
+        as_plus = candidate.without_atoms(atom).with_atoms(
+            AxisAtom(Axis.CHILD_PLUS, atom.source, atom.target)
+        )
+        pending.append(as_plus)
+        if atom.source == atom.target:
+            # Child*(x, x) is always true; dropping the atom is the "=" case and
+            # the Child+ case above is unsatisfiable but harmless.
+            as_equal = candidate.without_atoms(atom)
+        else:
+            as_equal = candidate.without_atoms(atom).substitute(atom.target, atom.source)
+        pending.append(as_equal)
+    return finished
+
+
+def _cycle_variables(graph: QueryGraph) -> set[Variable]:
+    """Variables lying on at least one undirected cycle of the shadow graph."""
+    adjacency = graph.adjacency()
+    on_cycle: set[Variable] = set()
+    for edge in graph.edges:
+        if edge.source == edge.target:
+            on_cycle.add(edge.source)
+            continue
+        if _connected_without_edge(adjacency, edge.source, edge.target, edge.index):
+            on_cycle.add(edge.source)
+            on_cycle.add(edge.target)
+    return on_cycle
+
+
+def _connected_without_edge(
+    adjacency: dict[Variable, list[tuple[Variable, Edge]]],
+    start: Variable,
+    goal: Variable,
+    forbidden_edge: int,
+) -> bool:
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        vertex = frontier.pop()
+        if vertex == goal:
+            return True
+        for neighbour, edge in adjacency[vertex]:
+            if edge.index == forbidden_edge or neighbour in seen:
+                continue
+            seen.add(neighbour)
+            frontier.append(neighbour)
+    return goal in seen
+
+
+def _connected_avoiding_vertex(
+    adjacency: dict[Variable, list[tuple[Variable, Edge]]],
+    start: Variable,
+    goal: Variable,
+    avoid: Variable,
+    forbidden_edges: set[int],
+) -> bool:
+    if start == goal:
+        return True
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        vertex = frontier.pop()
+        for neighbour, edge in adjacency[vertex]:
+            if edge.index in forbidden_edges or neighbour == avoid or neighbour in seen:
+                continue
+            if neighbour == goal:
+                return True
+            seen.add(neighbour)
+            frontier.append(neighbour)
+    return False
+
+
+def _choose_join(graph: QueryGraph) -> tuple[Variable, AxisAtom, AxisAtom]:
+    """Pick a bottommost cycle variable z and the two cycle atoms entering it."""
+    cycle_variables = _cycle_variables(graph)
+    if not cycle_variables:
+        raise RewriteError("no undirected cycle although the query is not acyclic")
+    adjacency = graph.adjacency()
+    candidates = [
+        variable
+        for variable in cycle_variables
+        if not (graph.reachable_from(variable) - {variable}) & cycle_variables
+    ]
+    if not candidates:
+        # Cannot happen when directed cycles have been eliminated (the paper's
+        # argument); fall back to any cycle variable to stay robust.
+        candidates = sorted(cycle_variables)
+    for z in sorted(candidates):
+        in_edges = graph.in_edges[z]
+        for first_index in range(len(in_edges)):
+            for second_index in range(first_index + 1, len(in_edges)):
+                first, second = in_edges[first_index], in_edges[second_index]
+                if first.source == second.source or _connected_avoiding_vertex(
+                    adjacency,
+                    first.source,
+                    second.source,
+                    z,
+                    {first.index, second.index},
+                ):
+                    return z, first.atom, second.atom
+    raise RewriteError(
+        "could not locate two cycle atoms entering a bottommost cycle variable"
+    )
+
+
+def _apply_conjunction(
+    query: ConjunctiveQuery,
+    atom_r: AxisAtom,
+    atom_s: AxisAtom,
+    conjunction: Conjunction,
+) -> ConjunctiveQuery:
+    """Replace R(x, z), S(y, z) by one conjunction of the lifter."""
+    roles = {"x": atom_r.source, "y": atom_s.source, "z": atom_r.target}
+    new_atoms = tuple(
+        AxisAtom(atom.axis, roles[atom.source], roles[atom.target])
+        for atom in conjunction.atoms
+    )
+    rewritten = query.without_atoms(atom_r, atom_s).with_atoms(*new_atoms)
+    if conjunction.equality is not None:
+        keep = roles[conjunction.equality.left]
+        drop = roles[conjunction.equality.right]
+        if keep != drop:
+            rewritten = rewritten.substitute(drop, keep)
+    return rewritten
+
+
+def to_apq(
+    query: ConjunctiveQuery,
+    trace: Optional[RewriteTrace] = None,
+    max_disjuncts: int = 100_000,
+    max_steps: int = 1_000_000,
+) -> UnionQuery:
+    """Rewrite a conjunctive query into an equivalent acyclic positive query.
+
+    Supports every signature contained in ``Ax``.  The result may be the empty
+    union (the query was unsatisfiable) and can be exponentially larger than
+    the input -- necessarily so, by Theorem 7.1.
+    """
+    unsupported = query.signature().axes - {
+        Axis.CHILD,
+        Axis.CHILD_PLUS,
+        Axis.CHILD_STAR,
+        Axis.NEXT_SIBLING,
+        Axis.NEXT_SIBLING_PLUS,
+        Axis.NEXT_SIBLING_STAR,
+        Axis.FOLLOWING,
+        Axis.SELF,
+    }
+    if unsupported:
+        raise ValueError(
+            f"to_apq supports the axes of Ax; unsupported: {sorted(a.value for a in unsupported)}"
+        )
+
+    prepared = _eliminate_self(eliminate_following(query, trace))
+    worklist: list[ConjunctiveQuery] = [prepared]
+    finished: list[ConjunctiveQuery] = []
+    steps = 0
+
+    while worklist:
+        steps += 1
+        if steps > max_steps or len(worklist) + len(finished) > max_disjuncts:
+            raise RewriteBudgetExceeded(
+                f"rewriting exceeded the budget (steps={steps}, "
+                f"disjuncts={len(worklist) + len(finished)})"
+            )
+        current = worklist.pop()
+        acyclic_free = eliminate_directed_cycles(current)
+        if acyclic_free is None:
+            if trace is not None:
+                trace.record(
+                    "drop-unsatisfiable",
+                    current,
+                    (),
+                    "directed cycle over an irreflexive axis (Lemma 6.4)",
+                )
+            continue
+        if acyclic_free is not current and trace is not None:
+            trace.record(
+                "collapse-directed-cycle",
+                current,
+                (acyclic_free,),
+                "identify variables of a Child*/NextSibling* cycle (Lemma 6.4)",
+            )
+        graph = QueryGraph(acyclic_free)
+        if graph.is_acyclic():
+            finished.append(acyclic_free)
+            continue
+        z, atom_r, atom_s = _choose_join(graph)
+        the_lifter = lifter(atom_r.axis, atom_s.axis)
+        successors = [
+            _apply_conjunction(acyclic_free, atom_r, atom_s, conjunction)
+            for conjunction in the_lifter.conjunctions
+        ]
+        if trace is not None:
+            trace.record(
+                "apply-lifter",
+                acyclic_free,
+                successors,
+                f"z = {z}: replace {atom_r} & {atom_s} via {the_lifter}",
+            )
+        worklist.extend(successors)
+
+    return UnionQuery(tuple(finished), query.name).deduplicated()
+
+
+def _eliminate_self(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """Remove ``Self`` atoms by identifying their endpoints."""
+    current = query
+    while True:
+        self_atoms = [atom for atom in current.axis_atoms() if atom.axis is Axis.SELF]
+        if not self_atoms:
+            return current
+        atom = self_atoms[0]
+        current = current.without_atoms(atom)
+        if atom.source != atom.target:
+            current = current.substitute(atom.target, atom.source)
+
+
+def to_apq_theorem_610(
+    query: ConjunctiveQuery,
+    trace: Optional[RewriteTrace] = None,
+    max_disjuncts: int = 100_000,
+) -> UnionQuery:
+    """The literal Theorem 6.10 pipeline (Following elimination + Child* expansion).
+
+    Produces an APQ over ``F ∪ {Child+, NextSibling+}`` (no ``Child*`` in the
+    output unless the input's other atoms already used it through lifters).
+    Kept as an ablation / fidelity variant; equivalent to :func:`to_apq`.
+    """
+    prepared = eliminate_following(query, trace)
+    disjuncts: list[ConjunctiveQuery] = []
+    for expanded in expand_child_star(prepared):
+        partial = to_apq(expanded, trace=trace, max_disjuncts=max_disjuncts)
+        disjuncts.extend(partial.disjuncts)
+        if len(disjuncts) > max_disjuncts:
+            raise RewriteBudgetExceeded("Theorem 6.10 expansion exceeded the disjunct budget")
+    return UnionQuery(tuple(disjuncts), query.name).deduplicated()

@@ -1,0 +1,33 @@
+"""Section 7: succinctness of conjunctive queries vs APQs."""
+
+from .blowup import (
+    BlowupPoint,
+    apq_matches_diamond_on_ps,
+    diamond_true_on_all_ps,
+    measure_blowup,
+    render_blowup_table,
+)
+from .diamonds import diamond_alphabet, diamond_query, x_label, x_prime_label, y_label
+from .path_structures import (
+    all_ps_structures,
+    lemma73_structure,
+    ps_structure,
+    variable_label_paths,
+)
+
+__all__ = [
+    "BlowupPoint",
+    "all_ps_structures",
+    "apq_matches_diamond_on_ps",
+    "diamond_alphabet",
+    "diamond_query",
+    "diamond_true_on_all_ps",
+    "lemma73_structure",
+    "measure_blowup",
+    "ps_structure",
+    "render_blowup_table",
+    "variable_label_paths",
+    "x_label",
+    "x_prime_label",
+    "y_label",
+]

@@ -1,0 +1,91 @@
+"""Measuring the CQ -> APQ blow-up (Theorem 7.1 / Figure 9 experiment).
+
+Theorem 7.1 states that no family of polynomial-size APQs is equivalent to the
+n-diamond queries ``D_n``.  The reproduction cannot of course verify a lower
+bound for *all* conceivable APQs, but it measures two things that together
+track the paper's claim:
+
+1. the size of the APQ produced by the Lemma 6.5 / Theorem 6.6 rewriting of
+   ``D_n`` grows exponentially with ``n`` (the translation's upper bound is
+   tight on this family), and
+2. ``D_n`` is true on all ``2^n`` structures of ``PS(n, p)``, and the Lemma
+   7.3 construction produces, for suitable label choices, a path structure
+   that satisfies a candidate small ABCQ but not ``D_n`` (the separation at
+   the heart of the lower-bound proof; Example 7.8 is the n = 2 case).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..evaluation.planner import evaluate_on_tree
+from ..queries.apq import UnionQuery
+from ..rewriting.to_apq import to_apq
+from .diamonds import diamond_query
+from .path_structures import all_ps_structures
+
+
+@dataclass(frozen=True)
+class BlowupPoint:
+    """One measured point of the succinctness experiment."""
+
+    n: int
+    query_size: int
+    apq_disjuncts: int
+    apq_size: int
+    rewrite_seconds: float
+
+    @property
+    def blowup_factor(self) -> float:
+        return self.apq_size / self.query_size if self.query_size else float("inf")
+
+
+def measure_blowup(max_n: int, max_disjuncts: int = 200_000) -> list[BlowupPoint]:
+    """Rewrite ``D_1 .. D_max_n`` to APQs and record the size growth."""
+    points: list[BlowupPoint] = []
+    for n in range(1, max_n + 1):
+        query = diamond_query(n)
+        start = time.perf_counter()
+        apq = to_apq(query, max_disjuncts=max_disjuncts)
+        elapsed = time.perf_counter() - start
+        points.append(
+            BlowupPoint(
+                n=n,
+                query_size=query.size(),
+                apq_disjuncts=len(apq),
+                apq_size=apq.size(),
+                rewrite_seconds=elapsed,
+            )
+        )
+    return points
+
+
+def diamond_true_on_all_ps(n: int, pad: int) -> bool:
+    """Check that ``D_n`` is true on every structure of ``PS(n, pad)``."""
+    query = diamond_query(n)
+    for _choices, tree in all_ps_structures(n, pad):
+        if not evaluate_on_tree(query, tree):
+            return False
+    return True
+
+
+def apq_matches_diamond_on_ps(apq: UnionQuery, n: int, pad: int) -> bool:
+    """Check that an APQ agrees with ``D_n`` on every structure of ``PS(n, pad)``."""
+    query = diamond_query(n)
+    for _choices, tree in all_ps_structures(n, pad):
+        if bool(evaluate_on_tree(query, tree)) != bool(evaluate_on_tree(apq, tree)):
+            return False
+    return True
+
+
+def render_blowup_table(points: list[BlowupPoint]) -> str:
+    """A textual table of the measured blow-up (used by EXPERIMENTS.md)."""
+    header = f"{'n':>3} {'|D_n|':>7} {'APQ disjuncts':>14} {'APQ size':>10} {'factor':>8} {'seconds':>9}"
+    lines = [header, "-" * len(header)]
+    for point in points:
+        lines.append(
+            f"{point.n:>3} {point.query_size:>7} {point.apq_disjuncts:>14} "
+            f"{point.apq_size:>10} {point.blowup_factor:>8.1f} {point.rewrite_seconds:>9.3f}"
+        )
+    return "\n".join(lines)

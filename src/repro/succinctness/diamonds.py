@@ -1,0 +1,65 @@
+"""The n-diamond queries ``D_n`` of Section 7 (Figure 9a).
+
+``D_n`` is the Boolean conjunctive query
+
+    D_n <- Y1(y1) and, for i = 1..n:
+             Child+(y_i, x_i),  X_i(x_i),   Child+(x_i, y_{i+1}),
+             Child+(y_i, x'_i), X'_i(x'_i), Child+(x'_i, y_{i+1}),
+             Y_{i+1}(y_{i+1})
+
+i.e. a chain of ``n`` "diamonds", each offering two Child+-paths (through the
+``X_i``-labelled and through the ``X'_i``-labelled variable) from ``y_i`` to
+``y_{i+1}``.  Theorem 7.1 shows no polynomial-size APQ is equivalent to
+``D_n`` -- the succinctness gap the benchmarks measure.
+
+Label naming: ``X'_i`` is written ``Xp{i}`` ("X prime"); ``Y_i``/``X_i`` keep
+their obvious names.
+"""
+
+from __future__ import annotations
+
+from ..queries.atoms import AxisAtom, LabelAtom
+from ..queries.query import ConjunctiveQuery
+from ..trees.axes import Axis
+
+
+def x_label(i: int) -> str:
+    """Label of the left diamond variable of level ``i`` (1-based)."""
+    return f"X{i}"
+
+
+def x_prime_label(i: int) -> str:
+    """Label of the right diamond variable of level ``i`` (1-based)."""
+    return f"Xp{i}"
+
+
+def y_label(i: int) -> str:
+    """Label of the i-th junction variable (1-based, up to ``n + 1``)."""
+    return f"Y{i}"
+
+
+def diamond_alphabet(n: int) -> tuple[str, ...]:
+    """The labelling alphabet used by ``D_n`` and by ``PS(n, p)``."""
+    labels: list[str] = []
+    labels.extend(y_label(i) for i in range(1, n + 2))
+    labels.extend(x_label(i) for i in range(1, n + 1))
+    labels.extend(x_prime_label(i) for i in range(1, n + 1))
+    return tuple(labels)
+
+
+def diamond_query(n: int) -> ConjunctiveQuery:
+    """Build the Boolean n-diamond query ``D_n``."""
+    if n < 1:
+        raise ValueError("D_n is defined for n >= 1")
+    atoms: list = [LabelAtom(y_label(1), "y1")]
+    for i in range(1, n + 1):
+        yi, yi1 = f"y{i}", f"y{i + 1}"
+        xi, xpi = f"x{i}", f"xp{i}"
+        atoms.append(AxisAtom(Axis.CHILD_PLUS, yi, xi))
+        atoms.append(LabelAtom(x_label(i), xi))
+        atoms.append(AxisAtom(Axis.CHILD_PLUS, xi, yi1))
+        atoms.append(AxisAtom(Axis.CHILD_PLUS, yi, xpi))
+        atoms.append(LabelAtom(x_prime_label(i), xpi))
+        atoms.append(AxisAtom(Axis.CHILD_PLUS, xpi, yi1))
+        atoms.append(LabelAtom(y_label(i + 1), yi1))
+    return ConjunctiveQuery((), tuple(atoms), name=f"D{n}")

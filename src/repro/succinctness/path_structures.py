@@ -1,0 +1,136 @@
+"""Path structures for the succinctness argument (Section 7, Figure 9b).
+
+Two constructions are provided:
+
+* :func:`ps_structure` / :func:`all_ps_structures` -- the family
+  ``PS(n, p)`` of p-scattered path structures matched by the regular
+  expression (Figure 9b)::
+
+      s.Y1.s.(X1.s.X'1 | X'1.s.X1).s.Y2.s. ... .s.Yn+1.s
+
+  where ``s`` is a run of ``p`` unlabelled nodes.  Each of the ``2^n``
+  structures chooses, per level, whether ``X_i`` appears above or below
+  ``X'_i``; the diamond query ``D_n`` is true on every one of them.
+
+* :func:`variable_label_paths` / :func:`lemma73_structure` -- the label-path
+  machinery and the path-structure construction of Lemma 7.3, which separates
+  two DABCQs whose label-path sets differ (used in Example 7.8 / the tests to
+  witness non-containment in ``D_n``).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable, Iterator, Sequence
+
+from ..queries.graph import QueryGraph
+from ..queries.query import ConjunctiveQuery
+from ..trees.generators import path_structure
+from ..trees.tree import Tree
+from .diamonds import x_label, x_prime_label, y_label
+
+
+def ps_structure(n: int, pad: int, choices: Sequence[bool]) -> Tree:
+    """One member of ``PS(n, pad)``.
+
+    ``choices[i]`` (for level ``i + 1``) selects the branch of the regular
+    expression: ``False`` puts ``X_{i+1}`` above ``X'_{i+1}`` (the
+    ``X.s.X'`` alternative), ``True`` the other way around.
+    """
+    if len(choices) != n:
+        raise ValueError("one choice per diamond level is required")
+    if pad < 1:
+        raise ValueError("the padding length must be at least 1")
+    spacer: list[tuple[str, ...]] = [()] * pad
+    labels: list[tuple[str, ...]] = []
+    labels.extend(spacer)
+    for level in range(1, n + 1):
+        labels.append((y_label(level),))
+        labels.extend(spacer)
+        first, second = (
+            (x_prime_label(level), x_label(level))
+            if choices[level - 1]
+            else (x_label(level), x_prime_label(level))
+        )
+        labels.append((first,))
+        labels.extend(spacer)
+        labels.append((second,))
+        labels.extend(spacer)
+    labels.append((y_label(n + 1),))
+    labels.extend(spacer)
+    return path_structure(labels)
+
+
+def all_ps_structures(n: int, pad: int) -> Iterator[tuple[tuple[bool, ...], Tree]]:
+    """All ``2^n`` structures of ``PS(n, pad)`` with their choice vectors."""
+    for choices in product((False, True), repeat=n):
+        yield choices, ps_structure(n, pad, choices)
+
+
+# ---------------------------------------------------------------------------
+# Label paths and the Lemma 7.3 separating structure.
+# ---------------------------------------------------------------------------
+
+
+def variable_label_paths(query: ConjunctiveQuery) -> list[list[frozenset[str]]]:
+    """The label-paths ``LP(Pi_Q)`` of a DABCQ (Section 7).
+
+    Each maximal variable-path of the (directed-cycle-free) query graph is
+    mapped to the sequence of label sets of its variables.
+    """
+    graph = QueryGraph(query)
+    paths = graph.variable_paths()
+    return [
+        [query.labels_of(variable) for variable in path]
+        for path in paths
+    ]
+
+
+def _path_contains_all(label_path: list[frozenset[str]], labels: Iterable[str]) -> bool:
+    present: set[str] = set()
+    for label_set in label_path:
+        present |= label_set
+    return all(label in present for label in labels)
+
+
+def _path_contains(label_path: list[frozenset[str]], label: str) -> bool:
+    return any(label in label_set for label_set in label_path)
+
+
+def lemma73_structure(
+    query: ConjunctiveQuery, ordered_labels: Sequence[str]
+) -> Tree:
+    """The separating path structure ``M`` of Lemma 7.3.
+
+    ``M`` is the concatenation, for ``j = 1..m``, of the label-paths of the
+    query that contain all of ``E_1 .. E_{j-1}`` but not ``E_j`` (in a fixed
+    deterministic order).  When no label-path of ``query`` contains *all* of
+    ``ordered_labels``, ``M`` is a model of ``query``; any DABCQ that does
+    have such a path (e.g. ``D_n`` for a suitable choice of labels) is false
+    on ``M``.
+    """
+    if not ordered_labels:
+        raise ValueError("at least one separating label is required")
+    label_paths = variable_label_paths(query)
+    segments: list[list[frozenset[str]]] = []
+    for j, forbidden in enumerate(ordered_labels):
+        required = ordered_labels[:j]
+        selected = [
+            path
+            for path in label_paths
+            if _path_contains_all(path, required) and not _path_contains(path, forbidden)
+        ]
+        selected.sort(key=_path_sort_key)
+        for path in selected:
+            segments.append(path)
+    flattened: list[tuple[str, ...]] = []
+    for path in segments:
+        flattened.extend(tuple(sorted(label_set)) for label_set in path)
+    if not flattened:
+        # Degenerate but legal: a single unlabelled node.
+        flattened = [()]
+    return path_structure(flattened)
+
+
+def _path_sort_key(path: list[frozenset[str]]) -> tuple:
+    return tuple(tuple(sorted(labels)) for labels in path)

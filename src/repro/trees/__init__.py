@@ -1,0 +1,56 @@
+"""Tree substrate: unranked ordered labelled trees, axes, orders, generators."""
+
+from .axes import AX, Axis, AxisOracle, axis_from_name, holds, materialise, pairs, predecessors, successors
+from .builders import chain, from_nested, parse_sexpr, to_sexpr
+from .generators import (
+    all_trees,
+    is_scattered,
+    path_structure,
+    random_binary_tree,
+    random_path,
+    random_tree,
+    scattered_path_structure,
+)
+from .node import Node
+from .orders import ALL_ORDERS, Order, less, minimum, rank, sorted_nodes
+from .structure import TAU, Signature, TreeStructure, structure
+from .tree import Tree
+from .xmlio import from_xml, from_xml_file, to_xml
+
+__all__ = [
+    "AX",
+    "ALL_ORDERS",
+    "Axis",
+    "AxisOracle",
+    "Node",
+    "Order",
+    "Signature",
+    "TAU",
+    "Tree",
+    "TreeStructure",
+    "all_trees",
+    "axis_from_name",
+    "chain",
+    "from_nested",
+    "from_xml",
+    "from_xml_file",
+    "holds",
+    "is_scattered",
+    "less",
+    "materialise",
+    "minimum",
+    "pairs",
+    "parse_sexpr",
+    "path_structure",
+    "predecessors",
+    "random_binary_tree",
+    "random_path",
+    "random_tree",
+    "rank",
+    "scattered_path_structure",
+    "sorted_nodes",
+    "structure",
+    "successors",
+    "to_sexpr",
+    "to_xml",
+]

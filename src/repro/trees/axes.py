@@ -1,0 +1,299 @@
+"""Axis relations over trees (Section 2 of the paper).
+
+The set ``Ax`` of the paper is::
+
+    Child, Child+, Child*, NextSibling, NextSibling+, NextSibling*, Following
+
+with the XPath correspondences Child+ = Descendant, Child* = Descendant-or-self
+and NextSibling+ = Following-sibling.  Following is defined (Eq. (1)) by
+
+    Following(x, y) = exists z1 z2 . Child*(z1, x) & NextSibling+(z1, z2) & Child*(z2, y)
+
+which over a tree is equivalent to "x's subtree closes before y's subtree
+opens": pre(x) < pre(y) and post(x) < post(y).
+
+Each axis supports three operations used by the evaluation algorithms:
+
+* :meth:`Axis.holds`          -- O(1) membership test ``R(u, v)``,
+* :meth:`Axis.successors`     -- enumerate ``{v | R(u, v)}``,
+* :meth:`Axis.predecessors`   -- enumerate ``{u | R(u, v)}``.
+
+The extra relations ``DocumentOrder`` (``<pre``) and ``SuccPre`` ("next node in
+document order") from the end of Section 4 are provided as well, together with
+inverse axes (Parent, Ancestor, ...), which the paper notes are redundant for
+conjunctive queries (swap the variable pair) but are convenient for the XPath
+translator.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, Iterable, Iterator
+
+from .tree import Tree
+
+
+class Axis(str, Enum):
+    """Names of the binary tree relations used throughout the reproduction."""
+
+    CHILD = "Child"
+    CHILD_PLUS = "Child+"
+    CHILD_STAR = "Child*"
+    NEXT_SIBLING = "NextSibling"
+    NEXT_SIBLING_PLUS = "NextSibling+"
+    NEXT_SIBLING_STAR = "NextSibling*"
+    FOLLOWING = "Following"
+    # Extra relations discussed at the end of Section 4.
+    DOCUMENT_ORDER = "DocumentOrder"      # <pre, strict
+    SUCC_PRE = "SuccPre"                  # successor in document order
+    # Inverse axes (redundant in CQs, used by the XPath translator).
+    PARENT = "Parent"
+    ANCESTOR = "Ancestor"                 # (Child+)^-1
+    ANCESTOR_OR_SELF = "AncestorOrSelf"   # (Child*)^-1
+    PREVIOUS_SIBLING = "PreviousSibling"
+    PRECEDING_SIBLING = "PrecedingSibling"  # (NextSibling+)^-1
+    PRECEDING = "Preceding"               # Following^-1
+    SELF = "Self"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: The paper's axis set ``Ax``.
+AX: frozenset[Axis] = frozenset(
+    {
+        Axis.CHILD,
+        Axis.CHILD_PLUS,
+        Axis.CHILD_STAR,
+        Axis.NEXT_SIBLING,
+        Axis.NEXT_SIBLING_PLUS,
+        Axis.NEXT_SIBLING_STAR,
+        Axis.FOLLOWING,
+    }
+)
+
+#: Axes whose relation is reflexive on some pairs (x, x).
+REFLEXIVE_AXES: frozenset[Axis] = frozenset(
+    {Axis.CHILD_STAR, Axis.NEXT_SIBLING_STAR, Axis.ANCESTOR_OR_SELF, Axis.SELF}
+)
+
+#: Forward XPath axis names -> Axis (used by the XPath translator).
+XPATH_AXIS_NAMES: dict[str, Axis] = {
+    "child": Axis.CHILD,
+    "descendant": Axis.CHILD_PLUS,
+    "descendant-or-self": Axis.CHILD_STAR,
+    "following-sibling": Axis.NEXT_SIBLING_PLUS,
+    "following": Axis.FOLLOWING,
+    "self": Axis.SELF,
+    "parent": Axis.PARENT,
+    "ancestor": Axis.ANCESTOR,
+    "ancestor-or-self": Axis.ANCESTOR_OR_SELF,
+    "preceding-sibling": Axis.PRECEDING_SIBLING,
+    "preceding": Axis.PRECEDING,
+}
+
+#: Inverse axis of each axis (swapping the argument pair).
+INVERSE: dict[Axis, Axis] = {
+    Axis.CHILD: Axis.PARENT,
+    Axis.PARENT: Axis.CHILD,
+    Axis.CHILD_PLUS: Axis.ANCESTOR,
+    Axis.ANCESTOR: Axis.CHILD_PLUS,
+    Axis.CHILD_STAR: Axis.ANCESTOR_OR_SELF,
+    Axis.ANCESTOR_OR_SELF: Axis.CHILD_STAR,
+    Axis.NEXT_SIBLING: Axis.PREVIOUS_SIBLING,
+    Axis.PREVIOUS_SIBLING: Axis.NEXT_SIBLING,
+    Axis.NEXT_SIBLING_PLUS: Axis.PRECEDING_SIBLING,
+    Axis.PRECEDING_SIBLING: Axis.NEXT_SIBLING_PLUS,
+    Axis.NEXT_SIBLING_STAR: Axis.NEXT_SIBLING_STAR,  # handled by swapping args
+    Axis.FOLLOWING: Axis.PRECEDING,
+    Axis.PRECEDING: Axis.FOLLOWING,
+    Axis.SELF: Axis.SELF,
+}
+
+
+def holds(tree: Tree, axis: Axis, u: int, v: int) -> bool:
+    """Membership test ``axis(u, v)`` on ``tree`` in O(1)."""
+    if axis is Axis.CHILD:
+        return tree.parent[v] == u
+    if axis is Axis.CHILD_PLUS:
+        return tree.is_descendant(u, v)
+    if axis is Axis.CHILD_STAR:
+        return u == v or tree.is_descendant(u, v)
+    if axis is Axis.NEXT_SIBLING:
+        return (
+            tree.parent[u] == tree.parent[v]
+            and tree.parent[u] >= 0
+            and tree.sibling_index[v] == tree.sibling_index[u] + 1
+        )
+    if axis is Axis.NEXT_SIBLING_PLUS:
+        return (
+            tree.parent[u] == tree.parent[v]
+            and tree.parent[u] >= 0
+            and tree.sibling_index[v] > tree.sibling_index[u]
+        )
+    if axis is Axis.NEXT_SIBLING_STAR:
+        if u == v:
+            return True
+        return holds(tree, Axis.NEXT_SIBLING_PLUS, u, v)
+    if axis is Axis.FOLLOWING:
+        return tree.pre[u] < tree.pre[v] and tree.post[u] < tree.post[v]
+    if axis is Axis.DOCUMENT_ORDER:
+        return u < v
+    if axis is Axis.SUCC_PRE:
+        return v == u + 1
+    if axis is Axis.SELF:
+        return u == v
+    inverse = INVERSE.get(axis)
+    if inverse is not None and inverse is not axis:
+        return holds(tree, inverse, v, u)
+    if axis is Axis.NEXT_SIBLING_STAR:  # pragma: no cover - unreachable
+        return holds(tree, Axis.NEXT_SIBLING_STAR, v, u)
+    raise ValueError(f"unknown axis: {axis}")
+
+
+def successors(tree: Tree, axis: Axis, u: int) -> Iterator[int]:
+    """Enumerate ``{v | axis(u, v)}``."""
+    if axis is Axis.CHILD:
+        yield from tree.children(u)
+    elif axis is Axis.CHILD_PLUS:
+        yield from tree.descendants(u)
+    elif axis is Axis.CHILD_STAR:
+        yield u
+        yield from tree.descendants(u)
+    elif axis is Axis.NEXT_SIBLING:
+        sibling = tree.next_sibling(u)
+        if sibling is not None:
+            yield sibling
+    elif axis is Axis.NEXT_SIBLING_PLUS:
+        yield from tree.siblings_after(u)
+    elif axis is Axis.NEXT_SIBLING_STAR:
+        yield u
+        yield from tree.siblings_after(u)
+    elif axis is Axis.FOLLOWING:
+        yield from tree.following(u)
+    elif axis is Axis.DOCUMENT_ORDER:
+        yield from range(u + 1, len(tree))
+    elif axis is Axis.SUCC_PRE:
+        if u + 1 < len(tree):
+            yield u + 1
+    elif axis is Axis.SELF:
+        yield u
+    else:
+        inverse = INVERSE.get(axis)
+        if inverse is None:
+            raise ValueError(f"unknown axis: {axis}")
+        yield from predecessors(tree, inverse, u)
+
+
+def predecessors(tree: Tree, axis: Axis, v: int) -> Iterator[int]:
+    """Enumerate ``{u | axis(u, v)}``."""
+    if axis is Axis.CHILD:
+        parent = tree.parent_of(v)
+        if parent is not None:
+            yield parent
+    elif axis is Axis.CHILD_PLUS:
+        yield from tree.path_to_root(v)[1:]
+    elif axis is Axis.CHILD_STAR:
+        yield from tree.path_to_root(v)
+    elif axis is Axis.NEXT_SIBLING:
+        parent = tree.parent_of(v)
+        if parent is not None and tree.sibling_index[v] > 0:
+            yield tree.children(parent)[tree.sibling_index[v] - 1]
+    elif axis is Axis.NEXT_SIBLING_PLUS:
+        parent = tree.parent_of(v)
+        if parent is not None:
+            yield from tree.children(parent)[: tree.sibling_index[v]]
+    elif axis is Axis.NEXT_SIBLING_STAR:
+        yield v
+        parent = tree.parent_of(v)
+        if parent is not None:
+            yield from tree.children(parent)[: tree.sibling_index[v]]
+    elif axis is Axis.FOLLOWING:
+        for u in range(v):
+            if tree.post[u] < tree.post[v]:
+                yield u
+    elif axis is Axis.DOCUMENT_ORDER:
+        yield from range(v)
+    elif axis is Axis.SUCC_PRE:
+        if v - 1 >= 0:
+            yield v - 1
+    elif axis is Axis.SELF:
+        yield v
+    else:
+        inverse = INVERSE.get(axis)
+        if inverse is None:
+            raise ValueError(f"unknown axis: {axis}")
+        yield from successors(tree, inverse, v)
+
+
+def pairs(tree: Tree, axis: Axis) -> Iterator[tuple[int, int]]:
+    """Enumerate the full relation (used by X-property checks and tests)."""
+    for u in tree.node_ids():
+        for v in successors(tree, axis, u):
+            yield (u, v)
+
+
+def materialise(tree: Tree, axis: Axis) -> frozenset[tuple[int, int]]:
+    """Materialise the relation as a frozenset (ablation baseline / tests)."""
+    return frozenset(pairs(tree, axis))
+
+
+def is_irreflexive(axis: Axis) -> bool:
+    """True iff the axis relation can never contain a pair (x, x)."""
+    return axis not in REFLEXIVE_AXES
+
+
+def axis_from_name(name: str) -> Axis:
+    """Parse an axis name as used in queries (e.g. ``"Child+"``)."""
+    for axis in Axis:
+        if axis.value == name:
+            return axis
+    # Accept a few common aliases.
+    aliases = {
+        "Descendant": Axis.CHILD_PLUS,
+        "DescendantOrSelf": Axis.CHILD_STAR,
+        "Descendant-or-self": Axis.CHILD_STAR,
+        "FollowingSibling": Axis.NEXT_SIBLING_PLUS,
+        "Following-sibling": Axis.NEXT_SIBLING_PLUS,
+        "ChildPlus": Axis.CHILD_PLUS,
+        "ChildStar": Axis.CHILD_STAR,
+        "NextSiblingPlus": Axis.NEXT_SIBLING_PLUS,
+        "NextSiblingStar": Axis.NEXT_SIBLING_STAR,
+    }
+    if name in aliases:
+        return aliases[name]
+    raise ValueError(f"unknown axis name: {name!r}")
+
+
+class AxisOracle:
+    """Cached axis access bound to one tree.
+
+    Evaluators construct a single oracle per (tree, query) evaluation so that
+    repeated ``successors`` / ``predecessors`` enumerations of the same
+    (axis, node) pair are answered from a cache.  ``holds`` stays uncached --
+    it is already O(1).
+    """
+
+    def __init__(self, tree: Tree):
+        self.tree = tree
+        self._succ_cache: dict[tuple[Axis, int], tuple[int, ...]] = {}
+        self._pred_cache: dict[tuple[Axis, int], tuple[int, ...]] = {}
+
+    def holds(self, axis: Axis, u: int, v: int) -> bool:
+        return holds(self.tree, axis, u, v)
+
+    def successors(self, axis: Axis, u: int) -> tuple[int, ...]:
+        key = (axis, u)
+        cached = self._succ_cache.get(key)
+        if cached is None:
+            cached = tuple(successors(self.tree, axis, u))
+            self._succ_cache[key] = cached
+        return cached
+
+    def predecessors(self, axis: Axis, v: int) -> tuple[int, ...]:
+        key = (axis, v)
+        cached = self._pred_cache.get(key)
+        if cached is None:
+            cached = tuple(predecessors(self.tree, axis, v))
+            self._pred_cache[key] = cached
+        return cached

@@ -1,0 +1,134 @@
+"""Builders: convenient textual / nested-structure constructors for trees.
+
+Two notations are supported:
+
+* **Nested tuples / lists** -- ``("S", [("NP", []), ("VP", [("V", [])])])``.
+  A node is ``(labels, children)`` where ``labels`` is a string or an iterable
+  of strings, and ``children`` a list of nodes.  A bare string is a leaf.
+* **S-expressions** -- ``"(S (NP) (VP (V)))"``, the classic bracketed treebank
+  notation.  Multiple labels are written ``(A|B ...)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+from .node import Node
+from .tree import Tree
+
+NestedSpec = Union[str, tuple, list]
+
+
+def node_from_nested(spec: NestedSpec) -> Node:
+    """Build a :class:`Node` (sub)tree from the nested notation."""
+    if isinstance(spec, str):
+        return Node((spec,) if spec else ())
+    if isinstance(spec, (tuple, list)):
+        if len(spec) == 0:
+            return Node()
+        labels = spec[0]
+        rest: Sequence[NestedSpec] = spec[1] if len(spec) > 1 else []
+        if isinstance(labels, str):
+            label_set: Iterable[str] = (labels,) if labels else ()
+        else:
+            label_set = labels
+        node = Node(label_set)
+        for child_spec in rest:
+            node.add_child(node_from_nested(child_spec))
+        return node
+    raise TypeError(f"cannot build a tree node from {spec!r}")
+
+
+def from_nested(spec: NestedSpec) -> Tree:
+    """Build a finalised :class:`Tree` from the nested notation."""
+    return Tree(node_from_nested(spec))
+
+
+def parse_sexpr(text: str) -> Tree:
+    """Parse an s-expression tree, e.g. ``"(S (NP) (VP (V)))"``.
+
+    Labels may be alphanumeric (plus ``_``, ``-``, ``.``); a node with several
+    labels separates them with ``|``; an unlabelled node is written ``(.)`` or
+    ``(* ...)``.
+    """
+    tokens = _tokenise(text)
+    pos = 0
+
+    def parse_node() -> Node:
+        nonlocal pos
+        if tokens[pos] != "(":
+            raise ValueError(f"expected '(' at token {pos}: {tokens[pos]!r}")
+        pos += 1
+        if pos >= len(tokens):
+            raise ValueError("unexpected end of input after '('")
+        head = tokens[pos]
+        if head in ("(", ")"):
+            raise ValueError("every node needs a label token (use '.' or '*' for none)")
+        pos += 1
+        if head in (".", "*"):
+            node = Node()
+        else:
+            node = Node(head.split("|"))
+        while pos < len(tokens) and tokens[pos] == "(":
+            node.add_child(parse_node())
+        if pos >= len(tokens) or tokens[pos] != ")":
+            raise ValueError("missing ')'")
+        pos += 1
+        return node
+
+    root = parse_node()
+    if pos != len(tokens):
+        raise ValueError(f"trailing tokens after tree: {tokens[pos:]}")
+    return Tree(root)
+
+
+def to_sexpr(tree: Tree) -> str:
+    """Serialise a tree back into the s-expression notation."""
+
+    def rec(node_id: int) -> str:
+        labels = sorted(tree.labels_of[node_id])
+        head = "|".join(labels) if labels else "."
+        kids = "".join(" " + rec(child) for child in tree.children(node_id))
+        return f"({head}{kids})"
+
+    return rec(0)
+
+
+def chain(labels: Sequence[Union[str, Iterable[str]]]) -> Tree:
+    """Build a path tree (each node the single child of the previous one).
+
+    ``labels[i]`` gives the labels of the node at depth ``i``; an empty string
+    or empty iterable means the node is unlabelled.
+    """
+    if not labels:
+        raise ValueError("a chain needs at least one node")
+
+    def as_labels(item: Union[str, Iterable[str]]) -> Iterable[str]:
+        if isinstance(item, str):
+            return (item,) if item else ()
+        return item
+
+    root = Node(as_labels(labels[0]))
+    current = root
+    for item in labels[1:]:
+        current = current.add(as_labels(item))
+    return Tree(root)
+
+
+def _tokenise(text: str) -> list[str]:
+    tokens: list[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+        elif ch in "()":
+            tokens.append(ch)
+            i += 1
+        else:
+            j = i
+            while j < len(text) and not text[j].isspace() and text[j] not in "()":
+                j += 1
+            tokens.append(text[i:j])
+            i = j
+    return tokens

@@ -1,0 +1,88 @@
+"""Tree nodes for unranked, ordered, multi-labelled trees.
+
+The paper (Section 2) models documents, parse trees etc. as *unranked* trees:
+each node may have an unbounded number of children, children are ordered, and
+a node may carry several labels.  ``Node`` is the mutable building block used
+while constructing a tree; once a :class:`repro.trees.tree.Tree` is built the
+node positions (pre-order, post-order, breadth-first order, depth, sibling
+index) are frozen and used for O(1) axis tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+
+class Node:
+    """A single node of an unranked ordered tree.
+
+    Parameters
+    ----------
+    labels:
+        Iterable of label strings.  Multiple labels are allowed (the paper's
+        tractability results support them; the hardness constructions use them
+        too, e.g. the Figure 4 data tree).
+    children:
+        Child nodes in left-to-right order.
+    """
+
+    __slots__ = ("labels", "children", "parent", "_index")
+
+    def __init__(self, labels: Iterable[str] = (), children: Iterable["Node"] = ()):
+        if isinstance(labels, str):
+            labels = (labels,)
+        self.labels: frozenset[str] = frozenset(labels)
+        self.children: list[Node] = list(children)
+        self.parent: Optional[Node] = None
+        self._index: Optional[int] = None
+        for child in self.children:
+            child.parent = self
+
+    # -- construction helpers -------------------------------------------------
+
+    def add_child(self, child: "Node") -> "Node":
+        """Append ``child`` as the rightmost child and return it."""
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def add(self, labels: Iterable[str] = ()) -> "Node":
+        """Create a new node with ``labels``, append it as a child, return it."""
+        return self.add_child(Node(labels))
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def index(self) -> int:
+        """Pre-order index assigned when the owning tree is finalised."""
+        if self._index is None:
+            raise RuntimeError("node does not belong to a finalised Tree yet")
+        return self._index
+
+    def iter_subtree(self) -> Iterator["Node"]:
+        """Yield this node and all its descendants in pre-order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def label(self) -> Optional[str]:
+        """Return the unique label of the node, or ``None`` if unlabelled.
+
+        Raises ``ValueError`` if the node has more than one label; use
+        ``labels`` directly for multi-labelled nodes.
+        """
+        if not self.labels:
+            return None
+        if len(self.labels) > 1:
+            raise ValueError(f"node has multiple labels: {sorted(self.labels)}")
+        return next(iter(self.labels))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        labels = ",".join(sorted(self.labels)) or "-"
+        return f"Node({labels}, children={len(self.children)})"

@@ -1,0 +1,75 @@
+"""A small XML reader/writer for trees.
+
+XML documents are one of the motivating applications (Section 1).  This module
+converts a (namespace-free, attribute-light) XML document into a
+:class:`~repro.trees.tree.Tree` and back:
+
+* element tags become node labels,
+* attributes become children labelled ``@name`` with a single child labelled
+  with the attribute value (mirroring the paper's remark that typed child axes
+  such as ``attribute`` are redundant with ``Child`` plus unary relations),
+* text content is ignored (conjunctive queries over trees are label/structure
+  queries).
+
+It deliberately relies only on the standard library.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Optional
+
+from .node import Node
+from .tree import Tree
+
+
+def from_xml(text: str, include_attributes: bool = True) -> Tree:
+    """Parse an XML string into a :class:`Tree`."""
+    element = ET.fromstring(text)
+    return Tree(_convert(element, include_attributes))
+
+
+def from_xml_file(path: str, include_attributes: bool = True) -> Tree:
+    """Parse an XML file into a :class:`Tree`."""
+    element = ET.parse(path).getroot()
+    return Tree(_convert(element, include_attributes))
+
+
+def to_xml(tree: Tree) -> str:
+    """Serialise a tree to XML.
+
+    Multi-labelled nodes are emitted with the lexicographically first label as
+    tag and the remaining labels in a ``labels`` attribute; unlabelled nodes
+    use the tag ``node``.
+    """
+
+    def rec(node_id: int) -> ET.Element:
+        labels = sorted(tree.labels_of[node_id])
+        tag = labels[0] if labels else "node"
+        element = ET.Element(_sanitise(tag))
+        if len(labels) > 1:
+            element.set("labels", " ".join(labels))
+        for child in tree.children(node_id):
+            element.append(rec(child))
+        return element
+
+    return ET.tostring(rec(0), encoding="unicode")
+
+
+def _convert(element: ET.Element, include_attributes: bool) -> Node:
+    node = Node((element.tag,))
+    if include_attributes:
+        for name, value in sorted(element.attrib.items()):
+            attribute_node = node.add((f"@{name}",))
+            attribute_node.add((value,))
+    for child in element:
+        node.add_child(_convert(child, include_attributes))
+    return node
+
+
+def _sanitise(tag: str) -> str:
+    """Make a label usable as an XML tag."""
+    cleaned = "".join(ch if ch.isalnum() or ch in "._-" else "_" for ch in tag)
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] == "_"):
+        cleaned = "n_" + cleaned
+    return cleaned

@@ -1,0 +1,43 @@
+"""Application workloads: linguistics corpora, XML documents, dominance constraints."""
+
+from .dominance import (
+    DominanceParseError,
+    is_satisfiable_over,
+    parse_dominance_constraints,
+    solved_forms,
+)
+from .linguistics import (
+    PHRASE_LABELS,
+    WORD_LABELS,
+    coordinated_sentences_query,
+    figure1_query,
+    np_with_pp_modifier_query,
+    random_corpus,
+    random_sentence_tree,
+    verb_with_object_query,
+)
+from .xmlgen import (
+    auction_document,
+    busy_auction_query,
+    described_items_query,
+    items_with_payment_query,
+)
+
+__all__ = [
+    "DominanceParseError",
+    "PHRASE_LABELS",
+    "WORD_LABELS",
+    "auction_document",
+    "busy_auction_query",
+    "coordinated_sentences_query",
+    "described_items_query",
+    "figure1_query",
+    "is_satisfiable_over",
+    "items_with_payment_query",
+    "np_with_pp_modifier_query",
+    "parse_dominance_constraints",
+    "random_corpus",
+    "random_sentence_tree",
+    "solved_forms",
+    "verb_with_object_query",
+]

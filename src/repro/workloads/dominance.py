@@ -1,0 +1,91 @@
+"""Dominance constraints (Section 1's computational-linguistics application).
+
+A *dominance constraint* is a conjunction of atoms over node variables of the
+forms ``x <* y`` ("x dominates y", i.e. ``Child*(x, y)``) and label atoms; the
+paper observes these are exactly the Boolean conjunctive queries over trees
+and that rewriting them into *solved forms* corresponds to producing acyclic
+queries.
+
+This module provides a tiny textual syntax for dominance constraints, their
+translation into Boolean conjunctive queries, a satisfiability check against a
+given (or generated) tree, and a "solved form" computation that reuses the
+Section 6 rewriting (an APQ whose disjuncts are the solved forms).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from ..queries.apq import UnionQuery
+from ..queries.atoms import AxisAtom, LabelAtom
+from ..queries.query import ConjunctiveQuery
+from ..rewriting.to_apq import to_apq
+from ..trees.axes import Axis
+
+#: Textual operators of the constraint language -> axes.
+_OPERATORS: dict[str, Axis] = {
+    "<*": Axis.CHILD_STAR,   # dominance (reflexive)
+    "<+": Axis.CHILD_PLUS,   # proper dominance
+    "<":  Axis.CHILD,        # immediate dominance
+    "<<": Axis.FOLLOWING,    # precedence (disjoint subtrees)
+}
+
+_CONSTRAINT = re.compile(
+    r"^\s*(?P<left>\w+)\s*(?P<op><\*|<\+|<<|<)\s*(?P<right>\w+)\s*$"
+)
+_LABELLING = re.compile(r"^\s*(?P<variable>\w+)\s*:\s*(?P<label>\w+)\s*$")
+
+
+class DominanceParseError(ValueError):
+    """Raised when a constraint line cannot be parsed."""
+
+
+def parse_dominance_constraints(lines: Iterable[str] | str, name: str = "Dominance") -> ConjunctiveQuery:
+    """Parse a dominance constraint set into a Boolean conjunctive query.
+
+    Each line is either a binary constraint ``x <* y`` / ``x <+ y`` / ``x < y``
+    / ``x << y`` or a labelling ``x : Label``.  Blank lines and ``#`` comments
+    are ignored.
+    """
+    if isinstance(lines, str):
+        lines = lines.splitlines()
+    atoms: list = []
+    for raw_line in lines:
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        constraint = _CONSTRAINT.match(line)
+        if constraint:
+            axis = _OPERATORS[constraint.group("op")]
+            atoms.append(
+                AxisAtom(axis, constraint.group("left"), constraint.group("right"))
+            )
+            continue
+        labelling = _LABELLING.match(line)
+        if labelling:
+            atoms.append(
+                LabelAtom(labelling.group("label"), labelling.group("variable"))
+            )
+            continue
+        raise DominanceParseError(f"cannot parse constraint line: {raw_line!r}")
+    return ConjunctiveQuery((), tuple(atoms), name)
+
+
+def solved_forms(constraints: ConjunctiveQuery) -> UnionQuery:
+    """Solved forms of a dominance constraint set.
+
+    Following the paper's observation that solved forms correspond to acyclic
+    queries, we return the APQ produced by the Section 6 rewriting: each
+    disjunct is an acyclic ("solved") constraint set, and the union is
+    equivalent to the input.  The empty union means the constraints are
+    unsatisfiable over trees.
+    """
+    return to_apq(constraints)
+
+
+def is_satisfiable_over(constraints: ConjunctiveQuery, tree) -> bool:
+    """Can the constraint set be embedded into the given tree?"""
+    from ..evaluation.planner import evaluate_on_tree
+
+    return bool(evaluate_on_tree(constraints, tree))

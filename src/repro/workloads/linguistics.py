@@ -1,0 +1,148 @@
+"""Synthetic Penn-Treebank-style linguistic workload (Section 1, Figure 1).
+
+The paper motivates conjunctive queries over trees with searches over parsed
+natural-language corpora such as the Penn Treebank [LDC 1999].  The Treebank
+itself is proprietary, so this module generates synthetic parse trees with the
+same label inventory (S, NP, VP, PP, ...) and fan-out/depth characteristics,
+plus the queries the paper mentions:
+
+* :func:`figure1_query` -- the Figure 1 query "prepositional phrases following
+  noun phrases in the same sentence",
+* :func:`np_with_pp_modifier_query`, :func:`verb_with_object_query` -- further
+  linguistically flavoured queries used by the examples and benchmarks,
+* :func:`random_sentence_tree` / :func:`random_corpus` -- the corpus generator.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from ..queries.query import ConjunctiveQuery, QueryBuilder
+from ..trees.node import Node
+from ..trees.tree import Tree
+
+#: Phrase-level and word-level labels (a compact Penn-Treebank-like tagset).
+PHRASE_LABELS = ("S", "NP", "VP", "PP", "SBAR", "ADJP", "ADVP")
+WORD_LABELS = ("DT", "NN", "NNS", "VB", "VBD", "IN", "JJ", "RB", "PRP", "CC")
+
+
+def figure1_query() -> ConjunctiveQuery:
+    """The Figure 1 query.
+
+    ``Q(z) <- S(x), Descendant(x, y), NP(y), Descendant(x, z), PP(z),
+    Following(y, z)`` -- prepositional phrases following noun phrases within
+    the same sentence.
+    """
+    return (
+        QueryBuilder("Figure1")
+        .label("S", "x")
+        .descendant("x", "y")
+        .label("NP", "y")
+        .descendant("x", "z")
+        .label("PP", "z")
+        .following("y", "z")
+        .select("z")
+        .build()
+    )
+
+
+def np_with_pp_modifier_query() -> ConjunctiveQuery:
+    """Noun phrases that directly dominate a prepositional phrase."""
+    return (
+        QueryBuilder("NPwithPP")
+        .label("NP", "np")
+        .child("np", "pp")
+        .label("PP", "pp")
+        .select("np")
+        .build()
+    )
+
+
+def verb_with_object_query() -> ConjunctiveQuery:
+    """Verbs whose VP parent also dominates a following NP (a direct object)."""
+    return (
+        QueryBuilder("VerbObject")
+        .label("VP", "vp")
+        .child("vp", "v")
+        .label("VB", "v")
+        .child("vp", "np")
+        .label("NP", "np")
+        .following("v", "np")
+        .select("v")
+        .build()
+    )
+
+
+def coordinated_sentences_query() -> ConjunctiveQuery:
+    """Sentences containing a coordination (CC) with NPs on both sides.
+
+    This query is *cyclic* (the two NPs and the sentence variable form an
+    undirected cycle with the Following atoms), making it a natural showcase
+    for the CQ -> APQ rewriting on linguistic data.
+    """
+    return (
+        QueryBuilder("Coordination")
+        .label("S", "s")
+        .descendant("s", "left")
+        .label("NP", "left")
+        .descendant("s", "cc")
+        .label("CC", "cc")
+        .descendant("s", "right")
+        .label("NP", "right")
+        .following("left", "cc")
+        .following("cc", "right")
+        .select("s")
+        .build()
+    )
+
+
+def random_sentence_tree(
+    max_depth: int = 5,
+    max_children: int = 4,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> Tree:
+    """One random parse tree rooted at an ``S`` node."""
+    rng = rng or random.Random(seed)
+
+    def expand(label: str, depth: int) -> Node:
+        node = Node((label,))
+        if depth >= max_depth or label in WORD_LABELS:
+            return node
+        fanout = rng.randint(1, max_children)
+        for _ in range(fanout):
+            if depth + 1 >= max_depth - 1 or rng.random() < 0.35:
+                child_label = rng.choice(WORD_LABELS)
+            else:
+                child_label = rng.choice(PHRASE_LABELS[1:])
+            node.add_child(expand(child_label, depth + 1))
+        return node
+
+    return Tree(expand("S", 0))
+
+
+def random_corpus(
+    num_sentences: int,
+    max_depth: int = 5,
+    seed: Optional[int] = None,
+) -> Tree:
+    """A corpus: a ``CORPUS`` root with ``num_sentences`` parse trees below it."""
+    rng = random.Random(seed)
+    root = Node(("CORPUS",))
+    for _ in range(num_sentences):
+        sentence = random_sentence_tree(max_depth=max_depth, rng=rng)
+        root.add_child(_reroot(sentence))
+    return Tree(root)
+
+
+def _reroot(tree: Tree) -> Node:
+    """Rebuild a finalised tree as a fresh Node subtree (for corpus assembly)."""
+
+    def rec(node_id: int) -> Node:
+        node = Node(tree.labels_of[node_id])
+        for child in tree.children(node_id):
+            node.add_child(rec(child))
+        return node
+
+    return rec(0)

@@ -1,0 +1,130 @@
+"""Synthetic XML document workload (the data-extraction / XQuery motivation).
+
+Generates auction-site-like XML documents reminiscent of the XMark benchmark
+(regions, items, people, bids) -- entirely synthetic, standard-library only --
+and the navigational queries the paper's introduction associates with XML:
+XPath-style acyclic queries plus a cyclic "join" query that needs the full
+conjunctive-query machinery.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..queries.query import ConjunctiveQuery, QueryBuilder
+from ..trees.node import Node
+from ..trees.tree import Tree
+
+REGIONS = ("africa", "asia", "europe", "namerica", "samerica")
+
+
+def auction_document(
+    num_items: int = 20,
+    num_people: int = 10,
+    num_bids: int = 30,
+    seed: Optional[int] = None,
+) -> Tree:
+    """A synthetic auction document.
+
+    Structure::
+
+        site
+          regions
+            <region>        (one of REGIONS)
+              item*
+                name, payment?, description
+                  parlist?
+                    listitem*
+          people
+            person*
+              name, profile?
+                interest*
+          open_auctions
+            open_auction*
+              bidder*
+                increase
+              itemref, seller
+    """
+    rng = random.Random(seed)
+    site = Node(("site",))
+
+    regions = site.add(("regions",))
+    region_nodes = [regions.add((region,)) for region in REGIONS]
+    for index in range(num_items):
+        region = rng.choice(region_nodes)
+        item = region.add(("item",))
+        item.add(("name",))
+        if rng.random() < 0.5:
+            item.add(("payment",))
+        description = item.add(("description",))
+        if rng.random() < 0.6:
+            parlist = description.add(("parlist",))
+            for _ in range(rng.randint(1, 3)):
+                parlist.add(("listitem",))
+
+    people = site.add(("people",))
+    for _ in range(num_people):
+        person = people.add(("person",))
+        person.add(("name",))
+        if rng.random() < 0.7:
+            profile = person.add(("profile",))
+            for _ in range(rng.randint(0, 3)):
+                profile.add(("interest",))
+
+    auctions = site.add(("open_auctions",))
+    for _ in range(num_bids):
+        auction = auctions.add(("open_auction",))
+        for _ in range(rng.randint(0, 4)):
+            bidder = auction.add(("bidder",))
+            bidder.add(("increase",))
+        auction.add(("itemref",))
+        auction.add(("seller",))
+
+    return Tree(site)
+
+
+def items_with_payment_query() -> ConjunctiveQuery:
+    """XPath-like: items that offer a payment element (acyclic, monadic)."""
+    return (
+        QueryBuilder("ItemsWithPayment")
+        .label("item", "item")
+        .child("item", "payment")
+        .label("payment", "payment")
+        .select("item")
+        .build()
+    )
+
+
+def described_items_query() -> ConjunctiveQuery:
+    """Items whose description contains a list item somewhere below."""
+    return (
+        QueryBuilder("DescribedItems")
+        .label("item", "item")
+        .child("item", "description")
+        .label("description", "description")
+        .descendant("description", "entry")
+        .label("listitem", "entry")
+        .select("item")
+        .build()
+    )
+
+
+def busy_auction_query() -> ConjunctiveQuery:
+    """Open auctions with two bidders, one following the other (cyclic join).
+
+    The two bidder variables, their shared auction ancestor and the Following
+    atom form an undirected cycle, so the query exercises the rewriting /
+    generic evaluation machinery rather than plain XPath navigation.
+    """
+    return (
+        QueryBuilder("BusyAuction")
+        .label("open_auction", "auction")
+        .child("auction", "first")
+        .label("bidder", "first")
+        .child("auction", "second")
+        .label("bidder", "second")
+        .following("first", "second")
+        .select("auction")
+        .build()
+    )

@@ -1,0 +1,107 @@
+"""The counterexamples of Example 4.5 / Figure 3.
+
+The inclusions between axes and node orders listed at the start of Section 4
+do *not* all extend to the X-property.  Figure 3 exhibits two witnesses:
+
+* (a) ``Following`` does **not** have the X-property with respect to ``<pre``:
+  on a 6-node tree there are crossing arcs ``Following(2, 6)`` and
+  ``Following(3, 4)`` (paper numbering) whose underbar ``Following(2, 4)`` is
+  missing.
+* (b) ``Descendant^-1`` (and ``Descendant-or-self^-1``) do **not** have the
+  X-property with respect to ``<post``: on a 5-node tree,
+  ``Descendant^-1(1, 5)`` and ``Descendant^-1(3, 4)`` hold but
+  ``Descendant^-1(1, 4)`` does not.
+
+The functions below build exactly these trees and return the violation found
+by the generic checker, so that the figure can be regenerated mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..trees.axes import Axis
+from ..trees.builders import from_nested
+from ..trees.orders import Order
+from ..trees.tree import Tree
+from .definition import XPropertyViolation, find_axis_violation
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A tree, the axis/order pair, and the violation it witnesses."""
+
+    description: str
+    tree: Tree
+    axis: Axis
+    order: Order
+    violation: Optional[XPropertyViolation]
+
+    @property
+    def confirms_failure(self) -> bool:
+        """True when the X-property indeed fails on this witness."""
+        return self.violation is not None
+
+
+def figure3a_tree() -> Tree:
+    """The 6-node tree of Figure 3(a).
+
+    Pre-order ids (0-based) correspond to the paper's node numbers minus one:
+    the root (1) has children 2 and 5; node 2 has children 3 and 4; node 5 has
+    child 6.
+    """
+    return from_nested(("r", [("a", [("b", []), ("c", [])]), ("d", [("e", [])])]))
+
+
+def figure3a() -> Counterexample:
+    """Following does not have the X-property w.r.t. the pre-order."""
+    tree = figure3a_tree()
+    violation = find_axis_violation(tree, Axis.FOLLOWING, Order.PRE)
+    return Counterexample(
+        description=(
+            "Following(2,6) and Following(3,4) hold with 2 <pre 3 and 4 <pre 6, "
+            "but Following(2,4) does not (paper numbering)"
+        ),
+        tree=tree,
+        axis=Axis.FOLLOWING,
+        order=Order.PRE,
+        violation=violation,
+    )
+
+
+def figure3b_tree() -> Tree:
+    """The 5-node tree of Figure 3(b).
+
+    The root has two children; each child has one leaf child.  Post-order
+    numbers (1-based) are: left leaf 1, left child 2, right leaf 3, right
+    child 4, root 5.
+    """
+    return from_nested(("r", [("a", [("b", [])]), ("c", [("d", [])])]))
+
+
+def figure3b(axis: Axis = Axis.ANCESTOR) -> Counterexample:
+    """Descendant^-1 (= Ancestor) lacks the X-property w.r.t. the post-order.
+
+    Pass ``Axis.ANCESTOR_OR_SELF`` to confirm the same for
+    Descendant-or-self^-1.
+    """
+    if axis not in (Axis.ANCESTOR, Axis.ANCESTOR_OR_SELF):
+        raise ValueError("figure3b concerns the inverse descendant axes")
+    tree = figure3b_tree()
+    violation = find_axis_violation(tree, axis, Order.POST)
+    return Counterexample(
+        description=(
+            "Descendant^-1(1,5) and Descendant^-1(3,4) hold with 1 <post 3 and "
+            "4 <post 5, but Descendant^-1(1,4) does not (paper numbering)"
+        ),
+        tree=tree,
+        axis=axis,
+        order=Order.POST,
+        violation=violation,
+    )
+
+
+def all_counterexamples() -> list[Counterexample]:
+    """Both counterexamples of Figure 3 (plus the or-self variant of (b))."""
+    return [figure3a(), figure3b(Axis.ANCESTOR), figure3b(Axis.ANCESTOR_OR_SELF)]

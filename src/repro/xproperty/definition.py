@@ -1,0 +1,132 @@
+"""The X-property (Definition 3.2) and its specialised characterisations.
+
+A binary relation R has the X-property with respect to a total order ``<`` iff
+for all nodes ``n0 < n1`` and ``n2 < n3``::
+
+    R(n1, n2) and R(n0, n3)  ==>  R(n0, n2)
+
+(the "underbar" of two crossing arcs must be present).  Lemma 3.6 gives an
+equivalent condition for relations contained in ``<=`` (and Lemma 3.7 the
+symmetric condition for relations contained in ``>=``), which only needs to be
+checked for ``n0 < n1 <= n2 < n3``.
+
+The checkers below work on explicit relations (sets of pairs) or on axes of a
+concrete tree; they are used to *verify Theorem 4.1 mechanically* on arbitrary
+trees and to demonstrate the counterexamples of Example 4.5 / Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..trees.axes import Axis, materialise
+from ..trees.orders import Order, rank
+from ..trees.tree import Tree
+
+Pair = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class XPropertyViolation:
+    """A witness that the X-property fails: the crossing arcs and missing arc."""
+
+    n0: int
+    n1: int
+    n2: int
+    n3: int
+    missing: Pair
+
+    def __str__(self) -> str:
+        return (
+            f"R({self.n1}, {self.n2}) and R({self.n0}, {self.n3}) hold with "
+            f"{self.n0} < {self.n1} and {self.n2} < {self.n3}, but "
+            f"R{self.missing} does not hold"
+        )
+
+
+def find_violation(
+    relation: Iterable[Pair], order_rank: Sequence[int] | dict[int, int]
+) -> Optional[XPropertyViolation]:
+    """Search for an X-property violation of an explicit relation.
+
+    ``order_rank`` maps each element to its position in the total order.
+    The search is quadratic in the number of arcs: every pair of arcs
+    ``(n1, n2)`` and ``(n0, n3)`` with ``n0 < n1`` and ``n2 < n3`` must be
+    covered by the arc ``(n0, n2)``.
+    """
+    arcs = list(relation)
+    arc_set = set(arcs)
+
+    def position(node: int) -> int:
+        return order_rank[node]
+
+    for n1, n2 in arcs:
+        for n0, n3 in arcs:
+            if position(n0) < position(n1) and position(n2) < position(n3):
+                if (n0, n2) not in arc_set:
+                    return XPropertyViolation(n0, n1, n2, n3, (n0, n2))
+    return None
+
+
+def has_x_property_relation(
+    relation: Iterable[Pair], order_rank: Sequence[int] | dict[int, int]
+) -> bool:
+    """Definition 3.2 for an explicit relation."""
+    return find_violation(relation, order_rank) is None
+
+
+def find_axis_violation(
+    tree: Tree, axis: Axis, order: Order
+) -> Optional[XPropertyViolation]:
+    """Search for an X-property violation of an axis on a concrete tree."""
+    return find_violation(materialise(tree, axis), rank(tree, order))
+
+
+def has_x_property(tree: Tree, axis: Axis, order: Order) -> bool:
+    """Does ``axis`` have the X-property w.r.t. ``order`` on this tree?
+
+    Theorem 4.1 states this holds *for every tree* for the pairs
+    (Child+, pre), (Child*, pre), (Following, post) and
+    (Child / NextSibling / NextSibling* / NextSibling+, bflr); the checker lets
+    tests confirm it on arbitrary sampled trees and exhibits counterexamples
+    for the other pairs (Example 4.5).
+    """
+    return find_axis_violation(tree, axis, order) is None
+
+
+def find_violation_lemma36(
+    relation: Iterable[Pair], order_rank: Sequence[int] | dict[int, int]
+) -> Optional[XPropertyViolation]:
+    """The restricted check of Lemma 3.6, valid when R is a subset of ``<=``.
+
+    Only quadruples with ``n0 < n1 <= n2 < n3`` need to be inspected.  The
+    function does not verify the ``R subseteq <=`` precondition; callers that
+    need it should check separately (see :func:`relation_subset_of_order`).
+    """
+    arcs = list(relation)
+    arc_set = set(arcs)
+
+    def position(node: int) -> int:
+        return order_rank[node]
+
+    for n1, n2 in arcs:
+        if position(n1) > position(n2):
+            continue
+        for n0, n3 in arcs:
+            if position(n0) < position(n1) and position(n2) < position(n3):
+                if (n0, n2) not in arc_set:
+                    return XPropertyViolation(n0, n1, n2, n3, (n0, n2))
+    return None
+
+
+def relation_subset_of_order(
+    relation: Iterable[Pair], order_rank: Sequence[int] | dict[int, int]
+) -> bool:
+    """Is every arc (u, v) of the relation such that u <= v in the order?"""
+    return all(order_rank[u] <= order_rank[v] for u, v in relation)
+
+
+def axis_subset_of_order(tree: Tree, axis: Axis, order: Order) -> bool:
+    """Check the inclusions listed at the start of Section 4 on a tree."""
+    return relation_subset_of_order(materialise(tree, axis), rank(tree, order))

@@ -1,0 +1,207 @@
+"""The tractability frontier and dichotomy (Theorem 1.1, Theorem 4.1, Table I).
+
+Theorem 4.1 establishes which axes have the X-property with respect to which
+of the three node orders:
+
+* w.r.t. ``<pre``:  ``Child+``, ``Child*`` (and ``<pre`` itself / ``SuccPre``),
+* w.r.t. ``<post``: ``Following``,
+* w.r.t. ``<bflr``: ``Child``, ``NextSibling``, ``NextSibling*``,
+  ``NextSibling+``.
+
+Theorem 1.1 (the dichotomy) then says: a set of axes ``F`` admits
+polynomial-time conjunctive query evaluation iff there is a single total order
+with respect to which *all* axes of ``F`` have the X-property; otherwise the
+problem is NP-complete.  Since the three groups above are the subset-maximal
+tractable sets, classification reduces to a subset test.
+
+:func:`classify` implements the classification, :func:`order_for` returns a
+witnessing order for tractable signatures, and :func:`table1` regenerates the
+paper's Table I (complexities of all one- and two-axis signatures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Optional
+
+from ..trees.axes import AX, Axis
+from ..trees.orders import Order
+from ..trees.structure import Signature
+
+
+class Complexity(str, Enum):
+    """The two sides of the dichotomy."""
+
+    PTIME = "in P"
+    NP_COMPLETE = "NP-hard"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Theorem 4.1: axes that have the X-property w.r.t. each order (on all trees).
+X_PROPERTY_AXES: dict[Order, frozenset[Axis]] = {
+    Order.PRE: frozenset(
+        {Axis.CHILD_PLUS, Axis.CHILD_STAR, Axis.DOCUMENT_ORDER, Axis.SUCC_PRE, Axis.SELF}
+    ),
+    Order.POST: frozenset({Axis.FOLLOWING, Axis.SELF}),
+    Order.BFLR: frozenset(
+        {
+            Axis.CHILD,
+            Axis.NEXT_SIBLING,
+            Axis.NEXT_SIBLING_STAR,
+            Axis.NEXT_SIBLING_PLUS,
+            Axis.SELF,
+        }
+    ),
+}
+
+#: The three subset-maximal tractable axis sets within Ax (Section 1.1).
+MAXIMAL_TRACTABLE_SETS: tuple[frozenset[Axis], ...] = (
+    frozenset({Axis.CHILD, Axis.NEXT_SIBLING, Axis.NEXT_SIBLING_STAR, Axis.NEXT_SIBLING_PLUS}),
+    frozenset({Axis.CHILD_PLUS, Axis.CHILD_STAR}),
+    frozenset({Axis.FOLLOWING}),
+)
+
+
+def order_for(signature: Signature | Iterable[Axis]) -> Optional[Order]:
+    """An order w.r.t. which every axis of the signature has the X-property.
+
+    Returns ``None`` when no such order exists (the NP-hard side).  Axes
+    outside the known groups (e.g. inverse axes) make the signature fall back
+    to ``None`` -- the polynomial-time machinery then simply is not used.
+    """
+    axes = frozenset(signature.axes if isinstance(signature, Signature) else signature)
+    for order in (Order.BFLR, Order.PRE, Order.POST):
+        if axes <= X_PROPERTY_AXES[order]:
+            return order
+    return None
+
+
+def is_tractable(signature: Signature | Iterable[Axis]) -> bool:
+    """Does the signature admit PTIME combined-complexity evaluation?"""
+    return order_for(signature) is not None
+
+
+def classify(signature: Signature | Iterable[Axis]) -> Complexity:
+    """Theorem 1.1: PTIME iff some order makes all axes X; NP-complete otherwise."""
+    return Complexity.PTIME if is_tractable(signature) else Complexity.NP_COMPLETE
+
+
+@dataclass(frozen=True)
+class Table1Cell:
+    """One cell of Table I."""
+
+    row: Axis
+    column: Axis
+    complexity: Complexity
+    theorem: str
+
+
+#: The theorem references printed in Table I of the paper.
+_THEOREM_OF: dict[frozenset[Axis], str] = {
+    frozenset({Axis.CHILD}): "4.4",
+    frozenset({Axis.CHILD, Axis.CHILD_PLUS}): "5.1",
+    frozenset({Axis.CHILD, Axis.CHILD_STAR}): "5.1",
+    frozenset({Axis.CHILD, Axis.NEXT_SIBLING}): "4.4",
+    frozenset({Axis.CHILD, Axis.NEXT_SIBLING_PLUS}): "4.4",
+    frozenset({Axis.CHILD, Axis.NEXT_SIBLING_STAR}): "4.4",
+    frozenset({Axis.CHILD, Axis.FOLLOWING}): "5.2",
+    frozenset({Axis.CHILD_PLUS}): "4.2",
+    frozenset({Axis.CHILD_PLUS, Axis.CHILD_STAR}): "4.2",
+    frozenset({Axis.CHILD_PLUS, Axis.NEXT_SIBLING}): "5.7",
+    frozenset({Axis.CHILD_PLUS, Axis.NEXT_SIBLING_PLUS}): "5.7",
+    frozenset({Axis.CHILD_PLUS, Axis.NEXT_SIBLING_STAR}): "5.7",
+    frozenset({Axis.CHILD_PLUS, Axis.FOLLOWING}): "5.3",
+    frozenset({Axis.CHILD_STAR}): "4.2",
+    frozenset({Axis.CHILD_STAR, Axis.NEXT_SIBLING}): "5.5",
+    frozenset({Axis.CHILD_STAR, Axis.NEXT_SIBLING_PLUS}): "5.4",
+    frozenset({Axis.CHILD_STAR, Axis.NEXT_SIBLING_STAR}): "5.6",
+    frozenset({Axis.CHILD_STAR, Axis.FOLLOWING}): "5.3",
+    frozenset({Axis.NEXT_SIBLING}): "4.4",
+    frozenset({Axis.NEXT_SIBLING, Axis.NEXT_SIBLING_PLUS}): "4.4",
+    frozenset({Axis.NEXT_SIBLING, Axis.NEXT_SIBLING_STAR}): "4.4",
+    frozenset({Axis.NEXT_SIBLING, Axis.FOLLOWING}): "5.8",
+    frozenset({Axis.NEXT_SIBLING_PLUS}): "4.4",
+    frozenset({Axis.NEXT_SIBLING_PLUS, Axis.NEXT_SIBLING_STAR}): "4.4",
+    frozenset({Axis.NEXT_SIBLING_PLUS, Axis.FOLLOWING}): "5.8",
+    frozenset({Axis.NEXT_SIBLING_STAR}): "4.4",
+    frozenset({Axis.NEXT_SIBLING_STAR, Axis.FOLLOWING}): "5.8",
+    frozenset({Axis.FOLLOWING}): "4.3",
+}
+
+#: The axis order used for rows and columns of Table I in the paper.
+TABLE1_AXES: tuple[Axis, ...] = (
+    Axis.CHILD,
+    Axis.CHILD_PLUS,
+    Axis.CHILD_STAR,
+    Axis.NEXT_SIBLING,
+    Axis.NEXT_SIBLING_PLUS,
+    Axis.NEXT_SIBLING_STAR,
+    Axis.FOLLOWING,
+)
+
+#: The complexities exactly as printed in the paper's Table I, used by the
+#: tests to confirm our classifier regenerates the published table.
+PAPER_TABLE1: dict[frozenset[Axis], Complexity] = {
+    axes: (Complexity.PTIME if theorem.startswith("4") else Complexity.NP_COMPLETE)
+    for axes, theorem in _THEOREM_OF.items()
+}
+
+
+def table1() -> list[Table1Cell]:
+    """Regenerate Table I from the dichotomy classifier.
+
+    The upper triangle (including the diagonal) of the 7x7 axis matrix is
+    produced in the paper's row/column order.
+    """
+    cells: list[Table1Cell] = []
+    for row_index, row in enumerate(TABLE1_AXES):
+        for column in TABLE1_AXES[row_index:]:
+            axes = frozenset({row, column})
+            cells.append(
+                Table1Cell(
+                    row=row,
+                    column=column,
+                    complexity=classify(axes),
+                    theorem=_THEOREM_OF.get(axes, "-"),
+                )
+            )
+    return cells
+
+
+def render_table1(cells: Optional[list[Table1Cell]] = None) -> str:
+    """A textual rendering of Table I comparable to the paper's layout."""
+    cells = table1() if cells is None else cells
+    by_pair = {(cell.row, cell.column): cell for cell in cells}
+    width = max(len(axis.value) for axis in TABLE1_AXES) + 2
+    header = " " * width + "".join(axis.value.ljust(width) for axis in TABLE1_AXES)
+    lines = [header]
+    for row_index, row in enumerate(TABLE1_AXES):
+        entries: list[str] = []
+        for column_index, column in enumerate(TABLE1_AXES):
+            if column_index < row_index:
+                entries.append("".ljust(width))
+                continue
+            cell = by_pair[(row, column)]
+            text = f"{cell.complexity.value} ({cell.theorem})"
+            entries.append(text.ljust(width))
+        lines.append(row.value.ljust(width) + "".join(entries))
+    return "\n".join(lines)
+
+
+def maximal_tractable_sets() -> tuple[frozenset[Axis], ...]:
+    """The subset-maximal tractable sets of axes (Section 1.1)."""
+    return MAXIMAL_TRACTABLE_SETS
+
+
+def verify_maximality() -> bool:
+    """Check the maximality claim: adding any other Ax axis breaks tractability."""
+    for tractable_set in MAXIMAL_TRACTABLE_SETS:
+        if not is_tractable(tractable_set):
+            return False
+        for axis in AX - tractable_set:
+            if is_tractable(tractable_set | {axis}):
+                return False
+    return True

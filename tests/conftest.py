@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trees import Tree, from_nested, random_tree
+from repro.trees.structure import TreeStructure
+
+
+@pytest.fixture
+def sentence_tree() -> Tree:
+    """The small parse tree used in many evaluation tests.
+
+    Pre-order node ids::
+
+        0 S
+        1   NP
+        2     DT
+        3     NN
+        4   VP
+        5     VB
+        6     NP
+        7       NN
+        8   PP
+    """
+    return from_nested(
+        (
+            "S",
+            [
+                ("NP", [("DT", []), ("NN", [])]),
+                ("VP", [("VB", []), ("NP", [("NN", [])])]),
+                ("PP", []),
+            ],
+        )
+    )
+
+
+@pytest.fixture
+def sentence_structure(sentence_tree: Tree) -> TreeStructure:
+    return TreeStructure(sentence_tree)
+
+
+@pytest.fixture
+def wide_tree() -> Tree:
+    """A root with five leaf children labelled A..E (sibling-axis tests)."""
+    return from_nested(("R", [("A", []), ("B", []), ("C", []), ("D", []), ("E", [])]))
+
+
+@pytest.fixture
+def medium_random_tree() -> Tree:
+    return random_tree(40, alphabet=("A", "B", "C"), seed=7, unlabeled_probability=0.15)

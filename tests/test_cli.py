@@ -1,0 +1,124 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def xml_file(tmp_path):
+    path = tmp_path / "doc.xml"
+    path.write_text(
+        "<site><regions><europe>"
+        "<item><payment/></item><item/>"
+        "</europe></regions></site>",
+        encoding="utf-8",
+    )
+    return str(path)
+
+
+class TestEvaluateCommand:
+    def test_evaluate_xml_with_datalog_query(self, xml_file, capsys):
+        exit_code = main(
+            [
+                "evaluate",
+                "--tree",
+                xml_file,
+                "--query",
+                "Q(i) <- item(i), Child(i, p), payment(p)",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "answers  : 1" in output
+        assert "item" in output
+
+    def test_evaluate_sexpr_with_xpath(self, capsys):
+        exit_code = main(
+            ["evaluate", "--sexpr", "(S (NP (NN)) (VP))", "--xpath", "//NP[NN]"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "answers  : 1" in output
+
+    def test_evaluate_boolean_query(self, capsys):
+        exit_code = main(
+            ["evaluate", "--sexpr", "(A (B))", "--query", "Q <- A(x), Child(x, y), B(y)"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "answer   : true" in output
+
+    def test_missing_tree_or_query_errors(self):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--query", "Q <- A(x)"])
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--sexpr", "(A)"])
+
+    def test_answer_limit(self, capsys):
+        exit_code = main(
+            ["evaluate", "--sexpr", "(A (A) (A) (A))", "--query", "Q(x) <- A(x)", "--limit", "2"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "... 2 more" in output
+
+
+class TestClassifyCommand:
+    def test_tractable_signature(self, capsys):
+        assert main(["classify", "Child+, Child*"]) == 0
+        output = capsys.readouterr().out
+        assert "in P" in output
+        assert "<pre" in output
+
+    def test_np_hard_signature(self, capsys):
+        assert main(["classify", "Child, Following"]) == 0
+        output = capsys.readouterr().out
+        assert "NP-hard" in output
+
+    def test_unknown_axis(self):
+        with pytest.raises(ValueError):
+            main(["classify", "Sideways"])
+
+
+class TestRewriteCommand:
+    def test_rewrite_with_trace(self, capsys):
+        assert (
+            main(
+                [
+                    "rewrite",
+                    "Q <- A(x), Child+(x, y), B(y), Child+(x, z), Child+(y, z)",
+                    "--trace",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "acyclic disjunct" in output
+        assert "apply-lifter" in output
+
+    def test_rewrite_unsatisfiable(self, capsys):
+        assert main(["rewrite", "Q <- Child+(x, y), Child+(y, x)"]) == 0
+        output = capsys.readouterr().out
+        assert "unsatisfiable" in output
+
+    def test_rewrite_from_xpath(self, capsys):
+        assert main(["rewrite", "--xpath", "//A[B]"]) == 0
+        output = capsys.readouterr().out
+        assert "output: 1 acyclic disjunct" in output
+
+
+class TestOtherCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "NP-hard (5.1)" in output
+
+    def test_parser_structure(self):
+        parser = build_parser()
+        args = parser.parse_args(["classify", "Child"])
+        assert args.command == "classify"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["unknown-command"])

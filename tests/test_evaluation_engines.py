@@ -1,0 +1,300 @@
+"""Tests for the evaluation engines: X-property, acyclic, backtracking, planner.
+
+The central correctness property exercised here is *engine agreement*: on
+queries where several engines apply, they must produce identical results (the
+backtracking engine is the ground truth).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import (
+    Engine,
+    SearchStatistics,
+    acyclic,
+    boolean_query_holds,
+    check_answer,
+    choose_engine,
+    choose_order,
+    count_solutions,
+    evaluate,
+    evaluate_on_tree,
+    evaluate_union,
+    find_solution,
+    is_satisfied,
+    iter_solutions,
+    minimum_valuation,
+    satisfying_assignment,
+    witness,
+)
+from repro.evaluation.backtracking import boolean_query_holds as bt_holds
+from repro.evaluation.xprop_evaluator import XPropertyEvaluationError
+from repro.evaluation.arc_consistency import maximal_arc_consistent
+from repro.queries import as_union, parse_query
+from repro.trees import Order, TreeStructure, from_nested, random_tree
+from repro.trees.axes import Axis
+from repro.hardness import random_cyclic_query
+
+
+class TestXPropertyEvaluator:
+    def test_tractable_signature_positive(self, sentence_structure):
+        query = parse_query("Q <- S(x), Child+(x, y), NP(y), Child+(y, z), NN(z)")
+        assert boolean_query_holds(query, sentence_structure, verify=True)
+
+    def test_tractable_signature_negative(self, sentence_structure):
+        query = parse_query("Q <- PP(x), Child+(x, y), NN(y)")
+        assert not boolean_query_holds(query, sentence_structure)
+
+    def test_following_signature(self, sentence_structure):
+        query = parse_query("Q <- Following(x, y), Following(y, z), PP(z)")
+        assert boolean_query_holds(query, sentence_structure, verify=True)
+
+    def test_bflr_signature(self, sentence_structure):
+        query = parse_query(
+            "Q <- NP(x), NextSibling(x, y), VP(y), NextSibling+(y, z), PP(z), Child(y, w), VB(w)"
+        )
+        assert boolean_query_holds(query, sentence_structure, verify=True)
+
+    def test_rejects_intractable_signature_without_order(self, sentence_structure):
+        query = parse_query("Q <- Child(x, y), Child+(y, z)")
+        with pytest.raises(ValueError):
+            boolean_query_holds(query, sentence_structure)
+
+    def test_choose_order(self):
+        assert choose_order(parse_query("Q <- Child+(x, y)")) is Order.PRE
+        assert choose_order(parse_query("Q <- Following(x, y)")) is Order.POST
+        assert choose_order(parse_query("Q <- Child(x, y), NextSibling(y, z)")) is Order.BFLR
+        assert choose_order(parse_query("Q <- Child(x, y), Following(y, z)")) is None
+
+    def test_witness_is_a_satisfaction(self, sentence_structure):
+        query = parse_query("Q <- Child+(x, y), NP(y), Child+(y, z), NN(z)")
+        valuation = witness(query, sentence_structure)
+        assert valuation is not None
+        from repro.evaluation import valuation_satisfies
+
+        assert valuation_satisfies(query, sentence_structure, valuation)
+
+    def test_minimum_valuation_failure_detected_off_frontier(self):
+        """Forcing a wrong order can break Lemma 3.4 -- the verifier notices.
+
+        The {Child, Child+} signature has no common order; with <pre the
+        minimum valuation of this satisfiable query picks inconsistent nodes
+        on a suitably crafted tree, demonstrating why the frontier matters.
+        """
+        tree = from_nested(
+            ("R", [("A", [("B", [("C", [])])]), ("A", [("D", [])])])
+        )
+        structure = TreeStructure(tree)
+        query = parse_query("Q <- A(x), Child(x, y), D(y), Child+(z, y), R(z)")
+        # The query is satisfiable (second A branch).
+        assert bt_holds(query, structure)
+        # With the pre-order forced, the minimum valuation may be inconsistent;
+        # the evaluator either still answers True (if it happens to work) or
+        # the verification raises -- it must never silently answer False.
+        try:
+            result = boolean_query_holds(query, structure, order=Order.PRE, verify=True)
+            assert result is True
+        except XPropertyEvaluationError:
+            pass
+
+    def test_agreement_with_backtracking_on_random_tractable_queries(self):
+        for seed in range(6):
+            tree = random_tree(25, alphabet=("A", "B"), seed=seed, unlabeled_probability=0.2)
+            structure = TreeStructure(tree)
+            query = random_cyclic_query(
+                (Axis.CHILD_PLUS, Axis.CHILD_STAR),
+                num_variables=5,
+                num_extra_atoms=2,
+                seed=seed,
+            )
+            assert boolean_query_holds(query, structure, verify=True) == bt_holds(
+                query, structure
+            )
+
+    def test_agreement_following_signature(self):
+        for seed in range(6):
+            tree = random_tree(20, alphabet=("A", "B"), seed=100 + seed)
+            structure = TreeStructure(tree)
+            query = random_cyclic_query(
+                (Axis.FOLLOWING,), num_variables=4, num_extra_atoms=2, seed=seed
+            )
+            assert boolean_query_holds(query, structure, verify=True) == bt_holds(
+                query, structure
+            )
+
+    def test_agreement_bflr_signature(self):
+        for seed in range(6):
+            tree = random_tree(20, alphabet=("A", "B"), seed=200 + seed)
+            structure = TreeStructure(tree)
+            query = random_cyclic_query(
+                (Axis.CHILD, Axis.NEXT_SIBLING, Axis.NEXT_SIBLING_PLUS, Axis.NEXT_SIBLING_STAR),
+                num_variables=5,
+                num_extra_atoms=2,
+                seed=seed,
+            )
+            assert boolean_query_holds(query, structure, verify=True) == bt_holds(
+                query, structure
+            )
+
+    def test_minimum_valuation_helper(self, sentence_structure):
+        query = parse_query("Q <- NP(x), Child+(x, y)")
+        domains = maximal_arc_consistent(query, sentence_structure)
+        assert domains is not None
+        valuation = minimum_valuation(sentence_structure, domains, Order.PRE)
+        assert valuation["x"] == min(domains["x"])
+
+
+class TestAcyclicEvaluator:
+    def test_boolean_and_enumeration(self, sentence_structure):
+        query = parse_query("Q <- S(x), Child(x, y), NP(y), Child(y, z), NN(z)")
+        assert acyclic.boolean_query_holds(query, sentence_structure)
+        solutions = list(acyclic.iter_satisfactions(query, sentence_structure))
+        assert {frozenset(s.items()) for s in solutions} == {
+            frozenset({("x", 0), ("y", 1), ("z", 3)})
+        }
+        assert acyclic.count_satisfactions(query, sentence_structure) == 1
+
+    def test_rejects_cyclic_queries(self, sentence_structure):
+        query = parse_query("Q <- Child(x, y), Child+(x, y)")
+        with pytest.raises(ValueError):
+            acyclic.boolean_query_holds(query, sentence_structure)
+
+    def test_unsatisfiable(self, sentence_structure):
+        query = parse_query("Q <- PP(x), Child(x, y)")
+        assert not acyclic.boolean_query_holds(query, sentence_structure)
+        assert list(acyclic.iter_satisfactions(query, sentence_structure)) == []
+
+    def test_agreement_with_backtracking(self, sentence_structure):
+        queries = [
+            "Q <- NP(x), Following(x, y)",
+            "Q <- S(x), Child+(x, y), NP(y), Child(y, z)",
+            "Q <- DT(a), NextSibling(a, b), NN(b), Following(b, c)",
+            "Q <- VP(x), Child(x, y), VB(y), NextSibling(y, z), NP(z)",
+        ]
+        for text in queries:
+            query = parse_query(text)
+            assert acyclic.boolean_query_holds(query, sentence_structure) == bt_holds(
+                query, sentence_structure
+            )
+            lhs = {
+                frozenset(s.items())
+                for s in acyclic.iter_satisfactions(query, sentence_structure)
+            }
+            rhs = {
+                frozenset(s.items())
+                for s in iter_solutions(query, sentence_structure)
+            }
+            assert lhs == rhs
+
+    def test_multi_component_query(self, sentence_structure):
+        query = parse_query("Q <- NP(x), Child(x, y), PP(z)")
+        count = acyclic.count_satisfactions(query, sentence_structure)
+        # Two NPs with two/one children times one PP.
+        assert count == 3
+
+
+class TestBacktrackingEvaluator:
+    def test_cyclic_query(self, sentence_structure):
+        query = parse_query("Q <- S(x), Child(x, y), NP(y), Child+(x, z), NN(z), Child(y, z)")
+        assert bt_holds(query, sentence_structure)
+        solution = find_solution(query, sentence_structure)
+        assert solution is not None and solution["y"] == 1
+
+    def test_count_solutions(self, sentence_structure):
+        query = parse_query("Q <- NP(x)")
+        assert count_solutions(query, sentence_structure) == 2
+
+    def test_without_arc_consistency(self, sentence_structure):
+        query = parse_query("Q <- NP(x), Child(x, y), NN(y)")
+        fast = set(
+            frozenset(s.items()) for s in iter_solutions(query, sentence_structure)
+        )
+        slow = set(
+            frozenset(s.items())
+            for s in iter_solutions(query, sentence_structure, use_arc_consistency=False)
+        )
+        assert fast == slow
+
+    def test_statistics_collected(self, sentence_structure):
+        statistics = SearchStatistics()
+        query = parse_query("Q <- Child(x, y), Child(y, z)")
+        bt_holds(query, sentence_structure, statistics=statistics)
+        assert statistics.nodes_expanded > 0
+
+    def test_empty_body_query(self, sentence_structure):
+        query = parse_query("Q <- true")
+        assert bt_holds(query, sentence_structure)
+        assert count_solutions(query, sentence_structure) == 1
+
+
+class TestPlanner:
+    def test_engine_choice(self):
+        assert choose_engine(parse_query("Q <- Child+(x, y), Child*(y, z), Child+(z, x)")) is Engine.XPROPERTY
+        assert choose_engine(parse_query("Q <- Child(x, y), Following(y, z)")) is Engine.ACYCLIC
+        assert (
+            choose_engine(parse_query("Q <- Child(x, y), Child+(x, y)"))
+            is Engine.BACKTRACKING
+        )
+
+    def test_is_satisfied_all_engines_agree(self, sentence_structure):
+        query = parse_query("Q <- S(x), Child+(x, y), NP(y), Child+(x, z), PP(z)")
+        results = {
+            engine: is_satisfied(query, sentence_structure, engine)
+            for engine in (Engine.AUTO, Engine.XPROPERTY, Engine.ACYCLIC, Engine.BACKTRACKING)
+        }
+        assert set(results.values()) == {True}
+
+    def test_evaluate_monadic(self, sentence_tree):
+        query = parse_query("Q(z) <- S(x), Child(x, y), NP(y), Following(y, z), NP(z)")
+        assert evaluate_on_tree(query, sentence_tree) == frozenset({(6,)})
+
+    def test_evaluate_binary(self, sentence_tree):
+        query = parse_query("Q(x, y) <- NP(x), Child(x, y), NN(y)")
+        assert evaluate_on_tree(query, sentence_tree) == frozenset({(1, 3), (6, 7)})
+
+    def test_evaluate_boolean(self, sentence_structure):
+        positive = parse_query("Q <- VB(x), Following(x, y), PP(y)")
+        negative = parse_query("Q <- PP(x), Following(x, y)")
+        assert evaluate(positive, sentence_structure) == frozenset({()})
+        assert evaluate(negative, sentence_structure) == frozenset()
+
+    def test_evaluate_repeated_head_variable(self, sentence_tree):
+        query = parse_query("Q(x, x) <- NP(x)")
+        assert evaluate_on_tree(query, sentence_tree) == frozenset({(1, 1), (6, 6)})
+
+    def test_check_answer(self, sentence_structure):
+        query = parse_query("Q(x) <- NP(x), Child(x, y), NN(y)")
+        assert check_answer(query, sentence_structure, (1,))
+        assert check_answer(query, sentence_structure, (6,))
+        assert not check_answer(query, sentence_structure, (4,))
+        with pytest.raises(ValueError):
+            check_answer(query, sentence_structure, (1, 2))
+
+    def test_evaluate_union(self, sentence_structure):
+        union = as_union(parse_query("Q(x) <- DT(x)")).union(
+            as_union(parse_query("Q(x) <- VB(x)"))
+        )
+        assert evaluate_union(union, sentence_structure) == frozenset({(2,), (5,)})
+
+    def test_satisfying_assignment(self, sentence_structure):
+        tractable = parse_query("Q <- Child+(x, y), NP(y)")
+        assignment = satisfying_assignment(tractable, sentence_structure)
+        assert assignment is not None
+        cyclic = parse_query("Q <- Child(x, y), Child+(x, y)")
+        assert satisfying_assignment(cyclic, sentence_structure) is not None
+        impossible = parse_query("Q <- PP(x), Child(x, y)")
+        assert satisfying_assignment(impossible, sentence_structure) is None
+
+    def test_engines_agree_on_random_acyclic_and_cyclic_queries(self):
+        for seed in range(5):
+            tree = random_tree(18, alphabet=("A", "B"), seed=300 + seed, unlabeled_probability=0.2)
+            structure = TreeStructure(tree)
+            query = random_cyclic_query(
+                (Axis.CHILD, Axis.CHILD_PLUS, Axis.FOLLOWING),
+                num_variables=4,
+                num_extra_atoms=1,
+                seed=seed,
+            )
+            expected = bt_holds(query, structure)
+            assert is_satisfied(query, structure) == expected

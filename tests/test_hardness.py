@@ -1,0 +1,238 @@
+"""Tests for Section 5: 1-in-3 3SAT, the Theorem 5.1 reduction, Table II, hard instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import backtracking
+from repro.hardness import (
+    NAND,
+    OneInThreeInstance,
+    brute_force_solutions,
+    build_data_tree,
+    build_query,
+    count_solutions,
+    decide_by_selection,
+    decode_assignment,
+    encode_selection,
+    grid_query,
+    hard_workload,
+    is_satisfiable,
+    nand,
+    random_cyclic_query,
+    random_instance,
+    reduce_instance,
+    render_table2,
+    satisfiable_instance,
+    solve_backtracking,
+    theorem51_workload,
+    unsatisfiable_instance,
+)
+from repro.queries.graph import is_acyclic
+from repro.trees import Axis
+from repro.xproperty import classify, Complexity
+
+
+class TestOneInThreeSat:
+    def test_instance_validation(self):
+        with pytest.raises(ValueError):
+            OneInThreeInstance.of(("a", "b"))
+        with pytest.raises(ValueError):
+            OneInThreeInstance.of(("a", "a", "b"))
+
+    def test_is_solution(self):
+        instance = OneInThreeInstance.of(("a", "b", "c"), ("a", "d", "e"))
+        assert instance.is_solution({"a": True, "b": False, "c": False, "d": False, "e": False})
+        assert not instance.is_solution({"a": True, "b": True, "c": False, "d": False, "e": False})
+        assert not instance.is_solution({v: False for v in instance.variables()})
+
+    def test_selection_to_assignment(self):
+        instance = OneInThreeInstance.of(("a", "b", "c"), ("a", "d", "e"))
+        assignment = instance.selection_to_assignment([1, 1])
+        assert assignment["a"] and not assignment["b"]
+        with pytest.raises(ValueError):
+            instance.selection_to_assignment([1, 2])  # a true and d true -> two in clause 2
+        with pytest.raises(ValueError):
+            instance.selection_to_assignment([1])
+        with pytest.raises(ValueError):
+            instance.selection_to_assignment([0, 1])
+
+    def test_brute_force_and_count(self):
+        instance = OneInThreeInstance.of(("a", "b", "c"))
+        solutions = list(brute_force_solutions(instance))
+        assert len(solutions) == 3
+        assert count_solutions(instance) == 3
+        assert is_satisfiable(instance)
+
+    def test_unsatisfiable_instance_is_unsatisfiable(self):
+        assert not is_satisfiable(unsatisfiable_instance())
+
+    def test_backtracking_solver_agrees_with_brute_force(self):
+        for seed in range(8):
+            instance = random_instance(5, 4, seed=seed)
+            assert (solve_backtracking(instance) is not None) == is_satisfiable(instance)
+        solution = solve_backtracking(satisfiable_instance(6, 5, seed=3))
+        assert solution is not None
+
+    def test_backtracking_solution_is_valid(self):
+        instance = satisfiable_instance(7, 6, seed=11)
+        solution = solve_backtracking(instance)
+        assert solution is not None and instance.is_solution(solution)
+
+    def test_planted_instances_are_satisfiable(self):
+        for seed in range(5):
+            assert is_satisfiable(satisfiable_instance(6, 5, seed=seed))
+
+    def test_generators_validate_arguments(self):
+        with pytest.raises(ValueError):
+            random_instance(2, 1)
+        with pytest.raises(ValueError):
+            satisfiable_instance(2, 1)
+
+
+class TestTable2:
+    def test_values(self):
+        assert nand(1, 1) == 10
+        assert nand(3, 1) == 2
+        assert nand(1, 3) == 18
+        assert len(NAND) == 9
+        with pytest.raises(ValueError):
+            nand(0, 1)
+
+    def test_render(self):
+        text = render_table2()
+        assert "10   13   18" in text
+
+    def test_antisymmetry(self):
+        for k in (1, 2, 3):
+            for l in (1, 2, 3):
+                assert nand(k, l) == nand(4 - l, 4 - k)
+
+
+class TestTheorem51DataTree:
+    def test_tree_shape_and_labels(self):
+        tree, v_nodes, w_nodes = build_data_tree()
+        assert len(tree) == 3 + 3 * 10
+        v1, v2, v3 = v_nodes
+        assert tree.labels(v1) == tree.labels(v2) == tree.labels(v3) == frozenset({"X"})
+        assert tree.parent_of(v2) == v1 and tree.parent_of(v3) == v2
+        # The three branches hang off v3.
+        assert sorted(tree.children(v3)) == sorted(w_nodes[(m, 1)] for m in (1, 2, 3))
+        # Y labels at w[m][m].
+        for m in (1, 2, 3):
+            assert "Y" in tree.labels(w_nodes[(m, m)])
+        # Branch m contains label Lm only at position 5+m.
+        for m in (1, 2, 3):
+            lm_nodes = [
+                t for t in range(1, 11) if f"L{m}" in tree.labels(w_nodes[(m, t)])
+            ]
+            assert lm_nodes == [5 + m]
+        # Positions 4..10 carry the other two labels.
+        for m in (1, 2, 3):
+            for t in range(4, 11):
+                others = {f"L{k}" for k in (1, 2, 3) if k != m}
+                assert others <= tree.labels(w_nodes[(m, t)])
+
+    def test_query_structure(self):
+        instance = OneInThreeInstance.of(("a", "b", "c"), ("a", "d", "e"))
+        query = build_query(instance, "tau4")
+        assert query.is_boolean
+        assert Axis.CHILD in query.signature()
+        assert Axis.CHILD_PLUS in query.signature()
+        assert not is_acyclic(query)  # the coincidence variables create cycles
+        query5 = build_query(instance, "tau5")
+        assert Axis.CHILD_STAR in query5.signature()
+        with pytest.raises(ValueError):
+            build_query(instance, "tau6")  # type: ignore[arg-type]
+
+    def test_signatures_are_np_hard_side(self):
+        instance = OneInThreeInstance.of(("a", "b", "c"), ("a", "d", "e"))
+        for variant in ("tau4", "tau5"):
+            reduction = reduce_instance(instance, variant)  # type: ignore[arg-type]
+            assert classify(reduction.query.signature()) is Complexity.NP_COMPLETE
+
+
+class TestTheorem51Correctness:
+    def test_satisfiable_instance_gives_satisfiable_query(self):
+        instance = OneInThreeInstance.of(("a", "b", "c"), ("a", "d", "e"))
+        reduction = reduce_instance(instance, "tau4")
+        solution = backtracking.find_solution(reduction.query, reduction.structure())
+        assert solution is not None
+        assignment = decode_assignment(reduction, solution)
+        assert instance.is_solution(assignment)
+
+    def test_three_clause_instance_tau4_and_tau5(self):
+        instance = OneInThreeInstance.of(("a", "b", "c"), ("b", "c", "d"), ("a", "c", "d"))
+        assert is_satisfiable(instance)
+        for variant in ("tau4", "tau5"):
+            reduction = reduce_instance(instance, variant)  # type: ignore[arg-type]
+            selection = decide_by_selection(reduction)
+            assert selection is not None
+            assignment = instance.selection_to_assignment(selection)
+            assert instance.is_solution(assignment)
+
+    def test_unsatisfiable_instance_gives_unsatisfiable_query(self):
+        reduction = reduce_instance(unsatisfiable_instance(), "tau4")
+        assert decide_by_selection(reduction) is None
+
+    def test_forward_direction_every_sat_solution_extends(self):
+        instance = OneInThreeInstance.of(("a", "b", "c"), ("a", "d", "e"))
+        reduction = reduce_instance(instance, "tau4")
+        structure = reduction.structure()
+        found_any = False
+        for solution in brute_force_solutions(instance):
+            selection = [
+                next(k for k, literal in enumerate(clause, start=1) if solution[literal])
+                for clause in instance.clauses
+            ]
+            pinned = encode_selection(reduction, selection)
+            assert backtracking.boolean_query_holds(reduction.query, structure, pinned=pinned)
+            found_any = True
+        assert found_any
+
+    def test_inconsistent_selection_is_rejected(self):
+        """Selecting a shared literal in one clause but not the other fails."""
+        instance = OneInThreeInstance.of(("a", "b", "c"), ("a", "d", "e"))
+        reduction = reduce_instance(instance, "tau4")
+        structure = reduction.structure()
+        pinned = {"x1": reduction.v_nodes[0], "x2": reduction.v_nodes[1]}
+        assert not backtracking.boolean_query_holds(reduction.query, structure, pinned=pinned)
+
+    def test_selection_decision_agrees_with_sat_on_random_instances(self):
+        for seed in range(4):
+            instance = random_instance(4, 3, seed=seed)
+            reduction = reduce_instance(instance, "tau4")
+            assert (decide_by_selection(reduction) is not None) == is_satisfiable(instance)
+
+    def test_encode_selection_validation(self):
+        instance = OneInThreeInstance.of(("a", "b", "c"), ("a", "d", "e"))
+        reduction = reduce_instance(instance, "tau4")
+        with pytest.raises(ValueError):
+            encode_selection(reduction, [1])
+
+
+class TestHardInstanceGenerators:
+    def test_random_cyclic_query_is_cyclic(self):
+        query = random_cyclic_query((Axis.CHILD, Axis.CHILD_PLUS), 5, 2, seed=1)
+        assert not is_acyclic(query)
+        assert query.signature().axes <= {Axis.CHILD, Axis.CHILD_PLUS}
+        with pytest.raises(ValueError):
+            random_cyclic_query((Axis.CHILD,), 2, 0)
+
+    def test_grid_query_shape(self):
+        query = grid_query(Axis.CHILD_PLUS, Axis.NEXT_SIBLING_PLUS, 3, 3)
+        assert not is_acyclic(query)
+        assert len(query.variables()) == 9
+        # 2 * rows * (columns - 1) edges in a 3x3 grid.
+        assert len(query.axis_atoms()) == 12
+
+    def test_hard_workload_bundle(self):
+        workload = hard_workload((Axis.CHILD, Axis.FOLLOWING), tree_size=30, num_queries=3, seed=2)
+        assert len(workload.queries) == 3
+        assert workload.structure.domain_size == 30
+        assert "Following" in workload.description
+
+    def test_theorem51_workload(self):
+        reduction = theorem51_workload(3, seed=1)
+        assert reduction.instance.num_clauses == 3
+        assert decide_by_selection(reduction) is not None

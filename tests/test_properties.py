@@ -1,0 +1,205 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These cover the invariants the paper's machinery relies on:
+
+* tree numberings are consistent permutations and characterise the axes,
+* arc consistency is sound (never discards satisfying values) and its two
+  implementations agree,
+* the X-property evaluator agrees with backtracking on tractable signatures
+  (Lemma 3.4 / Theorem 3.5),
+* the CQ -> APQ rewriting preserves semantics and produces acyclic disjuncts
+  (Lemma 6.5 / Theorem 6.6),
+* Theorem 4.1's positive X-property claims hold on arbitrary generated trees.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import (
+    evaluate_on_tree,
+    is_satisfied,
+    iter_solutions,
+    maximal_arc_consistent,
+    maximal_arc_consistent_horn,
+)
+from repro.evaluation.backtracking import boolean_query_holds as bt_holds
+from repro.evaluation.xprop_evaluator import boolean_query_holds as xp_holds
+from repro.queries import ConjunctiveQuery, is_acyclic
+from repro.queries.atoms import AxisAtom, LabelAtom
+from repro.rewriting import to_apq
+from repro.trees import Axis, Order, Tree, TreeStructure, random_tree
+from repro.trees.axes import AX, holds
+from repro.xproperty import X_PROPERTY_AXES, has_x_property
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+ALPHABET = ("A", "B", "C")
+
+
+@st.composite
+def trees(draw, min_size: int = 1, max_size: int = 16) -> Tree:
+    size = draw(st.integers(min_value=min_size, max_value=max_size))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    unlabeled = draw(st.sampled_from([0.0, 0.2]))
+    return random_tree(
+        size,
+        alphabet=ALPHABET,
+        max_children=3,
+        unlabeled_probability=unlabeled,
+        seed=seed,
+    )
+
+
+@st.composite
+def queries(draw, axes: tuple[Axis, ...], max_variables: int = 4) -> ConjunctiveQuery:
+    num_variables = draw(st.integers(min_value=2, max_value=max_variables))
+    variables = [f"v{i}" for i in range(num_variables)]
+    num_atoms = draw(st.integers(min_value=1, max_value=num_variables + 2))
+    rng = random.Random(draw(st.integers(min_value=0, max_value=10_000)))
+    atoms: list = []
+    for _ in range(num_atoms):
+        source, target = rng.sample(variables, 2) if num_variables >= 2 else (variables[0], variables[0])
+        atoms.append(AxisAtom(rng.choice(list(axes)), source, target))
+    for variable in variables:
+        if rng.random() < 0.5:
+            atoms.append(LabelAtom(rng.choice(ALPHABET), variable))
+    return ConjunctiveQuery((), tuple(atoms), "H")
+
+
+class TestTreeInvariants:
+    @SETTINGS
+    @given(trees())
+    def test_numberings_are_permutations(self, tree: Tree):
+        n = len(tree)
+        assert sorted(tree.pre) == list(range(n))
+        assert sorted(tree.post) == list(range(n))
+        assert sorted(tree.bflr) == list(range(n))
+
+    @SETTINGS
+    @given(trees())
+    def test_descendant_interval_characterisation(self, tree: Tree):
+        for u in tree.node_ids():
+            for v in tree.node_ids():
+                if u == v:
+                    continue
+                interval = tree.pre[u] < tree.pre[v] and tree.post[v] < tree.post[u]
+                assert interval == holds(tree, Axis.CHILD_PLUS, u, v)
+
+    @SETTINGS
+    @given(trees())
+    def test_each_non_root_has_exactly_one_parent(self, tree: Tree):
+        for v in tree.node_ids():
+            parents = [u for u in tree.node_ids() if holds(tree, Axis.CHILD, u, v)]
+            if v == 0:
+                assert parents == []
+            else:
+                assert len(parents) == 1
+
+    @SETTINGS
+    @given(trees())
+    def test_following_partitions_disjoint_pairs(self, tree: Tree):
+        """For distinct u, v exactly one of: u anc v, v anc u, F(u,v), F(v,u)."""
+        for u in tree.node_ids():
+            for v in tree.node_ids():
+                if u == v:
+                    continue
+                relations = [
+                    holds(tree, Axis.CHILD_PLUS, u, v),
+                    holds(tree, Axis.CHILD_PLUS, v, u),
+                    holds(tree, Axis.FOLLOWING, u, v),
+                    holds(tree, Axis.FOLLOWING, v, u),
+                ]
+                assert sum(relations) == 1
+
+
+class TestTheorem41Property:
+    @SETTINGS
+    @given(trees(max_size=12))
+    def test_positive_x_property_claims(self, tree: Tree):
+        for order in (Order.PRE, Order.POST, Order.BFLR):
+            for axis in X_PROPERTY_AXES[order] & AX:
+                assert has_x_property(tree, axis, order)
+
+
+class TestArcConsistencyProperties:
+    @SETTINGS
+    @given(trees(max_size=12), queries((Axis.CHILD, Axis.CHILD_PLUS, Axis.FOLLOWING)))
+    def test_soundness_every_solution_survives(self, tree: Tree, query: ConjunctiveQuery):
+        structure = TreeStructure(tree)
+        domains = maximal_arc_consistent(query, structure)
+        solutions = list(iter_solutions(query, structure))
+        if solutions:
+            assert domains is not None
+            for solution in solutions:
+                for variable, node in solution.items():
+                    assert node in domains[variable]
+
+    @SETTINGS
+    @given(
+        trees(max_size=10),
+        queries((Axis.CHILD, Axis.CHILD_STAR, Axis.NEXT_SIBLING_PLUS)),
+    )
+    def test_worklist_and_horn_agree(self, tree: Tree, query: ConjunctiveQuery):
+        structure = TreeStructure(tree)
+        assert maximal_arc_consistent(query, structure) == maximal_arc_consistent_horn(
+            query, structure
+        )
+
+
+class TestEvaluatorAgreementProperties:
+    @SETTINGS
+    @given(trees(max_size=14), queries((Axis.CHILD_PLUS, Axis.CHILD_STAR)))
+    def test_xproperty_agrees_with_backtracking_pre_group(self, tree, query):
+        structure = TreeStructure(tree)
+        assert xp_holds(query, structure, verify=True) == bt_holds(query, structure)
+
+    @SETTINGS
+    @given(trees(max_size=14), queries((Axis.FOLLOWING,)))
+    def test_xproperty_agrees_with_backtracking_following(self, tree, query):
+        structure = TreeStructure(tree)
+        assert xp_holds(query, structure, verify=True) == bt_holds(query, structure)
+
+    @SETTINGS
+    @given(
+        trees(max_size=14),
+        queries((Axis.CHILD, Axis.NEXT_SIBLING, Axis.NEXT_SIBLING_PLUS, Axis.NEXT_SIBLING_STAR)),
+    )
+    def test_xproperty_agrees_with_backtracking_bflr_group(self, tree, query):
+        structure = TreeStructure(tree)
+        assert xp_holds(query, structure, verify=True) == bt_holds(query, structure)
+
+    @SETTINGS
+    @given(trees(max_size=12), queries((Axis.CHILD, Axis.CHILD_PLUS, Axis.FOLLOWING)))
+    def test_planner_agrees_with_backtracking_everywhere(self, tree, query):
+        structure = TreeStructure(tree)
+        assert is_satisfied(query, structure) == bt_holds(query, structure)
+
+
+class TestRewritingProperties:
+    @SETTINGS
+    @given(trees(max_size=10), queries((Axis.CHILD, Axis.CHILD_PLUS, Axis.CHILD_STAR), 3))
+    def test_to_apq_preserves_boolean_semantics(self, tree, query):
+        apq = to_apq(query)
+        assert all(is_acyclic(disjunct) for disjunct in apq)
+        expected = bool(evaluate_on_tree(query, tree))
+        rewritten = any(bool(evaluate_on_tree(disjunct, tree)) for disjunct in apq)
+        assert expected == rewritten
+
+    @SETTINGS
+    @given(
+        trees(max_size=10),
+        queries((Axis.NEXT_SIBLING, Axis.NEXT_SIBLING_PLUS, Axis.CHILD), 3),
+    )
+    def test_to_apq_preserves_semantics_sibling_family(self, tree, query):
+        apq = to_apq(query)
+        expected = bool(evaluate_on_tree(query, tree))
+        rewritten = any(bool(evaluate_on_tree(disjunct, tree)) for disjunct in apq)
+        assert expected == rewritten

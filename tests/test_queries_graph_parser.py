@@ -1,0 +1,153 @@
+"""Tests for query graphs (cycles, components, paths) and the datalog parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.queries import ConjunctiveQuery, QueryGraph, QueryParseError, parse_query
+from repro.queries.atoms import AxisAtom, LabelAtom
+from repro.queries.graph import has_directed_cycle, is_acyclic
+from repro.trees import Axis
+
+
+def q(text: str) -> ConjunctiveQuery:
+    return parse_query(text)
+
+
+class TestParser:
+    def test_basic_rule(self):
+        query = q("Q(z) <- A(x), Child(x, y), B(y), Following(x, z), C(z)")
+        assert query.arity == 1
+        assert query.size() == 5
+        assert query.signature().axes == {Axis.CHILD, Axis.FOLLOWING}
+
+    def test_boolean_and_headless(self):
+        assert q("Q() <- A(x)").is_boolean
+        assert q("Q <- A(x)").is_boolean
+        assert q("A(x), Child(x, y)").is_boolean  # no arrow at all
+
+    def test_alternative_arrow(self):
+        assert q("Q(x) :- A(x)").arity == 1
+
+    def test_power_shortcut(self):
+        query = q("Q <- Child^3(x, y)")
+        assert query.size() == 3
+        assert len(query.variables()) == 4
+
+    def test_axis_aliases(self):
+        query = q("Q <- Descendant(x, y), FollowingSibling(y, z)")
+        assert Axis.CHILD_PLUS in query.signature()
+        assert Axis.NEXT_SIBLING_PLUS in query.signature()
+
+    def test_true_body(self):
+        query = q("Q() <- true")
+        assert query.size() == 0
+
+    def test_errors(self):
+        with pytest.raises(QueryParseError):
+            q("Q(x) <- Child(x)")  # axis with one argument
+        with pytest.raises(QueryParseError):
+            q("Q(x) <- Unknown(x, y)")  # unknown binary predicate
+        with pytest.raises(QueryParseError):
+            q("Q(x) <- A^2(x)")  # power on a label atom
+        with pytest.raises(QueryParseError):
+            q("Q(x) <- A(x, y, z)")  # arity 3
+        with pytest.raises(QueryParseError):
+            q("Q(missing) <- A(x)")  # unsafe head
+        with pytest.raises(QueryParseError):
+            q("123 <- A(x)")  # malformed head
+
+    def test_roundtrip_through_str(self):
+        original = q("Q(z) <- A(x), Child+(x, z), NextSibling*(x, y)")
+        reparsed = parse_query(str(original))
+        assert frozenset(reparsed.body) == frozenset(original.body)
+        assert reparsed.head == original.head
+
+
+class TestQueryGraphCycles:
+    def test_acyclic_chain(self):
+        assert is_acyclic(q("Q <- A(x), Child(x, y), Child(y, z)"))
+
+    def test_triangle_is_cyclic(self):
+        assert not is_acyclic(
+            q("Q <- Child(x, y), Child(y, z), Child+(x, z)")
+        )
+
+    def test_parallel_edges_are_a_cycle(self):
+        assert not is_acyclic(q("Q <- Child*(x, y), NextSibling*(x, y)"))
+
+    def test_self_loop_is_a_cycle(self):
+        assert not is_acyclic(q("Q <- Child*(x, x)"))
+
+    def test_opposite_edges_are_a_cycle(self):
+        assert not is_acyclic(q("Q <- Child(x, y), Child+(y, x)"))
+
+    def test_diamond_is_cyclic_but_dag(self):
+        query = q("Q <- Child+(a, b), Child+(a, c), Child+(b, d), Child+(c, d)")
+        assert not is_acyclic(query)
+        assert not has_directed_cycle(query)
+
+    def test_directed_cycle_detection(self):
+        query = q("Q <- Child*(x, y), Child*(y, z), Child*(z, x)")
+        graph = QueryGraph(query)
+        assert graph.has_directed_cycle()
+        components = graph.directed_cycle_components()
+        assert {"x", "y", "z"} in components
+
+    def test_self_loop_is_directed_cycle(self):
+        assert has_directed_cycle(q("Q <- Child+(x, x), A(y)"))
+
+    def test_undirected_cycle_edges_are_returned(self):
+        query = q("Q <- Child(a, b), Child(a, c), Child+(b, d), Child+(c, d)")
+        cycle = QueryGraph(query).find_undirected_cycle()
+        assert cycle is not None
+        assert len({edge.index for edge in cycle}) >= 2
+        touched = {v for edge in cycle for v in (edge.source, edge.target)}
+        assert touched <= {"a", "b", "c", "d"}
+
+    def test_labels_do_not_create_edges(self):
+        assert is_acyclic(q("Q <- A(x), B(x), C(x), Child(x, y), D(y)"))
+
+
+class TestQueryGraphStructure:
+    def test_connected_components(self):
+        query = q("Q <- Child(a, b), Child(c, d), E(e)")
+        components = QueryGraph(query).connected_components()
+        as_sets = {frozenset(component) for component in components}
+        assert frozenset({"a", "b"}) in as_sets
+        assert frozenset({"c", "d"}) in as_sets
+        assert frozenset({"e"}) in as_sets
+
+    def test_reachability(self):
+        graph = QueryGraph(q("Q <- Child(a, b), Child(b, c), Child(d, c)"))
+        assert graph.reachable_from("a") == {"a", "b", "c"}
+        assert graph.reachable_from("d") == {"d", "c"}
+        assert graph.reachable_from("c") == {"c"}
+
+    def test_variable_paths_of_dag(self):
+        query = q("Q <- Child+(a, b), Child+(b, d), Child+(a, c), Child+(c, d), Child+(d, e)")
+        graph = QueryGraph(query)
+        paths = {tuple(path) for path in graph.variable_paths()}
+        assert ("a", "b", "d", "e") in paths
+        assert ("a", "c", "d", "e") in paths
+        assert len(paths) == 2
+
+    def test_variable_paths_rejects_directed_cycles(self):
+        graph = QueryGraph(q("Q <- Child*(x, y), Child*(y, x)"))
+        with pytest.raises(ValueError):
+            graph.variable_paths()
+
+    def test_isolated_variable_is_its_own_path(self):
+        query = q("Q <- A(x), Child(a, b)")
+        paths = {tuple(path) for path in QueryGraph(query).variable_paths()}
+        assert ("x",) in paths
+        assert ("a", "b") in paths
+
+    def test_strongly_connected_components(self):
+        graph = QueryGraph(
+            q("Q <- Child*(x, y), Child*(y, x), Child(y, z), Child(z, w)")
+        )
+        sccs = graph.strongly_connected_components()
+        assert {"x", "y"} in sccs
+        assert {"z"} in sccs
+        assert {"w"} in sccs

@@ -1,0 +1,189 @@
+"""Tests for the query model: atoms, ConjunctiveQuery, builder, chains, unions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.queries import (
+    ConjunctiveQuery,
+    QueryBuilder,
+    UnionQuery,
+    as_union,
+    axis,
+    axis_chain,
+    label,
+)
+from repro.queries.atoms import AxisAtom, LabelAtom
+from repro.trees import Axis
+
+
+class TestAtoms:
+    def test_label_atom(self):
+        atom = label("NP", "x")
+        assert atom.variables() == ("x",)
+        assert str(atom) == "NP(x)"
+        assert atom.rename({"x": "y"}) == LabelAtom("NP", "y")
+
+    def test_axis_atom(self):
+        atom = axis(Axis.CHILD_PLUS, "x", "y")
+        assert atom.variables() == ("x", "y")
+        assert str(atom) == "Child+(x, y)"
+        assert not atom.is_loop()
+        assert AxisAtom(Axis.CHILD_STAR, "z", "z").is_loop()
+
+    def test_atoms_are_hashable_and_comparable(self):
+        atoms = {label("A", "x"), label("A", "x"), axis(Axis.CHILD, "x", "y")}
+        assert len(atoms) == 2
+        assert sorted([label("B", "x"), label("A", "x")])[0].label == "A"
+
+
+class TestConjunctiveQuery:
+    def make_query(self) -> ConjunctiveQuery:
+        return ConjunctiveQuery.create(
+            head=("z",),
+            body=(
+                label("S", "x"),
+                axis(Axis.CHILD, "x", "y"),
+                label("NP", "y"),
+                axis(Axis.FOLLOWING, "x", "z"),
+                label("C", "z"),
+            ),
+            name="Q",
+        )
+
+    def test_basic_accessors(self):
+        query = self.make_query()
+        assert query.arity == 1
+        assert query.is_monadic and not query.is_boolean
+        assert query.variables() == ("z", "x", "y")
+        assert query.size() == 5
+        assert query.labels() == {"S", "NP", "C"}
+        assert query.labels_of("x") == {"S"}
+        assert query.signature().axes == {Axis.CHILD, Axis.FOLLOWING}
+
+    def test_duplicate_atoms_removed(self):
+        query = ConjunctiveQuery.boolean(
+            (label("A", "x"), label("A", "x"), axis(Axis.CHILD, "x", "y"))
+        )
+        assert query.size() == 2
+
+    def test_unsafe_head_detected(self):
+        unsafe = ConjunctiveQuery.create(head=("missing",), body=(label("A", "x"),))
+        assert not unsafe.is_safe()
+        assert self.make_query().is_safe()
+
+    def test_rename_and_substitute(self):
+        query = self.make_query()
+        renamed = query.rename({"x": "root", "z": "answer"})
+        assert renamed.head == ("answer",)
+        assert "root" in renamed.variables()
+        assert "x" not in renamed.variables()
+        substituted = query.substitute("y", "x")
+        assert "y" not in substituted.variables()
+        # The Child atom becomes a self loop; it is retained as such.
+        assert AxisAtom(Axis.CHILD, "x", "x") in substituted.body
+
+    def test_with_and_without_atoms(self):
+        query = self.make_query()
+        extended = query.with_atoms(label("Extra", "x"))
+        assert extended.size() == query.size() + 1
+        reduced = extended.without_atoms(label("Extra", "x"))
+        assert frozenset(reduced.body) == frozenset(query.body)
+
+    def test_as_boolean_and_with_head(self):
+        query = self.make_query()
+        assert query.as_boolean().is_boolean
+        assert query.with_head(("x", "z")).arity == 2
+
+    def test_fresh_variable(self):
+        query = self.make_query()
+        fresh = query.fresh_variable("x")
+        assert fresh not in query.variables()
+
+    def test_str_and_pretty(self):
+        query = self.make_query()
+        assert str(query).startswith("Q(z) <- S(x)")
+        assert "Following(x, z)" in query.pretty()
+        empty = ConjunctiveQuery.boolean(())
+        assert "true" in str(empty)
+
+
+class TestAxisChainAndBuilder:
+    def test_axis_chain_lengths(self):
+        chain3 = axis_chain(Axis.CHILD, 3, "a", "b")
+        assert len(chain3) == 3
+        assert chain3[0].source == "a"
+        assert chain3[-1].target == "b"
+        intermediates = {atom.target for atom in chain3[:-1]}
+        assert len(intermediates) == 2
+        chain1 = axis_chain(Axis.FOLLOWING, 1, "a", "b")
+        assert chain1 == [AxisAtom(Axis.FOLLOWING, "a", "b")]
+        with pytest.raises(ValueError):
+            axis_chain(Axis.CHILD, 0, "a", "b")
+
+    def test_chains_with_distinct_endpoints_do_not_collide(self):
+        first = axis_chain(Axis.CHILD, 3, "x1", "y1")
+        second = axis_chain(Axis.CHILD, 3, "x2", "y2")
+        first_vars = {v for atom in first for v in atom.variables()}
+        second_vars = {v for atom in second for v in atom.variables()}
+        assert first_vars.isdisjoint(second_vars)
+
+    def test_builder_roundtrip(self):
+        query = (
+            QueryBuilder("B")
+            .label("S", "x")
+            .descendant("x", "y")
+            .label("NP", "y")
+            .descendant_or_self("x", "w")
+            .next_sibling("y", "s")
+            .following_sibling("y", "t")
+            .following("y", "z")
+            .label("PP", "z")
+            .chain(Axis.CHILD, 2, "x", "deep")
+            .select("z")
+            .build()
+        )
+        assert query.arity == 1
+        assert Axis.CHILD_PLUS in query.signature()
+        assert Axis.NEXT_SIBLING in query.signature()
+        assert Axis.NEXT_SIBLING_PLUS in query.signature()
+        assert Axis.CHILD_STAR in query.signature()
+        assert query.size() >= 9
+
+
+class TestUnionQuery:
+    def test_union_basics(self):
+        q1 = ConjunctiveQuery.create(("x",), (label("A", "x"),))
+        q2 = ConjunctiveQuery.create(("y",), (label("B", "y"),))
+        union = UnionQuery.of(q1, q2, name="U")
+        assert len(union) == 2
+        assert union.arity == 1
+        assert not union.is_empty()
+        assert union.size() == 2
+        assert union.is_acyclic()
+
+    def test_mixed_arity_rejected(self):
+        q1 = ConjunctiveQuery.create(("x",), (label("A", "x"),))
+        q2 = ConjunctiveQuery.boolean((label("B", "y"),))
+        with pytest.raises(ValueError):
+            UnionQuery.of(q1, q2)
+
+    def test_deduplication(self):
+        q1 = ConjunctiveQuery.boolean((label("A", "x"), label("B", "x")))
+        q2 = ConjunctiveQuery.boolean((label("B", "x"), label("A", "x")))
+        union = UnionQuery.of(q1, q2).deduplicated()
+        assert len(union) == 1
+
+    def test_as_union_and_signature(self):
+        q1 = ConjunctiveQuery.boolean((axis(Axis.CHILD, "x", "y"),))
+        union = as_union(q1)
+        assert isinstance(union, UnionQuery)
+        assert len(union) == 1
+        assert as_union(union) is union
+        assert Axis.CHILD in union.signature()
+
+    def test_empty_union_is_unsatisfiable_marker(self):
+        union = UnionQuery((), "Empty")
+        assert union.is_empty()
+        assert union.arity == 0
+        assert "unsatisfiable" in str(union)

@@ -1,0 +1,133 @@
+"""Tests for the XPath fragment translation and the containment utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import evaluate_on_tree
+from repro.queries import (
+    XPathTranslationError,
+    answers_on,
+    apq_to_xpath,
+    as_union,
+    contained_on_samples,
+    contained_on_trees,
+    cq_to_xpath,
+    equivalent_on_samples,
+    equivalent_on_trees,
+    is_acyclic,
+    parse_query,
+    xpath_to_cq,
+)
+from repro.trees import Axis, from_nested
+
+
+class TestXPathToCQ:
+    def test_paper_example(self, sentence_tree):
+        """//A[B]/following::C from the introduction, on a suitable tree."""
+        tree = from_nested(
+            ("R", [("A", [("B", [])]), ("D", []), ("C", []), ("A", []), ("C", [])])
+        )
+        query = xpath_to_cq("//A[B]/following::C")
+        assert query.is_monadic
+        assert is_acyclic(query)
+        answers = {node for (node,) in evaluate_on_tree(query, tree)}
+        # Both C nodes follow the A that has a B child.
+        c_nodes = set(tree.nodes_with_label("C"))
+        assert answers == c_nodes
+
+    def test_child_steps_and_predicates(self):
+        query = xpath_to_cq("/site/regions/item[payment]")
+        assert query.labels() >= {"site", "regions", "item", "payment"}
+        assert Axis.CHILD in query.signature()
+        assert is_acyclic(query)
+
+    def test_descendant_shorthand(self, sentence_tree):
+        query = xpath_to_cq("//NP")
+        answers = {node for (node,) in evaluate_on_tree(query, sentence_tree)}
+        assert answers == set(sentence_tree.nodes_with_label("NP"))
+
+    def test_backward_axes_are_swapped(self, sentence_tree):
+        query = xpath_to_cq("//NN/parent::NP")
+        answers = {node for (node,) in evaluate_on_tree(query, sentence_tree)}
+        assert answers == {1, 6}
+        ancestor_query = xpath_to_cq("//VB/ancestor::S")
+        assert {node for (node,) in evaluate_on_tree(ancestor_query, sentence_tree)} == {0}
+
+    def test_nested_predicates(self, sentence_tree):
+        query = xpath_to_cq("//S[NP[NN]]")
+        answers = {node for (node,) in evaluate_on_tree(query, sentence_tree)}
+        assert answers == {0}
+
+    def test_errors(self):
+        with pytest.raises(XPathTranslationError):
+            xpath_to_cq("")
+        with pytest.raises(XPathTranslationError):
+            xpath_to_cq("//A[B")  # unbalanced bracket -> parse failure
+        with pytest.raises(XPathTranslationError):
+            xpath_to_cq("//namespace::A")  # unsupported axis
+
+
+class TestCQToXPath:
+    def test_roundtrip_semantics(self, sentence_tree):
+        original = parse_query(
+            "Q(z) <- S(x), Child+(x, z), NP(z), Child(z, w), NN(w)"
+        )
+        expression = cq_to_xpath(original)
+        back = xpath_to_cq(expression)
+        assert answers_on(original, sentence_tree) == answers_on(back, sentence_tree)
+
+    def test_head_without_label(self, sentence_tree):
+        original = parse_query("Q(y) <- S(x), Child(x, y)")
+        expression = cq_to_xpath(original)
+        back = xpath_to_cq(expression)
+        assert answers_on(original, sentence_tree) == answers_on(back, sentence_tree)
+
+    def test_rejects_cyclic_nonmonadic_and_nextsibling(self):
+        with pytest.raises(XPathTranslationError):
+            cq_to_xpath(parse_query("Q(x) <- Child(x, y), Child+(x, y)"))
+        with pytest.raises(XPathTranslationError):
+            cq_to_xpath(parse_query("Q(x, y) <- Child(x, y)"))
+        with pytest.raises(XPathTranslationError):
+            cq_to_xpath(parse_query("Q(x) <- NextSibling(x, y)"))
+        with pytest.raises(XPathTranslationError):
+            cq_to_xpath(parse_query("Q(x) <- A(x), B(y), Child(y, z)"))
+
+    def test_apq_to_xpath_union(self, sentence_tree):
+        q1 = parse_query("Q(x) <- NP(x)")
+        q2 = parse_query("Q(x) <- PP(x)")
+        expression = apq_to_xpath(as_union(q1).union(as_union(q2)))
+        assert "|" in expression
+        with pytest.raises(XPathTranslationError):
+            apq_to_xpath(as_union(q1).__class__((), "empty"))
+
+
+class TestContainmentUtilities:
+    def test_contained_on_trees_positive(self):
+        smaller = parse_query("Q(x) <- A(x), Child(y, x), B(y)")
+        larger = parse_query("Q(x) <- A(x)")
+        assert contained_on_trees(smaller, larger, max_size=3) is None
+        counterexample = contained_on_trees(larger, smaller, max_size=3)
+        assert counterexample is not None
+
+    def test_equivalent_on_trees(self):
+        child_star = parse_query("Q(x, y) <- Child*(x, y)")
+        union = as_union(parse_query("Q(x, y) <- Child+(x, y)")).union(
+            as_union(parse_query("Q(x, x) <- Child*(x, x)"))
+        )
+        assert equivalent_on_trees(child_star, union, max_size=3) is None
+
+    def test_equivalence_counterexample_found(self):
+        child = parse_query("Q(x, y) <- Child(x, y)")
+        descendant = parse_query("Q(x, y) <- Child+(x, y)")
+        assert equivalent_on_trees(child, descendant, max_size=3) is not None
+
+    def test_sample_based_checks(self):
+        child = parse_query("Q <- A(x), Child(x, y), B(y)")
+        descendant = parse_query("Q <- A(x), Child+(x, y), B(y)")
+        assert contained_on_samples(child, descendant, samples=10, size=15) is None
+        assert equivalent_on_samples(child, descendant, samples=20, size=15) is not None
+
+    def test_answers_on(self, sentence_tree):
+        query = parse_query("Q(x) <- NP(x)")
+        assert answers_on(query, sentence_tree) == frozenset({(1,), (6,)})

@@ -1,0 +1,140 @@
+"""Tests for the join lifters (Definition 6.2, Theorems 6.6 and 6.9)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rewriting import (
+    THEOREM_66_AXES,
+    find_lifter_counterexample,
+    lifter,
+    paper_theorem_69_lifter,
+    phi_holds,
+)
+from repro.rewriting.lifters import Conjunction, Equality, Lifter, LifterAtom
+from repro.trees import Axis, all_trees, random_tree
+
+#: All trees with up to 4 nodes over a 2-letter alphabet (102 trees) -- the
+#: exhaustive universe for lifter verification; plus a few larger random trees
+#: to catch deeper-tree-only issues.
+SMALL_TREES = list(all_trees(4, ("A", "B")))
+LARGER_TREES = [random_tree(12, alphabet=("A", "B"), seed=s) for s in range(3)]
+
+AXES_66 = sorted(THEOREM_66_AXES, key=lambda a: a.value)
+
+
+class TestLifterStructure:
+    def test_syntactic_shape_of_definition_62(self):
+        """Every conjunction has at most two binary atoms and at most one equality."""
+        for r in AXES_66:
+            for s in AXES_66:
+                candidate = lifter(r, s)
+                assert candidate.r is r and candidate.s is s
+                for conjunction in candidate.conjunctions:
+                    assert 1 <= len(conjunction.atoms) <= 2
+                    binary_count = len(conjunction.atoms)
+                    equality_count = 1 if conjunction.equality is not None else 0
+                    assert binary_count + equality_count == 2
+                    for atom in conjunction.atoms:
+                        assert atom.source in ("x", "y", "z")
+                        assert atom.target in ("x", "y", "z")
+
+    def test_at_most_three_conjunctions(self):
+        """The proof of Lemma 6.5 notes k <= 3 for the lifters of this article."""
+        for r in AXES_66:
+            for s in AXES_66:
+                assert len(lifter(r, s).conjunctions) <= 3
+
+    def test_rejects_following(self):
+        with pytest.raises(ValueError):
+            lifter(Axis.FOLLOWING, Axis.CHILD)
+        with pytest.raises(ValueError):
+            lifter(Axis.CHILD, Axis.FOLLOWING)
+
+    def test_example_63_child_nextsibling(self):
+        """Example 6.3: psi_{Child,NextSibling}(x,y,z) = Child(x,y) & NextSibling(y,z).
+
+        Our table realises it via the swapped sibling/child row, which is a
+        different but equivalent formula; check the equivalence explicitly.
+        """
+        example = Lifter(
+            Axis.CHILD,
+            Axis.NEXT_SIBLING,
+            (
+                Conjunction(
+                    (
+                        LifterAtom(Axis.CHILD, "x", "y"),
+                        LifterAtom(Axis.NEXT_SIBLING, "y", "z"),
+                    ),
+                    None,
+                ),
+            ),
+        )
+        assert find_lifter_counterexample(example, SMALL_TREES) is None
+
+    def test_str_rendering(self):
+        text = str(lifter(Axis.CHILD, Axis.CHILD))
+        assert "psi_{Child,Child}" in text
+        assert "x = y" in text
+
+
+class TestTheorem66Verification:
+    @pytest.mark.parametrize("r", AXES_66, ids=lambda a: a.value)
+    @pytest.mark.parametrize("s", AXES_66, ids=lambda a: a.value)
+    def test_lifter_equivalent_on_all_small_trees(self, r, s):
+        assert find_lifter_counterexample(lifter(r, s), SMALL_TREES) is None
+
+    @pytest.mark.parametrize("r", AXES_66, ids=lambda a: a.value)
+    def test_lifter_equivalent_on_larger_random_trees(self, r):
+        for s in AXES_66:
+            assert find_lifter_counterexample(lifter(r, s), LARGER_TREES) is None
+
+    def test_phi_holds_matches_axis_semantics(self, sentence_tree):
+        assert phi_holds(sentence_tree, Axis.CHILD, Axis.CHILD_PLUS, 1, 0, 3)
+        assert not phi_holds(sentence_tree, Axis.CHILD, Axis.CHILD_PLUS, 1, 4, 3)
+
+
+class TestTheorem69Transcription:
+    """The printed Theorem 6.9 formulas, transcribed literally and verified.
+
+    Under the Eq. (1) semantics of Following, the formulas for R in
+    {Child, NextSibling, NextSibling+, NextSibling*} miss the case where y lies
+    strictly inside a subtree that precedes z, so they are not join lifters;
+    psi_{Following,Following} misses the ancestor/descendant cases as well.
+    This is reported as a reproduction discrepancy (EXPERIMENTS.md) -- the
+    default pipeline never uses them.
+    """
+
+    @pytest.mark.parametrize(
+        "axis",
+        [Axis.CHILD, Axis.NEXT_SIBLING, Axis.NEXT_SIBLING_PLUS, Axis.NEXT_SIBLING_STAR,
+         Axis.FOLLOWING],
+        ids=lambda a: a.value,
+    )
+    def test_printed_formulas_have_counterexamples(self, axis):
+        candidate = paper_theorem_69_lifter(axis)
+        assert find_lifter_counterexample(candidate, SMALL_TREES) is not None
+
+    def test_counterexample_is_a_real_disagreement(self):
+        candidate = paper_theorem_69_lifter(Axis.NEXT_SIBLING)
+        found = find_lifter_counterexample(candidate, SMALL_TREES)
+        assert found is not None
+        tree, x, y, z = found
+        assert candidate.holds_on(tree, x, y, z) != phi_holds(
+            tree, candidate.r, candidate.s, x, y, z
+        )
+
+    def test_undefined_axis_rejected(self):
+        with pytest.raises(ValueError):
+            paper_theorem_69_lifter(Axis.CHILD_PLUS)
+
+
+class TestConjunctionEvaluation:
+    def test_holds_on_with_equality(self, sentence_tree):
+        conjunction = Conjunction(
+            (LifterAtom(Axis.CHILD, "x", "z"),), Equality("x", "y")
+        )
+        assert conjunction.holds_on(sentence_tree, {"x": 0, "y": 0, "z": 1})
+        assert not conjunction.holds_on(sentence_tree, {"x": 0, "y": 4, "z": 1})
+        assert not conjunction.holds_on(sentence_tree, {"x": 0, "y": 0, "z": 3})
+        assert "x = y" in str(conjunction)

@@ -1,0 +1,283 @@
+"""Tests for directed-cycle elimination (Lemma 6.4) and the CQ -> APQ rewriting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.queries import (
+    equivalent_on_samples,
+    equivalent_on_trees,
+    is_acyclic,
+    parse_query,
+)
+from repro.rewriting import (
+    RewriteTrace,
+    eliminate_directed_cycles,
+    eliminate_following,
+    expand_child_star,
+    is_trivially_unsatisfiable,
+    rewrite_child_nextsibling,
+    rewrite_child_nextsibling_apq,
+    to_apq,
+    to_apq_theorem_610,
+)
+from repro.evaluation import evaluate_on_tree
+from repro.hardness import random_cyclic_query
+from repro.trees import Axis, from_nested
+
+
+class TestLemma64DirectedCycles:
+    def test_reflexive_cycle_collapses(self):
+        query = parse_query("Q(x) <- Child*(x, y), Child*(y, x), A(x), B(y)")
+        rewritten = eliminate_directed_cycles(query)
+        assert rewritten is not None
+        assert len(rewritten.variables()) == 1
+        assert rewritten.labels() == {"A", "B"}
+        assert rewritten.head == ("x",)
+
+    def test_irreflexive_cycle_is_unsatisfiable(self):
+        assert eliminate_directed_cycles(parse_query("Q <- Child+(x, y), Child+(y, x)")) is None
+        assert eliminate_directed_cycles(parse_query("Q <- Child+(x, x)")) is None
+        assert eliminate_directed_cycles(
+            parse_query("Q <- Child*(x, y), Following(y, x)")
+        ) is None
+        assert is_trivially_unsatisfiable(parse_query("Q <- NextSibling(x, x)"))
+
+    def test_mixed_star_cycle(self):
+        query = parse_query("Q <- Child*(x, y), NextSibling*(y, z), Child*(z, x), A(x)")
+        rewritten = eliminate_directed_cycles(query)
+        assert rewritten is not None
+        assert len(rewritten.variables()) == 1
+
+    def test_head_variable_kept_safe(self):
+        query = parse_query("Q(x) <- Child*(x, y), Child*(y, x)")
+        rewritten = eliminate_directed_cycles(query)
+        assert rewritten is not None
+        assert rewritten.head[0] in {
+            variable for atom in rewritten.body for variable in atom.variables()
+        }
+
+    def test_acyclic_query_unchanged(self):
+        query = parse_query("Q <- Child(x, y), Child(y, z)")
+        assert eliminate_directed_cycles(query) == query
+
+    def test_semantics_preserved(self):
+        query = parse_query("Q(x) <- Child*(x, y), Child*(y, x), A(x)")
+        rewritten = eliminate_directed_cycles(query)
+        assert rewritten is not None
+        assert equivalent_on_trees(query, rewritten, max_size=3) is None
+
+
+class TestEliminateFollowing:
+    def test_following_replaced_by_eq1(self):
+        query = parse_query("Q <- A(x), Following(x, y), B(y)")
+        rewritten = eliminate_following(query)
+        assert Axis.FOLLOWING not in rewritten.signature()
+        assert Axis.CHILD_STAR in rewritten.signature()
+        assert Axis.NEXT_SIBLING_PLUS in rewritten.signature()
+        assert equivalent_on_trees(query, rewritten, max_size=4) is None
+
+    def test_no_following_is_identity(self):
+        query = parse_query("Q <- Child(x, y)")
+        assert eliminate_following(query) == query
+
+
+class TestExpandChildStar:
+    def test_expansion_count_and_equivalence(self):
+        query = parse_query("Q(x, y) <- Child*(x, y), A(x)")
+        expanded = expand_child_star(query)
+        assert len(expanded) == 2
+        from repro.queries import UnionQuery
+
+        union = UnionQuery(tuple(expanded), "expanded")
+        assert equivalent_on_trees(query, union, max_size=3) is None
+
+    def test_self_loop_star(self):
+        query = parse_query("Q(x) <- Child*(x, x), A(x)")
+        expanded = expand_child_star(query)
+        assert len(expanded) == 2
+        # One of the two drops the atom entirely (the "=" branch).
+        assert any(Axis.CHILD_STAR not in q.signature() and Axis.CHILD_PLUS not in q.signature()
+                   for q in expanded)
+
+
+class TestToApq:
+    def test_example_67(self):
+        """Example 6.7: Child*(x,y) & NextSibling*(x,y) collapses to Node(x)."""
+        query = parse_query("Q(x, y) <- Child*(x, y), NextSibling*(x, y)")
+        apq = to_apq(query)
+        assert len(apq) == 1
+        only = apq.disjuncts[0]
+        assert only.head == ("x", "x")
+        assert is_acyclic(only)
+        assert equivalent_on_trees(query, apq, max_size=4) is None
+
+    def test_intro_query_figure8(self):
+        query = parse_query(
+            "Q(z) <- S(x), Child+(x, y), NP(y), Child+(x, z), PP(z), Following(y, z)"
+        )
+        trace = RewriteTrace()
+        apq = to_apq(query, trace=trace)
+        assert apq.is_acyclic()
+        assert len(apq) >= 1
+        assert len(trace) > 0
+        assert any(step.operation == "eliminate-following" for step in trace.steps)
+        assert any(step.operation == "apply-lifter" for step in trace.steps)
+        assert (
+            equivalent_on_samples(query, apq, samples=8, size=14, alphabet=("S", "NP", "PP"), seed=1)
+            is None
+        )
+
+    def test_unsatisfiable_query_gives_empty_union(self):
+        query = parse_query("Q <- Child+(x, y), Child+(y, x)")
+        apq = to_apq(query)
+        assert apq.is_empty()
+
+    def test_acyclic_query_passes_through(self):
+        query = parse_query("Q(y) <- A(x), Child(x, y)")
+        apq = to_apq(query)
+        assert len(apq) == 1
+        assert frozenset(apq.disjuncts[0].body) == frozenset(query.body)
+
+    def test_parallel_edges(self):
+        query = parse_query("Q(x, y) <- Child+(x, y), Child(x, y)")
+        apq = to_apq(query)
+        assert apq.is_acyclic()
+        assert equivalent_on_trees(query, apq, max_size=4) is None
+
+    def test_diamond_query(self):
+        query = parse_query(
+            "Q <- A(a), Child+(a, b), B(b), Child+(a, c), C(c), Child+(b, d), Child+(c, d), D(d)"
+        )
+        apq = to_apq(query)
+        assert apq.is_acyclic()
+        assert (
+            equivalent_on_samples(
+                query, apq, samples=10, size=14, alphabet=("A", "B", "C", "D"), seed=2
+            )
+            is None
+        )
+
+    def test_theorem_66_families_on_random_cyclic_queries(self):
+        """CQ[F] ⊆ APQ[F'] checked empirically for the main signature families."""
+        families = [
+            (Axis.CHILD, Axis.CHILD_PLUS),
+            (Axis.CHILD, Axis.CHILD_STAR),
+            (Axis.CHILD_STAR, Axis.NEXT_SIBLING_PLUS),
+            (Axis.CHILD_PLUS, Axis.NEXT_SIBLING),
+            (Axis.NEXT_SIBLING_STAR, Axis.CHILD_PLUS),
+        ]
+        for index, axes in enumerate(families):
+            query = random_cyclic_query(
+                axes, num_variables=4, num_extra_atoms=1, alphabet=("A", "B"), seed=index
+            )
+            apq = to_apq(query)
+            assert apq.is_acyclic()
+            assert equivalent_on_trees(query, apq, max_size=3) is None
+            assert (
+                equivalent_on_samples(query, apq, samples=6, size=12, seed=index) is None
+            )
+
+    def test_following_signatures_via_theorem_610_route(self):
+        for index, axes in enumerate(
+            [(Axis.CHILD, Axis.FOLLOWING), (Axis.FOLLOWING, Axis.NEXT_SIBLING)]
+        ):
+            query = random_cyclic_query(
+                axes, num_variables=4, num_extra_atoms=0, alphabet=("A", "B"), seed=10 + index
+            )
+            apq = to_apq(query)
+            assert apq.is_acyclic()
+            assert equivalent_on_trees(query, apq, max_size=3) is None
+
+    def test_output_signature_theorem_66(self):
+        """For F without Following, the output only uses F (plus Child+ when
+        Child* interacts with sibling axes) -- Theorem 6.6's signature claim."""
+        query = parse_query("Q <- Child+(x, z), Child+(y, z), Child+(x, y)")
+        apq = to_apq(query)
+        assert apq.signature().axes <= {Axis.CHILD_PLUS}
+
+    def test_head_variables_survive(self):
+        query = parse_query("Q(z) <- Child+(x, z), Child*(y, z), A(x), B(y)")
+        apq = to_apq(query)
+        for disjunct in apq:
+            assert len(disjunct.head) == 1
+        assert equivalent_on_trees(query, apq, max_size=3) is None
+
+    def test_budget_guard(self):
+        from repro.rewriting import RewriteBudgetExceeded
+        from repro.succinctness import diamond_query
+
+        with pytest.raises(RewriteBudgetExceeded):
+            to_apq(diamond_query(4), max_disjuncts=5)
+
+    def test_rejects_unsupported_axes(self):
+        query = parse_query("Q(x) <- Parent(x, y)")
+        with pytest.raises(ValueError):
+            to_apq(query)
+
+    def test_theorem_610_variant_equivalent(self):
+        query = parse_query(
+            "Q <- A(x), Child*(x, z), B(y), Child*(y, z), C(z)"
+        )
+        apq_default = to_apq(query)
+        apq_610 = to_apq_theorem_610(query)
+        assert apq_610.is_acyclic()
+        # No Child* in the 6.10 output.
+        assert Axis.CHILD_STAR not in apq_610.signature()
+        assert equivalent_on_trees(apq_default, apq_610, max_size=3) is None
+        assert equivalent_on_trees(query, apq_610, max_size=3) is None
+
+
+class TestProposition614:
+    def test_simple_cyclic_child_nextsibling(self):
+        query = parse_query("Q <- Child(x, y), Child(x, z), NextSibling(y, z)")
+        rewritten = rewrite_child_nextsibling(query)
+        assert rewritten is not None
+        assert is_acyclic(rewritten)
+        assert equivalent_on_trees(query, rewritten, max_size=4) is None
+
+    def test_forced_merges(self):
+        query = parse_query("Q <- Child(x, z), Child(y, z), A(x), B(y)")
+        rewritten = rewrite_child_nextsibling(query)
+        assert rewritten is not None
+        assert len(rewritten.variables()) == 2  # x and y merged
+
+    def test_unsatisfiable_inputs(self):
+        assert rewrite_child_nextsibling(parse_query("Q <- Child(x, x)")) is None
+        assert rewrite_child_nextsibling(
+            parse_query("Q <- NextSibling(x, y), NextSibling(y, x)")
+        ) is None
+        assert rewrite_child_nextsibling_apq(parse_query("Q <- Child(x, x)")).is_empty()
+
+    def test_rejects_other_axes(self):
+        with pytest.raises(ValueError):
+            rewrite_child_nextsibling(parse_query("Q <- Child+(x, y)"))
+
+    def test_random_queries_preserve_semantics(self):
+        for seed in range(6):
+            query = random_cyclic_query(
+                (Axis.CHILD, Axis.NEXT_SIBLING),
+                num_variables=4,
+                num_extra_atoms=1,
+                alphabet=("A", "B"),
+                seed=seed,
+            )
+            apq = rewrite_child_nextsibling_apq(query)
+            assert apq.is_acyclic()
+            assert equivalent_on_trees(query, apq, max_size=3) is None
+            assert equivalent_on_samples(query, apq, samples=6, size=12, seed=seed) is None
+
+    def test_output_size_is_linear(self):
+        """Proposition 6.14 promises no blow-up: the output has one disjunct
+        and at most as many atoms as the input."""
+        for seed in range(6):
+            query = random_cyclic_query(
+                (Axis.CHILD, Axis.NEXT_SIBLING),
+                num_variables=5,
+                num_extra_atoms=2,
+                alphabet=("A",),
+                seed=100 + seed,
+            )
+            apq = rewrite_child_nextsibling_apq(query)
+            assert len(apq) <= 1
+            assert apq.size() <= query.size()

@@ -1,0 +1,139 @@
+"""Tests for Section 7: diamond queries, PS(n, p) structures, Lemma 7.3, blow-up."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import evaluate_on_tree
+from repro.queries.graph import QueryGraph, is_acyclic
+from repro.rewriting import to_apq
+from repro.succinctness import (
+    all_ps_structures,
+    apq_matches_diamond_on_ps,
+    diamond_alphabet,
+    diamond_query,
+    diamond_true_on_all_ps,
+    lemma73_structure,
+    measure_blowup,
+    ps_structure,
+    render_blowup_table,
+    variable_label_paths,
+    x_label,
+    x_prime_label,
+    y_label,
+)
+from repro.trees.generators import is_scattered
+
+
+class TestDiamondQueries:
+    def test_sizes(self):
+        assert diamond_query(1).size() == 1 + 7
+        assert diamond_query(3).size() == 1 + 3 * 7
+        with pytest.raises(ValueError):
+            diamond_query(0)
+
+    def test_structure(self):
+        query = diamond_query(2)
+        assert query.is_boolean
+        assert not is_acyclic(query)
+        graph = QueryGraph(query)
+        assert not graph.has_directed_cycle()
+        # Variable paths go through either the X or the X' variable per level.
+        paths = {tuple(path) for path in graph.variable_paths()}
+        assert len(paths) == 4  # 2 choices per level, 2 levels
+
+    def test_alphabet(self):
+        labels = diamond_alphabet(2)
+        assert y_label(1) in labels and y_label(3) in labels
+        assert x_label(2) in labels and x_prime_label(2) in labels
+        assert len(labels) == 3 + 2 + 2
+
+    def test_diamond_true_on_chain_model(self):
+        """D_1 is true on a simple chain Y1 - X1 - Xp1 - Y2."""
+        from repro.trees import chain
+
+        model = chain(["Y1", "X1", "Xp1", "Y2"])
+        assert evaluate_on_tree(diamond_query(1), model)
+
+    def test_diamond_false_without_prime_label(self):
+        from repro.trees import chain
+
+        model = chain(["Y1", "X1", "Y2"])
+        assert not evaluate_on_tree(diamond_query(1), model)
+
+
+class TestPsStructures:
+    def test_shape_and_scatteredness(self):
+        tree = ps_structure(2, 3, (False, True))
+        assert is_scattered(tree, 3)
+        labels_in_order = [
+            sorted(tree.labels(node))[0]
+            for node in tree.node_ids()
+            if tree.labels(node)
+        ]
+        assert labels_in_order == ["Y1", "X1", "Xp1", "Y2", "Xp2", "X2", "Y3"]
+
+    def test_all_ps_structures_count(self):
+        structures = list(all_ps_structures(3, 1))
+        assert len(structures) == 8
+        choice_vectors = {choices for choices, _tree in structures}
+        assert len(choice_vectors) == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ps_structure(2, 1, (True,))
+        with pytest.raises(ValueError):
+            ps_structure(1, 0, (True,))
+
+    def test_diamond_true_on_all_ps(self):
+        assert diamond_true_on_all_ps(1, 2)
+        assert diamond_true_on_all_ps(2, 2)
+        assert diamond_true_on_all_ps(3, 1)
+
+
+class TestLabelPathsAndLemma73:
+    def test_variable_label_paths_of_diamond(self):
+        query = diamond_query(1)
+        paths = variable_label_paths(query)
+        assert len(paths) == 2
+        flattened = [frozenset().union(*path) for path in paths]
+        assert {frozenset({"Y1", "X1", "Y2"}), frozenset({"Y1", "Xp1", "Y2"})} == set(flattened)
+
+    def test_lemma73_separates_example78(self):
+        """Example 7.8: Q is true on the constructed structure, D_2 is not."""
+        from repro.queries import parse_query
+
+        candidate = parse_query(
+            "Q <- Y1(a), Child+(a, b), X1(b), Child+(b, c), Y2(c), "
+            "Child+(c, d), X2(d), Child+(d, e), Y3(e), "
+            "Child+(c, dp), Xp2(dp), Child+(dp, ep), Y3(ep), "
+            "Y1(ap), Child+(ap, bp), Xp1(bp), Child+(bp, cp), Y2(cp), "
+            "Child+(cp, dq), X2(dq), Child+(dq, eq), Y3(eq)"
+        )
+        separator = lemma73_structure(candidate, ("Xp1", "Xp2"))
+        assert evaluate_on_tree(candidate, separator)
+        assert not evaluate_on_tree(diamond_query(2), separator)
+
+    def test_lemma73_requires_labels(self):
+        with pytest.raises(ValueError):
+            lemma73_structure(diamond_query(1), ())
+
+
+class TestBlowupMeasurement:
+    def test_blowup_grows(self):
+        points = measure_blowup(3)
+        assert [point.n for point in points] == [1, 2, 3]
+        assert points[0].apq_disjuncts >= 1
+        # The APQ grows strictly (and quickly) with n.
+        assert points[1].apq_size > points[0].apq_size
+        assert points[2].apq_size > points[1].apq_size
+        assert points[2].blowup_factor > points[0].blowup_factor
+
+    def test_translation_remains_equivalent_on_ps(self):
+        apq = to_apq(diamond_query(1))
+        assert apq_matches_diamond_on_ps(apq, 1, 2)
+
+    def test_render_table(self):
+        text = render_blowup_table(measure_blowup(2))
+        assert "APQ disjuncts" in text
+        assert text.count("\n") >= 3

@@ -1,0 +1,183 @@
+"""Tests for the axis relations: semantics, enumeration, inverses, oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trees import Axis, AxisOracle, axis_from_name, from_nested, materialise, random_tree
+from repro.trees.axes import AX, INVERSE, holds, is_irreflexive, pairs, predecessors, successors
+
+
+class TestAxisSemantics:
+    def test_child(self, sentence_tree):
+        assert holds(sentence_tree, Axis.CHILD, 0, 1)
+        assert holds(sentence_tree, Axis.CHILD, 4, 6)
+        assert not holds(sentence_tree, Axis.CHILD, 0, 2)
+        assert not holds(sentence_tree, Axis.CHILD, 1, 0)
+        assert not holds(sentence_tree, Axis.CHILD, 3, 3)
+
+    def test_child_plus_is_strict_descendant(self, sentence_tree):
+        assert holds(sentence_tree, Axis.CHILD_PLUS, 0, 7)
+        assert holds(sentence_tree, Axis.CHILD_PLUS, 4, 7)
+        assert not holds(sentence_tree, Axis.CHILD_PLUS, 7, 4)
+        assert not holds(sentence_tree, Axis.CHILD_PLUS, 3, 3)
+        assert not holds(sentence_tree, Axis.CHILD_PLUS, 1, 4)
+
+    def test_child_star_is_reflexive(self, sentence_tree):
+        assert holds(sentence_tree, Axis.CHILD_STAR, 3, 3)
+        assert holds(sentence_tree, Axis.CHILD_STAR, 0, 7)
+        assert not holds(sentence_tree, Axis.CHILD_STAR, 7, 0)
+
+    def test_next_sibling(self, sentence_tree):
+        assert holds(sentence_tree, Axis.NEXT_SIBLING, 1, 4)
+        assert holds(sentence_tree, Axis.NEXT_SIBLING, 4, 8)
+        assert not holds(sentence_tree, Axis.NEXT_SIBLING, 1, 8)
+        assert not holds(sentence_tree, Axis.NEXT_SIBLING, 4, 1)
+        # Nodes with different parents are never siblings.
+        assert not holds(sentence_tree, Axis.NEXT_SIBLING, 2, 5)
+
+    def test_next_sibling_plus_and_star(self, sentence_tree):
+        assert holds(sentence_tree, Axis.NEXT_SIBLING_PLUS, 1, 8)
+        assert not holds(sentence_tree, Axis.NEXT_SIBLING_PLUS, 1, 1)
+        assert holds(sentence_tree, Axis.NEXT_SIBLING_STAR, 1, 1)
+        assert holds(sentence_tree, Axis.NEXT_SIBLING_STAR, 1, 8)
+        assert not holds(sentence_tree, Axis.NEXT_SIBLING_STAR, 8, 1)
+
+    def test_following(self, sentence_tree):
+        # The NP at node 1 is followed by the VP subtree and the PP.
+        assert holds(sentence_tree, Axis.FOLLOWING, 1, 4)
+        assert holds(sentence_tree, Axis.FOLLOWING, 1, 7)
+        assert holds(sentence_tree, Axis.FOLLOWING, 3, 8)
+        # Ancestors and descendants never follow.
+        assert not holds(sentence_tree, Axis.FOLLOWING, 0, 7)
+        assert not holds(sentence_tree, Axis.FOLLOWING, 7, 0)
+        assert not holds(sentence_tree, Axis.FOLLOWING, 1, 2)
+        # Following is irreflexive and antisymmetric.
+        assert not holds(sentence_tree, Axis.FOLLOWING, 4, 4)
+        assert not holds(sentence_tree, Axis.FOLLOWING, 4, 1)
+
+    def test_following_matches_eq1_definition(self, medium_random_tree):
+        """Following(x, y) iff some ancestor-or-self of x has a later sibling
+        that is an ancestor-or-self of y (Eq. (1) of the paper)."""
+        tree = medium_random_tree
+
+        def eq1(x: int, y: int) -> bool:
+            for z1 in predecessors(tree, Axis.CHILD_STAR, x):
+                for z2 in successors(tree, Axis.NEXT_SIBLING_PLUS, z1):
+                    if holds(tree, Axis.CHILD_STAR, z2, y):
+                        return True
+            return False
+
+        for x in tree.node_ids():
+            for y in tree.node_ids():
+                assert holds(tree, Axis.FOLLOWING, x, y) == eq1(x, y)
+
+    def test_document_order_and_succ(self, sentence_tree):
+        assert holds(sentence_tree, Axis.DOCUMENT_ORDER, 0, 5)
+        assert not holds(sentence_tree, Axis.DOCUMENT_ORDER, 5, 5)
+        assert holds(sentence_tree, Axis.SUCC_PRE, 3, 4)
+        assert not holds(sentence_tree, Axis.SUCC_PRE, 3, 5)
+
+    def test_inverse_axes(self, sentence_tree):
+        assert holds(sentence_tree, Axis.PARENT, 1, 0)
+        assert holds(sentence_tree, Axis.ANCESTOR, 7, 0)
+        assert holds(sentence_tree, Axis.ANCESTOR_OR_SELF, 7, 7)
+        assert holds(sentence_tree, Axis.PRECEDING_SIBLING, 8, 1)
+        assert holds(sentence_tree, Axis.PRECEDING, 4, 1)
+        assert holds(sentence_tree, Axis.SELF, 3, 3)
+        assert not holds(sentence_tree, Axis.SELF, 3, 4)
+
+
+class TestEnumerationAgreesWithHolds:
+    @pytest.mark.parametrize("axis", sorted(AX, key=lambda a: a.value))
+    def test_successors_match_holds(self, axis, sentence_tree):
+        for u in sentence_tree.node_ids():
+            enumerated = set(successors(sentence_tree, axis, u))
+            expected = {
+                v for v in sentence_tree.node_ids() if holds(sentence_tree, axis, u, v)
+            }
+            assert enumerated == expected
+
+    @pytest.mark.parametrize("axis", sorted(AX, key=lambda a: a.value))
+    def test_predecessors_match_holds(self, axis, sentence_tree):
+        for v in sentence_tree.node_ids():
+            enumerated = set(predecessors(sentence_tree, axis, v))
+            expected = {
+                u for u in sentence_tree.node_ids() if holds(sentence_tree, axis, u, v)
+            }
+            assert enumerated == expected
+
+    @pytest.mark.parametrize("axis", sorted(AX, key=lambda a: a.value))
+    def test_enumeration_on_random_tree(self, axis, medium_random_tree):
+        tree = medium_random_tree
+        materialised = materialise(tree, axis)
+        assert materialised == set(pairs(tree, axis))
+        for u, v in materialised:
+            assert holds(tree, axis, u, v)
+
+    def test_inverse_relation_is_transpose(self, medium_random_tree):
+        tree = medium_random_tree
+        for axis, inverse in INVERSE.items():
+            if axis is Axis.NEXT_SIBLING_STAR:
+                continue
+            forward = materialise(tree, axis)
+            backward = materialise(tree, inverse)
+            assert backward == {(v, u) for (u, v) in forward}
+
+
+class TestAxisAlgebra:
+    def test_pre_order_decomposition(self, medium_random_tree):
+        """<pre is the disjoint union of Child* (minus identity handled apart)
+        and Following (used in the proof of Theorem 4.1)."""
+        tree = medium_random_tree
+        for u in tree.node_ids():
+            for v in tree.node_ids():
+                if u == v:
+                    continue
+                strictly_before = tree.pre[u] < tree.pre[v]
+                decomposition = holds(tree, Axis.CHILD_PLUS, u, v) or holds(
+                    tree, Axis.FOLLOWING, u, v
+                )
+                assert strictly_before == decomposition
+
+    def test_post_order_decomposition(self, medium_random_tree):
+        """<post is the disjoint union of Following and (Child*)^-1 (ditto)."""
+        tree = medium_random_tree
+        for u in tree.node_ids():
+            for v in tree.node_ids():
+                if u == v:
+                    continue
+                strictly_before = tree.post[u] < tree.post[v]
+                decomposition = holds(tree, Axis.FOLLOWING, u, v) or holds(
+                    tree, Axis.CHILD_PLUS, v, u
+                )
+                assert strictly_before == decomposition
+
+    def test_irreflexivity_classification(self):
+        assert is_irreflexive(Axis.CHILD)
+        assert is_irreflexive(Axis.FOLLOWING)
+        assert not is_irreflexive(Axis.CHILD_STAR)
+        assert not is_irreflexive(Axis.NEXT_SIBLING_STAR)
+        assert not is_irreflexive(Axis.SELF)
+
+
+class TestAxisNamesAndOracle:
+    def test_axis_from_name(self):
+        assert axis_from_name("Child+") is Axis.CHILD_PLUS
+        assert axis_from_name("Descendant") is Axis.CHILD_PLUS
+        assert axis_from_name("Following-sibling") is Axis.NEXT_SIBLING_PLUS
+        with pytest.raises(ValueError):
+            axis_from_name("Sideways")
+
+    def test_oracle_caches_and_agrees(self, sentence_tree):
+        oracle = AxisOracle(sentence_tree)
+        first = oracle.successors(Axis.CHILD_PLUS, 0)
+        second = oracle.successors(Axis.CHILD_PLUS, 0)
+        assert first is second  # cached object identity
+        assert set(first) == set(successors(sentence_tree, Axis.CHILD_PLUS, 0))
+        assert oracle.holds(Axis.CHILD, 0, 1)
+        assert set(oracle.predecessors(Axis.CHILD, 1)) == {0}
+
+    def test_unknown_axis_raises(self, sentence_tree):
+        with pytest.raises(ValueError):
+            holds(sentence_tree, "NotAnAxis", 0, 1)  # type: ignore[arg-type]

@@ -1,0 +1,150 @@
+"""Tests for tree builders (nested / s-expression / chains), orders and XML I/O."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trees import (
+    Order,
+    chain,
+    from_nested,
+    from_xml,
+    less,
+    minimum,
+    parse_sexpr,
+    rank,
+    sorted_nodes,
+    to_sexpr,
+    to_xml,
+)
+from repro.trees.orders import ALL_ORDERS, key_function
+
+
+class TestNestedBuilder:
+    def test_bare_string_is_leaf(self):
+        tree = from_nested("A")
+        assert len(tree) == 1
+        assert tree.labels(0) == frozenset({"A"})
+
+    def test_nested_structure(self):
+        tree = from_nested(("A", [("B", []), ("C", [("D", [])])]))
+        assert len(tree) == 4
+        assert list(tree.children(0)) == [1, 2]
+        assert tree.labels(3) == frozenset({"D"})
+
+    def test_multi_label_spec(self):
+        tree = from_nested((("A", "B"), []))
+        assert tree.labels(0) == frozenset({"A", "B"})
+
+    def test_empty_label_means_unlabelled(self):
+        tree = from_nested(("", [("A", [])]))
+        assert tree.labels(0) == frozenset()
+
+    def test_invalid_spec_raises(self):
+        with pytest.raises(TypeError):
+            from_nested(42)  # type: ignore[arg-type]
+
+
+class TestSexprBuilder:
+    def test_roundtrip(self):
+        text = "(S (NP (DT) (NN)) (VP (VB) (NP (NN))) (PP))"
+        tree = parse_sexpr(text)
+        assert len(tree) == 9
+        assert to_sexpr(tree) == text
+
+    def test_multi_label_and_unlabelled(self):
+        tree = parse_sexpr("(A|B (. (C)))")
+        assert tree.labels(0) == frozenset({"A", "B"})
+        assert tree.labels(1) == frozenset()
+        assert tree.labels(2) == frozenset({"C"})
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            parse_sexpr("(A (B)")
+        with pytest.raises(ValueError):
+            parse_sexpr("(A) (B)")
+        with pytest.raises(ValueError):
+            parse_sexpr("((A))")
+
+
+class TestChainBuilder:
+    def test_chain(self):
+        tree = chain(["A", "B", "C"])
+        assert len(tree) == 3
+        assert tree.parent_of(2) == 1
+        assert tree.labels(1) == frozenset({"B"})
+
+    def test_chain_with_unlabelled_and_multisets(self):
+        tree = chain(["A", "", ("B", "C")])
+        assert tree.labels(1) == frozenset()
+        assert tree.labels(2) == frozenset({"B", "C"})
+
+    def test_empty_chain_raises(self):
+        with pytest.raises(ValueError):
+            chain([])
+
+
+class TestOrders:
+    def test_rank_vectors(self, sentence_tree):
+        assert list(rank(sentence_tree, Order.PRE)) == list(sentence_tree.pre)
+        assert list(rank(sentence_tree, Order.POST)) == list(sentence_tree.post)
+        assert list(rank(sentence_tree, Order.BFLR)) == list(sentence_tree.bflr)
+
+    @pytest.mark.parametrize("order", ALL_ORDERS)
+    def test_orders_are_total(self, order, sentence_tree):
+        ranks = rank(sentence_tree, order)
+        assert sorted(ranks) == list(range(len(sentence_tree)))
+
+    def test_less_and_minimum(self, sentence_tree):
+        assert less(sentence_tree, Order.PRE, 0, 5)
+        assert not less(sentence_tree, Order.POST, 0, 5)  # root closes last
+        assert minimum(sentence_tree, Order.POST, [0, 4, 2]) == 2
+        assert minimum(sentence_tree, Order.PRE, [8, 4, 6]) == 4
+
+    def test_minimum_of_empty_raises(self, sentence_tree):
+        with pytest.raises(ValueError):
+            minimum(sentence_tree, Order.PRE, [])
+
+    def test_sorted_nodes_and_key_function(self, sentence_tree):
+        by_post = sorted_nodes(sentence_tree, Order.POST)
+        assert by_post[0] == 2  # first closing tag
+        assert by_post[-1] == 0  # root closes last
+        key = key_function(sentence_tree, Order.BFLR)
+        assert sorted(sentence_tree.node_ids(), key=key) == sorted_nodes(
+            sentence_tree, Order.BFLR
+        )
+
+    def test_unknown_order_raises(self, sentence_tree):
+        with pytest.raises(ValueError):
+            rank(sentence_tree, "sideways")  # type: ignore[arg-type]
+
+
+class TestXmlIO:
+    def test_from_xml_basic(self):
+        tree = from_xml("<a><b/><c><d/></c></a>")
+        assert tree.labels(0) == frozenset({"a"})
+        assert len(tree) == 4
+        assert list(tree.children(0)) == [1, 2]
+
+    def test_attributes_become_children(self):
+        tree = from_xml('<item id="7"><name/></item>')
+        assert list(tree.nodes_with_label("@id")) != []
+        attribute_node = tree.nodes_with_label("@id")[0]
+        value_node = tree.children(attribute_node)[0]
+        assert tree.labels(value_node) == frozenset({"7"})
+
+    def test_attributes_can_be_skipped(self):
+        tree = from_xml('<item id="7"><name/></item>', include_attributes=False)
+        assert list(tree.nodes_with_label("@id")) == []
+        assert len(tree) == 2
+
+    def test_roundtrip_preserves_structure(self, sentence_tree):
+        xml = to_xml(sentence_tree)
+        rebuilt = from_xml(xml)
+        assert len(rebuilt) == len(sentence_tree)
+        assert rebuilt.alphabet() == sentence_tree.alphabet()
+
+    def test_multilabel_serialisation(self):
+        tree = from_nested((("A", "B"), [("C", [])]))
+        xml = to_xml(tree)
+        assert 'labels="A B"' in xml

@@ -1,0 +1,158 @@
+"""Tests for the tree substrate: Node, Tree, numberings, navigation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trees import Node, Tree, from_nested
+
+
+class TestNode:
+    def test_single_string_label(self):
+        node = Node("A")
+        assert node.labels == frozenset({"A"})
+        assert node.label() == "A"
+
+    def test_multiple_labels(self):
+        node = Node(("A", "B"))
+        assert node.labels == frozenset({"A", "B"})
+        with pytest.raises(ValueError):
+            node.label()
+
+    def test_unlabelled_node(self):
+        node = Node()
+        assert node.labels == frozenset()
+        assert node.label() is None
+
+    def test_add_child_sets_parent(self):
+        root = Node("R")
+        child = root.add("C")
+        assert child.parent is root
+        assert root.children == [child]
+
+    def test_index_requires_finalised_tree(self):
+        node = Node("A")
+        with pytest.raises(RuntimeError):
+            _ = node.index
+        Tree(node)
+        assert node.index == 0
+
+    def test_iter_subtree_preorder(self):
+        root = Node("R")
+        a = root.add("A")
+        a.add("B")
+        root.add("C")
+        labels = [sorted(n.labels)[0] for n in root.iter_subtree()]
+        assert labels == ["R", "A", "B", "C"]
+
+    def test_is_leaf(self):
+        root = Node("R")
+        child = root.add("C")
+        assert not root.is_leaf
+        assert child.is_leaf
+
+
+class TestTreeNumberings:
+    def test_preorder_ids_are_document_order(self, sentence_tree):
+        # Pre-order ids equal positions in a depth-first left-to-right walk.
+        assert list(sentence_tree.pre) == list(range(len(sentence_tree)))
+
+    def test_parent_and_children(self, sentence_tree):
+        assert sentence_tree.parent_of(0) is None
+        assert sentence_tree.parent_of(1) == 0
+        assert list(sentence_tree.children(0)) == [1, 4, 8]
+        assert list(sentence_tree.children(1)) == [2, 3]
+
+    def test_depths(self, sentence_tree):
+        assert sentence_tree.depth[0] == 0
+        assert sentence_tree.depth[1] == 1
+        assert sentence_tree.depth[2] == 2
+        assert sentence_tree.depth[7] == 3
+
+    def test_postorder_root_is_last(self, sentence_tree):
+        assert sentence_tree.post[0] == len(sentence_tree) - 1
+
+    def test_postorder_leftmost_leaf_first(self, sentence_tree):
+        # Node 2 (the DT leaf) is the first node closed in post-order.
+        assert sentence_tree.post[2] == 0
+
+    def test_bflr_levels(self, sentence_tree):
+        # Root first, then its three children in order, then the grandchildren.
+        assert sentence_tree.bflr[0] == 0
+        assert sentence_tree.bflr[1] == 1
+        assert sentence_tree.bflr[4] == 2
+        assert sentence_tree.bflr[8] == 3
+        assert sentence_tree.bflr[2] == 4
+
+    def test_sibling_index(self, sentence_tree):
+        assert sentence_tree.sibling_index[1] == 0
+        assert sentence_tree.sibling_index[4] == 1
+        assert sentence_tree.sibling_index[8] == 2
+
+    def test_subtree_end_and_descendants(self, sentence_tree):
+        assert list(sentence_tree.descendants(1)) == [2, 3]
+        assert list(sentence_tree.descendants(4)) == [5, 6, 7]
+        assert list(sentence_tree.descendants(8)) == []
+        assert sentence_tree.is_descendant(0, 7)
+        assert not sentence_tree.is_descendant(1, 4)
+        assert not sentence_tree.is_descendant(4, 4)
+
+    def test_next_sibling(self, sentence_tree):
+        assert sentence_tree.next_sibling(1) == 4
+        assert sentence_tree.next_sibling(4) == 8
+        assert sentence_tree.next_sibling(8) is None
+        assert sentence_tree.next_sibling(0) is None
+
+    def test_siblings_after(self, sentence_tree):
+        assert list(sentence_tree.siblings_after(1)) == [4, 8]
+        assert list(sentence_tree.siblings_after(8)) == []
+
+    def test_following(self, sentence_tree):
+        # Following(NP at 1) = everything after its subtree closes.
+        assert list(sentence_tree.following(1)) == [4, 5, 6, 7, 8]
+        # Nothing follows the root.
+        assert list(sentence_tree.following(0)) == []
+
+    def test_path_to_root(self, sentence_tree):
+        assert sentence_tree.path_to_root(7) == [7, 6, 4, 0]
+        assert sentence_tree.path_to_root(0) == [0]
+
+
+class TestTreeLabels:
+    def test_labels_and_alphabet(self, sentence_tree):
+        assert sentence_tree.has_label(0, "S")
+        assert not sentence_tree.has_label(0, "NP")
+        assert sentence_tree.alphabet() == frozenset(
+            {"S", "NP", "VP", "PP", "DT", "NN", "VB"}
+        )
+
+    def test_nodes_with_label(self, sentence_tree):
+        assert list(sentence_tree.nodes_with_label("NP")) == [1, 6]
+        assert list(sentence_tree.nodes_with_label("missing")) == []
+
+    def test_multi_label_nodes(self):
+        tree = from_nested((("A", "B"), [("C", [])]))
+        assert tree.labels(0) == frozenset({"A", "B"})
+        assert list(tree.nodes_with_label("A")) == [0]
+        assert list(tree.nodes_with_label("B")) == [0]
+
+    def test_structure_size_counts_nodes_edges_labels(self, sentence_tree):
+        n = len(sentence_tree)
+        assert sentence_tree.structure_size() == n + (n - 1) + n  # one label per node
+
+    def test_to_nested_roundtrip(self, sentence_tree):
+        rebuilt = from_nested(sentence_tree.to_nested())
+        assert len(rebuilt) == len(sentence_tree)
+        assert rebuilt.alphabet() == sentence_tree.alphabet()
+        assert rebuilt.labels_of == sentence_tree.labels_of
+
+
+class TestSingleNodeTree:
+    def test_single_node(self):
+        tree = from_nested(("A", []))
+        assert len(tree) == 1
+        assert tree.parent_of(0) is None
+        assert list(tree.descendants(0)) == []
+        assert list(tree.following(0)) == []
+        assert tree.post == [0]
+        assert tree.bflr == [0]

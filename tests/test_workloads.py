@@ -1,0 +1,168 @@
+"""Tests for the application workloads: linguistics, XML, dominance constraints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import evaluate_on_tree, evaluate_union
+from repro.queries.graph import is_acyclic
+from repro.trees import TreeStructure, from_nested
+from repro.workloads import (
+    DominanceParseError,
+    auction_document,
+    busy_auction_query,
+    coordinated_sentences_query,
+    described_items_query,
+    figure1_query,
+    is_satisfiable_over,
+    items_with_payment_query,
+    np_with_pp_modifier_query,
+    parse_dominance_constraints,
+    random_corpus,
+    random_sentence_tree,
+    solved_forms,
+    verb_with_object_query,
+)
+
+
+class TestLinguisticsWorkload:
+    def test_figure1_query_shape(self):
+        query = figure1_query()
+        assert query.is_monadic
+        assert query.labels() == {"S", "NP", "PP"}
+        assert query.size() == 6
+
+    def test_figure1_on_handcrafted_sentence(self):
+        tree = from_nested(
+            (
+                "S",
+                [
+                    ("NP", [("DT", []), ("NN", [])]),
+                    ("VP", [("VB", []), ("PP", [("IN", [])])]),
+                ],
+            )
+        )
+        answers = {node for (node,) in evaluate_on_tree(figure1_query(), tree)}
+        assert answers == set(tree.nodes_with_label("PP"))
+
+    def test_figure1_pp_before_np_not_matched(self):
+        tree = from_nested(("S", [("PP", []), ("NP", [])]))
+        assert evaluate_on_tree(figure1_query(), tree) == frozenset()
+
+    def test_random_sentence_trees(self):
+        tree = random_sentence_tree(seed=3)
+        assert tree.labels(0) == frozenset({"S"})
+        assert len(tree) > 1
+        corpus = random_corpus(5, seed=3)
+        assert corpus.labels(0) == frozenset({"CORPUS"})
+        assert len(corpus.nodes_with_label("S")) == 5
+
+    def test_corpus_generation_is_deterministic(self):
+        assert random_corpus(4, seed=9).to_nested() == random_corpus(4, seed=9).to_nested()
+
+    def test_other_queries_run_on_corpus(self):
+        corpus = random_corpus(8, seed=1)
+        for query in (np_with_pp_modifier_query(), verb_with_object_query()):
+            evaluate_on_tree(query, corpus)  # must not raise
+        cyclic = coordinated_sentences_query()
+        assert not is_acyclic(cyclic)
+        evaluate_on_tree(cyclic, corpus)
+
+
+class TestXmlWorkload:
+    def test_document_shape(self):
+        document = auction_document(num_items=10, num_people=4, num_bids=6, seed=5)
+        assert document.labels(0) == frozenset({"site"})
+        assert len(document.nodes_with_label("item")) == 10
+        assert len(document.nodes_with_label("person")) == 4
+        assert len(document.nodes_with_label("open_auction")) == 6
+
+    def test_items_with_payment(self):
+        document = auction_document(num_items=15, seed=2)
+        answers = {node for (node,) in evaluate_on_tree(items_with_payment_query(), document)}
+        expected = {
+            item
+            for item in document.nodes_with_label("item")
+            if any("payment" in document.labels(child) for child in document.children(item))
+        }
+        assert answers == expected
+
+    def test_described_items(self):
+        document = auction_document(num_items=15, seed=2)
+        answers = {node for (node,) in evaluate_on_tree(described_items_query(), document)}
+        for item in answers:
+            assert "item" in document.labels(item)
+
+    def test_busy_auction_query_is_cyclic_and_correct(self):
+        document = auction_document(num_bids=25, seed=4)
+        query = busy_auction_query()
+        assert not is_acyclic(query)
+        answers = {node for (node,) in evaluate_on_tree(query, document)}
+        expected = {
+            auction
+            for auction in document.nodes_with_label("open_auction")
+            if sum(
+                1
+                for child in document.children(auction)
+                if "bidder" in document.labels(child)
+            )
+            >= 2
+        }
+        assert answers == expected
+
+
+class TestDominanceConstraints:
+    def test_parsing(self):
+        constraints = parse_dominance_constraints(
+            """
+            # a small constraint set
+            x <* y
+            y < z
+            x << w
+            z : VP
+            """
+        )
+        assert constraints.is_boolean
+        assert constraints.size() == 4
+        assert constraints.labels() == {"VP"}
+
+    def test_parse_error(self):
+        with pytest.raises(DominanceParseError):
+            parse_dominance_constraints("x >> y")
+
+    def test_satisfiability_over_a_tree(self, sentence_tree):
+        constraints = parse_dominance_constraints(
+            """
+            s <+ np
+            s <+ pp
+            np << pp
+            np : NP
+            pp : PP
+            s : S
+            """
+        )
+        assert is_satisfiable_over(constraints, sentence_tree)
+        impossible = parse_dominance_constraints("x < y \n y < x")
+        assert not is_satisfiable_over(impossible, sentence_tree)
+
+    def test_solved_forms_are_acyclic_and_equivalent(self, sentence_tree):
+        constraints = parse_dominance_constraints(
+            """
+            root <* a
+            root <* b
+            a <+ c
+            b <+ c
+            a : NP
+            b : VP
+            """
+        )
+        forms = solved_forms(constraints)
+        assert forms.is_acyclic()
+        structure = TreeStructure(sentence_tree)
+        assert bool(evaluate_union(forms, structure)) == bool(
+            evaluate_on_tree(constraints, sentence_tree)
+        )
+
+    def test_unsatisfiable_constraints_have_no_solved_forms(self):
+        constraints = parse_dominance_constraints("x <+ y \n y <+ x")
+        assert solved_forms(constraints).is_empty()

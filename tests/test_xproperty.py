@@ -1,0 +1,188 @@
+"""Tests for the X-property framework: definition, Theorem 4.1, dichotomy, Table I."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trees import Axis, Order, from_nested, random_tree
+from repro.trees.structure import TAU, Signature
+from repro.xproperty import (
+    Complexity,
+    MAXIMAL_TRACTABLE_SETS,
+    PAPER_TABLE1,
+    X_PROPERTY_AXES,
+    all_counterexamples,
+    axis_subset_of_order,
+    classify,
+    figure3a,
+    figure3b,
+    find_axis_violation,
+    find_violation,
+    find_violation_lemma36,
+    has_x_property,
+    has_x_property_relation,
+    is_tractable,
+    order_for,
+    relation_subset_of_order,
+    render_table1,
+    table1,
+    verify_maximality,
+)
+
+
+class TestDefinition:
+    def test_explicit_relation_with_property(self):
+        # A "staircase" relation: crossing arcs always have their underbar.
+        relation = {(0, 0), (0, 1), (1, 1), (0, 2), (1, 2), (2, 2)}
+        order = {0: 0, 1: 1, 2: 2}
+        assert has_x_property_relation(relation, order)
+
+    def test_explicit_relation_without_property(self):
+        relation = {(1, 0), (0, 3)}  # crossing arcs, no (0, 0) underbar
+        order = {i: i for i in range(4)}
+        violation = find_violation(relation, order)
+        assert violation is not None
+        assert violation.missing == (0, 0)
+        assert "does not hold" in str(violation)
+
+    def test_lemma36_restricted_check_agrees_for_subset_relations(self):
+        relation = {(0, 1), (0, 3), (1, 2), (2, 3)}
+        order = {i: i for i in range(4)}
+        assert relation_subset_of_order(relation, order)
+        full = find_violation(relation, order)
+        restricted = find_violation_lemma36(relation, order)
+        assert (full is None) == (restricted is None)
+
+    def test_subset_inclusions_of_section4(self, medium_random_tree):
+        """The inclusion list at the start of Section 4, checked on a random tree."""
+        tree = medium_random_tree
+        for axis in (
+            Axis.CHILD,
+            Axis.CHILD_PLUS,
+            Axis.CHILD_STAR,
+            Axis.NEXT_SIBLING,
+            Axis.NEXT_SIBLING_PLUS,
+            Axis.NEXT_SIBLING_STAR,
+            Axis.FOLLOWING,
+        ):
+            assert axis_subset_of_order(tree, axis, Order.PRE)
+        for axis in (
+            Axis.FOLLOWING,
+            Axis.NEXT_SIBLING,
+            Axis.NEXT_SIBLING_PLUS,
+            Axis.NEXT_SIBLING_STAR,
+            Axis.PARENT,
+            Axis.ANCESTOR,
+            Axis.ANCESTOR_OR_SELF,
+        ):
+            assert axis_subset_of_order(tree, axis, Order.POST)
+        for axis in (
+            Axis.CHILD,
+            Axis.CHILD_PLUS,
+            Axis.CHILD_STAR,
+            Axis.NEXT_SIBLING,
+            Axis.NEXT_SIBLING_PLUS,
+            Axis.NEXT_SIBLING_STAR,
+        ):
+            assert axis_subset_of_order(tree, axis, Order.BFLR)
+
+
+class TestTheorem41:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_positive_claims_hold_on_random_trees(self, seed):
+        tree = random_tree(22, alphabet=("A", "B"), seed=seed)
+        for order, axes in X_PROPERTY_AXES.items():
+            for axis in axes:
+                if axis is Axis.SELF:
+                    continue
+                assert has_x_property(tree, axis, order), (axis, order)
+
+    def test_succ_and_document_order_have_x_wrt_pre(self, medium_random_tree):
+        assert has_x_property(medium_random_tree, Axis.DOCUMENT_ORDER, Order.PRE)
+        assert has_x_property(medium_random_tree, Axis.SUCC_PRE, Order.PRE)
+
+    def test_negative_combinations_have_counterexamples(self):
+        """Example 4.5: the remaining inclusion/order pairs fail on witnesses."""
+        a = figure3a()
+        assert a.confirms_failure
+        assert a.axis is Axis.FOLLOWING and a.order is Order.PRE
+        b = figure3b()
+        assert b.confirms_failure
+        b_star = figure3b(Axis.ANCESTOR_OR_SELF)
+        assert b_star.confirms_failure
+        with pytest.raises(ValueError):
+            figure3b(Axis.CHILD)
+        assert len(all_counterexamples()) == 3
+
+    def test_figure3a_exact_witness(self):
+        """The violation matches the paper's numbering (2,6)/(3,4) missing (2,4)."""
+        counterexample = figure3a()
+        violation = counterexample.violation
+        assert violation is not None
+        # Paper numbering is 1-based pre-order; ours is 0-based.
+        assert violation.missing == (1, 3)
+
+    def test_child_lacks_x_wrt_pre_on_a_witness(self):
+        # Child is not included in the pre-order X group; exhibit a violation.
+        tree = from_nested(("R", [("A", [("B", [])]), ("C", [])]))
+        # Child arcs: (0,1), (1,2), (0,3): crossing (1,2) and (0,3) need (0,2).
+        assert find_axis_violation(tree, Axis.CHILD, Order.PRE) is not None
+
+
+class TestDichotomy:
+    def test_order_for_tractable_sets(self):
+        assert order_for({Axis.CHILD_PLUS, Axis.CHILD_STAR}) is Order.PRE
+        assert order_for({Axis.FOLLOWING}) is Order.POST
+        assert (
+            order_for(
+                {Axis.CHILD, Axis.NEXT_SIBLING, Axis.NEXT_SIBLING_PLUS, Axis.NEXT_SIBLING_STAR}
+            )
+            is Order.BFLR
+        )
+        assert order_for({Axis.CHILD, Axis.CHILD_PLUS}) is None
+        assert order_for({Axis.CHILD_STAR, Axis.FOLLOWING}) is None
+
+    def test_classify_named_signatures(self):
+        assert classify(TAU["tau1"]) is Complexity.PTIME
+        assert classify(TAU["tau2"]) is Complexity.PTIME
+        assert classify(TAU["tau3"]) is Complexity.PTIME
+        for name in ("tau4", "tau5", "tau6", "tau7", "tau8", "tau9", "tau10",
+                     "tau11", "tau12", "tau13", "tau14", "tau15", "tau16", "tau17", "ax"):
+            assert classify(TAU[name]) is Complexity.NP_COMPLETE, name
+
+    def test_single_axes_are_tractable(self):
+        from repro.trees.axes import AX
+
+        for axis in AX:
+            assert is_tractable({axis}), axis
+
+    def test_maximality_of_tractable_sets(self):
+        assert verify_maximality()
+        assert len(MAXIMAL_TRACTABLE_SETS) == 3
+
+    def test_signature_object_accepted(self):
+        assert is_tractable(Signature.of(Axis.CHILD_PLUS))
+        assert not is_tractable(Signature.of(Axis.CHILD, Axis.FOLLOWING))
+
+
+class TestTable1:
+    def test_matches_published_table(self):
+        for cell in table1():
+            expected = PAPER_TABLE1[frozenset({cell.row, cell.column})]
+            assert cell.complexity == expected, (cell.row, cell.column)
+
+    def test_all_28_cells_present(self):
+        cells = table1()
+        assert len(cells) == 28  # upper triangle of a 7x7 matrix incl. diagonal
+        assert all(cell.theorem != "-" for cell in cells)
+
+    def test_diagonal_is_ptime(self):
+        for cell in table1():
+            if cell.row == cell.column:
+                assert cell.complexity is Complexity.PTIME
+
+    def test_render_contains_key_entries(self):
+        text = render_table1()
+        assert "NP-hard (5.1)" in text
+        assert "in P (4.3)" in text
+        assert text.count("\n") >= 7
