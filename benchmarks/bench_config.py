@@ -1,0 +1,30 @@
+"""Shared benchmark configuration: full runs vs CI smoke runs.
+
+Every ``bench_*.py`` file sizes its instances through :func:`scaled`, which
+returns the first argument normally and the second when the environment
+variable ``BENCH_SMOKE`` is set to a non-empty value other than ``0``.  CI
+runs the whole suite in smoke mode (seconds per file) and uploads the
+resulting ``BENCH_*.json`` files as artifacts, so the performance trajectory
+accumulates without paying for full-size runs on every push.
+
+Importing this module also makes ``src/`` importable, so the bench files work
+both under pytest (where ``conftest.py`` already fixes the path) and as plain
+scripts.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+#: True when running in CI smoke mode (BENCH_SMOKE=1).
+SMOKE: bool = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+
+def scaled(full, smoke):
+    """Pick the full-size or smoke-size variant of a benchmark parameter."""
+    return smoke if SMOKE else full

@@ -8,6 +8,7 @@ queries -- covering acyclic (XPath-like) and cyclic (join) shapes.
 from __future__ import annotations
 
 import pytest
+from bench_config import scaled
 
 from repro.evaluation import Engine, evaluate, is_satisfied
 from repro.trees import TreeStructure
@@ -21,8 +22,15 @@ from repro.workloads import (
     verb_with_object_query,
 )
 
-CORPUS = TreeStructure(random_corpus(25, seed=0))
-AUCTION = TreeStructure(auction_document(num_items=40, num_people=20, num_bids=40, seed=0))
+CORPUS = TreeStructure(random_corpus(scaled(25, 8), seed=0))
+AUCTION = TreeStructure(
+    auction_document(
+        num_items=scaled(40, 8),
+        num_people=scaled(20, 4),
+        num_bids=scaled(40, 8),
+        seed=0,
+    )
+)
 
 LINGUISTIC_QUERIES = {
     "figure1": figure1_query(),

@@ -10,6 +10,7 @@ NP-hardness.
 from __future__ import annotations
 
 import pytest
+from bench_config import scaled
 
 from repro.evaluation.backtracking import boolean_query_holds as bt_holds
 from repro.hardness import (
@@ -21,21 +22,21 @@ from repro.hardness import (
 )
 
 
-@pytest.mark.parametrize("clauses", [2, 4, 6])
+@pytest.mark.parametrize("clauses", scaled([2, 4, 6], [2, 4]))
 def test_build_reduction(benchmark, clauses):
     instance = satisfiable_instance(clauses + 2, clauses, seed=clauses)
     result = benchmark(lambda: reduce_instance(instance, "tau4"))
     assert result.query.size() > 0
 
 
-@pytest.mark.parametrize("clauses", [2, 3, 4])
+@pytest.mark.parametrize("clauses", scaled([2, 3, 4], [2]))
 def test_decide_reduction_by_selection(benchmark, clauses):
     instance = satisfiable_instance(clauses + 2, clauses, seed=clauses)
     reduction = reduce_instance(instance, "tau4")
     assert benchmark(lambda: decide_by_selection(reduction)) is not None
 
 
-@pytest.mark.parametrize("clauses", [2, 3])
+@pytest.mark.parametrize("clauses", scaled([2, 3], [2]))
 def test_decide_reduction_by_backtracking(benchmark, clauses):
     instance = satisfiable_instance(clauses + 2, clauses, seed=clauses)
     reduction = reduce_instance(instance, "tau4")
@@ -48,7 +49,7 @@ def test_unsatisfiable_reduction_by_selection(benchmark):
     assert benchmark(lambda: decide_by_selection(reduction)) is None
 
 
-@pytest.mark.parametrize("num_variables,num_clauses", [(6, 4), (8, 6), (10, 8)])
+@pytest.mark.parametrize("num_variables,num_clauses", scaled([(6, 4), (8, 6), (10, 8)], [(6, 4)]))
 def test_plain_sat_solver(benchmark, num_variables, num_clauses):
     """Baseline: solving the 1-in-3 instance directly (no tree detour)."""
     instance = satisfiable_instance(num_variables, num_clauses, seed=num_clauses)

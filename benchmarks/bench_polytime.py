@@ -10,6 +10,7 @@ query, plus two ablations called out in DESIGN.md:
 from __future__ import annotations
 
 import pytest
+from bench_config import scaled
 
 from repro.evaluation.arc_consistency import (
     maximal_arc_consistent,
@@ -24,21 +25,25 @@ QUERY = random_cyclic_query(
     (Axis.CHILD_PLUS, Axis.CHILD_STAR), num_variables=8, num_extra_atoms=4, seed=0
 )
 
+TREE_SIZES = scaled((100, 200, 400, 800), (50, 100))
+MEDIUM_SIZE = scaled(200, 100)
+VARIABLE_COUNTS = scaled([4, 8, 16, 32], [4, 8])
+
 TREES = {
     size: random_tree(size, alphabet=("A", "B", "C"), seed=size)
-    for size in (100, 200, 400, 800)
+    for size in set(TREE_SIZES) | {MEDIUM_SIZE}
 }
 
 
-@pytest.mark.parametrize("size", sorted(TREES))
+@pytest.mark.parametrize("size", sorted(TREE_SIZES))
 def test_tree_scaling(benchmark, size):
     structure = TreeStructure(TREES[size])
     benchmark(lambda: boolean_query_holds(QUERY, structure))
 
 
-@pytest.mark.parametrize("num_variables", [4, 8, 16, 32])
+@pytest.mark.parametrize("num_variables", VARIABLE_COUNTS)
 def test_query_scaling(benchmark, num_variables):
-    structure = TreeStructure(TREES[200])
+    structure = TreeStructure(TREES[MEDIUM_SIZE])
     query = random_cyclic_query(
         (Axis.CHILD_PLUS, Axis.CHILD_STAR),
         num_variables=num_variables,
@@ -48,19 +53,19 @@ def test_query_scaling(benchmark, num_variables):
     benchmark(lambda: boolean_query_holds(query, structure))
 
 
-@pytest.mark.parametrize("size", [50, 100, 200])
+@pytest.mark.parametrize("size", scaled([50, 100, 200], [50, 100]))
 def test_ablation_arc_consistency_worklist(benchmark, size):
     structure = TreeStructure(random_tree(size, alphabet=("A", "B", "C"), seed=7 * size))
     benchmark(lambda: maximal_arc_consistent(QUERY, structure))
 
 
-@pytest.mark.parametrize("size", [50, 100, 200])
+@pytest.mark.parametrize("size", scaled([50, 100, 200], [50, 100]))
 def test_ablation_arc_consistency_horn(benchmark, size):
     structure = TreeStructure(random_tree(size, alphabet=("A", "B", "C"), seed=7 * size))
     benchmark(lambda: maximal_arc_consistent_horn(QUERY, structure))
 
 
-@pytest.mark.parametrize("size", [100, 200])
+@pytest.mark.parametrize("size", scaled([100, 200], [50, 100]))
 def test_ablation_materialised_axis_relations(benchmark, size):
     """Cost of materialising the binary relations (the design we avoided)."""
     tree = TREES[size]

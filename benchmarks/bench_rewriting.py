@@ -8,6 +8,7 @@ cyclic queries per signature family, (c) the Theorem 6.10 literal variant, and
 from __future__ import annotations
 
 import pytest
+from bench_config import scaled
 
 from repro.hardness import random_cyclic_query
 from repro.rewriting import (
@@ -56,7 +57,7 @@ def test_theorem_610_literal_variant(benchmark):
     assert apq.is_acyclic()
 
 
-@pytest.mark.parametrize("num_variables", [4, 6, 8])
+@pytest.mark.parametrize("num_variables", scaled([4, 6, 8], [4]))
 def test_prop614_linear_rewriting(benchmark, num_variables):
     query = random_cyclic_query(
         (Axis.CHILD, Axis.NEXT_SIBLING),

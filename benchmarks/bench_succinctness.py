@@ -8,13 +8,14 @@ evaluation of D_n on the PS(n, p) scattered path structures.
 from __future__ import annotations
 
 import pytest
+from bench_config import scaled
 
 from repro.evaluation import evaluate_on_tree
 from repro.rewriting import to_apq
 from repro.succinctness import all_ps_structures, diamond_query, ps_structure
 
 
-@pytest.mark.parametrize("n", [1, 2, 3, 4])
+@pytest.mark.parametrize("n", scaled([1, 2, 3, 4], [1, 2]))
 def test_rewrite_diamond_to_apq(benchmark, n):
     query = diamond_query(n)
     apq = benchmark(lambda: to_apq(query))
@@ -22,7 +23,7 @@ def test_rewrite_diamond_to_apq(benchmark, n):
     assert len(apq) >= 1
 
 
-@pytest.mark.parametrize("n", [2, 3, 4])
+@pytest.mark.parametrize("n", scaled([2, 3, 4], [2]))
 def test_evaluate_diamond_on_one_ps_structure(benchmark, n):
     query = diamond_query(n)
     tree = ps_structure(n, 3, tuple(bool(i % 2) for i in range(n)))
@@ -30,7 +31,7 @@ def test_evaluate_diamond_on_one_ps_structure(benchmark, n):
     assert result
 
 
-@pytest.mark.parametrize("n", [2, 3])
+@pytest.mark.parametrize("n", scaled([2, 3], [2]))
 def test_evaluate_diamond_on_all_ps_structures(benchmark, n):
     query = diamond_query(n)
     trees = [tree for _choices, tree in all_ps_structures(n, 2)]

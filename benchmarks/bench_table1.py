@@ -14,6 +14,7 @@ a *complexity gap*, which these benchmarks make measurable:
 from __future__ import annotations
 
 import pytest
+from bench_config import scaled
 
 from repro.evaluation import Engine, is_satisfied
 from repro.evaluation.backtracking import boolean_query_holds as bt_holds
@@ -22,7 +23,7 @@ from repro.trees import TreeStructure, random_tree
 from repro.trees.axes import Axis
 from repro.xproperty import classify, Complexity, table1
 
-TREE = random_tree(150, alphabet=("A", "B", "C"), seed=0, unlabeled_probability=0.1)
+TREE = random_tree(scaled(150, 60), alphabet=("A", "B", "C"), seed=0, unlabeled_probability=0.1)
 STRUCTURE = TreeStructure(TREE)
 
 
@@ -31,7 +32,7 @@ def test_classification_of_all_cells(benchmark):
     assert len(cells) == 28
 
 
-@pytest.mark.parametrize("num_variables", [6, 12, 24])
+@pytest.mark.parametrize("num_variables", scaled([6, 12, 24], [6]))
 def test_tractable_child_plus_star(benchmark, num_variables):
     query = random_cyclic_query(
         (Axis.CHILD_PLUS, Axis.CHILD_STAR),
@@ -43,7 +44,7 @@ def test_tractable_child_plus_star(benchmark, num_variables):
     benchmark(lambda: is_satisfied(query, STRUCTURE, engine=Engine.XPROPERTY))
 
 
-@pytest.mark.parametrize("num_variables", [6, 12, 24])
+@pytest.mark.parametrize("num_variables", scaled([6, 12, 24], [6]))
 def test_tractable_following(benchmark, num_variables):
     query = random_cyclic_query(
         (Axis.FOLLOWING,),
@@ -54,7 +55,7 @@ def test_tractable_following(benchmark, num_variables):
     benchmark(lambda: is_satisfied(query, STRUCTURE, engine=Engine.XPROPERTY))
 
 
-@pytest.mark.parametrize("num_variables", [6, 12, 24])
+@pytest.mark.parametrize("num_variables", scaled([6, 12, 24], [6]))
 def test_tractable_bflr_group(benchmark, num_variables):
     query = random_cyclic_query(
         (Axis.CHILD, Axis.NEXT_SIBLING, Axis.NEXT_SIBLING_PLUS, Axis.NEXT_SIBLING_STAR),
@@ -65,7 +66,7 @@ def test_tractable_bflr_group(benchmark, num_variables):
     benchmark(lambda: is_satisfied(query, STRUCTURE, engine=Engine.XPROPERTY))
 
 
-@pytest.mark.parametrize("num_variables", [6, 12, 24])
+@pytest.mark.parametrize("num_variables", scaled([6, 12, 24], [6]))
 def test_hard_signature_same_shape_backtracking(benchmark, num_variables):
     """The same random cyclic shape over the NP-hard {Child, Child+} cell."""
     query = random_cyclic_query(
@@ -78,7 +79,7 @@ def test_hard_signature_same_shape_backtracking(benchmark, num_variables):
     benchmark(lambda: bt_holds(query, STRUCTURE))
 
 
-@pytest.mark.parametrize("clauses", [2, 3, 4])
+@pytest.mark.parametrize("clauses", scaled([2, 3, 4], [2]))
 def test_hard_theorem51_reduction(benchmark, clauses):
     """Theorem 5.1 reduction queries: effort grows with the 1-in-3 instance."""
     reduction = theorem51_workload(clauses, seed=1)

@@ -8,12 +8,16 @@ negative ones, on trees of growing size.
 from __future__ import annotations
 
 import pytest
+from bench_config import scaled
 
 from repro.trees import Order, random_tree
 from repro.trees.axes import Axis
 from repro.xproperty import all_counterexamples, has_x_property
 
-TREES = {size: random_tree(size, alphabet=("A", "B"), seed=size) for size in (15, 30, 60)}
+TREES = {
+    size: random_tree(size, alphabet=("A", "B"), seed=size)
+    for size in scaled((15, 30, 60), (15, 30))
+}
 
 POSITIVE_CASES = [
     (Axis.CHILD_PLUS, Order.PRE),

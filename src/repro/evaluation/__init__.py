@@ -1,12 +1,13 @@
 """Evaluation engines for conjunctive queries over trees."""
 
+from . import acyclic
 from .arc_consistency import (
     is_arc_consistent,
     maximal_arc_consistent,
     maximal_arc_consistent_horn,
 )
 from .backtracking import SearchStatistics, count_solutions, find_solution, iter_solutions
-from .domains import Domains, Valuation, initial_domains, valuation_satisfies
+from .domains import Domains, Valuation, domain_views, initial_domains, valuation_satisfies
 from .planner import (
     Engine,
     check_answer,
@@ -24,7 +25,6 @@ from .xprop_evaluator import (
     minimum_valuation,
     witness,
 )
-from . import acyclic
 
 __all__ = [
     "Domains",
@@ -38,6 +38,7 @@ __all__ = [
     "choose_engine",
     "choose_order",
     "count_solutions",
+    "domain_views",
     "evaluate",
     "evaluate_on_tree",
     "evaluate_union",

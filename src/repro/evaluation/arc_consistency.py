@@ -22,6 +22,18 @@ time O(||A|| * |Q|).  Two implementations are provided:
 Both return ``None`` when no arc-consistent prevaluation exists (some variable
 loses all candidates), in which case the query is unsatisfiable on the
 structure.
+
+The worklist algorithm's revise step has two interchangeable implementations
+(cross-checked against each other in the tests):
+
+* :func:`_revise_interval` (the default) asks the tree's pre/post interval
+  index (:mod:`repro.trees.index`) whether each candidate has a witness inside
+  the opposite domain -- O(1) or O(log n) per candidate against a sorted-array
+  view, so one revise pass is O((|Phi(x)| + |Phi(y)|) log n);
+* :func:`_revise_enumeration` materializes ``axis_successors`` /
+  ``axis_predecessors`` per candidate and intersects -- O(n) per candidate for
+  the transitive axes.  It is kept as the fallback for axes the index does not
+  know and as the ablation baseline for the benchmarks.
 """
 
 from __future__ import annotations
@@ -39,6 +51,7 @@ def maximal_arc_consistent(
     query: ConjunctiveQuery,
     structure: TreeStructure,
     pinned: Optional[Mapping[Variable, int]] = None,
+    use_index: bool = True,
 ) -> Optional[Domains]:
     """Compute the subset-maximal arc-consistent prevaluation (worklist form).
 
@@ -46,6 +59,11 @@ def maximal_arc_consistent(
     variable ends up with an empty candidate set (no arc-consistent
     prevaluation exists, hence the query is not satisfied -- Lemma 3.4's
     complement).
+
+    ``use_index=False`` forces the per-candidate enumeration revise step
+    instead of the interval-index one; both reach the same fixpoint (the
+    deletion rules are confluent), so the flag exists only for ablation
+    benchmarks and cross-checking tests.
     """
     domains = initial_domains(query, structure, pinned)
     if any(not domain for domain in domains.values()):
@@ -65,7 +83,7 @@ def maximal_arc_consistent(
     while queue:
         atom = queue.popleft()
         queued.discard(atom)
-        changed_variables = _revise(atom, domains, structure)
+        changed_variables = _revise(atom, domains, structure, use_index)
         for variable in changed_variables:
             if not domains[variable]:
                 return None
@@ -76,11 +94,77 @@ def maximal_arc_consistent(
     return domains
 
 
-def _revise(atom: AxisAtom, domains: Domains, structure: TreeStructure) -> list[Variable]:
+def _revise(
+    atom: AxisAtom,
+    domains: Domains,
+    structure: TreeStructure,
+    use_index: bool = True,
+) -> list[Variable]:
     """Remove unsupported candidates for both endpoints of ``atom``.
 
-    Returns the variables whose domains shrank.
+    Dispatches to the interval-index revise step, falling back to the
+    enumeration step for axes outside the index's dispatch table.  Returns the
+    variables whose domains shrank.
     """
+    if use_index:
+        try:
+            return _revise_interval(atom, domains, structure)
+        except NotImplementedError:
+            return _revise_enumeration(atom, domains, structure)
+    return _revise_enumeration(atom, domains, structure)
+
+
+def _revise_interval(
+    atom: AxisAtom, domains: Domains, structure: TreeStructure
+) -> list[Variable]:
+    """Interval-index revise: witness tests against sorted-array domain views.
+
+    Local axes (``Child``, ``NextSibling``, ``SuccPre``, ...) are answered by
+    direct array lookups, interval axes (``Child+``, ``Child*``, ``Following``,
+    ``NextSibling+``, ...) by bisection and per-view aggregates -- never by
+    enumerating the relation.
+    """
+    changed: list[Variable] = []
+    index = structure.index
+    source_domain = domains[atom.source]
+    target_domain = domains[atom.target]
+
+    if atom.source == atom.target:
+        # Self-loop R(x, x): keep only nodes related to themselves.
+        keep = {v for v in source_domain if index.holds(atom.axis, v, v)}
+        if keep != source_domain:
+            domains[atom.source] = keep
+            changed.append(atom.source)
+        return changed
+
+    # Forward direction: every v in Phi(source) needs a witness in Phi(target).
+    target_view = index.view(target_domain)
+    keep_source = {
+        v
+        for v in source_domain
+        if index.has_successor_in(atom.axis, v, target_view)
+    }
+    if keep_source != source_domain:
+        domains[atom.source] = keep_source
+        changed.append(atom.source)
+
+    # Backward direction: every w in Phi(target) needs a witness in Phi(source).
+    source_view = index.view(domains[atom.source])
+    keep_target = {
+        w
+        for w in target_domain
+        if index.has_predecessor_in(atom.axis, w, source_view)
+    }
+    if keep_target != target_domain:
+        domains[atom.target] = keep_target
+        changed.append(atom.target)
+    return changed
+
+
+def _revise_enumeration(
+    atom: AxisAtom, domains: Domains, structure: TreeStructure
+) -> list[Variable]:
+    """Enumeration revise: materialize the relation per candidate (baseline)."""
     changed: list[Variable] = []
     source_domain = domains[atom.source]
     target_domain = domains[atom.target]

@@ -12,8 +12,12 @@ serves three purposes in the reproduction:
   for arbitrary queries.
 
 The search uses arc consistency as preprocessing, a smallest-domain-first
-variable order restricted to variables connected to already-assigned ones, and
-forward checking against all atoms incident to the newly assigned variable.
+variable order restricted to variables connected to already-assigned ones,
+consistency checks against already-assigned neighbours, and *index-based
+forward checking*: a freshly assigned node must still have an axis witness
+inside the (static) candidate domain of every unassigned neighbour, a
+necessary condition tested in O(log n) against the domain's sorted-array view
+(:mod:`repro.trees.index`) before the subtree of the search is entered.
 The worst case remains exponential -- necessarily so, by Section 5.
 """
 
@@ -25,7 +29,7 @@ from ..queries.atoms import AxisAtom, Variable
 from ..queries.query import ConjunctiveQuery
 from ..trees.structure import TreeStructure
 from .arc_consistency import maximal_arc_consistent
-from .domains import Valuation, valuation_satisfies
+from .domains import Valuation, domain_views, valuation_satisfies
 
 
 class SearchStatistics:
@@ -34,9 +38,13 @@ class SearchStatistics:
     def __init__(self) -> None:
         self.nodes_expanded = 0
         self.backtracks = 0
+        self.forward_prunes = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"SearchStatistics(nodes={self.nodes_expanded}, backtracks={self.backtracks})"
+        return (
+            f"SearchStatistics(nodes={self.nodes_expanded}, "
+            f"backtracks={self.backtracks}, forward_prunes={self.forward_prunes})"
+        )
 
 
 def iter_solutions(
@@ -71,6 +79,10 @@ def iter_solutions(
 
     stats = statistics if statistics is not None else SearchStatistics()
 
+    # Sorted-array views of the (static) domains, for forward witness checks.
+    index = structure.index
+    views = domain_views(structure, domains)
+
     def select_variable(assignment: Valuation) -> Variable:
         unassigned = [v for v in variables if v not in assignment]
         connected = [
@@ -94,6 +106,19 @@ def iter_solutions(
                 return False
         return True
 
+    def forward_check(variable: Variable, node: int, assignment: Valuation) -> bool:
+        """A necessary condition: witnesses must survive in unassigned domains."""
+        for atom in atoms_of[variable]:
+            if atom.source == atom.target:
+                continue
+            if atom.source == variable and atom.target not in assignment:
+                if not index.has_successor_in(atom.axis, node, views[atom.target]):
+                    return False
+            elif atom.target == variable and atom.source not in assignment:
+                if not index.has_predecessor_in(atom.axis, node, views[atom.source]):
+                    return False
+        return True
+
     def search(assignment: Valuation) -> Iterator[Valuation]:
         if len(assignment) == len(variables):
             yield dict(assignment)
@@ -101,12 +126,15 @@ def iter_solutions(
         variable = select_variable(assignment)
         for node in sorted(domains[variable]):
             stats.nodes_expanded += 1
-            if consistent(variable, node, assignment):
-                assignment[variable] = node
-                yield from search(assignment)
-                del assignment[variable]
-            else:
+            if not consistent(variable, node, assignment):
                 stats.backtracks += 1
+                continue
+            if not forward_check(variable, node, assignment):
+                stats.forward_prunes += 1
+                continue
+            assignment[variable] = node
+            yield from search(assignment)
+            del assignment[variable]
 
     yield from search({})
 

@@ -9,6 +9,11 @@ valuations as ``dict[Variable, int]``.
 all nodes satisfying its unary atoms (and, for pinned variables, exactly the
 pinned node).  This corresponds to applying the first clause group of the
 Horn program of Proposition 3.1.
+
+Alongside the mutable ``set`` form, domains have a *sorted-array companion
+representation*: a :class:`~repro.trees.index.DomainView` per variable
+(:func:`domain_views`), against which the tree's interval index answers
+witness queries by bisection instead of relation enumeration.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ from typing import Mapping, Optional
 
 from ..queries.atoms import LabelAtom, Variable
 from ..queries.query import ConjunctiveQuery
+from ..trees.index import DomainView
 from ..trees.structure import TreeStructure
 
 Domains = dict[Variable, set[int]]
@@ -73,3 +79,15 @@ def valuation_satisfies(
 
 def copy_domains(domains: Domains) -> Domains:
     return {variable: set(nodes) for variable, nodes in domains.items()}
+
+
+def domain_views(structure: TreeStructure, domains: Domains) -> dict[Variable, DomainView]:
+    """Sorted-array companion views of every domain (one per variable).
+
+    The views are snapshots: they stay valid for as long as the underlying
+    sets are not mutated, which is why the backtracking evaluator (whose
+    domains are fixed during search) builds them once, while arc consistency
+    (whose domains shrink) rebuilds a view per revise pass.
+    """
+    index = structure.index
+    return {variable: index.view(nodes) for variable, nodes in domains.items()}

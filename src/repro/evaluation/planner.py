@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from enum import Enum
 from itertools import product
-from typing import Iterable, Mapping, Optional
+from typing import Mapping, Optional
 
 from ..queries.apq import UnionQuery, as_union
 from ..queries.graph import QueryGraph
@@ -106,6 +106,16 @@ def evaluate(
     domains = maximal_arc_consistent(query, structure)
     if domains is None:
         return frozenset()
+    # Atoms connecting two head variables can be checked in O(1) per candidate
+    # tuple from the tree's rank arrays, skipping the full Boolean evaluation
+    # for tuples that already violate one of them.
+    head_set = set(query.head)
+    head_atoms = [
+        atom
+        for atom in query.axis_atoms()
+        if atom.source in head_set and atom.target in head_set
+    ]
+    index = structure.index
     candidate_sets = [sorted(domains[variable]) for variable in query.head]
     answers: set[tuple[int, ...]] = set()
     for candidate in product(*candidate_sets):
@@ -118,6 +128,11 @@ def evaluate(
                 break
             pinned[variable] = node
         if not consistent:
+            continue
+        if not all(
+            index.holds(atom.axis, pinned[atom.source], pinned[atom.target])
+            for atom in head_atoms
+        ):
             continue
         if is_satisfied(query, structure, engine, pinned):
             answers.add(tuple(candidate))

@@ -1,6 +1,15 @@
 """Experiments regenerating every table and figure of the paper."""
 
-from . import figure8, figure9, polytime, report, rewriting_report, table1, table2, xproperty_figures
+from . import (
+    figure8,
+    figure9,
+    polytime,
+    report,
+    rewriting_report,
+    table1,
+    table2,
+    xproperty_figures,
+)
 
 __all__ = [
     "figure8",

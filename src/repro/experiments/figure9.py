@@ -17,10 +17,14 @@ from dataclasses import dataclass, field
 
 from ..evaluation.planner import evaluate_on_tree
 from ..queries.parser import parse_query
-from ..succinctness.blowup import BlowupPoint, measure_blowup, render_blowup_table
+from ..succinctness.blowup import (
+    BlowupPoint,
+    diamond_true_on_all_ps,
+    measure_blowup,
+    render_blowup_table,
+)
 from ..succinctness.diamonds import diamond_query
-from ..succinctness.path_structures import lemma73_structure, ps_structure
-from ..succinctness.blowup import diamond_true_on_all_ps
+from ..succinctness.path_structures import lemma73_structure
 
 
 @dataclass

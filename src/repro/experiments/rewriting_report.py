@@ -14,14 +14,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Sequence
 
+from ..hardness.hard_instances import random_cyclic_query
 from ..queries.containment import equivalent_on_samples, equivalent_on_trees
 from ..queries.graph import is_acyclic
-from ..hardness.hard_instances import random_cyclic_query
 from ..rewriting.child_nextsibling import rewrite_child_nextsibling_apq
 from ..rewriting.lifters import (
-    Lifter,
     THEOREM_66_AXES,
     find_lifter_counterexample,
     lifter,
@@ -29,7 +28,7 @@ from ..rewriting.lifters import (
 )
 from ..rewriting.to_apq import to_apq
 from ..trees.axes import Axis
-from ..trees.generators import all_trees, random_tree
+from ..trees.generators import all_trees
 
 
 @dataclass

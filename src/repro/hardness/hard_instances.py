@@ -28,8 +28,7 @@ from ..queries.query import ConjunctiveQuery
 from ..trees.axes import Axis
 from ..trees.generators import random_tree
 from ..trees.structure import Signature, TreeStructure
-from ..trees.tree import Tree
-from .sat import OneInThreeInstance, satisfiable_instance
+from .sat import satisfiable_instance
 from .theorem51 import Theorem51Reduction, reduce_instance
 
 

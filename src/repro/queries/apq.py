@@ -12,7 +12,7 @@ its constituent conjunctive queries (Section 7).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator
 
 from ..trees.structure import Signature
 from .graph import is_acyclic

@@ -18,7 +18,7 @@ evaluator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Optional
 
 from .atoms import AxisAtom, Variable
 from .query import ConjunctiveQuery

@@ -20,7 +20,7 @@ from __future__ import annotations
 import re
 from typing import Iterable
 
-from ..trees.axes import Axis, axis_from_name
+from ..trees.axes import axis_from_name
 from .atoms import Atom, AxisAtom, LabelAtom
 from .query import ConjunctiveQuery, axis_chain
 

@@ -12,9 +12,9 @@ queries, which keeps the Section 6 rewrite system side-effect free.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import count
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from ..trees.axes import Axis
 from ..trees.structure import Signature

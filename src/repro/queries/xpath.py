@@ -29,7 +29,6 @@ The supported XPath surface syntax:
 from __future__ import annotations
 
 from itertools import count
-from typing import Iterator, Optional
 
 from ..trees.axes import Axis, INVERSE, XPATH_AXIS_NAMES
 from .apq import UnionQuery

@@ -40,7 +40,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import product
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional
 
 from ..trees.axes import Axis, holds
 from ..trees.tree import Tree

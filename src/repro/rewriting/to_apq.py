@@ -35,7 +35,7 @@ from ..queries.graph import Edge, QueryGraph
 from ..queries.query import ConjunctiveQuery
 from ..trees.axes import Axis
 from .cycles import eliminate_directed_cycles
-from .lifters import Conjunction, Lifter, lifter
+from .lifters import Conjunction, lifter
 
 
 class RewriteError(RuntimeError):

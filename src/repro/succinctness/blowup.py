@@ -81,7 +81,10 @@ def apq_matches_diamond_on_ps(apq: UnionQuery, n: int, pad: int) -> bool:
 
 def render_blowup_table(points: list[BlowupPoint]) -> str:
     """A textual table of the measured blow-up (used by EXPERIMENTS.md)."""
-    header = f"{'n':>3} {'|D_n|':>7} {'APQ disjuncts':>14} {'APQ size':>10} {'factor':>8} {'seconds':>9}"
+    header = (
+        f"{'n':>3} {'|D_n|':>7} {'APQ disjuncts':>14} "
+        f"{'APQ size':>10} {'factor':>8} {'seconds':>9}"
+    )
     lines = [header, "-" * len(header)]
     for point in points:
         lines.append(

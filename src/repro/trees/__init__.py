@@ -1,6 +1,16 @@
 """Tree substrate: unranked ordered labelled trees, axes, orders, generators."""
 
-from .axes import AX, Axis, AxisOracle, axis_from_name, holds, materialise, pairs, predecessors, successors
+from .axes import (
+    AX,
+    Axis,
+    AxisOracle,
+    axis_from_name,
+    holds,
+    materialise,
+    pairs,
+    predecessors,
+    successors,
+)
 from .builders import chain, from_nested, parse_sexpr, to_sexpr
 from .generators import (
     all_trees,
@@ -11,6 +21,7 @@ from .generators import (
     random_tree,
     scattered_path_structure,
 )
+from .index import AxisIndex, DomainView, nodes_in_pre_range, range_any, range_count
 from .node import Node
 from .orders import ALL_ORDERS, Order, less, minimum, rank, sorted_nodes
 from .structure import TAU, Signature, TreeStructure, structure
@@ -21,7 +32,9 @@ __all__ = [
     "AX",
     "ALL_ORDERS",
     "Axis",
+    "AxisIndex",
     "AxisOracle",
+    "DomainView",
     "Node",
     "Order",
     "Signature",
@@ -39,10 +52,13 @@ __all__ = [
     "less",
     "materialise",
     "minimum",
+    "nodes_in_pre_range",
     "pairs",
     "parse_sexpr",
     "path_structure",
     "predecessors",
+    "range_any",
+    "range_count",
     "random_binary_tree",
     "random_path",
     "random_tree",

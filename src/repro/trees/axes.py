@@ -28,7 +28,7 @@ translator.
 from __future__ import annotations
 
 from enum import Enum
-from typing import Callable, Iterable, Iterator
+from typing import Iterator
 
 from .tree import Tree
 
@@ -271,7 +271,9 @@ class AxisOracle:
     Evaluators construct a single oracle per (tree, query) evaluation so that
     repeated ``successors`` / ``predecessors`` enumerations of the same
     (axis, node) pair are answered from a cache.  ``holds`` stays uncached --
-    it is already O(1).
+    it is answered in O(1) from the tree's pre/post rank arrays (see
+    :mod:`repro.trees.index`); the module-level :func:`holds` remains the
+    traversal-based reference implementation used for cross-checks.
     """
 
     def __init__(self, tree: Tree):
@@ -280,7 +282,7 @@ class AxisOracle:
         self._pred_cache: dict[tuple[Axis, int], tuple[int, ...]] = {}
 
     def holds(self, axis: Axis, u: int, v: int) -> bool:
-        return holds(self.tree, axis, u, v)
+        return self.tree.index.holds(axis, u, v)
 
     def successors(self, axis: Axis, u: int) -> tuple[int, ...]:
         key = (axis, u)

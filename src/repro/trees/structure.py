@@ -15,11 +15,11 @@ discussion).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping, Optional, Sequence
 
-from . import axes as axes_mod
 from .axes import AX, Axis, AxisOracle
+from .index import AxisIndex, DomainView
 from .tree import Tree
 
 
@@ -153,6 +153,25 @@ class TreeStructure:
 
     def axis_predecessors(self, axis: Axis, v: int) -> Sequence[int]:
         return self.oracle.predecessors(axis, v)
+
+    # -- interval index --------------------------------------------------------
+
+    @property
+    def index(self) -> AxisIndex:
+        """The tree's lazily built pre/post interval index (shared per tree)."""
+        return self.tree.index
+
+    def domain_view(self, nodes: Iterable[int]) -> DomainView:
+        """Wrap a candidate node set in a sorted-array view for witness tests."""
+        return self.tree.index.view(nodes)
+
+    def axis_has_successor_in(self, axis: Axis, u: int, view: DomainView) -> bool:
+        """Does ``u`` have an ``axis`` successor inside the viewed set?"""
+        return self.tree.index.has_successor_in(axis, u, view)
+
+    def axis_has_predecessor_in(self, axis: Axis, v: int, view: DomainView) -> bool:
+        """Does ``v`` have an ``axis`` predecessor inside the viewed set?"""
+        return self.tree.index.has_predecessor_in(axis, v, view)
 
     # -- sizes -----------------------------------------------------------------
 

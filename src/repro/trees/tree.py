@@ -16,7 +16,7 @@ paper are answered in O(1) per pair from these numberings (see
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 from .node import Node
 
@@ -31,6 +31,7 @@ class Tree:
 
     def __init__(self, root: Node):
         self.root = root
+        self._index = None
         self.nodes: list[Node] = []
         self.parent: list[int] = []
         self.depth: list[int] = []
@@ -176,6 +177,22 @@ class Tree:
         for other in range(self.subtree_end[node_id] + 1, len(self.nodes)):
             if post[other] > post[node_id]:
                 yield other
+
+    # -- interval index --------------------------------------------------------
+
+    @property
+    def index(self):
+        """The lazily built :class:`~repro.trees.index.AxisIndex` of this tree.
+
+        Built on first access and shared by every :class:`TreeStructure`
+        wrapping this tree; the tree is immutable, so the index never needs
+        invalidation.
+        """
+        if self._index is None:
+            from .index import AxisIndex
+
+            self._index = AxisIndex(self)
+        return self._index
 
     # -- convenience -----------------------------------------------------------
 

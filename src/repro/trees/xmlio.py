@@ -17,7 +17,6 @@ It deliberately relies only on the standard library.
 from __future__ import annotations
 
 import xml.etree.ElementTree as ET
-from typing import Optional
 
 from .node import Node
 from .tree import Tree

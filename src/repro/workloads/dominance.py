@@ -41,7 +41,9 @@ class DominanceParseError(ValueError):
     """Raised when a constraint line cannot be parsed."""
 
 
-def parse_dominance_constraints(lines: Iterable[str] | str, name: str = "Dominance") -> ConjunctiveQuery:
+def parse_dominance_constraints(
+    lines: Iterable[str] | str, name: str = "Dominance"
+) -> ConjunctiveQuery:
     """Parse a dominance constraint set into a Boolean conjunctive query.
 
     Each line is either a binary constraint ``x <* y`` / ``x <+ y`` / ``x < y``

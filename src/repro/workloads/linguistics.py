@@ -16,7 +16,7 @@ plus the queries the paper mentions:
 from __future__ import annotations
 
 import random
-from typing import Optional, Sequence
+from typing import Optional
 
 from ..queries.query import ConjunctiveQuery, QueryBuilder
 from ..trees.node import Node

@@ -11,9 +11,9 @@ from repro.evaluation import (
     maximal_arc_consistent_horn,
     valuation_satisfies,
 )
-from repro.queries import parse_query
-from repro.trees import TreeStructure, from_nested, random_tree
 from repro.hardness import random_cyclic_query
+from repro.queries import parse_query
+from repro.trees import TreeStructure, random_tree
 from repro.trees.axes import Axis
 
 

@@ -28,13 +28,13 @@ from repro.evaluation import (
     satisfying_assignment,
     witness,
 )
+from repro.evaluation.arc_consistency import maximal_arc_consistent
 from repro.evaluation.backtracking import boolean_query_holds as bt_holds
 from repro.evaluation.xprop_evaluator import XPropertyEvaluationError
-from repro.evaluation.arc_consistency import maximal_arc_consistent
+from repro.hardness import random_cyclic_query
 from repro.queries import as_union, parse_query
 from repro.trees import Order, TreeStructure, from_nested, random_tree
 from repro.trees.axes import Axis
-from repro.hardness import random_cyclic_query
 
 
 class TestXPropertyEvaluator:
@@ -230,7 +230,10 @@ class TestBacktrackingEvaluator:
 
 class TestPlanner:
     def test_engine_choice(self):
-        assert choose_engine(parse_query("Q <- Child+(x, y), Child*(y, z), Child+(z, x)")) is Engine.XPROPERTY
+        assert (
+            choose_engine(parse_query("Q <- Child+(x, y), Child*(y, z), Child+(z, x)"))
+            is Engine.XPROPERTY
+        )
         assert choose_engine(parse_query("Q <- Child(x, y), Following(y, z)")) is Engine.ACYCLIC
         assert (
             choose_engine(parse_query("Q <- Child(x, y), Child+(x, y)"))

@@ -2,9 +2,16 @@
 
 from __future__ import annotations
 
-import pytest
 
-from repro.experiments import figure8, figure9, polytime, rewriting_report, table1, table2, xproperty_figures
+from repro.experiments import (
+    figure8,
+    figure9,
+    polytime,
+    rewriting_report,
+    table1,
+    table2,
+    xproperty_figures,
+)
 
 
 class TestTable1Experiment:

@@ -8,7 +8,6 @@ other.
 
 from __future__ import annotations
 
-import pytest
 
 import repro
 from repro import (

@@ -66,7 +66,10 @@ def queries(draw, axes: tuple[Axis, ...], max_variables: int = 4) -> Conjunctive
     rng = random.Random(draw(st.integers(min_value=0, max_value=10_000)))
     atoms: list = []
     for _ in range(num_atoms):
-        source, target = rng.sample(variables, 2) if num_variables >= 2 else (variables[0], variables[0])
+        if num_variables >= 2:
+            source, target = rng.sample(variables, 2)
+        else:
+            source, target = variables[0], variables[0]
         atoms.append(AxisAtom(rng.choice(list(axes)), source, target))
     for variable in variables:
         if rng.random() < 0.5:

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.queries import ConjunctiveQuery, QueryGraph, QueryParseError, parse_query
-from repro.queries.atoms import AxisAtom, LabelAtom
 from repro.queries.graph import has_directed_cycle, is_acyclic
 from repro.trees import Axis
 

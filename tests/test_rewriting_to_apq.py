@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.hardness import random_cyclic_query
 from repro.queries import (
     equivalent_on_samples,
     equivalent_on_trees,
@@ -21,9 +22,7 @@ from repro.rewriting import (
     to_apq,
     to_apq_theorem_610,
 )
-from repro.evaluation import evaluate_on_tree
-from repro.hardness import random_cyclic_query
-from repro.trees import Axis, from_nested
+from repro.trees import Axis
 
 
 class TestLemma64DirectedCycles:
@@ -124,7 +123,9 @@ class TestToApq:
         assert any(step.operation == "eliminate-following" for step in trace.steps)
         assert any(step.operation == "apply-lifter" for step in trace.steps)
         assert (
-            equivalent_on_samples(query, apq, samples=8, size=14, alphabet=("S", "NP", "PP"), seed=1)
+            equivalent_on_samples(
+                query, apq, samples=8, size=14, alphabet=("S", "NP", "PP"), seed=1
+            )
             is None
         )
 

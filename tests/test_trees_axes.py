@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.trees import Axis, AxisOracle, axis_from_name, from_nested, materialise, random_tree
+from repro.trees import Axis, AxisOracle, axis_from_name, materialise
 from repro.trees.axes import AX, INVERSE, holds, is_irreflexive, pairs, predecessors, successors
 
 

@@ -1,0 +1,293 @@
+"""Tests for the pre/post interval index (:mod:`repro.trees.index`).
+
+The index must agree *exactly* with the traversal-based reference
+implementation in :mod:`repro.trees.axes` -- on ``holds`` for every axis and
+on witness existence against arbitrary candidate sets -- and the interval
+revise step must reach the same arc-consistency fixpoint as both the
+enumeration revise step and the literal Horn program of Proposition 3.1.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import (
+    initial_domains,
+    is_arc_consistent,
+    maximal_arc_consistent,
+    maximal_arc_consistent_horn,
+)
+from repro.evaluation.arc_consistency import _revise_enumeration, _revise_interval
+from repro.hardness import random_cyclic_query
+from repro.queries import parse_query
+from repro.trees import (
+    Axis,
+    TreeStructure,
+    chain,
+    from_nested,
+    nodes_in_pre_range,
+    random_tree,
+    range_any,
+    range_count,
+)
+from repro.trees.axes import holds as naive_holds
+from repro.trees.axes import predecessors as naive_predecessors
+from repro.trees.axes import successors as naive_successors
+
+ALL_AXES = tuple(Axis)
+ALPHABET = ("A", "B", "C")
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def sample_trees():
+    """A deterministic mix of shapes: chains, stars, and random trees."""
+    trees = [
+        chain(["A"]),
+        chain(["A", "B", "A", "C", "B"]),
+        from_nested(("R", [("A", []), ("B", []), ("C", []), ("A", []), ("B", [])])),
+    ]
+    for size, seed in [(9, 0), (17, 1), (30, 2), (45, 3)]:
+        trees.append(random_tree(size, alphabet=ALPHABET, seed=seed))
+    for size, seed in [(20, 4), (35, 5)]:
+        trees.append(random_tree(size, alphabet=ALPHABET, max_children=2, seed=seed))
+    return trees
+
+
+TREES = sample_trees()
+
+
+@st.composite
+def trees(draw, max_size: int = 16):
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return random_tree(size, alphabet=ALPHABET, max_children=3, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Bisect primitives.
+# ---------------------------------------------------------------------------
+
+
+class TestPrimitives:
+    def test_against_bruteforce(self):
+        rng = random.Random(11)
+        for _ in range(200):
+            array = sorted(rng.sample(range(60), rng.randint(0, 25)))
+            lo = rng.randint(-5, 65)
+            hi = rng.randint(-5, 65)
+            expected = [x for x in array if lo <= x < hi]
+            assert range_count(array, lo, hi) == len(expected)
+            assert range_any(array, lo, hi) == bool(expected)
+            assert list(nodes_in_pre_range(array, lo, hi)) == expected
+
+    def test_empty_array(self):
+        assert range_count([], 0, 10) == 0
+        assert not range_any([], 0, 10)
+        assert list(nodes_in_pre_range([], 0, 10)) == []
+
+
+# ---------------------------------------------------------------------------
+# Rank arrays and per-label lists.
+# ---------------------------------------------------------------------------
+
+
+class TestRankArrays:
+    @pytest.mark.parametrize("tree_index", range(len(TREES)))
+    def test_arrays_consistent_with_tree(self, tree_index):
+        tree = TREES[tree_index]
+        index = tree.index
+        n = len(tree)
+        assert index.pre == list(range(n))
+        assert sorted(index.post) == list(range(n))
+        assert [index.post[node] for node in index.nodes_by_post] == list(range(n))
+        for node in tree.node_ids():
+            children = tree.children_of[node]
+            assert index.first_child[node] == (children[0] if children else -1)
+            expected_next = tree.next_sibling(node)
+            assert index.next_sibling[node] == (expected_next if expected_next is not None else -1)
+            if index.prev_sibling[node] >= 0:
+                assert tree.next_sibling(index.prev_sibling[node]) == node
+
+    @pytest.mark.parametrize("tree_index", range(len(TREES)))
+    def test_label_nodes_sorted_and_complete(self, tree_index):
+        tree = TREES[tree_index]
+        index = tree.index
+        for label in tree.alphabet():
+            nodes = list(index.label_nodes(label))
+            assert nodes == sorted(nodes)
+            assert nodes == [v for v in tree.node_ids() if tree.has_label(v, label)]
+        assert list(index.label_nodes("no-such-label")) == []
+
+    def test_index_is_cached_and_shared(self):
+        tree = TREES[3]
+        assert tree.index is tree.index
+        structure = TreeStructure(tree)
+        assert structure.index is tree.index
+
+
+# ---------------------------------------------------------------------------
+# holds: rank-comparison vs traversal reference, every axis, all pairs.
+# ---------------------------------------------------------------------------
+
+
+class TestHolds:
+    @pytest.mark.parametrize("axis", ALL_AXES, ids=lambda axis: axis.value)
+    def test_holds_matches_naive_on_all_pairs(self, axis):
+        for tree in TREES:
+            index = tree.index
+            for u in tree.node_ids():
+                for v in tree.node_ids():
+                    assert index.holds(axis, u, v) == naive_holds(tree, axis, u, v), (
+                        f"{axis.value}({u}, {v}) disagrees on {tree!r}"
+                    )
+
+    @SETTINGS
+    @given(trees())
+    def test_holds_matches_naive_hypothesis(self, tree):
+        index = tree.index
+        for axis in ALL_AXES:
+            for u in tree.node_ids():
+                for v in tree.node_ids():
+                    assert index.holds(axis, u, v) == naive_holds(tree, axis, u, v)
+
+
+# ---------------------------------------------------------------------------
+# Witness tests against candidate sets, every axis.
+# ---------------------------------------------------------------------------
+
+
+def candidate_sets(tree, rng, count=6):
+    n = len(tree)
+    sets = [set(), set(tree.node_ids())]
+    for _ in range(count):
+        sets.append(set(rng.sample(range(n), rng.randint(0, n))))
+    return sets
+
+
+class TestWitnesses:
+    @pytest.mark.parametrize("axis", ALL_AXES, ids=lambda axis: axis.value)
+    def test_witnesses_match_naive_enumeration(self, axis):
+        rng = random.Random(99)
+        for tree in TREES:
+            index = tree.index
+            for nodes in candidate_sets(tree, rng):
+                view = index.view(nodes)
+                for u in tree.node_ids():
+                    expected = any(w in nodes for w in naive_successors(tree, axis, u))
+                    assert index.has_successor_in(axis, u, view) == expected
+                    expected = any(w in nodes for w in naive_predecessors(tree, axis, u))
+                    assert index.has_predecessor_in(axis, u, view) == expected
+
+    @SETTINGS
+    @given(trees(), st.integers(min_value=0, max_value=10_000))
+    def test_witnesses_match_naive_hypothesis(self, tree, seed):
+        rng = random.Random(seed)
+        index = tree.index
+        nodes = set(rng.sample(range(len(tree)), rng.randint(0, len(tree))))
+        view = index.view(nodes)
+        for axis in ALL_AXES:
+            for u in tree.node_ids():
+                expected = any(w in nodes for w in naive_successors(tree, axis, u))
+                assert index.has_successor_in(axis, u, view) == expected
+                expected = any(w in nodes for w in naive_predecessors(tree, axis, u))
+                assert index.has_predecessor_in(axis, u, view) == expected
+
+    def test_structure_passthrough(self, sentence_structure):
+        view = sentence_structure.domain_view({3, 7})
+        assert sentence_structure.axis_has_predecessor_in(Axis.CHILD, 3, view) is False
+        view = sentence_structure.domain_view({1, 6})
+        assert sentence_structure.axis_has_predecessor_in(Axis.CHILD, 3, view) is True
+        assert sentence_structure.axis_has_successor_in(Axis.CHILD_PLUS, 0, view) is True
+
+
+# ---------------------------------------------------------------------------
+# Revise steps: interval vs enumeration, fixpoint vs Horn program.
+# ---------------------------------------------------------------------------
+
+
+def random_queries(rng):
+    queries = [
+        parse_query("Q <- A(x), Child+(x, y), B(y)"),
+        parse_query("Q <- A(x), Child(x, y), Following(y, z), C(z)"),
+        parse_query("Q <- NextSibling+(x, y), Child*(y, z), NextSibling*(z, w)"),
+        parse_query("Q <- Child*(x, x), Following(x, y)"),
+    ]
+    for seed in range(6):
+        queries.append(
+            random_cyclic_query(
+                (
+                    Axis.CHILD,
+                    Axis.CHILD_PLUS,
+                    Axis.CHILD_STAR,
+                    Axis.NEXT_SIBLING,
+                    Axis.NEXT_SIBLING_PLUS,
+                    Axis.NEXT_SIBLING_STAR,
+                    Axis.FOLLOWING,
+                ),
+                num_variables=rng.randint(3, 5),
+                num_extra_atoms=rng.randint(0, 3),
+                seed=seed,
+            )
+        )
+    return queries
+
+
+class TestReviseAgreement:
+    def test_single_revise_steps_agree(self):
+        rng = random.Random(5)
+        for tree in TREES:
+            structure = TreeStructure(tree)
+            for query in random_queries(rng):
+                for atom in query.axis_atoms():
+                    domains_a = initial_domains(query, structure)
+                    domains_b = {k: set(v) for k, v in domains_a.items()}
+                    changed_a = _revise_interval(atom, domains_a, structure)
+                    changed_b = _revise_enumeration(atom, domains_b, structure)
+                    assert domains_a == domains_b
+                    assert sorted(changed_a) == sorted(changed_b)
+
+    def test_fixpoint_matches_enumeration_and_horn(self):
+        rng = random.Random(6)
+        for tree in TREES:
+            structure = TreeStructure(tree)
+            for query in random_queries(rng):
+                via_index = maximal_arc_consistent(query, structure, use_index=True)
+                via_enum = maximal_arc_consistent(query, structure, use_index=False)
+                via_horn = maximal_arc_consistent_horn(query, structure)
+                assert via_index == via_enum
+                assert via_index == via_horn
+                if via_index is not None:
+                    assert is_arc_consistent(query, structure, via_index)
+
+    def test_fixpoint_matches_horn_with_pinning(self):
+        tree = TREES[5]
+        structure = TreeStructure(tree)
+        query = parse_query("Q(x) <- A(x), Child+(x, y), B(y)")
+        for pin in range(len(tree)):
+            via_index = maximal_arc_consistent(query, structure, pinned={"x": pin})
+            via_horn = maximal_arc_consistent_horn(query, structure, pinned={"x": pin})
+            assert via_index == via_horn
+
+    @SETTINGS
+    @given(trees(), st.integers(min_value=0, max_value=10_000))
+    def test_fixpoint_equality_hypothesis(self, tree, seed):
+        rng = random.Random(seed)
+        structure = TreeStructure(tree)
+        query = random_cyclic_query(
+            tuple(Axis(a) for a in ("Child", "Child+", "Child*", "Following")),
+            num_variables=rng.randint(3, 4),
+            num_extra_atoms=rng.randint(0, 2),
+            seed=seed,
+        )
+        via_index = maximal_arc_consistent(query, structure, use_index=True)
+        via_horn = maximal_arc_consistent_horn(query, structure)
+        assert via_index == via_horn
