@@ -19,7 +19,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from .evaluation import choose_engine, evaluate
+from .evaluation import Propagator, choose_engine, evaluate
 from .queries import ConjunctiveQuery, parse_query, xpath_to_cq
 from .rewriting import RewriteTrace, to_apq
 from .trees import Tree, TreeStructure, from_xml_file, parse_sexpr
@@ -48,10 +48,11 @@ def _command_evaluate(args: argparse.Namespace) -> int:
     query = _load_query(args)
     structure = TreeStructure(tree)
     engine = choose_engine(query)
-    answers = sorted(evaluate(query, structure))
+    propagator = Propagator(args.propagator)
+    answers = sorted(evaluate(query, structure, propagator=propagator))
     print(f"query    : {query}")
     print(f"signature: {query.signature()}  ({classify(query.signature()).value})")
-    print(f"engine   : {engine.value}")
+    print(f"engine   : {engine.value} (propagator: {propagator.value})")
     print(f"tree     : {len(tree)} nodes")
     if query.is_boolean:
         print(f"answer   : {'true' if answers else 'false'}")
@@ -125,6 +126,12 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate_parser.add_argument("--query", help="conjunctive query in datalog notation")
     evaluate_parser.add_argument("--xpath", help="query as an XPath expression")
     evaluate_parser.add_argument("--limit", type=int, default=None, help="max answers to print")
+    evaluate_parser.add_argument(
+        "--propagator",
+        choices=[propagator.value for propagator in Propagator],
+        default=Propagator.AC4.value,
+        help="arc-consistency engine (default: ac4 support counting)",
+    )
     evaluate_parser.set_defaults(handler=_command_evaluate)
 
     classify_parser = commands.add_parser(

@@ -1,12 +1,14 @@
 """Evaluation engines for conjunctive queries over trees."""
 
 from . import acyclic
+from .ac4 import ac4_fixpoint, maximal_arc_consistent_ac4
 from .arc_consistency import (
     is_arc_consistent,
     maximal_arc_consistent,
     maximal_arc_consistent_horn,
 )
 from .backtracking import SearchStatistics, count_solutions, find_solution, iter_solutions
+from .compile import AxisClass, CompiledAtom, CompiledQuery, compile_query
 from .domains import Domains, Valuation, domain_views, initial_domains, valuation_satisfies
 from .planner import (
     Engine,
@@ -18,6 +20,12 @@ from .planner import (
     is_satisfied,
     satisfying_assignment,
 )
+from .propagation import (
+    DEFAULT_PROPAGATOR,
+    PropagationResult,
+    Propagator,
+    propagate,
+)
 from .xprop_evaluator import (
     XPropertyEvaluationError,
     boolean_query_holds,
@@ -27,16 +35,24 @@ from .xprop_evaluator import (
 )
 
 __all__ = [
+    "AxisClass",
+    "CompiledAtom",
+    "CompiledQuery",
+    "DEFAULT_PROPAGATOR",
     "Domains",
     "Engine",
+    "PropagationResult",
+    "Propagator",
     "SearchStatistics",
     "Valuation",
     "XPropertyEvaluationError",
+    "ac4_fixpoint",
     "acyclic",
     "boolean_query_holds",
     "check_answer",
     "choose_engine",
     "choose_order",
+    "compile_query",
     "count_solutions",
     "domain_views",
     "evaluate",
@@ -48,8 +64,10 @@ __all__ = [
     "is_satisfied",
     "iter_solutions",
     "maximal_arc_consistent",
+    "maximal_arc_consistent_ac4",
     "maximal_arc_consistent_horn",
     "minimum_valuation",
+    "propagate",
     "satisfying_assignment",
     "valuation_satisfies",
     "witness",

@@ -16,24 +16,34 @@ to backtrack.  This module implements
   valuations (used by the examples and by answer enumeration for acyclic
   queries),
 * :func:`count_satisfactions` -- counting without materialising.
+
+The prevaluation is computed by the engine selected through ``propagator=``
+(AC-4 support counting by default; see :mod:`repro.evaluation.propagation`),
+and the enumeration consumes the compiled query's adjacency and the
+propagation result's maintained sorted views directly.  Enumeration order is
+**deterministic**: variables in compile order (first occurrence), candidate
+nodes in ascending node id, so repeated runs, test snapshots and different
+propagators all agree on the output sequence.
 """
 
 from __future__ import annotations
 
 from typing import Iterator, Mapping, Optional
 
-from ..queries.atoms import AxisAtom, Variable
+from ..queries.atoms import Variable
 from ..queries.graph import QueryGraph
 from ..queries.query import ConjunctiveQuery
 from ..trees.structure import TreeStructure
-from .arc_consistency import maximal_arc_consistent
+from .compile import compile_query
 from .domains import Valuation
+from .propagation import DEFAULT_PROPAGATOR, PropagatorLike, propagate
 
 
 def boolean_query_holds(
     query: ConjunctiveQuery,
     structure: TreeStructure,
     pinned: Optional[Mapping[Variable, int]] = None,
+    propagator: PropagatorLike = DEFAULT_PROPAGATOR,
 ) -> bool:
     """Boolean evaluation of an *acyclic* query.
 
@@ -45,42 +55,39 @@ def boolean_query_holds(
     graph = QueryGraph(query)
     if not graph.is_acyclic():
         raise ValueError("the acyclic evaluator requires an acyclic query")
-    return maximal_arc_consistent(query, structure, pinned) is not None
+    return propagate(query, structure, pinned, propagator) is not None
 
 
 def iter_satisfactions(
     query: ConjunctiveQuery,
     structure: TreeStructure,
     pinned: Optional[Mapping[Variable, int]] = None,
+    propagator: PropagatorLike = DEFAULT_PROPAGATOR,
 ) -> Iterator[Valuation]:
-    """Enumerate all satisfying valuations of an acyclic query.
+    """Enumerate all satisfying valuations of an acyclic query, deterministically.
 
     The enumeration instantiates each shadow-tree component root first and
     then children given their (unique) already-assigned neighbour, filtering
     with the arc-consistent domains; for acyclic queries this is
     backtrack-free per solution (each partial assignment extends to at least
     one solution), though the total number of solutions may of course be
-    large.
+    large.  Candidates are tried in ascending node order (the propagation
+    views are sorted arrays), so the output sequence is reproducible.
     """
     graph = QueryGraph(query)
     if not graph.is_acyclic():
         raise ValueError("the acyclic evaluator requires an acyclic query")
-    domains = maximal_arc_consistent(query, structure, pinned)
-    if domains is None:
+    result = propagate(query, structure, pinned, propagator)
+    if result is None:
         return
-    variables = query.variables()
+    compiled = compile_query(query)
+    variables = compiled.variables
     if not variables:
         yield {}
         return
 
     # Order variables so that each non-first variable of a component has at
     # least one earlier neighbour (BFS order over the shadow forest).
-    adjacency: dict[Variable, list[AxisAtom]] = {v: [] for v in variables}
-    for atom in query.axis_atoms():
-        adjacency[atom.source].append(atom)
-        if atom.target != atom.source:
-            adjacency[atom.target].append(atom)
-
     order: list[Variable] = []
     seen: set[Variable] = set()
     for start in variables:
@@ -91,34 +98,35 @@ def iter_satisfactions(
         while queue:
             variable = queue.pop(0)
             order.append(variable)
-            for atom in adjacency[variable]:
-                other = atom.target if atom.source == variable else atom.source
+            for atom in compiled.atoms_of(variable):
+                other = atom.other(variable)
                 if other not in seen:
                     seen.add(other)
                     queue.append(other)
 
+    index = structure.index
+
     def consistent_with_assigned(
         variable: Variable, node: int, assignment: Valuation
     ) -> bool:
-        for atom in adjacency[variable]:
-            other = atom.target if atom.source == variable else atom.source
-            if other == variable:
-                if not structure.axis_holds(atom.axis, node, node):
-                    return False
-                continue
+        # Self-loop atoms were already applied as filters during propagation.
+        for atom in compiled.atoms_of(variable):
+            other = atom.other(variable)
             if other in assignment:
                 source_node = node if atom.source == variable else assignment[other]
                 target_node = assignment[other] if atom.source == variable else node
-                if not structure.axis_holds(atom.axis, source_node, target_node):
+                if not index.holds(atom.axis, source_node, target_node):
                     return False
         return True
+
+    candidate_arrays = {variable: result.sorted_domain(variable) for variable in order}
 
     def extend(position: int, assignment: Valuation) -> Iterator[Valuation]:
         if position == len(order):
             yield dict(assignment)
             return
         variable = order[position]
-        for node in sorted(domains[variable]):
+        for node in candidate_arrays[variable]:
             if consistent_with_assigned(variable, node, assignment):
                 assignment[variable] = node
                 yield from extend(position + 1, assignment)
@@ -131,6 +139,7 @@ def count_satisfactions(
     query: ConjunctiveQuery,
     structure: TreeStructure,
     pinned: Optional[Mapping[Variable, int]] = None,
+    propagator: PropagatorLike = DEFAULT_PROPAGATOR,
 ) -> int:
     """Count all satisfying valuations of an acyclic query."""
-    return sum(1 for _ in iter_satisfactions(query, structure, pinned))
+    return sum(1 for _ in iter_satisfactions(query, structure, pinned, propagator))

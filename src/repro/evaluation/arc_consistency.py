@@ -13,11 +13,16 @@ time O(||A|| * |Q|).  Two implementations are provided:
 
 * :func:`maximal_arc_consistent` -- a worklist (AC-3 style) algorithm over the
   per-variable candidate domains.  It computes exactly the same fixpoint (the
-  greatest simultaneous fixpoint of the deletion rules) and is the one used by
-  the evaluators.
+  greatest simultaneous fixpoint of the deletion rules); since the AC-4
+  support-counting engine (:mod:`repro.evaluation.ac4`) became the planner
+  default it serves as the first-line ablation and cross-check.
 * :func:`maximal_arc_consistent_horn` -- a literal transcription of the Horn
   program from the proof (unit propagation over ``Remove(x, v)`` atoms), kept
   as an ablation baseline and as a cross-check in the tests.
+
+Engine selection lives in :mod:`repro.evaluation.propagation` (the planner's
+``propagator=`` dimension); all engines consume the shared
+:class:`~repro.evaluation.compile.CompiledQuery` representation.
 
 Both return ``None`` when no arc-consistent prevaluation exists (some variable
 loses all candidates), in which case the query is unsatisfiable on the
@@ -44,11 +49,12 @@ from typing import Mapping, Optional
 from ..queries.atoms import AxisAtom, LabelAtom, Variable
 from ..queries.query import ConjunctiveQuery
 from ..trees.structure import TreeStructure
-from .domains import Domains, initial_domains
+from .compile import AxisClass, CompiledAtom, CompiledQuery, compile_query
+from .domains import Domains
 
 
 def maximal_arc_consistent(
-    query: ConjunctiveQuery,
+    query: ConjunctiveQuery | CompiledQuery,
     structure: TreeStructure,
     pinned: Optional[Mapping[Variable, int]] = None,
     use_index: bool = True,
@@ -60,25 +66,27 @@ def maximal_arc_consistent(
     prevaluation exists, hence the query is not satisfied -- Lemma 3.4's
     complement).
 
+    Runs on the compile-once representation (:mod:`repro.evaluation.compile`):
+    normalized atoms, precomputed adjacency, per-atom axis classification and
+    the initial-domain recipe all come from the :class:`CompiledQuery` instead
+    of being re-derived per call.
+
     ``use_index=False`` forces the per-candidate enumeration revise step
     instead of the interval-index one; both reach the same fixpoint (the
     deletion rules are confluent), so the flag exists only for ablation
     benchmarks and cross-checking tests.
     """
-    domains = initial_domains(query, structure, pinned)
+    compiled = query if isinstance(query, CompiledQuery) else compile_query(query)
+    domains = compiled.initial_domains(structure, pinned)
     if any(not domain for domain in domains.values()):
         return None
 
-    axis_atoms = query.axis_atoms()
-    # Atoms touching each variable, for efficient re-queueing.
-    atoms_of: dict[Variable, list[AxisAtom]] = {v: [] for v in query.variables()}
-    for atom in axis_atoms:
-        atoms_of[atom.source].append(atom)
-        if atom.target != atom.source:
-            atoms_of[atom.target].append(atom)
+    # Self-loops R(x, x) are static per-node filters: apply them once.
+    if not compiled.apply_loop_filters(domains, structure):
+        return None
 
-    queue: deque[AxisAtom] = deque(axis_atoms)
-    queued: set[AxisAtom] = set(axis_atoms)
+    queue: deque[CompiledAtom] = deque(compiled.edges)
+    queued: set[CompiledAtom] = set(compiled.edges)
 
     while queue:
         atom = queue.popleft()
@@ -87,7 +95,7 @@ def maximal_arc_consistent(
         for variable in changed_variables:
             if not domains[variable]:
                 return None
-            for neighbour_atom in atoms_of[variable]:
+            for neighbour_atom in compiled.atoms_of(variable):
                 if neighbour_atom not in queued:
                     queue.append(neighbour_atom)
                     queued.add(neighbour_atom)
@@ -95,27 +103,24 @@ def maximal_arc_consistent(
 
 
 def _revise(
-    atom: AxisAtom,
+    atom: CompiledAtom,
     domains: Domains,
     structure: TreeStructure,
     use_index: bool = True,
 ) -> list[Variable]:
     """Remove unsupported candidates for both endpoints of ``atom``.
 
-    Dispatches to the interval-index revise step, falling back to the
-    enumeration step for axes outside the index's dispatch table.  Returns the
-    variables whose domains shrank.
+    Dispatches on the compile-time axis classification: interval/local axes go
+    through the index revise step, enumeration-class axes through the
+    materializing one.  Returns the variables whose domains shrank.
     """
-    if use_index:
-        try:
-            return _revise_interval(atom, domains, structure)
-        except NotImplementedError:
-            return _revise_enumeration(atom, domains, structure)
+    if use_index and atom.axis_class is not AxisClass.ENUMERATION:
+        return _revise_interval(atom, domains, structure)
     return _revise_enumeration(atom, domains, structure)
 
 
 def _revise_interval(
-    atom: AxisAtom, domains: Domains, structure: TreeStructure
+    atom: CompiledAtom, domains: Domains, structure: TreeStructure
 ) -> list[Variable]:
     """Interval-index revise: witness tests against sorted-array domain views.
 
@@ -128,14 +133,6 @@ def _revise_interval(
     index = structure.index
     source_domain = domains[atom.source]
     target_domain = domains[atom.target]
-
-    if atom.source == atom.target:
-        # Self-loop R(x, x): keep only nodes related to themselves.
-        keep = {v for v in source_domain if index.holds(atom.axis, v, v)}
-        if keep != source_domain:
-            domains[atom.source] = keep
-            changed.append(atom.source)
-        return changed
 
     # Forward direction: every v in Phi(source) needs a witness in Phi(target).
     target_view = index.view(target_domain)
@@ -162,20 +159,12 @@ def _revise_interval(
 
 
 def _revise_enumeration(
-    atom: AxisAtom, domains: Domains, structure: TreeStructure
+    atom: CompiledAtom, domains: Domains, structure: TreeStructure
 ) -> list[Variable]:
     """Enumeration revise: materialize the relation per candidate (baseline)."""
     changed: list[Variable] = []
     source_domain = domains[atom.source]
     target_domain = domains[atom.target]
-
-    if atom.source == atom.target:
-        # Self-loop R(x, x): keep only nodes related to themselves.
-        keep = {v for v in source_domain if structure.axis_holds(atom.axis, v, v)}
-        if keep != source_domain:
-            domains[atom.source] = keep
-            changed.append(atom.source)
-        return changed
 
     # Forward direction: every v in Phi(source) needs a witness in Phi(target).
     keep_source = set()
@@ -235,7 +224,7 @@ def is_arc_consistent(
 
 
 def maximal_arc_consistent_horn(
-    query: ConjunctiveQuery,
+    query: ConjunctiveQuery | CompiledQuery,
     structure: TreeStructure,
     pinned: Optional[Mapping[Variable, int]] = None,
 ) -> Optional[Domains]:
@@ -253,7 +242,8 @@ def maximal_arc_consistent_horn(
     Unit propagation (linear in the program size) computes the least model;
     the complement of ``Remove`` is the maximal arc-consistent prevaluation.
     """
-    variables = query.variables()
+    compiled = query if isinstance(query, CompiledQuery) else compile_query(query)
+    variables = compiled.variables
     nodes = list(structure.domain())
 
     # Proposition index: (variable, node) -> proposition id.
@@ -279,19 +269,21 @@ def maximal_arc_consistent_horn(
             watchers.setdefault(proposition, []).append(clause_id)
 
     # Unary facts.
-    for atom in query.body:
-        if isinstance(atom, LabelAtom):
+    for variable, labels in compiled.labels_by_variable.items():
+        for label_name in labels:
             for node in nodes:
-                if not structure.unary_holds(atom.label, node):
-                    facts.append(proposition_of[(atom.variable, node)])
+                if not structure.unary_holds(label_name, node):
+                    facts.append(proposition_of[(variable, node)])
     if pinned:
         for variable, pin in pinned.items():
+            if variable not in compiled.variable_index:
+                raise ValueError(f"pinned variable {variable!r} not in the query")
             for node in nodes:
                 if node != pin:
                     facts.append(proposition_of[(variable, node)])
 
-    # Binary clauses.
-    for atom in query.axis_atoms():
+    # Binary clauses (normalized atoms; self-loops included).
+    for atom in compiled.atoms:
         for v in nodes:
             body = [
                 proposition_of[(atom.target, w)]

@@ -11,25 +11,31 @@ serves three purposes in the reproduction:
 * with ``count_solutions`` / ``iter_solutions`` it powers answer enumeration
   for arbitrary queries.
 
-The search uses arc consistency as preprocessing, a smallest-domain-first
-variable order restricted to variables connected to already-assigned ones,
-consistency checks against already-assigned neighbours, and *index-based
-forward checking*: a freshly assigned node must still have an axis witness
-inside the (static) candidate domain of every unassigned neighbour, a
-necessary condition tested in O(log n) against the domain's sorted-array view
-(:mod:`repro.trees.index`) before the subtree of the search is entered.
-The worst case remains exponential -- necessarily so, by Section 5.
+The search uses arc consistency as preprocessing (through the pluggable
+``propagator=`` engine, AC-4 support counting by default), a
+smallest-domain-first variable order restricted to variables connected to
+already-assigned ones, consistency checks against already-assigned neighbours,
+and *index-based forward checking*: a freshly assigned node must still have an
+axis witness inside the (static) candidate domain of every unassigned
+neighbour, a necessary condition tested in O(log n) against the domain's
+sorted-array view (:mod:`repro.trees.index`) before the subtree of the search
+is entered.  The views are the ones the propagation engine already maintains
+-- AC-4 hands its incremental views over at the fixpoint instead of having
+them rebuilt.  Candidates are tried in ascending node order, so the solution
+sequence is deterministic.  The worst case remains exponential -- necessarily
+so, by Section 5.
 """
 
 from __future__ import annotations
 
 from typing import Iterator, Mapping, Optional
 
-from ..queries.atoms import AxisAtom, Variable
+from ..queries.atoms import Variable
 from ..queries.query import ConjunctiveQuery
 from ..trees.structure import TreeStructure
-from .arc_consistency import maximal_arc_consistent
-from .domains import Valuation, domain_views, valuation_satisfies
+from .compile import compile_query
+from .domains import Valuation, valuation_satisfies
+from .propagation import DEFAULT_PROPAGATOR, PropagationResult, PropagatorLike, propagate
 
 
 class SearchStatistics:
@@ -53,35 +59,33 @@ def iter_solutions(
     pinned: Optional[Mapping[Variable, int]] = None,
     use_arc_consistency: bool = True,
     statistics: Optional[SearchStatistics] = None,
+    propagator: PropagatorLike = DEFAULT_PROPAGATOR,
 ) -> Iterator[Valuation]:
     """Enumerate all satisfying valuations by backtracking search."""
-    variables = query.variables()
+    compiled = compile_query(query)
+    variables = compiled.variables
     if not variables:
         yield {}
         return
 
     if use_arc_consistency:
-        domains = maximal_arc_consistent(query, structure, pinned)
-        if domains is None:
+        result = propagate(query, structure, pinned, propagator)
+        if result is None:
             return
     else:
-        from .domains import initial_domains
-
-        domains = initial_domains(query, structure, pinned)
+        domains = compiled.initial_domains(structure, pinned)
         if any(not domain for domain in domains.values()):
             return
+        result = PropagationResult(structure, domains)
 
-    atoms_of: dict[Variable, list[AxisAtom]] = {v: [] for v in variables}
-    for atom in query.axis_atoms():
-        atoms_of[atom.source].append(atom)
-        if atom.target != atom.source:
-            atoms_of[atom.target].append(atom)
+    domains = result.domains
+    # Sorted-array views of the (static) domains, for forward witness checks
+    # and deterministic candidate order; maintained views when AC-4 ran.
+    views = result.views
+    index = structure.index
+    loops = compiled.loops
 
     stats = statistics if statistics is not None else SearchStatistics()
-
-    # Sorted-array views of the (static) domains, for forward witness checks.
-    index = structure.index
-    views = domain_views(structure, domains)
 
     def select_variable(assignment: Valuation) -> Variable:
         unassigned = [v for v in variables if v not in assignment]
@@ -90,27 +94,28 @@ def iter_solutions(
             for v in unassigned
             if any(
                 (atom.source in assignment or atom.target in assignment)
-                for atom in atoms_of[v]
+                for atom in compiled.atoms_of(v)
             )
         ]
         pool = connected if connected else unassigned
         return min(pool, key=lambda v: len(domains[v]))
 
     def consistent(variable: Variable, node: int, assignment: Valuation) -> bool:
-        for atom in atoms_of[variable]:
+        for atom in compiled.atoms_of(variable):
             source = node if atom.source == variable else assignment.get(atom.source)
             target = node if atom.target == variable else assignment.get(atom.target)
             if source is None or target is None:
                 continue
-            if not structure.axis_holds(atom.axis, source, target):
+            if not index.holds(atom.axis, source, target):
+                return False
+        for atom in loops:
+            if atom.source == variable and not index.holds(atom.axis, node, node):
                 return False
         return True
 
     def forward_check(variable: Variable, node: int, assignment: Valuation) -> bool:
         """A necessary condition: witnesses must survive in unassigned domains."""
-        for atom in atoms_of[variable]:
-            if atom.source == atom.target:
-                continue
+        for atom in compiled.atoms_of(variable):
             if atom.source == variable and atom.target not in assignment:
                 if not index.has_successor_in(atom.axis, node, views[atom.target]):
                     return False
@@ -124,7 +129,7 @@ def iter_solutions(
             yield dict(assignment)
             return
         variable = select_variable(assignment)
-        for node in sorted(domains[variable]):
+        for node in views[variable].array:
             stats.nodes_expanded += 1
             if not consistent(variable, node, assignment):
                 stats.backtracks += 1
@@ -145,10 +150,11 @@ def boolean_query_holds(
     pinned: Optional[Mapping[Variable, int]] = None,
     use_arc_consistency: bool = True,
     statistics: Optional[SearchStatistics] = None,
+    propagator: PropagatorLike = DEFAULT_PROPAGATOR,
 ) -> bool:
     """Boolean evaluation: is there at least one satisfying valuation?"""
     for _ in iter_solutions(
-        query, structure, pinned, use_arc_consistency, statistics
+        query, structure, pinned, use_arc_consistency, statistics, propagator
     ):
         return True
     return False
@@ -158,18 +164,20 @@ def count_solutions(
     query: ConjunctiveQuery,
     structure: TreeStructure,
     pinned: Optional[Mapping[Variable, int]] = None,
+    propagator: PropagatorLike = DEFAULT_PROPAGATOR,
 ) -> int:
     """Count all satisfying valuations (exponentially many in the worst case)."""
-    return sum(1 for _ in iter_solutions(query, structure, pinned))
+    return sum(1 for _ in iter_solutions(query, structure, pinned, propagator=propagator))
 
 
 def find_solution(
     query: ConjunctiveQuery,
     structure: TreeStructure,
     pinned: Optional[Mapping[Variable, int]] = None,
+    propagator: PropagatorLike = DEFAULT_PROPAGATOR,
 ) -> Optional[Valuation]:
     """Return some satisfying valuation, or ``None``."""
-    for solution in iter_solutions(query, structure, pinned):
+    for solution in iter_solutions(query, structure, pinned, propagator=propagator):
         assert valuation_satisfies(query, structure, solution)
         return solution
     return None

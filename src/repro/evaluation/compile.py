@@ -1,0 +1,256 @@
+"""Compile-once query representation shared by every evaluation engine.
+
+Every evaluator used to re-derive the same facts about a query on every call:
+``axis_atoms()`` filtered the body, ``atoms_of``/adjacency maps were rebuilt by
+hand in :mod:`arc_consistency`, :mod:`acyclic` and :mod:`backtracking`, and the
+initial-domain computation re-walked the body per evaluation.  This module
+factors all of that into a single :class:`CompiledQuery` produced (and cached)
+by :func:`compile_query`:
+
+* **variable numbering** -- ``variables`` in first-occurrence order plus a
+  ``variable_index`` mapping, so engines can use dense arrays when they want;
+* **atom normalization** -- inverse axes (``Parent``, ``Ancestor``,
+  ``Preceding``, ...) are rewritten to their forward counterpart with the
+  endpoints swapped (``Parent(x, y)`` denotes the same constraint as
+  ``Child(y, x)``), and duplicate constraints are dropped, so engines only ever
+  see the forward axis vocabulary;
+* **axis classification** -- each atom is tagged :class:`AxisClass` ``INTERVAL``
+  (answerable by bisection/aggregates over pre/post ranks), ``LOCAL``
+  (answerable by direct array lookups) or ``ENUMERATION`` (requires
+  materializing the relation), which replaces the try/except dispatch the AC-3
+  revise step used;
+* **adjacency** -- per-variable tuples of the (non-loop) atoms touching the
+  variable, plus the self-loop atoms separately (a self-loop is a static node
+  filter, not a propagation edge);
+* **initial-domain recipe** -- the per-variable unary relation names, so
+  :meth:`CompiledQuery.initial_domains` builds the starting prevaluation
+  without re-scanning the body.
+
+Compilation depends only on the query (never on the structure), so
+:func:`compile_query` memoizes on the (hashable, immutable)
+:class:`~repro.queries.query.ConjunctiveQuery` itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from functools import lru_cache
+from typing import Mapping, Optional
+
+from ..queries.atoms import AxisAtom, LabelAtom, Variable
+from ..queries.query import ConjunctiveQuery
+from ..trees.axes import INVERSE, Axis
+from ..trees.structure import TreeStructure
+from .domains import Domains
+
+
+class AxisClass(str, Enum):
+    """How the interval index can answer witness queries for an axis."""
+
+    INTERVAL = "interval"
+    LOCAL = "local"
+    ENUMERATION = "enumeration"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Axes answered by bisection / order statistics over pre/post rank arrays.
+INTERVAL_AXES: frozenset[Axis] = frozenset(
+    {
+        Axis.CHILD_PLUS,
+        Axis.CHILD_STAR,
+        Axis.FOLLOWING,
+        Axis.NEXT_SIBLING_PLUS,
+        Axis.NEXT_SIBLING_STAR,
+        Axis.DOCUMENT_ORDER,
+    }
+)
+
+#: Axes answered by a direct local-structure array lookup (parent, sibling, ...).
+LOCAL_AXES: frozenset[Axis] = frozenset(
+    {Axis.CHILD, Axis.NEXT_SIBLING, Axis.SUCC_PRE, Axis.SELF}
+)
+
+#: Inverse axes normalised away during compilation (argument swap).
+_REVERSED_AXES: frozenset[Axis] = frozenset(
+    {
+        Axis.PARENT,
+        Axis.ANCESTOR,
+        Axis.ANCESTOR_OR_SELF,
+        Axis.PREVIOUS_SIBLING,
+        Axis.PRECEDING_SIBLING,
+        Axis.PRECEDING,
+    }
+)
+
+
+def classify_axis(axis: Axis) -> AxisClass:
+    """The index's answer strategy for ``axis`` (after normalization)."""
+    if axis in INTERVAL_AXES:
+        return AxisClass.INTERVAL
+    if axis in LOCAL_AXES:
+        return AxisClass.LOCAL
+    return AxisClass.ENUMERATION
+
+
+@dataclass(frozen=True)
+class CompiledAtom:
+    """A normalized binary atom: forward axis, classified, original kept."""
+
+    axis: Axis
+    source: Variable
+    target: Variable
+    axis_class: AxisClass
+    original: AxisAtom
+
+    @property
+    def is_loop(self) -> bool:
+        return self.source == self.target
+
+    def other(self, variable: Variable) -> Variable:
+        """The endpoint opposite to ``variable`` (itself for self-loops)."""
+        return self.target if variable == self.source else self.source
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.axis.value}({self.source}, {self.target})"
+
+
+def normalize_atom(atom: AxisAtom) -> CompiledAtom:
+    """Rewrite an atom over an inverse axis to the forward axis, endpoints swapped."""
+    axis, source, target = atom.axis, atom.source, atom.target
+    if axis in _REVERSED_AXES:
+        axis, source, target = INVERSE[axis], target, source
+    return CompiledAtom(axis, source, target, classify_axis(axis), atom)
+
+
+@dataclass(frozen=True, eq=False)
+class CompiledQuery:
+    """The compile-once representation every evaluation engine consumes.
+
+    ``atoms`` holds every distinct normalized binary constraint; ``edges`` the
+    non-loop subset (the propagation graph), ``loops`` the self-loop subset
+    (static per-node filters).  ``adjacency`` maps each variable to the edges
+    touching it, in body order.
+    """
+
+    query: ConjunctiveQuery
+    variables: tuple[Variable, ...]
+    variable_index: Mapping[Variable, int]
+    atoms: tuple[CompiledAtom, ...]
+    edges: tuple[CompiledAtom, ...]
+    loops: tuple[CompiledAtom, ...]
+    adjacency: Mapping[Variable, tuple[CompiledAtom, ...]]
+    labels_by_variable: Mapping[Variable, tuple[str, ...]]
+
+    # -- initial-domain recipe -------------------------------------------------
+
+    def initial_domains(
+        self,
+        structure: TreeStructure,
+        pinned: Optional[Mapping[Variable, int]] = None,
+    ) -> Domains:
+        """Per-variable candidate node sets before propagation.
+
+        Equivalent to :func:`repro.evaluation.domains.initial_domains`, but
+        driven by the precomputed per-variable label lists instead of a body
+        scan.  ``pinned`` restricts the given variables to a single node each
+        (the singleton-relation reduction of k-ary answering to Boolean
+        evaluation).
+        """
+        all_nodes = structure.domain()
+        domains: Domains = {}
+        for variable in self.variables:
+            labels = self.labels_by_variable.get(variable, ())
+            if labels:
+                candidates = set(structure.unary_members(labels[0]))
+                for label in labels[1:]:
+                    candidates &= set(structure.unary_members(label))
+            else:
+                candidates = set(all_nodes)
+            domains[variable] = candidates
+        if pinned:
+            for variable, node in pinned.items():
+                if variable not in domains:
+                    raise ValueError(f"pinned variable {variable!r} not in the query")
+                domains[variable] &= {node}
+        return domains
+
+    def apply_loop_filters(self, domains: Domains, structure: TreeStructure) -> bool:
+        """Apply the self-loop atoms ``R(x, x)`` as static per-node filters.
+
+        A self-loop constrains each candidate in isolation (``R(v, v)`` either
+        holds or not, independently of every other domain), so it is applied
+        once up front rather than propagated.  Mutates ``domains`` in place;
+        returns ``False`` iff some domain empties (no arc-consistent
+        prevaluation exists).  Shared by the AC-3 and AC-4 engines so their
+        fixpoints cannot diverge on loop semantics.
+        """
+        for loop in self.loops:
+            domain = domains[loop.source]
+            keep = {v for v in domain if structure.axis_holds(loop.axis, v, v)}
+            if not keep:
+                return False
+            domains[loop.source] = keep
+        return True
+
+    # -- convenience -----------------------------------------------------------
+
+    def atoms_of(self, variable: Variable) -> tuple[CompiledAtom, ...]:
+        """The non-loop atoms touching ``variable`` (the propagation edges)."""
+        return self.adjacency.get(variable, ())
+
+    @property
+    def has_enumeration_atoms(self) -> bool:
+        return any(atom.axis_class is AxisClass.ENUMERATION for atom in self.atoms)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompiledQuery(variables={len(self.variables)}, "
+            f"edges={len(self.edges)}, loops={len(self.loops)})"
+        )
+
+
+@lru_cache(maxsize=1024)
+def compile_query(query: ConjunctiveQuery) -> CompiledQuery:
+    """Compile (and memoize) the shared evaluation-ready form of ``query``.
+
+    Safe to cache aggressively: queries are immutable and hashable, and the
+    compiled form depends on nothing but the query.
+    """
+    variables = query.variables()
+    variable_index = {variable: i for i, variable in enumerate(variables)}
+
+    seen: dict[tuple[Axis, Variable, Variable], CompiledAtom] = {}
+    for atom in query.body:
+        if not isinstance(atom, AxisAtom):
+            continue
+        compiled = normalize_atom(atom)
+        seen.setdefault((compiled.axis, compiled.source, compiled.target), compiled)
+    atoms = tuple(seen.values())
+    edges = tuple(atom for atom in atoms if not atom.is_loop)
+    loops = tuple(atom for atom in atoms if atom.is_loop)
+
+    adjacency: dict[Variable, list[CompiledAtom]] = {v: [] for v in variables}
+    for atom in edges:
+        adjacency[atom.source].append(atom)
+        adjacency[atom.target].append(atom)
+
+    labels: dict[Variable, list[str]] = {}
+    for atom in query.body:
+        if isinstance(atom, LabelAtom):
+            bucket = labels.setdefault(atom.variable, [])
+            if atom.label not in bucket:
+                bucket.append(atom.label)
+
+    return CompiledQuery(
+        query=query,
+        variables=variables,
+        variable_index=variable_index,
+        atoms=atoms,
+        edges=edges,
+        loops=loops,
+        adjacency={v: tuple(atoms_list) for v, atoms_list in adjacency.items()},
+        labels_by_variable={v: tuple(label_list) for v, label_list in labels.items()},
+    )

@@ -39,19 +39,14 @@ def initial_domains(
     ``pinned`` restricts the given variables to a single node each -- the
     singleton-relation trick used to reduce answer checking to Boolean
     evaluation (discussion after Theorem 3.5).
+
+    Delegates to the compile-once recipe
+    (:meth:`repro.evaluation.compile.CompiledQuery.initial_domains`) so there
+    is exactly one implementation of the starting prevaluation.
     """
-    all_nodes = set(structure.domain())
-    domains: Domains = {variable: set(all_nodes) for variable in query.variables()}
-    for atom in query.body:
-        if isinstance(atom, LabelAtom):
-            members = set(structure.unary_members(atom.label))
-            domains[atom.variable] &= members
-    if pinned:
-        for variable, node in pinned.items():
-            if variable not in domains:
-                raise ValueError(f"pinned variable {variable!r} not in the query")
-            domains[variable] &= {node}
-    return domains
+    from .compile import compile_query  # local import: compile depends on this module
+
+    return compile_query(query).initial_domains(structure, pinned)
 
 
 def is_total(domains: Domains) -> bool:
@@ -84,10 +79,12 @@ def copy_domains(domains: Domains) -> Domains:
 def domain_views(structure: TreeStructure, domains: Domains) -> dict[Variable, DomainView]:
     """Sorted-array companion views of every domain (one per variable).
 
-    The views are snapshots: they stay valid for as long as the underlying
-    sets are not mutated, which is why the backtracking evaluator (whose
-    domains are fixed during search) builds them once, while arc consistency
-    (whose domains shrink) rebuilds a view per revise pass.
+    The views are frozen snapshots: they stay valid for as long as the
+    underlying sets are not mutated.  The evaluation pipeline itself now
+    carries *maintained* delete-aware views through propagation
+    (:class:`~repro.trees.index.MutableDomainView`, handed over by
+    :class:`~repro.evaluation.propagation.PropagationResult`); this helper
+    remains for consumers that have a plain prevaluation in hand.
     """
     index = structure.index
     return {variable: index.view(nodes) for variable, nodes in domains.items()}

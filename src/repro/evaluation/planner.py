@@ -10,6 +10,13 @@ Given a query, the planner chooses the cheapest applicable engine:
 3. **backtracking search** otherwise (cyclic query over an NP-hard signature;
    by Section 5 no general polynomial algorithm is expected).
 
+Orthogonally to the engine choice, every path needs the subset-maximal
+arc-consistent prevaluation; *how* it is computed is the second planner
+dimension, ``propagator=`` (:class:`~repro.evaluation.propagation.Propagator`):
+``ac4`` -- the support-counting engine over interval ranks (the default) --
+with ``ac3`` (worklist) and ``horn`` (unit propagation) kept as cross-checked
+ablations.
+
 k-ary answer enumeration is reduced to Boolean evaluation with singleton
 ("pinned") domains, exactly as described after Theorem 3.5: checking whether a
 tuple is an answer adds fresh singleton unary relations, so a k-ary query is
@@ -29,8 +36,9 @@ from ..trees.structure import TreeStructure
 from ..trees.tree import Tree
 from ..xproperty.dichotomy import is_tractable
 from . import acyclic, backtracking, xprop_evaluator
-from .arc_consistency import maximal_arc_consistent
+from .compile import compile_query
 from .domains import Valuation
+from .propagation import DEFAULT_PROPAGATOR, PropagatorLike, propagate
 
 
 class Engine(str, Enum):
@@ -59,15 +67,22 @@ def is_satisfied(
     structure: TreeStructure,
     engine: Engine = Engine.AUTO,
     pinned: Optional[Mapping[str, int]] = None,
+    propagator: PropagatorLike = DEFAULT_PROPAGATOR,
 ) -> bool:
     """Boolean evaluation of (the existential closure of) a query."""
     boolean_query = query.as_boolean()
     chosen = choose_engine(boolean_query) if engine is Engine.AUTO else engine
     if chosen is Engine.XPROPERTY:
-        return xprop_evaluator.boolean_query_holds(boolean_query, structure, pinned=pinned)
+        return xprop_evaluator.boolean_query_holds(
+            boolean_query, structure, pinned=pinned, propagator=propagator
+        )
     if chosen is Engine.ACYCLIC:
-        return acyclic.boolean_query_holds(boolean_query, structure, pinned=pinned)
-    return backtracking.boolean_query_holds(boolean_query, structure, pinned=pinned)
+        return acyclic.boolean_query_holds(
+            boolean_query, structure, pinned=pinned, propagator=propagator
+        )
+    return backtracking.boolean_query_holds(
+        boolean_query, structure, pinned=pinned, propagator=propagator
+    )
 
 
 def check_answer(
@@ -75,6 +90,7 @@ def check_answer(
     structure: TreeStructure,
     answer: tuple[int, ...],
     engine: Engine = Engine.AUTO,
+    propagator: PropagatorLike = DEFAULT_PROPAGATOR,
 ) -> bool:
     """Is ``answer`` (a tuple of nodes, one per head variable) in the result?
 
@@ -85,13 +101,14 @@ def check_answer(
             f"answer arity {len(answer)} does not match query arity {query.arity}"
         )
     pinned = dict(zip(query.head, answer))
-    return is_satisfied(query, structure, engine, pinned)
+    return is_satisfied(query, structure, engine, pinned, propagator)
 
 
 def evaluate(
     query: ConjunctiveQuery,
     structure: TreeStructure,
     engine: Engine = Engine.AUTO,
+    propagator: PropagatorLike = DEFAULT_PROPAGATOR,
 ) -> frozenset[tuple[int, ...]]:
     """Compute all answers of a k-ary query.
 
@@ -101,22 +118,24 @@ def evaluate(
     projection) and check each tuple via the Boolean reduction.
     """
     if query.is_boolean:
-        return frozenset({()}) if is_satisfied(query, structure, engine) else frozenset()
+        satisfied = is_satisfied(query, structure, engine, propagator=propagator)
+        return frozenset({()}) if satisfied else frozenset()
 
-    domains = maximal_arc_consistent(query, structure)
-    if domains is None:
+    result = propagate(query, structure, propagator=propagator)
+    if result is None:
         return frozenset()
     # Atoms connecting two head variables can be checked in O(1) per candidate
     # tuple from the tree's rank arrays, skipping the full Boolean evaluation
     # for tuples that already violate one of them.
+    compiled = compile_query(query)
     head_set = set(query.head)
     head_atoms = [
         atom
-        for atom in query.axis_atoms()
+        for atom in compiled.atoms
         if atom.source in head_set and atom.target in head_set
     ]
     index = structure.index
-    candidate_sets = [sorted(domains[variable]) for variable in query.head]
+    candidate_sets = [result.sorted_domain(variable) for variable in query.head]
     answers: set[tuple[int, ...]] = set()
     for candidate in product(*candidate_sets):
         # Head variables may repeat; a repeated variable must get one node.
@@ -134,7 +153,7 @@ def evaluate(
             for atom in head_atoms
         ):
             continue
-        if is_satisfied(query, structure, engine, pinned):
+        if is_satisfied(query, structure, engine, pinned, propagator):
             answers.add(tuple(candidate))
     return frozenset(answers)
 
@@ -143,12 +162,13 @@ def evaluate_union(
     union: UnionQuery | ConjunctiveQuery,
     structure: TreeStructure,
     engine: Engine = Engine.AUTO,
+    propagator: PropagatorLike = DEFAULT_PROPAGATOR,
 ) -> frozenset[tuple[int, ...]]:
     """Evaluate a union of conjunctive queries (a PQ / APQ)."""
     union = as_union(union)
     answers: set[tuple[int, ...]] = set()
     for disjunct in union:
-        answers.update(evaluate(disjunct, structure, engine))
+        answers.update(evaluate(disjunct, structure, engine, propagator))
     return frozenset(answers)
 
 
@@ -156,17 +176,19 @@ def evaluate_on_tree(
     query: ConjunctiveQuery | UnionQuery,
     tree: Tree,
     engine: Engine = Engine.AUTO,
+    propagator: PropagatorLike = DEFAULT_PROPAGATOR,
 ) -> frozenset[tuple[int, ...]]:
     """Convenience wrapper evaluating directly on a tree (full Ax signature)."""
     structure = TreeStructure(tree)
     if isinstance(query, UnionQuery):
-        return evaluate_union(query, structure, engine)
-    return evaluate(query, structure, engine)
+        return evaluate_union(query, structure, engine, propagator)
+    return evaluate(query, structure, engine, propagator)
 
 
 def satisfying_assignment(
     query: ConjunctiveQuery,
     structure: TreeStructure,
+    propagator: PropagatorLike = DEFAULT_PROPAGATOR,
 ) -> Optional[Valuation]:
     """Return some satisfying valuation of the query's body (or ``None``).
 
@@ -175,7 +197,7 @@ def satisfying_assignment(
     """
     boolean_query = query.as_boolean()
     if is_tractable(boolean_query.signature()):
-        witness = xprop_evaluator.witness(boolean_query, structure)
+        witness = xprop_evaluator.witness(boolean_query, structure, propagator=propagator)
         if witness is not None:
             return witness
-    return backtracking.find_solution(boolean_query, structure)
+    return backtracking.find_solution(boolean_query, structure, propagator=propagator)

@@ -1,0 +1,133 @@
+"""The propagator dimension: one fixpoint, three interchangeable engines.
+
+Every evaluator needs the subset-maximal arc-consistent prevaluation
+(Proposition 3.1); *how* it is computed is an engineering choice the planner
+now exposes as the ``propagator=`` dimension:
+
+* :attr:`Propagator.AC4` (the default) -- the support-counting engine of
+  :mod:`repro.evaluation.ac4`: counters/thresholds over pre/post interval
+  ranks, deletion-driven, maintained (never rebuilt) domain views;
+* :attr:`Propagator.AC3` -- the worklist engine of
+  :mod:`repro.evaluation.arc_consistency` (interval-index revise steps), kept
+  as the cross-checked ablation;
+* :attr:`Propagator.HORN` -- the literal Horn-SAT transcription of the
+  Proposition 3.1 proof, the ground-truth baseline.
+
+All three compute the same fixpoint (the deletion rules are confluent); the
+property tests assert it.  :func:`propagate` wraps the choice and returns a
+:class:`PropagationResult` carrying both the plain domain sets and -- for
+consumers that keep querying witnesses, like the backtracking forward checker
+and the acyclic enumerator -- per-variable sorted-array views, which AC-4
+hands over for free (its maintained views ARE the fixpoint) and the other
+engines build once on demand.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Mapping, Optional, Union
+
+from ..queries.atoms import Variable
+from ..queries.query import ConjunctiveQuery
+from ..trees.structure import TreeStructure
+from .ac4 import Views, ac4_fixpoint
+from .arc_consistency import maximal_arc_consistent, maximal_arc_consistent_horn
+from .domains import Domains
+
+
+class Propagator(str, Enum):
+    """Arc-consistency engine choices (``ac4`` is the planner default)."""
+
+    AC4 = "ac4"
+    AC3 = "ac3"
+    HORN = "horn"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Accepted anywhere a propagator is taken: the enum or its string value.
+PropagatorLike = Union[Propagator, str]
+
+DEFAULT_PROPAGATOR = Propagator.AC4
+
+
+def as_propagator(value: PropagatorLike) -> Propagator:
+    """Coerce ``"ac4" | "ac3" | "horn"`` (or the enum) to :class:`Propagator`."""
+    if isinstance(value, Propagator):
+        return value
+    try:
+        return Propagator(value)
+    except ValueError:
+        raise ValueError(
+            f"unknown propagator {value!r}; expected one of "
+            f"{', '.join(p.value for p in Propagator)}"
+        ) from None
+
+
+class PropagationResult:
+    """The fixpoint, as plain sets plus (lazily) sorted-array views.
+
+    ``domains`` maps each variable to its surviving candidate set.  ``views``
+    maps each variable to a sorted-array view suitable for the index witness
+    primitives; for AC-4 these are the maintained
+    :class:`~repro.trees.index.MutableDomainView` objects straight out of the
+    engine, for AC-3/Horn they are built once on first access.
+    """
+
+    __slots__ = ("_structure", "domains", "_views")
+
+    def __init__(
+        self,
+        structure: TreeStructure,
+        domains: Domains,
+        views: Optional[Views] = None,
+    ):
+        self._structure = structure
+        self.domains = domains
+        self._views = views
+
+    @property
+    def views(self):
+        if self._views is None:
+            index = self._structure.index
+            self._views = {
+                variable: index.mutable_view(nodes)
+                for variable, nodes in self.domains.items()
+            }
+        return self._views
+
+    def sorted_domain(self, variable: Variable) -> list[int]:
+        """The surviving candidates of ``variable`` in ascending node order."""
+        return self.views[variable].array
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = {variable: len(nodes) for variable, nodes in self.domains.items()}
+        return f"PropagationResult({sizes})"
+
+
+def propagate(
+    query: ConjunctiveQuery,
+    structure: TreeStructure,
+    pinned: Optional[Mapping[Variable, int]] = None,
+    propagator: PropagatorLike = DEFAULT_PROPAGATOR,
+) -> Optional[PropagationResult]:
+    """Compute the maximal arc-consistent prevaluation with the chosen engine.
+
+    Returns ``None`` when no arc-consistent prevaluation exists (some domain
+    empties), i.e. the query is unsatisfiable on the structure.
+    """
+    chosen = as_propagator(propagator)
+    if chosen is Propagator.AC4:
+        views = ac4_fixpoint(query, structure, pinned)
+        if views is None:
+            return None
+        domains = {variable: view.members for variable, view in views.items()}
+        return PropagationResult(structure, domains, views)
+    if chosen is Propagator.AC3:
+        domains = maximal_arc_consistent(query, structure, pinned)
+    else:
+        domains = maximal_arc_consistent_horn(query, structure, pinned)
+    if domains is None:
+        return None
+    return PropagationResult(structure, domains)

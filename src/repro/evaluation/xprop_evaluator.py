@@ -25,8 +25,9 @@ from ..queries.query import ConjunctiveQuery
 from ..trees.orders import Order, minimum
 from ..trees.structure import TreeStructure
 from ..xproperty.dichotomy import order_for
-from .arc_consistency import maximal_arc_consistent
+from .compile import compile_query
 from .domains import Domains, Valuation, valuation_satisfies
+from .propagation import DEFAULT_PROPAGATOR, PropagatorLike, propagate
 
 
 class XPropertyEvaluationError(RuntimeError):
@@ -54,6 +55,7 @@ def boolean_query_holds(
     order: Optional[Order] = None,
     pinned: Optional[Mapping[Variable, int]] = None,
     verify: bool = False,
+    propagator: PropagatorLike = DEFAULT_PROPAGATOR,
 ) -> bool:
     """Evaluate a Boolean query using the Theorem 3.5 algorithm.
 
@@ -79,13 +81,13 @@ def boolean_query_holds(
                 f"signature {query.signature()} is not tractable; "
                 "use the backtracking evaluator instead"
             )
-    domains = maximal_arc_consistent(query, structure, pinned)
-    if domains is None:
+    result = propagate(query, structure, pinned, propagator)
+    if result is None:
         return False
-    if not query.variables():
+    if not compile_query(query).variables:
         # A query with an empty body is trivially true.
         return True
-    valuation = minimum_valuation(structure, domains, order)
+    valuation = minimum_valuation(structure, result.domains, order)
     if verify and not valuation_satisfies(query, structure, valuation):
         raise XPropertyEvaluationError(
             "minimum valuation is not a satisfaction although an arc-consistent "
@@ -99,6 +101,7 @@ def witness(
     structure: TreeStructure,
     order: Optional[Order] = None,
     pinned: Optional[Mapping[Variable, int]] = None,
+    propagator: PropagatorLike = DEFAULT_PROPAGATOR,
 ) -> Optional[Valuation]:
     """Return a satisfying valuation (the minimum valuation) or ``None``.
 
@@ -111,10 +114,10 @@ def witness(
         order = choose_order(query)
         if order is None:
             return None
-    domains = maximal_arc_consistent(query, structure, pinned)
-    if domains is None:
+    result = propagate(query, structure, pinned, propagator)
+    if result is None:
         return None
-    valuation = minimum_valuation(structure, domains, order)
+    valuation = minimum_valuation(structure, result.domains, order)
     if valuation_satisfies(query, structure, valuation):
         return valuation
     return None

@@ -60,7 +60,7 @@ Interval reasoning used by the witness tests (``end`` = ``subtree_end``):
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from .axes import INVERSE, Axis
 
@@ -193,6 +193,164 @@ class DomainView:
         return self._min_sibling_rank
 
 
+class MutableDomainView:
+    """A delete-aware candidate set: sorted array with lazy compaction.
+
+    The AC-4 propagation engine (:mod:`repro.evaluation.ac4`) shrinks domains
+    one node at a time; rebuilding a :class:`DomainView` per deletion (or per
+    revise pass, as AC-3 does) costs O(|S| log |S|) each time.  A
+    ``MutableDomainView`` instead supports
+
+    * :meth:`discard` -- O(1) amortized deletion (the sorted array keeps dead
+      entries until more than half are dead, then compacts in one O(|S|)
+      sweep, so scans pay at most a 2x overhead);
+    * :meth:`iter_live_range` -- the live members with ids in ``[lo, hi)``;
+    * membership (``in``) and ``len`` against the *live* set.
+
+    It implements the same read protocol as :class:`DomainView` (``array``,
+    ``members``, and the lazy aggregates), so
+    :meth:`AxisIndex.has_successor_in` / :meth:`AxisIndex.has_predecessor_in`
+    accept either: after propagation reaches its fixpoint, the maintained
+    views are handed directly to the acyclic enumerator and the backtracking
+    forward checker instead of being rebuilt.  Accessing :attr:`array` or an
+    aggregate first compacts away dead entries; aggregates are invalidated by
+    every deletion and rebuilt on next use.
+    """
+
+    __slots__ = (
+        "index",
+        "members",
+        "_array",
+        "_dead",
+        "_prefix_max_end",
+        "_min_end",
+        "_max_sibling_rank",
+        "_min_sibling_rank",
+    )
+
+    def __init__(self, index: "AxisIndex", nodes: Iterable[int]):
+        self.index = index
+        self.members: set[int] = set(nodes)
+        self._array: list[int] = sorted(self.members)
+        self._dead = 0
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._prefix_max_end: list[int] | None = None
+        self._min_end: int | None = None
+        self._max_sibling_rank: dict[int, int] | None = None
+        self._min_sibling_rank: dict[int, int] | None = None
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self.members
+
+    # -- mutation --------------------------------------------------------------
+
+    def discard(self, node_id: int) -> bool:
+        """Remove ``node_id`` from the live set; True iff it was a member."""
+        if node_id not in self.members:
+            return False
+        self.members.discard(node_id)
+        self._dead += 1
+        self._invalidate()
+        if self._dead * 2 >= len(self._array):
+            self._compact()
+        return True
+
+    def _compact(self) -> None:
+        members = self.members
+        self._array = [node_id for node_id in self._array if node_id in members]
+        self._dead = 0
+
+    # -- reads -----------------------------------------------------------------
+
+    @property
+    def array(self) -> list[int]:
+        """The live members as a sorted array (compacts dead entries first)."""
+        if self._dead:
+            self._compact()
+        return self._array
+
+    @property
+    def unpruned_array(self) -> list[int]:
+        """The sorted backing array, possibly still containing dead entries.
+
+        For hot scan loops that tolerate (or liveness-check) dead nodes; the
+        compaction policy bounds the dead fraction below one half.
+        """
+        return self._array
+
+    def iter_live_range(self, lo: int, hi: int) -> Iterator[int]:
+        """Live members with ids in the half-open range ``[lo, hi)``."""
+        array = self._array
+        members = self.members
+        for position in range(bisect_left(array, lo), bisect_left(array, hi)):
+            node_id = array[position]
+            if node_id in members:
+                yield node_id
+
+    # -- DomainView-protocol aggregates (for post-fixpoint consumers) ----------
+
+    @property
+    def prefix_max_end(self) -> list[int]:
+        """``prefix_max_end[i] = max(subtree_end[array[j]] for j <= i)``."""
+        if self._prefix_max_end is None:
+            end = self.index.subtree_end
+            running = -1
+            prefix = []
+            for node_id in self.array:
+                running = max(running, end[node_id])
+                prefix.append(running)
+            self._prefix_max_end = prefix
+        return self._prefix_max_end
+
+    @property
+    def min_end(self) -> int:
+        """Minimum ``subtree_end`` over the live members (``n`` when empty)."""
+        if self._min_end is None:
+            end = self.index.subtree_end
+            self._min_end = min((end[node_id] for node_id in self.array), default=len(end))
+        return self._min_end
+
+    @property
+    def max_sibling_rank(self) -> dict[int, int]:
+        """Per parent id, the maximum sibling rank of a live member under it."""
+        if self._max_sibling_rank is None:
+            parent = self.index.parent
+            rank = self.index.sibling_index
+            extrema: dict[int, int] = {}
+            for node_id in self.array:
+                parent_id = parent[node_id]
+                if parent_id >= 0:
+                    node_rank = rank[node_id]
+                    if extrema.get(parent_id, -1) < node_rank:
+                        extrema[parent_id] = node_rank
+            self._max_sibling_rank = extrema
+        return self._max_sibling_rank
+
+    @property
+    def min_sibling_rank(self) -> dict[int, int]:
+        """Per parent id, the minimum sibling rank of a live member under it."""
+        if self._min_sibling_rank is None:
+            parent = self.index.parent
+            rank = self.index.sibling_index
+            extrema: dict[int, int] = {}
+            for node_id in self.array:
+                parent_id = parent[node_id]
+                if parent_id >= 0:
+                    node_rank = rank[node_id]
+                    if extrema.get(parent_id, len(rank)) > node_rank:
+                        extrema[parent_id] = node_rank
+            self._min_sibling_rank = extrema
+        return self._min_sibling_rank
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MutableDomainView(live={len(self.members)}, dead={self._dead})"
+
+
 # ---------------------------------------------------------------------------
 # The index proper.
 # ---------------------------------------------------------------------------
@@ -293,6 +451,10 @@ class AxisIndex:
     def view(self, nodes: Iterable[int]) -> DomainView:
         """Wrap a candidate set in a :class:`DomainView` bound to this index."""
         return DomainView(self, nodes)
+
+    def mutable_view(self, nodes: Iterable[int]) -> MutableDomainView:
+        """Wrap a candidate set in a delete-aware :class:`MutableDomainView`."""
+        return MutableDomainView(self, nodes)
 
     # -- witness tests ---------------------------------------------------------
 

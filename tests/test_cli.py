@@ -2,8 +2,14 @@
 
 from __future__ import annotations
 
+import os
+import shutil
+import subprocess
+import sys
+
 import pytest
 
+import repro
 from repro.cli import build_parser, main
 
 
@@ -108,6 +114,115 @@ class TestRewriteCommand:
         assert main(["rewrite", "--xpath", "//A[B]"]) == 0
         output = capsys.readouterr().out
         assert "output: 1 acyclic disjunct" in output
+
+
+class TestEndToEndSmoke:
+    """The ``python -m repro`` module entry and the ``cq-trees`` console script.
+
+    These run the CLI in a real subprocess, covering ``__main__.py`` and the
+    entry-point wiring that in-process ``main(...)`` calls never touch.
+    """
+
+    @staticmethod
+    def _subprocess_env():
+        env = dict(os.environ)
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return env
+
+    def test_python_dash_m_repro_evaluate(self):
+        completed = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "evaluate",
+                "--sexpr",
+                "(S (NP (NN)) (VP))",
+                "--xpath",
+                "//NP[NN]",
+            ],
+            capture_output=True,
+            text=True,
+            env=self._subprocess_env(),
+            timeout=120,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "answers  : 1" in completed.stdout
+
+    def test_python_dash_m_repro_classify_and_propagator_flag(self):
+        completed = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "evaluate",
+                "--sexpr",
+                "(A (B))",
+                "--query",
+                "Q <- A(x), Child(x, y), B(y)",
+                "--propagator",
+                "ac3",
+            ],
+            capture_output=True,
+            text=True,
+            env=self._subprocess_env(),
+            timeout=120,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "answer   : true" in completed.stdout
+        assert "propagator: ac3" in completed.stdout
+
+    def test_python_dash_m_repro_bad_usage_fails(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro"],
+            capture_output=True,
+            text=True,
+            env=self._subprocess_env(),
+            timeout=120,
+        )
+        assert completed.returncode != 0
+
+    def test_console_script_entry_point_target(self):
+        """The ``cq-trees = repro.cli:main`` target resolves and runs."""
+        import importlib
+
+        module_name, _, attribute = "repro.cli:main".partition(":")
+        entry = getattr(importlib.import_module(module_name), attribute)
+        assert entry(["classify", "Child+, Child*"]) == 0
+
+    @pytest.mark.skipif(
+        shutil.which("cq-trees") is None,
+        reason="cq-trees console script not installed (pip install -e . in CI)",
+    )
+    def test_console_script_executable(self):
+        completed = subprocess.run(
+            ["cq-trees", "table1"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "NP-hard" in completed.stdout
+
+    def test_evaluate_propagators_agree_in_process(self, xml_file, capsys):
+        outputs = []
+        for propagator in ("ac4", "ac3", "horn"):
+            exit_code = main(
+                [
+                    "evaluate",
+                    "--tree",
+                    xml_file,
+                    "--query",
+                    "Q(i) <- item(i), Child(i, p), payment(p)",
+                    "--propagator",
+                    propagator,
+                ]
+            )
+            assert exit_code == 0
+            out = capsys.readouterr().out
+            outputs.append(out[out.index("answers") :])
+        assert outputs[0] == outputs[1] == outputs[2]
 
 
 class TestOtherCommands:
