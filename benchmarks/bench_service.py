@@ -1,0 +1,324 @@
+"""Benchmark: serving-layer amortization -- warm resident path vs cold path.
+
+The serving subsystem (:mod:`repro.service`) exists to amortize per-tree and
+per-query artifacts across requests: the XML parse, tree finalisation and
+interval-index build happen once per *document*, and parse -> canonicalize ->
+compile -> plan happens once per *query equivalence class*.  This benchmark
+measures exactly that amortization on a mixed workload drawn from
+``repro.workloads`` (the XMark-style auction documents and the linguistics
+corpus), at nominal document sizes of 1k and 10k nodes:
+
+* **cold path** -- every request pays everything: a fresh
+  :class:`~repro.service.executor.BatchExecutor` (fresh store, empty query
+  cache, cleared global compile/canonicalization caches), document
+  registration from XML text, then the evaluation;
+* **warm path** -- one executor with both documents resident and the cache
+  warmed by a single prior pass; requests are then batch-executed over the
+  thread pool.
+
+Acceptance (ISSUE 3): warm-path batch throughput >= 10x cold-path at the 10k
+nominal size.  Every measured request is also cross-checked for byte-identical
+answers (through the JSON rendering) against a direct sequential
+:func:`repro.evaluation.planner.evaluate` call; the 1k workload includes every
+propagator (``ac4``, ``ac3``, ``horn``, ``hybrid``), the 10k workload drops
+``horn`` whose clause materialization is quadratic at that size.
+
+Run standalone (``python benchmarks/bench_service.py``) to regenerate
+``BENCH_service.json``; per-request ``(query, tree_size)`` speedup entries
+feed ``check_regression.py`` like the other benchmarks (smoke runs share the
+1k nominal size with the committed full run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+
+import pytest
+from bench_config import SMOKE, scaled
+
+from repro.evaluation import evaluate
+from repro.evaluation.compile import compile_query
+from repro.queries import parse_query, xpath_to_cq
+from repro.queries.canonical import canonicalize
+from repro.service import BatchExecutor, Request
+from repro.trees import TreeStructure, to_xml
+from repro.workloads import auction_document, random_corpus
+
+#: Nominal document sizes; smoke shares the 1k grid point with the full run.
+SIZES = scaled((1_000, 10_000), (1_000,))
+
+#: Generator parameters calibrated to the nominal sizes (actuals within ~6%).
+AUCTION_PARAMS = {1_000: dict(num_items=55, num_people=30, num_bids=85),
+                  10_000: dict(num_items=560, num_people=300, num_bids=850)}
+CORPUS_PARAMS = {1_000: dict(num_sentences=45), 10_000: dict(num_sentences=440)}
+
+
+def build_documents(nominal: int) -> dict[str, object]:
+    """The two workload documents for one nominal size."""
+    return {
+        "auction": auction_document(seed=42, **AUCTION_PARAMS[nominal]),
+        "corpus": random_corpus(seed=42, **CORPUS_PARAMS[nominal]),
+    }
+
+
+def build_workload(nominal: int) -> list[Request]:
+    """The mixed request batch: datalog + XPath, monadic + Boolean, propagators.
+
+    ``horn`` requests only appear at the 1k size (its Horn-program
+    materialization is quadratic in the tree, which is the point of the other
+    propagators); the all-propagator byte-identity acceptance check therefore
+    runs on the 1k workload.
+    """
+    requests = [
+        # Auction: XPath-style monadic queries and a cyclic Boolean join.
+        Request(doc="auction", query="Q(i) <- item(i), Child(i, p), payment(p)"),
+        # Alpha-renamed twin of the previous query: must hit the same entry.
+        Request(doc="auction", query="R(it) <- payment(pay), item(it), Child(it, pay)",
+                propagator="hybrid"),
+        Request(doc="auction", xpath="//description//listitem"),
+        Request(doc="auction", xpath="//person[profile/interest]", propagator="ac3"),
+        Request(doc="auction", query=(
+            "Q <- open_auction(a), Child(a, b1), bidder(b1), "
+            "Child(a, b2), bidder(b2), Following(b1, b2)")),
+        Request(doc="auction", query=(
+            "Q(i) <- item(i), Child(i, d), description(d), Child+(d, l), listitem(l)")),
+        # Corpus: linguistics-flavoured navigation.
+        Request(doc="corpus", query="Q(x) <- NP(x), Child(x, y), NN(y)"),
+        Request(doc="corpus", xpath="//NP[NN]"),  # same class as the previous one?
+        Request(doc="corpus", query="Q(v) <- VP(v), Child(v, w), VB(w)",
+                propagator="hybrid"),
+        Request(doc="corpus", query="Q <- NP(x), Following(x, y), PP(y)"),
+        Request(doc="corpus", xpath="//VP[VB]/NP", propagator="ac3"),
+        # Byte-identical resubmission: exercises the parse cache.
+        Request(doc="auction", query="Q(i) <- item(i), Child(i, p), payment(p)"),
+    ]
+    if nominal <= 1_000:
+        requests.extend([
+            Request(doc="auction", query="Q(i) <- item(i), Child(i, p), payment(p)",
+                    propagator="horn"),
+            Request(doc="corpus", query="Q(x) <- NP(x), Child(x, y), NN(y)",
+                    propagator="horn"),
+        ])
+    return requests
+
+
+def _request_query(request: Request):
+    if request.xpath is not None:
+        return xpath_to_cq(request.xpath)
+    return parse_query(request.query)
+
+
+def _median_time(function, repeats: int) -> float:
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        timings.append(time.perf_counter() - start)
+    return statistics.median(timings)
+
+
+def _clear_global_query_caches() -> None:
+    """Reset the process-wide memoizations the cold path must not inherit."""
+    compile_query.cache_clear()
+    canonicalize.cache_clear()
+
+
+def _cold_once(request: Request, doc_id: str, xml_text: str) -> None:
+    """One fully cold request: fresh executor, registration, evaluation."""
+    _clear_global_query_caches()
+    executor = BatchExecutor()
+    executor.store.register_xml(doc_id, xml_text)
+    result = executor.execute(request)
+    if not result.ok:
+        raise AssertionError(f"cold request failed: {result.error}")
+
+
+def check_byte_identical(executor: BatchExecutor, requests, documents) -> None:
+    """Batch answers must render byte-identically to sequential evaluate()."""
+    results = executor.execute_batch(requests)
+    for request, result in zip(requests, results):
+        if not result.ok:
+            raise AssertionError(f"request failed: {result.error}")
+        direct = sorted(
+            evaluate(
+                _request_query(request),
+                TreeStructure(documents[request.doc]),
+                propagator=request.propagator,
+            )
+        )
+        batch_bytes = json.dumps(result.to_json_dict()["answers"]).encode()
+        direct_bytes = json.dumps([list(answer) for answer in direct]).encode()
+        if batch_bytes != direct_bytes:
+            raise AssertionError(
+                f"answers diverge from sequential evaluate() for {request} "
+                f"({result.propagator})"
+            )
+
+
+def run(sizes=SIZES, repeats: int = 3) -> dict:
+    results = []
+    headline = None
+    for nominal in sizes:
+        documents = build_documents(nominal)
+        xml_texts = {doc_id: to_xml(tree) for doc_id, tree in documents.items()}
+        actual_sizes = {doc_id: len(tree) for doc_id, tree in documents.items()}
+        requests = build_workload(nominal)
+
+        # Warm executor: documents resident, caches warmed by one full pass,
+        # answers cross-checked against direct evaluation along the way.
+        warm_executor = BatchExecutor()
+        for doc_id, text in xml_texts.items():
+            warm_executor.store.register_xml(doc_id, text)
+        check_byte_identical(warm_executor, requests, documents)
+
+        per_request = []
+        cold_total = 0.0
+        warm_total = 0.0
+        for position, request in enumerate(requests):
+            cold = _median_time(
+                lambda: _cold_once(request, request.doc, xml_texts[request.doc]),
+                repeats,
+            )
+            # Warm calls are microseconds; a larger repeat pool keeps the
+            # median stable enough for the CI regression diff on busy runners.
+            warm = _median_time(lambda: warm_executor.execute(request), max(repeats, 9))
+            cold_total += cold
+            warm_total += warm
+            entry = {
+                "tree_size": nominal,
+                "query": f"req{position:02d}_{request.doc}_{request.propagator}",
+                "text": request.xpath or str(request.query),
+                "cold_seconds": cold,
+                "warm_seconds": warm,
+                "speedup": cold / warm if warm > 0 else float("inf"),
+            }
+            per_request.append(entry)
+            print(
+                f"n={nominal:>6} {entry['query']:<28} cold={cold:.4f}s "
+                f"warm={warm:.5f}s speedup={entry['speedup']:.1f}x"
+            )
+
+        # Throughput: cold path is inherently sequential (every request
+        # rebuilds the world); the warm path batches over the thread pool.
+        batch_seconds = _median_time(
+            lambda: warm_executor.execute_batch(requests), repeats
+        )
+        cold_qps = len(requests) / cold_total
+        warm_qps = len(requests) / batch_seconds
+        size_report = {
+            "nominal_size": nominal,
+            "actual_sizes": actual_sizes,
+            "requests": len(requests),
+            "cold_seconds_total": cold_total,
+            "warm_seconds_sequential_total": warm_total,
+            "warm_seconds_batch": batch_seconds,
+            "cold_qps": cold_qps,
+            "warm_qps": warm_qps,
+            "throughput_speedup": warm_qps / cold_qps,
+            "cache_stats": warm_executor.cache.stats(),
+        }
+        results.append({"per_request": per_request, **size_report})
+        print(
+            f"n={nominal:>6} cold={cold_qps:.1f} q/s warm={warm_qps:.1f} q/s "
+            f"-> {size_report['throughput_speedup']:.1f}x"
+        )
+        if headline is None or nominal > headline["tree_size"]:
+            headline = {
+                "tree_size": nominal,
+                "cold_qps": cold_qps,
+                "warm_qps": warm_qps,
+                "speedup": size_report["throughput_speedup"],
+                "claim": (
+                    "warm-path batch throughput >= 10x cold-path "
+                    "(fresh store + empty cache) on the mixed workload"
+                ),
+                "holds": size_report["throughput_speedup"] >= 10.0,
+            }
+
+    flat_entries = [entry for size_report in results for entry in size_report["per_request"]]
+    return {
+        "benchmark": "serving layer: warm resident path vs cold per-request rebuild",
+        "sizes": list(sizes),
+        "repeats": repeats,
+        "results": flat_entries,
+        "by_size": results,
+        "headline": headline,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_service.json", help="output JSON path")
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+    report = run(repeats=args.repeats)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    headline = report["headline"]
+    print(
+        f"wrote {args.out}; headline at n={headline['tree_size']}: "
+        f"cold {headline['cold_qps']:.1f} q/s vs warm {headline['warm_qps']:.1f} q/s "
+        f"({headline['speedup']:.1f}x)"
+    )
+    if headline["tree_size"] < 10_000:
+        # The acceptance bar is set at the 10k nominal size; smoke runs only
+        # measure the shared 1k grid point, where cold registration is too
+        # cheap for the bar to be meaningful.
+        print("note: >=10x claim is only enforced at the 10k nominal size")
+        return 0
+    if not headline["holds"]:
+        print("FAIL: the >=10x warm-over-cold claim does not hold at these sizes")
+        return 1
+    return 0
+
+
+# -- pytest-benchmark cases ----------------------------------------------------
+
+SMALLEST = min(SIZES)
+_DOCS = build_documents(SMALLEST)
+_XML = {doc_id: to_xml(tree) for doc_id, tree in _DOCS.items()}
+_REQUESTS = build_workload(SMALLEST)
+
+
+@pytest.fixture(scope="module")
+def warm_executor():
+    executor = BatchExecutor()
+    for doc_id, text in _XML.items():
+        executor.store.register_xml(doc_id, text)
+    executor.execute_batch(_REQUESTS)  # warm the caches
+    return executor
+
+
+def test_service_warm_batch(benchmark, warm_executor):
+    results = benchmark(lambda: warm_executor.execute_batch(_REQUESTS))
+    assert all(result.ok for result in results)
+
+
+def test_service_warm_single_query(benchmark, warm_executor):
+    request = _REQUESTS[0]
+    result = benchmark(lambda: warm_executor.execute(request))
+    assert result.ok
+
+
+@pytest.mark.parametrize("doc_id", sorted(_XML) if not SMOKE else sorted(_XML)[:1])
+def test_service_cold_registration(benchmark, doc_id):
+    def register():
+        executor = BatchExecutor()
+        executor.store.register_xml(doc_id, _XML[doc_id])
+        return executor
+
+    executor = benchmark(register)
+    assert len(executor.store) == 1
+
+
+def test_batch_answers_byte_identical_to_sequential_evaluate(warm_executor):
+    """The acceptance cross-check, runnable as a plain test at smoke size."""
+    check_byte_identical(warm_executor, _REQUESTS, _DOCS)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,11 @@ entries.  A fresh speedup more than ``--factor`` (default 3) times below the
 committed one fails the job -- the guard is deliberately loose, flagging only
 "the optimisation largely stopped working" regressions, not machine noise.
 
+A benchmark can land in the same PR as its first CI run:
+``--allow-missing-baseline`` turns a missing committed file into a warning +
+skip instead of an error (scoped to that one invocation, so a typoed
+``--committed`` path elsewhere still fails loudly).
+
 Usage::
 
     python benchmarks/check_regression.py \\
@@ -20,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -64,7 +70,24 @@ def main(argv=None) -> int:
         default=3.0,
         help="flag entries whose fresh speedup is this many times below baseline",
     )
+    parser.add_argument(
+        "--allow-missing-baseline",
+        action="store_true",
+        help=(
+            "warn and skip (exit 0) when the committed baseline file does not "
+            "exist -- for a benchmark landing in the same PR as its first CI "
+            "run.  Without the flag a missing baseline is an error, so a "
+            "typoed --committed path cannot silently disable the gate."
+        ),
+    )
     args = parser.parse_args(argv)
+    if not os.path.exists(args.committed):
+        message = f"no committed baseline at {args.committed}"
+        if args.allow_missing_baseline:
+            print(f"WARNING: {message}; skipping the regression comparison")
+            return 0
+        print(f"ERROR: {message} (pass --allow-missing-baseline for a new benchmark)")
+        return 1
     with open(args.committed) as handle:
         committed = json.load(handle)
     with open(args.fresh) as handle:

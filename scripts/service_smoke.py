@@ -1,0 +1,117 @@
+"""CI smoke test: a real ``cq-trees serve`` process answering real HTTP.
+
+Starts the server as a subprocess on an ephemeral port (``--port 0``),
+registers two documents, POSTs a batch of three queries, and asserts the
+answers are byte-identical to direct in-process ``evaluate()`` calls.  This
+covers the wiring the in-process tests cannot: the console entry point, the
+port-announcement banner, and a full network round trip.
+
+Usage: ``python scripts/service_smoke.py`` (exit code 0 on success).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import urllib.request
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+sys.path.insert(0, SRC)
+
+from repro.evaluation import evaluate  # noqa: E402
+from repro.queries import parse_query, xpath_to_cq  # noqa: E402
+from repro.trees import TreeStructure, to_xml  # noqa: E402
+from repro.workloads import auction_document  # noqa: E402
+
+SENTENCE_SEXPR = "(S (NP (DT) (NN)) (VP (VB) (NP (NN))) (PP))"
+
+
+def call(base: str, method: str, path: str, payload=None):
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(base + path, data=data, method=method)
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def main() -> int:
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = SRC + os.pathsep + environment.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--host", "127.0.0.1", "--port", "0"],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=environment,
+    )
+    try:
+        banner = process.stdout.readline()
+        match = re.search(r"http://([\d.]+):(\d+)", banner)
+        if not match:
+            print(f"FAIL: no port announcement in banner {banner!r}")
+            return 1
+        base = f"http://{match.group(1)}:{match.group(2)}"
+        print(f"server up at {base}")
+
+        auction = auction_document(num_items=12, seed=7)
+        assert call(base, "GET", "/healthz")["status"] == "ok"
+        call(base, "POST", "/documents", {"doc": "auction", "xml": to_xml(auction)})
+        call(base, "POST", "/documents", {"doc": "sentence", "sexpr": SENTENCE_SEXPR})
+
+        batch = {
+            "requests": [
+                {"doc": "auction", "query": "Q(i) <- item(i), Child(i, p), payment(p)"},
+                {"doc": "auction", "xpath": "//description//listitem",
+                 "propagator": "hybrid"},
+                {"doc": "sentence", "xpath": "//NP[NN]"},
+            ]
+        }
+        response = call(base, "POST", "/batch", batch)
+        if response["errors"]:
+            print(f"FAIL: batch reported errors: {response}")
+            return 1
+
+        from repro.trees.builders import parse_sexpr
+
+        structures = {
+            "auction": TreeStructure(auction),
+            "sentence": TreeStructure(parse_sexpr(SENTENCE_SEXPR)),
+        }
+        for request, result in zip(batch["requests"], response["results"]):
+            query = (
+                xpath_to_cq(request["xpath"])
+                if "xpath" in request
+                else parse_query(request["query"])
+            )
+            direct = sorted(
+                evaluate(
+                    query,
+                    structures[request["doc"]],
+                    propagator=request.get("propagator", "ac4"),
+                )
+            )
+            served = json.dumps(result["answers"]).encode()
+            expected = json.dumps([list(answer) for answer in direct]).encode()
+            if served != expected:
+                print(f"FAIL: answers diverge for {request}: {served} != {expected}")
+                return 1
+            print(f"ok: {request.get('query', request.get('xpath'))} "
+                  f"-> {result['count']} answer(s)")
+
+        stats = call(base, "GET", "/stats")
+        print(f"stats: {stats['store']['documents']} documents, "
+              f"cache hit rate {stats['cache']['hit_rate']:.2f}")
+        print("service smoke PASSED")
+        return 0
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:  # pragma: no cover - stuck server
+            process.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,8 @@ Usage (after installation, or with ``python -m repro.cli``)::
     python -m repro.cli rewrite "Q <- A(x), Child+(x, z), B(y), Child+(y, z)" --trace
     python -m repro.cli table1
     python -m repro.cli report --quick
+    python -m repro.cli serve --port 8080 --document site=doc.xml
+    python -m repro.cli batch --input requests.jsonl --output results.jsonl
 
 The CLI is a thin layer over the library; each sub-command maps onto one or
 two public functions, so it doubles as executable documentation.
@@ -113,6 +115,130 @@ def _command_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_document_flags(flags: Sequence[str]):
+    """``--document name=path.xml`` flags as (doc_id, path) pairs."""
+    pairs = []
+    for flag in flags:
+        doc_id, separator, path = flag.partition("=")
+        if not separator or not doc_id or not path:
+            raise SystemExit(f"--document expects NAME=PATH.xml, got {flag!r}")
+        pairs.append((doc_id, path))
+    return pairs
+
+
+def _build_executor(args: argparse.Namespace):
+    from .service import BatchExecutor, DocumentStore, QueryCache, preload
+
+    from .trees import XMLParseError
+
+    try:
+        store = DocumentStore(capacity=args.capacity)
+        executor = BatchExecutor(store, QueryCache(), max_workers=args.workers)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    try:
+        preload(store, _parse_document_flags(args.document))
+    except (OSError, XMLParseError) as error:
+        raise SystemExit(f"cannot pre-register document: {error}") from None
+    return executor
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from .service import make_server
+
+    executor = _build_executor(args)
+    server = make_server(executor, host=args.host, port=args.port, quiet=not args.verbose)
+    host, port = server.server_address[:2]
+    # Printed (and flushed) first so callers that picked port 0 learn the
+    # ephemeral port; the CI smoke script depends on this line.
+    print(
+        f"serving on http://{host}:{port} ({len(executor.store)} document(s) resident)",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.server_close()
+        executor.close()
+    return 0
+
+
+def _command_batch(args: argparse.Namespace) -> int:
+    """JSONL in, JSONL out: register ops and query requests, in order.
+
+    Consecutive query lines form one concurrently-executed batch (results
+    stay in input order); a register line is a barrier, so queries always see
+    every document registered above them.
+    """
+    import json
+
+    from .service import Request
+
+    executor = _build_executor(args)
+    try:
+        input_handle = (
+            sys.stdin if args.input == "-" else open(args.input, encoding="utf-8")
+        )
+        output_handle = (
+            sys.stdout if args.output == "-" else open(args.output, "w", encoding="utf-8")
+        )
+    except OSError as error:
+        raise SystemExit(str(error)) from None
+
+    def emit(payload: dict) -> None:
+        output_handle.write(json.dumps(payload) + "\n")
+
+    failures = 0
+
+    def flush_queries(pending: list[Request]) -> None:
+        nonlocal failures
+        for result in executor.execute_batch(pending):
+            if not result.ok:
+                failures += 1
+            emit(result.to_json_dict())
+        pending.clear()
+
+    try:
+        pending: list[Request] = []
+        for line_number, line in enumerate(input_handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                if not isinstance(payload, dict):
+                    raise ValueError("each JSONL line must be a JSON object")
+                op = payload.pop("op", None)
+                if op == "register":
+                    flush_queries(pending)
+                    # The CLI shares the server's trust domain, so file
+                    # registration is allowed here (unlike over HTTP).
+                    document = executor.store.register_payload(payload, allow_files=True)
+                    emit({"ok": True, **document.describe()})
+                elif op in (None, "query"):
+                    pending.append(Request.from_json_dict(payload))
+                else:
+                    raise ValueError(
+                        f"unknown op {op!r}; expected 'register' or 'query'"
+                    )
+            except Exception as error:  # noqa: BLE001 - per-line error reporting
+                flush_queries(pending)  # keep the output in input order
+                failures += 1
+                emit({"error": f"line {line_number}: {error}"})
+        flush_queries(pending)
+    finally:
+        executor.close()
+        if input_handle is not sys.stdin:
+            input_handle.close()
+        if output_handle is not sys.stdout:
+            output_handle.close()
+        else:
+            output_handle.flush()
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -154,6 +280,44 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser = commands.add_parser("report", help="run all experiments and print the report")
     report_parser.add_argument("--quick", action="store_true", help="trim the expensive sweeps")
     report_parser.set_defaults(handler=_command_report)
+
+    def add_service_arguments(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--document",
+            action="append",
+            default=[],
+            metavar="NAME=PATH.xml",
+            help="pre-register an XML document under the given id (repeatable)",
+        )
+        subparser.add_argument(
+            "--capacity", type=int, default=None, help="LRU bound on resident documents"
+        )
+        subparser.add_argument(
+            "--workers", type=int, default=8, help="batch thread-pool size (default 8)"
+        )
+
+    serve_parser = commands.add_parser(
+        "serve", help="run the HTTP JSON query service (document store + query cache)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 picks an ephemeral port)"
+    )
+    serve_parser.add_argument("--verbose", action="store_true", help="log every request")
+    add_service_arguments(serve_parser)
+    serve_parser.set_defaults(handler=_command_serve)
+
+    batch_parser = commands.add_parser(
+        "batch", help="evaluate a JSONL request stream over the serving subsystem"
+    )
+    batch_parser.add_argument(
+        "--input", default="-", help="JSONL request file ('-' for stdin)"
+    )
+    batch_parser.add_argument(
+        "--output", default="-", help="JSONL result file ('-' for stdout)"
+    )
+    add_service_arguments(batch_parser)
+    batch_parser.set_defaults(handler=_command_batch)
 
     return parser
 

@@ -1,7 +1,12 @@
 """Evaluation engines for conjunctive queries over trees."""
 
 from . import acyclic
-from .ac4 import ac4_fixpoint, maximal_arc_consistent_ac4
+from .ac4 import (
+    ac4_fixpoint,
+    hybrid_fixpoint,
+    maximal_arc_consistent_ac4,
+    maximal_arc_consistent_hybrid,
+)
 from .arc_consistency import (
     is_arc_consistent,
     maximal_arc_consistent,
@@ -59,6 +64,7 @@ __all__ = [
     "evaluate_on_tree",
     "evaluate_union",
     "find_solution",
+    "hybrid_fixpoint",
     "initial_domains",
     "is_arc_consistent",
     "is_satisfied",
@@ -66,6 +72,7 @@ __all__ = [
     "maximal_arc_consistent",
     "maximal_arc_consistent_ac4",
     "maximal_arc_consistent_horn",
+    "maximal_arc_consistent_hybrid",
     "minimum_valuation",
     "propagate",
     "satisfying_assignment",

@@ -538,6 +538,7 @@ def ac4_fixpoint(
     query: ConjunctiveQuery | CompiledQuery,
     structure: TreeStructure,
     pinned: Optional[Mapping[Variable, int]] = None,
+    initial_domains: Optional[Domains] = None,
 ) -> Optional[Views]:
     """The maximal arc-consistent prevaluation as maintained mutable views.
 
@@ -545,17 +546,32 @@ def ac4_fixpoint(
     unsatisfiable on the structure).  The returned views are the live,
     delete-aware representation: callers may hand them straight to the index
     witness primitives or to the backtracking forward checker.
+
+    ``initial_domains`` lets a caller seed the engine with domains it has
+    already (soundly) narrowed -- the hybrid propagator's bulk revise sweep
+    uses this.  Seeded domains must have the pin and self-loop filters applied
+    and be non-empty; confluence of the deletion rules guarantees the fixpoint
+    is unchanged.  ``pinned`` therefore cannot be combined with a seed (the
+    seed is expected to embody it already).
     """
+    if pinned is not None and initial_domains is not None:
+        raise ValueError(
+            "pinned cannot be combined with initial_domains; apply the pin "
+            "while building the seed instead"
+        )
     compiled = query if isinstance(query, CompiledQuery) else compile_query(query)
     index = structure.index
 
-    domains = compiled.initial_domains(structure, pinned)
-    for domain in domains.values():
-        if not domain:
+    if initial_domains is None:
+        domains = compiled.initial_domains(structure, pinned)
+        for domain in domains.values():
+            if not domain:
+                return None
+        # Self-loops R(x, x) are static per-node filters, applied once up front.
+        if not compiled.apply_loop_filters(domains, structure):
             return None
-    # Self-loops R(x, x) are static per-node filters, applied once up front.
-    if not compiled.apply_loop_filters(domains, structure):
-        return None
+    else:
+        domains = initial_domains
 
     views: Views = {
         variable: index.mutable_view(domains[variable]) for variable in compiled.variables
@@ -581,6 +597,49 @@ def ac4_fixpoint(
             for candidate in tracker.on_support_delete(node):
                 queue.append((tracker.watched, candidate))
     return views
+
+
+def hybrid_fixpoint(
+    query: ConjunctiveQuery | CompiledQuery,
+    structure: TreeStructure,
+    pinned: Optional[Mapping[Variable, int]] = None,
+) -> Optional[Views]:
+    """One bulk AC-3 revise sweep, then AC-4 support counting (``hybrid``).
+
+    The ROADMAP trade-off: on fast-converging queries (pure ``Child+`` chains)
+    AC-3's bulk set scans beat AC-4's per-candidate bookkeeping, while on
+    slow-converging ones (``Following`` chains, cyclic shapes) AC-4's bounded
+    total work wins by orders of magnitude.  The hybrid takes one bulk
+    interval-revise pass over every edge first -- harvesting the cheap
+    deletions at bulk-scan cost -- and hands the shrunken domains to the AC-4
+    engine, whose counter initialisation is now proportionally cheaper.  Both
+    stages delete only unsupported candidates, so the fixpoint (and therefore
+    every consumer downstream) is identical to the other propagators'.
+    """
+    compiled = query if isinstance(query, CompiledQuery) else compile_query(query)
+    domains = compiled.initial_domains(structure, pinned)
+    for domain in domains.values():
+        if not domain:
+            return None
+    if not compiled.apply_loop_filters(domains, structure):
+        return None
+    from .arc_consistency import bulk_revise_sweep
+
+    if not bulk_revise_sweep(compiled, domains, structure):
+        return None
+    return ac4_fixpoint(compiled, structure, initial_domains=domains)
+
+
+def maximal_arc_consistent_hybrid(
+    query: ConjunctiveQuery | CompiledQuery,
+    structure: TreeStructure,
+    pinned: Optional[Mapping[Variable, int]] = None,
+) -> Optional[Domains]:
+    """Hybrid twin of :func:`maximal_arc_consistent_ac4` (same fixpoint)."""
+    views = hybrid_fixpoint(query, structure, pinned)
+    if views is None:
+        return None
+    return {variable: view.members for variable, view in views.items()}
 
 
 def maximal_arc_consistent_ac4(

@@ -102,6 +102,28 @@ def maximal_arc_consistent(
     return domains
 
 
+def bulk_revise_sweep(
+    compiled: CompiledQuery, domains: Domains, structure: TreeStructure
+) -> bool:
+    """One bulk interval-revise pass over every edge (no worklist, no repeats).
+
+    This is the opening move of the ``hybrid`` propagator
+    (:func:`repro.evaluation.ac4.hybrid_fixpoint`): on fast-converging queries
+    (pure ``Child+`` chains) a single pass of AC-3's set-comprehension scans
+    removes the bulk of the dead candidates far cheaper than per-candidate
+    support bookkeeping, and whatever it leaves behind is finished off by the
+    deletion-driven AC-4 engine.  Deleting only unsupported candidates keeps
+    the fixpoint unchanged (the deletion rules are confluent).
+
+    Mutates ``domains`` in place; returns ``False`` iff some domain empties.
+    """
+    for atom in compiled.edges:
+        for variable in _revise(atom, domains, structure):
+            if not domains[variable]:
+                return False
+    return True
+
+
 def _revise(
     atom: CompiledAtom,
     domains: Domains,

@@ -143,6 +143,12 @@ class CompiledQuery:
     loops: tuple[CompiledAtom, ...]
     adjacency: Mapping[Variable, tuple[CompiledAtom, ...]]
     labels_by_variable: Mapping[Variable, tuple[str, ...]]
+    #: Is the (deduplicated, normalized) edge multigraph a forest?  Computed
+    #: once at compile time; distinct parallel constraints between one
+    #: variable pair count as a cycle, self-loops live in ``loops`` (static
+    #: filters) and do not.  On forests the arc-consistent fixpoint is
+    #: globally consistent, which the planner's monadic fast path exploits.
+    shadow_is_forest: bool
 
     # -- initial-domain recipe -------------------------------------------------
 
@@ -164,9 +170,12 @@ class CompiledQuery:
         for variable in self.variables:
             labels = self.labels_by_variable.get(variable, ())
             if labels:
-                candidates = set(structure.unary_members(labels[0]))
+                # unary_member_set is memoized on the structure, so resident
+                # documents (the serving layer) hand out their label sets
+                # without re-materializing them per evaluation.
+                candidates = set(structure.unary_member_set(labels[0]))
                 for label in labels[1:]:
-                    candidates &= set(structure.unary_members(label))
+                    candidates &= structure.unary_member_set(label)
             else:
                 candidates = set(all_nodes)
             domains[variable] = candidates
@@ -244,6 +253,24 @@ def compile_query(query: ConjunctiveQuery) -> CompiledQuery:
             if atom.label not in bucket:
                 bucket.append(atom.label)
 
+    # Union-find over the deduplicated edges: a forest iff no edge joins two
+    # already-connected variables (which also catches parallel constraints).
+    parent: dict[Variable, Variable] = {v: v for v in variables}
+
+    def find(variable: Variable) -> Variable:
+        while parent[variable] != variable:
+            parent[variable] = parent[parent[variable]]
+            variable = parent[variable]
+        return variable
+
+    shadow_is_forest = True
+    for atom in edges:
+        root_source, root_target = find(atom.source), find(atom.target)
+        if root_source == root_target:
+            shadow_is_forest = False
+            break
+        parent[root_source] = root_target
+
     return CompiledQuery(
         query=query,
         variables=variables,
@@ -253,4 +280,5 @@ def compile_query(query: ConjunctiveQuery) -> CompiledQuery:
         loops=loops,
         adjacency={v: tuple(atoms_list) for v, atoms_list in adjacency.items()},
         labels_by_variable={v: tuple(label_list) for v, label_list in labels.items()},
+        shadow_is_forest=shadow_is_forest,
     )

@@ -36,7 +36,7 @@ from ..trees.structure import TreeStructure
 from ..trees.tree import Tree
 from ..xproperty.dichotomy import is_tractable
 from . import acyclic, backtracking, xprop_evaluator
-from .compile import compile_query
+from .compile import CompiledQuery, compile_query
 from .domains import Valuation
 from .propagation import DEFAULT_PROPAGATOR, PropagatorLike, propagate
 
@@ -109,25 +109,42 @@ def evaluate(
     structure: TreeStructure,
     engine: Engine = Engine.AUTO,
     propagator: PropagatorLike = DEFAULT_PROPAGATOR,
+    compiled: Optional[CompiledQuery] = None,
 ) -> frozenset[tuple[int, ...]]:
     """Compute all answers of a k-ary query.
 
     Boolean queries return ``{()}`` when satisfied and the empty set otherwise.
-    k-ary queries enumerate candidate head tuples from the subset-maximal
-    arc-consistent prevaluation (a sound over-approximation of the answer
+    Monadic acyclic queries read their answers straight off the arc-consistent
+    fixpoint: on forest-shaped queries the fixpoint is globally consistent
+    (every surviving candidate extends to a full solution of its component --
+    the same fact the acyclic enumerator rests on), so the head variable's
+    domain *is* the answer set.  Remaining k-ary queries enumerate candidate
+    head tuples from the fixpoint (a sound over-approximation of the answer
     projection) and check each tuple via the Boolean reduction.
+
+    ``compiled`` lets callers that keep compiled artifacts resident (the
+    serving layer's query cache) bypass the compile-cache lookup; it must be
+    the compilation of ``query``.
     """
     if query.is_boolean:
         satisfied = is_satisfied(query, structure, engine, propagator=propagator)
         return frozenset({()}) if satisfied else frozenset()
 
-    result = propagate(query, structure, propagator=propagator)
+    if compiled is None:
+        compiled = compile_query(query)
+    result = propagate(compiled, structure, propagator=propagator)
     if result is None:
         return frozenset()
+    if query.is_monadic and compiled.shadow_is_forest:
+        # Global consistency of the arc-consistent fixpoint on shadow forests:
+        # no per-candidate Boolean checks needed.  Forest-ness is judged on the
+        # compiled (normalized, deduplicated) edges -- distinct parallel
+        # constraints on one variable pair count as a cycle and never take
+        # this path, while self-loops were already applied as static filters.
+        return frozenset((node,) for node in result.sorted_domain(query.head[0]))
     # Atoms connecting two head variables can be checked in O(1) per candidate
     # tuple from the tree's rank arrays, skipping the full Boolean evaluation
     # for tuples that already violate one of them.
-    compiled = compile_query(query)
     head_set = set(query.head)
     head_atoms = [
         atom

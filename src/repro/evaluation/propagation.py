@@ -11,7 +11,11 @@ now exposes as the ``propagator=`` dimension:
   :mod:`repro.evaluation.arc_consistency` (interval-index revise steps), kept
   as the cross-checked ablation;
 * :attr:`Propagator.HORN` -- the literal Horn-SAT transcription of the
-  Proposition 3.1 proof, the ground-truth baseline.
+  Proposition 3.1 proof, the ground-truth baseline;
+* :attr:`Propagator.HYBRID` -- one bulk AC-3 revise sweep to harvest the
+  cheap deletions at bulk-scan cost, then AC-4 support counting on the
+  shrunken domains (closing the ROADMAP gap on fast-converging pure
+  ``Child+`` chains where AC-3's set scans beat AC-4's bookkeeping).
 
 All three compute the same fixpoint (the deletion rules are confluent); the
 property tests assert it.  :func:`propagate` wraps the choice and returns a
@@ -30,8 +34,9 @@ from typing import Mapping, Optional, Union
 from ..queries.atoms import Variable
 from ..queries.query import ConjunctiveQuery
 from ..trees.structure import TreeStructure
-from .ac4 import Views, ac4_fixpoint
+from .ac4 import Views, ac4_fixpoint, hybrid_fixpoint
 from .arc_consistency import maximal_arc_consistent, maximal_arc_consistent_horn
+from .compile import CompiledQuery
 from .domains import Domains
 
 
@@ -41,6 +46,7 @@ class Propagator(str, Enum):
     AC4 = "ac4"
     AC3 = "ac3"
     HORN = "horn"
+    HYBRID = "hybrid"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -107,7 +113,7 @@ class PropagationResult:
 
 
 def propagate(
-    query: ConjunctiveQuery,
+    query: ConjunctiveQuery | CompiledQuery,
     structure: TreeStructure,
     pinned: Optional[Mapping[Variable, int]] = None,
     propagator: PropagatorLike = DEFAULT_PROPAGATOR,
@@ -115,11 +121,14 @@ def propagate(
     """Compute the maximal arc-consistent prevaluation with the chosen engine.
 
     Returns ``None`` when no arc-consistent prevaluation exists (some domain
-    empties), i.e. the query is unsatisfiable on the structure.
+    empties), i.e. the query is unsatisfiable on the structure.  Accepts a
+    pre-compiled query directly, so callers holding resident artifacts (the
+    serving layer's query cache) skip even the compile-cache lookup.
     """
     chosen = as_propagator(propagator)
-    if chosen is Propagator.AC4:
-        views = ac4_fixpoint(query, structure, pinned)
+    if chosen is Propagator.AC4 or chosen is Propagator.HYBRID:
+        fixpoint = ac4_fixpoint if chosen is Propagator.AC4 else hybrid_fixpoint
+        views = fixpoint(query, structure, pinned)
         if views is None:
             return None
         domains = {variable: view.members for variable, view in views.items()}

@@ -2,6 +2,7 @@
 
 from .apq import UnionQuery, as_union
 from .atoms import Atom, AxisAtom, LabelAtom, Variable, axis, label
+from .canonical import canonical_key, canonicalize
 from .containment import (
     answers_on,
     contained_on,
@@ -31,6 +32,8 @@ __all__ = [
     "as_union",
     "axis",
     "axis_chain",
+    "canonical_key",
+    "canonicalize",
     "contained_on",
     "contained_on_samples",
     "contained_on_trees",

@@ -1,0 +1,195 @@
+"""Renaming-invariant canonical forms of conjunctive queries.
+
+The serving layer memoizes parse -> compile -> plan per query
+(:mod:`repro.service.cache`), and clients routinely resubmit queries that are
+textually different but *alpha-equivalent*: same head arity, same body up to a
+bijective renaming of variables and a reordering of atoms.  Such queries have
+identical answer sets (answers are tuples of nodes indexed by head position,
+never by variable name), so they should share one cache entry -- and, since
+:func:`repro.evaluation.compile.compile_query` memoizes on the query *value*,
+one compiled artifact.
+
+:func:`canonicalize` maps every query to the unique representative of its
+alpha-equivalence class:
+
+* the query name is dropped (it never affects evaluation),
+* head variables are renamed ``v0, v1, ...`` in order of first head occurrence
+  (head *positions* are semantic: ``Q(x, y)`` and ``Q(y, x)`` differ, while a
+  repeated head variable ``Q(x, x)`` keeps its equality constraint),
+* existential variables are renamed by a canonical-labelling search: a
+  Weisfeiler-Leman-style colour refinement partitions them by an
+  isomorphism-invariant signature, then the lexicographically minimal body
+  encoding over all within-class orderings is chosen.  The refinement classes
+  and their order are invariants of the class, so the minimum is too; and
+  because every explored ordering is an actual renaming, two queries share a
+  canonical form *only if* they really are alpha-equivalent -- a cache keyed
+  on it can never conflate inequivalent queries,
+* the body is sorted (set semantics: atom order affects neither satisfaction
+  nor the answer set).
+
+:func:`canonical_key` renders the canonical form as a compact hashable string
+for cache indexing and statistics.
+
+The within-class search is exponential only in the size of the largest
+refinement class, i.e. in how symmetric the query is; real queries are tiny
+and nearly asymmetric.  A safety valve caps the number of explored orderings
+(:data:`MAX_ORDERINGS`) and falls back to the given variable names beyond it,
+trading cache sharing (renamed twins may then miss) for bounded work --
+soundness is unaffected either way.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from itertools import islice, permutations, product
+from math import factorial
+from typing import Mapping, Sequence
+
+from .atoms import Atom, LabelAtom, Variable
+from .query import ConjunctiveQuery
+
+#: Cap on the within-class orderings explored by the canonical-labelling
+#: search.  8! covers every query with up to 8 mutually symmetric existential
+#: variables -- far beyond anything the translators or workloads produce.
+MAX_ORDERINGS = 40_320
+
+
+def _encode_atom(atom: Atom, assignment: Mapping[Variable, int]) -> tuple:
+    """An order-comparable tuple encoding of one atom under a variable numbering."""
+    if isinstance(atom, LabelAtom):
+        return (0, atom.label, assignment[atom.variable], 0)
+    return (1, atom.axis.value, assignment[atom.source], assignment[atom.target])
+
+
+def _refine_existential(
+    query: ConjunctiveQuery,
+    head_ids: Mapping[Variable, int],
+    existential: Sequence[Variable],
+) -> list[list[Variable]]:
+    """Partition the existential variables by WL colour refinement.
+
+    Head variables act as fixed, mutually distinct colours.  The returned
+    classes are ordered by their (invariant) final signature; variables inside
+    a class are still interchangeable as far as the refinement can tell.
+    """
+    labels: dict[Variable, list[str]] = {v: [] for v in existential}
+    incident: dict[Variable, list[tuple[str, str, Variable]]] = {
+        v: [] for v in existential
+    }
+    for atom in query.body:
+        if isinstance(atom, LabelAtom):
+            if atom.variable in labels:
+                labels[atom.variable].append(atom.label)
+        else:
+            if atom.source in incident:
+                incident[atom.source].append((atom.axis.value, "s", atom.target))
+            if atom.target in incident:
+                incident[atom.target].append((atom.axis.value, "t", atom.source))
+
+    def colour_of(variable: Variable, colours: Mapping[Variable, int]) -> tuple:
+        if variable in head_ids:
+            return ("H", head_ids[variable])
+        return ("E", colours[variable])
+
+    colours: dict[Variable, int] = {v: 0 for v in existential}
+    signatures: dict[Variable, tuple] = {}
+    while True:
+        for variable in existential:
+            # Including the variable's own previous colour makes each round a
+            # refinement of the last, so the loop terminates in <= n rounds.
+            signature = [("C", colours[variable])]
+            signature.extend(("L", label) for label in sorted(labels[variable]))
+            signature.extend(
+                sorted(
+                    ("A", axis, role, colour_of(other, colours))
+                    for axis, role, other in incident[variable]
+                )
+            )
+            signatures[variable] = tuple(signature)
+        distinct = sorted(set(signatures.values()))
+        new_colours = {v: distinct.index(signatures[v]) for v in existential}
+        if new_colours == colours:
+            break
+        colours = new_colours
+
+    classes: dict[int, list[Variable]] = {}
+    for variable in existential:
+        classes.setdefault(colours[variable], []).append(variable)
+    return [classes[colour] for colour in sorted(classes)]
+
+
+def _canonical_assignment(query: ConjunctiveQuery) -> dict[Variable, int]:
+    """A variable numbering whose sorted body encoding is class-canonical."""
+    head_ids: dict[Variable, int] = {}
+    for variable in query.head:
+        head_ids.setdefault(variable, len(head_ids))
+    existential = [v for v in query.variables() if v not in head_ids]
+    if not existential:
+        return head_ids
+
+    classes = _refine_existential(query, head_ids, existential)
+    total_orderings = 1
+    for cls in classes:
+        total_orderings *= factorial(len(cls))
+    if total_orderings > MAX_ORDERINGS:
+        # Pathologically symmetric query: keep the given names' order within
+        # each class.  Still a valid (deterministic, injective) key -- renamed
+        # twins may just land in different cache slots.
+        orderings = [tuple(tuple(sorted(cls)) for cls in classes)]
+    else:
+        orderings = product(*(permutations(cls) for cls in classes))
+
+    base = len(head_ids)
+    best_encoding: tuple | None = None
+    best_assignment: dict[Variable, int] = {}
+    for ordering in islice(orderings, MAX_ORDERINGS):
+        assignment = dict(head_ids)
+        position = base
+        for cls in ordering:
+            for variable in cls:
+                assignment[variable] = position
+                position += 1
+        encoding = tuple(sorted(_encode_atom(atom, assignment) for atom in query.body))
+        if best_encoding is None or encoding < best_encoding:
+            best_encoding = encoding
+            best_assignment = assignment
+    return best_assignment
+
+
+@lru_cache(maxsize=4096)
+def canonicalize(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """The canonical representative of ``query``'s alpha-equivalence class.
+
+    Alpha-equivalent queries (same head positions, same body up to bijective
+    renaming and atom reordering; names ignored) map to the *same* query
+    value, so downstream per-query memoization (``compile_query``'s
+    ``lru_cache``, the service's :class:`~repro.service.cache.QueryCache`)
+    is shared across all of them.  The representative has identical answers
+    on every structure.
+    """
+    assignment = _canonical_assignment(query)
+    renaming = {variable: f"v{index}" for variable, index in assignment.items()}
+    head = tuple(renaming[variable] for variable in query.head)
+    body = tuple(
+        atom.rename(renaming)
+        for atom in sorted(query.body, key=lambda a: _encode_atom(a, assignment))
+    )
+    return ConjunctiveQuery(head, body, "Q")
+
+
+def canonical_key(query: ConjunctiveQuery) -> str:
+    """A compact renaming-invariant cache key (the rendered canonical form).
+
+    Equal keys imply alpha-equivalence (and therefore equal answer sets);
+    alpha-equivalent queries get equal keys whenever the canonical-labelling
+    search completes within :data:`MAX_ORDERINGS` orderings.
+    """
+    canonical = canonicalize(query)
+    head = ",".join(canonical.head)
+    body = "&".join(
+        f"{atom.label!r}({atom.variable})"
+        if isinstance(atom, LabelAtom)
+        else f"{atom.axis.value}({atom.source},{atom.target})"
+        for atom in canonical.body
+    )
+    return f"{len(canonical.head)}[{head}]{body}"

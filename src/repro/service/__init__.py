@@ -1,0 +1,36 @@
+"""The serving layer: resident documents, cached query plans, batch execution.
+
+Single-query evaluation (PR 1/2) made one ``evaluate()`` call fast; this
+package amortizes every per-tree and per-query artifact across a *stream* of
+requests, the way an embedded or networked query service runs:
+
+* :mod:`~repro.service.store` -- :class:`DocumentStore`: trees registered
+  under stable ids with their interval index, label inverted index and
+  initial-domain sets resident; explicit + LRU eviction;
+* :mod:`~repro.service.cache` -- :class:`QueryCache`: parse -> canonicalize ->
+  compile -> plan memoized behind a renaming-invariant canonical key, so
+  alpha-equivalent resubmissions share one compiled plan;
+* :mod:`~repro.service.executor` -- :class:`BatchExecutor`: concurrent,
+  deterministic evaluation of request batches over the shared artifacts;
+* :mod:`~repro.service.server` -- a stdlib-only HTTP JSON front end
+  (``cq-trees serve``).
+"""
+
+from .cache import CachedQuery, QueryCache
+from .executor import BatchExecutor, Request, RequestResult
+from .server import ServiceHTTPServer, make_server
+from .store import DocumentNotFound, DocumentStore, StoredDocument, preload
+
+__all__ = [
+    "BatchExecutor",
+    "CachedQuery",
+    "DocumentNotFound",
+    "DocumentStore",
+    "QueryCache",
+    "Request",
+    "RequestResult",
+    "ServiceHTTPServer",
+    "StoredDocument",
+    "make_server",
+    "preload",
+]

@@ -1,0 +1,185 @@
+"""The query cache: parse -> canonicalize -> compile -> plan, memoized.
+
+Serving traffic resubmits the same queries over and over, frequently with
+cosmetic differences: another variable naming, another atom order, another
+rule name.  :class:`QueryCache` memoizes the whole front half of the pipeline
+behind a renaming-invariant key (:func:`repro.queries.canonical.canonical_key`):
+
+* **parse cache** -- raw request text (datalog or XPath) to its cache entry,
+  so byte-identical resubmissions skip even the parser;
+* **entry cache** -- canonical key to :class:`CachedQuery`: the canonical
+  representative query, its :class:`~repro.evaluation.compile.CompiledQuery`,
+  and the planner's engine choice.  Alpha-equivalent submissions -- textually
+  different, even mixed datalog/XPath -- share one entry, and because the
+  entry holds the *canonical* query value, ``compile_query``'s per-value
+  ``lru_cache`` is hit across cache instances as well.
+
+Both maps are LRU-bounded by ``capacity`` and thread-safe; statistics
+(:meth:`stats`) expose hit rates so an operator can see the amortization
+working.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..evaluation.compile import CompiledQuery, compile_query
+from ..evaluation.planner import Engine, choose_engine
+from ..queries.canonical import canonical_key, canonicalize
+from ..queries.parser import parse_query
+from ..queries.query import ConjunctiveQuery
+from ..queries.xpath import xpath_to_cq
+
+#: Recognised query syntaxes for textual submissions.
+KINDS = ("datalog", "xpath")
+
+
+@dataclass
+class CachedQuery:
+    """One resident query plan: canonical query, compiled form, engine choice."""
+
+    key: str
+    query: ConjunctiveQuery
+    compiled: CompiledQuery
+    engine: Engine
+    hits: int = field(default=0)
+
+    def describe(self) -> dict:
+        return {
+            "key": self.key,
+            "arity": self.query.arity,
+            "atoms": len(self.query.body),
+            "engine": self.engine.value,
+            "hits": self.hits,
+        }
+
+
+class QueryCache:
+    """Renaming-invariant memoization of the query-side pipeline."""
+
+    def __init__(self, capacity: Optional[int] = 1024):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unbounded)")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, CachedQuery]" = OrderedDict()
+        self._parse_cache: "OrderedDict[tuple[str, str], CachedQuery]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._parse_hits = 0
+
+    # -- lookup / population ---------------------------------------------------
+
+    def resolve_text(self, text: str, kind: str = "datalog") -> tuple[CachedQuery, bool]:
+        """The cache entry for a textual query, plus whether it was warm.
+
+        ``kind`` selects the syntax: ``"datalog"`` rule notation or
+        ``"xpath"`` navigational expressions.  Parsing happens at most once
+        per distinct text; parse errors propagate
+        (:class:`~repro.queries.parser.QueryParseError`,
+        :class:`~repro.queries.xpath.XPathTranslationError`) and failed
+        parses are not cached.
+        """
+        if kind not in KINDS:
+            raise ValueError(f"unknown query kind {kind!r}; expected one of {KINDS}")
+        parse_key = (kind, text)
+        with self._lock:
+            cached = self._parse_cache.get(parse_key)
+            if cached is not None:
+                self._parse_cache.move_to_end(parse_key)
+                if cached.key in self._entries:
+                    # A textual hit is a use of the entry too; without this
+                    # touch the hottest (textually stable) queries would be
+                    # the first evicted from the entry LRU.
+                    self._entries.move_to_end(cached.key)
+                self._parse_hits += 1
+                self._hits += 1
+                cached.hits += 1
+                return cached, True
+        query = xpath_to_cq(text) if kind == "xpath" else parse_query(text)
+        entry, hit = self.resolve_query(query)
+        with self._lock:
+            self._parse_cache[parse_key] = entry
+            if self.capacity is not None:
+                while len(self._parse_cache) > self.capacity:
+                    self._parse_cache.popitem(last=False)
+        return entry, hit
+
+    def resolve_query(self, query: ConjunctiveQuery) -> tuple[CachedQuery, bool]:
+        """The cache entry for a query object, plus whether it was warm.
+
+        Alpha-equivalent queries share one entry (and one compiled artifact).
+        """
+        key = canonical_key(query)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                entry.hits += 1
+                return entry, True
+        # Compile outside the lock: canonicalize/compile_query are themselves
+        # memoized and thread-safe, so a rare duplicate compile race is cheap.
+        canonical = canonicalize(query)
+        entry = CachedQuery(
+            key=key,
+            query=canonical,
+            compiled=compile_query(canonical),
+            engine=choose_engine(canonical),
+        )
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                self._hits += 1
+                existing.hits += 1
+                return existing, True
+            self._entries[key] = entry
+            self._misses += 1
+            if self.capacity is not None:
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+        return entry, False
+
+    def entry_for_text(self, text: str, kind: str = "datalog") -> CachedQuery:
+        """Convenience wrapper around :meth:`resolve_text`."""
+        return self.resolve_text(text, kind)[0]
+
+    def entry_for_query(self, query: ConjunctiveQuery) -> CachedQuery:
+        """Convenience wrapper around :meth:`resolve_query`."""
+        return self.resolve_query(query)[0]
+
+    # -- maintenance -----------------------------------------------------------
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._parse_cache.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # -- statistics ------------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            lookups = self._hits + self._misses
+            return {
+                "entries": len(self._entries),
+                "parse_entries": len(self._parse_cache),
+                "capacity": self.capacity,
+                "hits": self._hits,
+                "misses": self._misses,
+                "parse_hits": self._parse_hits,
+                "hit_rate": (self._hits / lookups) if lookups else 0.0,
+            }
+
+    def describe(self) -> list[dict]:
+        with self._lock:
+            return [entry.describe() for entry in self._entries.values()]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueryCache(entries={len(self)}, stats={self.stats()})"

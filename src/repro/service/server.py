@@ -1,0 +1,177 @@
+"""A stdlib-only HTTP JSON front end over the batch executor.
+
+``cq-trees serve`` exposes the serving subsystem to non-Python clients:
+
+================  ======  ====================================================
+path              method  behaviour
+================  ======  ====================================================
+``/healthz``      GET     liveness: ``{"status": "ok", "documents": N}``
+``/stats``        GET     executor + store + cache statistics
+``/documents``    GET     resident document summaries
+``/documents``    POST    register: ``{"doc": id, "xml": ...}`` or
+                          ``{"doc": id, "sexpr": ...}``
+``/documents/ID`` DELETE  evict a document
+``/query``        POST    one request object (see below)
+``/batch``        POST    ``{"requests": [...], "max_workers"?: N}``
+================  ======  ====================================================
+
+A request object is ``{"doc": id, "query": datalog}`` or
+``{"doc": id, "xpath": expr}`` plus optional ``"propagator"`` and ``"limit"``;
+responses mirror :meth:`repro.service.executor.RequestResult.to_json_dict`.
+Malformed bodies answer 400 and unknown paths 404.  Unknown document *ids*
+are request-level failures, not path lookups: ``/query`` answers 400 with the
+error, and inside a batch they stay per-request (HTTP 200 with ``error``
+fields), so one bad request never voids its batchmates.  Only
+``DELETE /documents/ID`` treats the id as a resource and answers 404.
+
+Built on :class:`http.server.ThreadingHTTPServer` -- no dependencies, one
+thread per connection, all of them sharing the executor's resident artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from ..queries.parser import QueryParseError
+from ..queries.xpath import XPathTranslationError
+from ..trees.xmlio import XMLParseError
+from .executor import BatchExecutor, Request
+
+#: Upper bound on accepted request bodies (64 MiB); guards the worker threads.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the executor for its handler threads."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], executor: BatchExecutor, quiet: bool = True):
+        super().__init__(address, _ServiceRequestHandler)
+        self.executor = executor
+        self.quiet = quiet
+
+
+class _ServiceRequestHandler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+    server_version = "cq-trees"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing --------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib name
+        if not self.server.quiet:  # pragma: no cover - log formatting
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Optional[dict]:
+        """The request body as JSON, or ``None`` after answering 400."""
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            # The unread body would desync the persistent HTTP/1.1 stream
+            # (the next request line would be parsed out of body bytes), so
+            # drop the connection after answering.
+            self.close_connection = True
+            self._send_json(400, {"error": "missing or oversized Content-Length"})
+            return None
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            self._send_json(400, {"error": f"invalid JSON body: {error}"})
+            return None
+        if not isinstance(payload, dict):
+            self._send_json(400, {"error": "request body must be a JSON object"})
+            return None
+        return payload
+
+    # -- routes ----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        executor = self.server.executor
+        if self.path == "/healthz":
+            self._send_json(200, {"status": "ok", "documents": len(executor.store)})
+        elif self.path == "/stats":
+            self._send_json(200, executor.stats())
+        elif self.path == "/documents":
+            self._send_json(200, {"documents": executor.store.describe()})
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        executor = self.server.executor
+        payload = self._read_json()
+        if payload is None:
+            return
+        try:
+            if self.path == "/documents":
+                self._register_document(payload)
+            elif self.path == "/query":
+                result = executor.execute(Request.from_json_dict(payload))
+                self._send_json(200 if result.ok else 400, result.to_json_dict())
+            elif self.path == "/batch":
+                self._execute_batch(payload)
+            else:
+                self._send_json(404, {"error": f"unknown path {self.path!r}"})
+        except (QueryParseError, XPathTranslationError, XMLParseError, ValueError) as error:
+            self._send_json(400, {"error": str(error)})
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        executor = self.server.executor
+        prefix = "/documents/"
+        if self.path.startswith(prefix) and len(self.path) > len(prefix):
+            doc_id = self.path[len(prefix) :]
+            if executor.store.evict(doc_id):
+                self._send_json(200, {"evicted": doc_id})
+            else:
+                self._send_json(404, {"error": f"unknown document id {doc_id!r}"})
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    # -- handlers --------------------------------------------------------------
+
+    def _register_document(self, payload: dict) -> None:
+        # allow_files stays False over HTTP: clients must not be able to make
+        # the server read its own filesystem.
+        document = self.server.executor.store.register_payload(payload)
+        self._send_json(200, document.describe())
+
+    def _execute_batch(self, payload: dict) -> None:
+        raw_requests = payload.get("requests")
+        if not isinstance(raw_requests, list):
+            raise ValueError("batch body needs a 'requests' list")
+        max_workers = payload.get("max_workers")
+        if max_workers is not None and (not isinstance(max_workers, int) or max_workers < 1):
+            raise ValueError("'max_workers' must be a positive integer")
+        requests = [Request.from_json_dict(item) for item in raw_requests]
+        results = self.server.executor.execute_batch(requests, max_workers=max_workers)
+        self._send_json(
+            200,
+            {
+                "results": [result.to_json_dict() for result in results],
+                "errors": sum(1 for result in results if not result.ok),
+            },
+        )
+
+
+def make_server(
+    executor: BatchExecutor,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+) -> ServiceHTTPServer:
+    """Bind a service HTTP server (``port=0`` picks an ephemeral port)."""
+    return ServiceHTTPServer((host, port), executor, quiet=quiet)

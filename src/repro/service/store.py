@@ -1,0 +1,222 @@
+"""The document store: trees registered once, per-tree artifacts kept resident.
+
+Single-query evaluation rebuilds everything per call: the tree, its
+:class:`~repro.trees.index.AxisIndex` (one O(n) pre/post sweep plus rank
+arrays), and the per-label candidate sets the initial domains start from.  A
+server answering a stream of queries over the same documents should pay those
+costs once.  :class:`DocumentStore` registers trees under stable document ids
+and keeps resident, per document:
+
+* the finalised :class:`~repro.trees.tree.Tree` and its
+  :class:`~repro.trees.structure.TreeStructure`,
+* the tree's interval ``AxisIndex`` (forced eagerly at registration, so the
+  first query does not pay the build),
+* the label inverted index -- every label's candidate frozenset, warmed
+  through :meth:`TreeStructure.unary_member_set` so initial-domain
+  construction never re-materializes them.
+
+Eviction is explicit (:meth:`evict`, :meth:`clear`) plus an optional LRU
+``capacity`` bound, so an embedding process controls its own memory.  All
+operations are thread-safe; the executor's worker threads share the store.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..trees.builders import parse_sexpr
+from ..trees.structure import TreeStructure
+from ..trees.tree import Tree
+from ..trees.xmlio import from_xml, from_xml_file
+
+
+class DocumentNotFound(KeyError):
+    """Raised when a request references a document id that is not resident."""
+
+    def __init__(self, doc_id: str):
+        super().__init__(doc_id)
+        self.doc_id = doc_id
+
+    def __str__(self) -> str:
+        return f"unknown document id {self.doc_id!r}"
+
+
+@dataclass
+class StoredDocument:
+    """One resident document: the tree plus its warm evaluation artifacts."""
+
+    doc_id: str
+    tree: Tree
+    structure: TreeStructure
+    source: str
+    registered_at: float = field(default_factory=time.time)
+
+    @property
+    def nodes(self) -> int:
+        return len(self.tree)
+
+    def describe(self) -> dict:
+        """A JSON-friendly summary (used by the HTTP front end and the CLI)."""
+        return {
+            "doc": self.doc_id,
+            "nodes": self.nodes,
+            "labels": len(self.tree.alphabet()),
+            "source": self.source,
+        }
+
+
+class DocumentStore:
+    """Registered trees with resident indexes and explicit eviction.
+
+    Parameters
+    ----------
+    capacity:
+        Optional LRU bound on the number of resident documents.  Registering
+        beyond it evicts the least recently used document (use counts as a
+        touch).  ``None`` means unbounded -- eviction is entirely explicit.
+    """
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unbounded)")
+        self.capacity = capacity
+        self._documents: "OrderedDict[str, StoredDocument]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._registered = 0
+        self._evicted = 0
+        self._hits = 0
+        self._misses = 0
+
+    # -- registration ----------------------------------------------------------
+
+    def register_tree(self, doc_id: str, tree: Tree, source: str = "tree") -> StoredDocument:
+        """Register a finalised tree and warm its evaluation artifacts."""
+        if not doc_id:
+            raise ValueError("document id must be a non-empty string")
+        structure = TreeStructure(tree)
+        structure.index  # force the O(n) interval index build at registration
+        for label in tree.alphabet():
+            structure.unary_member_set(label)  # warm the label inverted index
+        document = StoredDocument(doc_id, tree, structure, source)
+        with self._lock:
+            if doc_id in self._documents:
+                # Re-registration replaces the resident artifacts in place.
+                del self._documents[doc_id]
+            self._documents[doc_id] = document
+            self._registered += 1
+            if self.capacity is not None:
+                while len(self._documents) > self.capacity:
+                    evicted_id, _ = self._documents.popitem(last=False)
+                    self._evicted += 1
+        return document
+
+    def register_xml(self, doc_id: str, text: str) -> StoredDocument:
+        """Parse an XML string and register the resulting tree."""
+        return self.register_tree(doc_id, from_xml(text), source="xml")
+
+    def register_xml_file(self, doc_id: str, path: str) -> StoredDocument:
+        """Parse an XML file and register the resulting tree."""
+        return self.register_tree(doc_id, from_xml_file(path), source=path)
+
+    def register_sexpr(self, doc_id: str, text: str) -> StoredDocument:
+        """Parse an s-expression tree and register it."""
+        return self.register_tree(doc_id, parse_sexpr(text), source="sexpr")
+
+    def register_payload(self, payload: dict, allow_files: bool = False) -> StoredDocument:
+        """Register from a JSON payload (the HTTP and JSONL wire format).
+
+        ``{"doc": id, "xml": text}`` or ``{"doc": id, "sexpr": text}``; with
+        ``allow_files`` also ``{"doc": id, "xml_file": path}``.  File
+        registration is opt-in because a path names a *server-side* resource
+        -- the HTTP front end must not let remote clients read the server's
+        filesystem, while the CLI (same trust domain) may.
+        """
+        doc_id = payload.get("doc")
+        if not isinstance(doc_id, str) or not doc_id:
+            raise ValueError("registration needs a non-empty 'doc' document id")
+        allowed = ("xml", "xml_file", "sexpr") if allow_files else ("xml", "sexpr")
+        sources = [key for key in allowed if payload.get(key) is not None]
+        if len(sources) != 1:
+            choices = ", ".join(f"'{key}'" for key in allowed)
+            raise ValueError(f"provide exactly one of {choices}")
+        source = sources[0]
+        text = payload[source]
+        if not isinstance(text, str):
+            raise ValueError(f"'{source}' must be a string")
+        if source == "xml":
+            return self.register_xml(doc_id, text)
+        if source == "xml_file":
+            return self.register_xml_file(doc_id, text)
+        return self.register_sexpr(doc_id, text)
+
+    # -- lookup ----------------------------------------------------------------
+
+    def get(self, doc_id: str) -> StoredDocument:
+        """The resident document for ``doc_id`` (an LRU touch); raises otherwise."""
+        with self._lock:
+            document = self._documents.get(doc_id)
+            if document is None:
+                self._misses += 1
+                raise DocumentNotFound(doc_id)
+            self._documents.move_to_end(doc_id)
+            self._hits += 1
+            return document
+
+    def __contains__(self, doc_id: str) -> bool:
+        with self._lock:
+            return doc_id in self._documents
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._documents)
+
+    def doc_ids(self) -> list[str]:
+        with self._lock:
+            return list(self._documents)
+
+    def describe(self) -> list[dict]:
+        with self._lock:
+            return [document.describe() for document in self._documents.values()]
+
+    # -- eviction --------------------------------------------------------------
+
+    def evict(self, doc_id: str) -> bool:
+        """Drop one document (and its artifacts); ``True`` iff it was resident."""
+        with self._lock:
+            if doc_id in self._documents:
+                del self._documents[doc_id]
+                self._evicted += 1
+                return True
+            return False
+
+    def clear(self) -> None:
+        """Drop every resident document."""
+        with self._lock:
+            self._evicted += len(self._documents)
+            self._documents.clear()
+
+    # -- statistics ------------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "documents": len(self._documents),
+                "resident_nodes": sum(d.nodes for d in self._documents.values()),
+                "capacity": self.capacity,
+                "registered": self._registered,
+                "evicted": self._evicted,
+                "hits": self._hits,
+                "misses": self._misses,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DocumentStore({self.doc_ids()!r})"
+
+
+def preload(store: DocumentStore, documents: Iterable[tuple[str, str]]) -> list[StoredDocument]:
+    """Register ``(doc_id, xml_path)`` pairs (the CLI's ``--document`` flags)."""
+    return [store.register_xml_file(doc_id, path) for doc_id, path in documents]

@@ -26,7 +26,7 @@ from .node import Node
 from .orders import ALL_ORDERS, Order, less, minimum, rank, sorted_nodes
 from .structure import TAU, Signature, TreeStructure, structure
 from .tree import Tree
-from .xmlio import from_xml, from_xml_file, to_xml
+from .xmlio import XMLParseError, from_xml, from_xml_file, to_xml
 
 __all__ = [
     "AX",
@@ -41,6 +41,7 @@ __all__ = [
     "TAU",
     "Tree",
     "TreeStructure",
+    "XMLParseError",
     "all_trees",
     "axis_from_name",
     "chain",

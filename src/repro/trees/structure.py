@@ -102,6 +102,7 @@ class TreeStructure:
         self.signature = signature if signature is not None else Signature(AX)
         self.oracle = AxisOracle(tree)
         self._extra_unary: dict[str, frozenset[int]] = {}
+        self._unary_sets: dict[str, frozenset[int]] = {}
         if extra_unary:
             for name, members in extra_unary.items():
                 self.add_unary(name, members)
@@ -115,6 +116,7 @@ class TreeStructure:
             if not (0 <= node_id < len(self.tree)):
                 raise ValueError(f"node id {node_id} outside the domain")
         self._extra_unary[name] = member_set
+        self._unary_sets.pop(name, None)
 
     def with_singletons(self, assignment: Mapping[str, int]) -> "TreeStructure":
         """Return a copy with fresh singleton unary relations.
@@ -125,6 +127,7 @@ class TreeStructure:
         """
         copy = TreeStructure(self.tree, self.signature, None)
         copy._extra_unary = dict(self._extra_unary)
+        copy._unary_sets = dict(self._unary_sets)
         for name, node_id in assignment.items():
             copy.add_unary(name, (node_id,))
         return copy
@@ -134,6 +137,30 @@ class TreeStructure:
         if name in self._extra_unary:
             return sorted(self._extra_unary[name])
         return self.tree.nodes_with_label(name)
+
+    def unary_member_set(self, name: str) -> frozenset[int]:
+        """The unary relation ``name`` as a resident frozenset (memoized).
+
+        This is the initial-domain artifact the serving layer keeps warm: the
+        per-label candidate sets every evaluation starts from.  Memoizing them
+        on the structure means repeated queries over a resident document never
+        rebuild them; :meth:`with_singletons` copies share the memo for
+        relations the pinning does not shadow.
+        """
+        cached = self._unary_sets.get(name)
+        if cached is None:
+            if name in self._extra_unary:
+                cached = self._extra_unary[name]
+            else:
+                cached = frozenset(self.tree.nodes_with_label(name))
+                if not cached:
+                    # Unknown names are client-controlled (query labels that do
+                    # not occur in the tree); never memoize them, or a resident
+                    # structure's cache would grow unboundedly under adversarial
+                    # traffic.  The empty set is trivial to recompute anyway.
+                    return cached
+            self._unary_sets[name] = cached
+        return cached
 
     def unary_holds(self, name: str, node_id: int) -> bool:
         if name in self._extra_unary:

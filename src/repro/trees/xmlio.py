@@ -22,15 +22,31 @@ from .node import Node
 from .tree import Tree
 
 
+class XMLParseError(ValueError):
+    """Raised when a document is not well-formed XML.
+
+    Wraps :class:`xml.etree.ElementTree.ParseError` so callers (the CLI and
+    the serving layer's document registration) can surface one stable
+    exception type -- and a useful message with line/column -- instead of
+    leaking the stdlib parser's internals.
+    """
+
+
 def from_xml(text: str, include_attributes: bool = True) -> Tree:
     """Parse an XML string into a :class:`Tree`."""
-    element = ET.fromstring(text)
+    try:
+        element = ET.fromstring(text)
+    except ET.ParseError as error:
+        raise XMLParseError(f"not well-formed XML: {error}") from error
     return Tree(_convert(element, include_attributes))
 
 
 def from_xml_file(path: str, include_attributes: bool = True) -> Tree:
     """Parse an XML file into a :class:`Tree`."""
-    element = ET.parse(path).getroot()
+    try:
+        element = ET.parse(path).getroot()
+    except ET.ParseError as error:
+        raise XMLParseError(f"{path}: not well-formed XML: {error}") from error
     return Tree(_convert(element, include_attributes))
 
 

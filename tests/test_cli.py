@@ -225,6 +225,108 @@ class TestEndToEndSmoke:
         assert outputs[0] == outputs[1] == outputs[2]
 
 
+class TestBatchCommand:
+    def test_jsonl_round_trip(self, tmp_path, xml_file):
+        import json
+
+        input_path = tmp_path / "requests.jsonl"
+        output_path = tmp_path / "results.jsonl"
+        lines = [
+            {"op": "register", "doc": "site", "xml_file": xml_file},
+            {"doc": "site", "query": "Q(i) <- item(i), Child(i, p), payment(p)"},
+            {"doc": "site", "xpath": "//item", "propagator": "hybrid", "limit": 1},
+        ]
+        input_path.write_text("\n".join(json.dumps(line) for line in lines))
+        exit_code = main(
+            ["batch", "--input", str(input_path), "--output", str(output_path)]
+        )
+        assert exit_code == 0
+        results = [json.loads(line) for line in output_path.read_text().splitlines()]
+        assert results[0]["ok"] and results[0]["doc"] == "site"
+        assert results[1]["count"] == 1
+        assert results[2]["truncated"] and results[2]["count"] == 2
+        assert results[2]["propagator"] == "hybrid"
+
+    def test_register_is_a_barrier_for_later_queries(self, tmp_path):
+        import json
+
+        input_path = tmp_path / "requests.jsonl"
+        output_path = tmp_path / "results.jsonl"
+        lines = [
+            {"doc": "late", "query": "Q(x) <- B(x)"},  # doc not registered yet
+            {"op": "register", "doc": "late", "sexpr": "(A (B))"},
+            {"doc": "late", "query": "Q(x) <- B(x)"},
+        ]
+        input_path.write_text("\n".join(json.dumps(line) for line in lines))
+        exit_code = main(
+            ["batch", "--input", str(input_path), "--output", str(output_path)]
+        )
+        assert exit_code == 1  # the early query failed
+        results = [json.loads(line) for line in output_path.read_text().splitlines()]
+        assert "unknown document" in results[0]["error"]
+        assert results[1]["ok"]
+        assert results[2]["answers"] == [[1]]
+
+    def test_unknown_op_is_reported_not_misrouted(self, tmp_path):
+        import json
+
+        input_path = tmp_path / "requests.jsonl"
+        output_path = tmp_path / "results.jsonl"
+        input_path.write_text(
+            json.dumps({"op": "registre", "doc": "d", "xml": "<a/>"}) + "\n"
+        )
+        assert main(["batch", "--input", str(input_path), "--output", str(output_path)]) == 1
+        result = json.loads(output_path.read_text().splitlines()[0])
+        assert "unknown op 'registre'" in result["error"]
+
+    def test_malformed_lines_reported_in_order(self, tmp_path):
+        import json
+
+        input_path = tmp_path / "requests.jsonl"
+        output_path = tmp_path / "results.jsonl"
+        input_path.write_text("this is not json\n")
+        assert main(["batch", "--input", str(input_path), "--output", str(output_path)]) == 1
+        results = [json.loads(line) for line in output_path.read_text().splitlines()]
+        assert "line 1" in results[0]["error"]
+
+    def test_document_preregistration_flag(self, tmp_path, xml_file):
+        import json
+
+        input_path = tmp_path / "requests.jsonl"
+        output_path = tmp_path / "results.jsonl"
+        input_path.write_text(json.dumps({"doc": "site", "xpath": "//payment"}) + "\n")
+        exit_code = main(
+            [
+                "batch",
+                "--document",
+                f"site={xml_file}",
+                "--input",
+                str(input_path),
+                "--output",
+                str(output_path),
+            ]
+        )
+        assert exit_code == 0
+        result = json.loads(output_path.read_text().splitlines()[0])
+        assert result["count"] == 1
+
+    def test_bad_document_flag_errors_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="--document expects"):
+            main(["batch", "--document", "nonsense", "--input", "-"])
+        with pytest.raises(SystemExit, match="cannot pre-register"):
+            main(["batch", "--document", f"d={tmp_path / 'missing.xml'}", "--input", "-"])
+
+
+class TestServeParser:
+    def test_serve_arguments_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--port", "0", "--capacity", "4", "--workers", "2"]
+        )
+        assert args.command == "serve"
+        assert args.port == 0 and args.capacity == 4 and args.workers == 2
+
+
 class TestOtherCommands:
     def test_table1(self, capsys):
         assert main(["table1"]) == 0

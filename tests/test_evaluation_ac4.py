@@ -22,6 +22,7 @@ from repro.evaluation import (
     maximal_arc_consistent,
     maximal_arc_consistent_ac4,
     maximal_arc_consistent_horn,
+    maximal_arc_consistent_hybrid,
     propagate,
 )
 from repro.evaluation.ac4 import ac4_fixpoint
@@ -153,6 +154,17 @@ class TestAc4Engine:
             maximal_arc_consistent_ac4(query, sentence_structure, pinned={"x": 8}) is None
         )
 
+    def test_pinned_rejected_with_seeded_domains(self, sentence_structure):
+        """A seed is expected to embody the pin; the combination is an error."""
+        query = parse_query("Q <- NP(x), Child(x, y)")
+        with pytest.raises(ValueError, match="pinned cannot be combined"):
+            ac4_fixpoint(
+                query,
+                sentence_structure,
+                pinned={"x": 1},
+                initial_domains={"x": {1, 6}, "y": {2, 3, 7}},
+            )
+
     def test_fixpoint_views_stay_consistent(self, medium_random_tree):
         """The maintained views equal a fresh view of the final domains."""
         structure = TreeStructure(medium_random_tree)
@@ -228,7 +240,8 @@ class TestFixpointEquality:
             maximal_arc_consistent(query, structure, pinned, use_index=False)
         )
         horn = _as_sets(maximal_arc_consistent_horn(query, structure, pinned))
-        assert ac4 == ac3_interval == ac3_enumeration == horn
+        hybrid = _as_sets(maximal_arc_consistent_hybrid(query, structure, pinned))
+        assert ac4 == ac3_interval == ac3_enumeration == horn == hybrid
 
     @SETTINGS
     @given(trees(max_size=12), queries(axes=(Axis.CHILD, Axis.CHILD_PLUS, Axis.FOLLOWING)))
@@ -237,6 +250,7 @@ class TestFixpointEquality:
         expected = is_satisfied(query, structure, propagator=Propagator.AC4)
         assert expected == is_satisfied(query, structure, propagator=Propagator.AC3)
         assert expected == is_satisfied(query, structure, propagator=Propagator.HORN)
+        assert expected == is_satisfied(query, structure, propagator=Propagator.HYBRID)
 
 
 # ---------------------------------------------------------------------------
@@ -247,12 +261,19 @@ class TestFixpointEquality:
 class TestPropagatorDimension:
     def test_propagate_accepts_strings(self, sentence_structure):
         query = parse_query("Q <- NP(x), Child(x, y)")
-        for propagator in ("ac4", "ac3", "horn"):
+        for propagator in ("ac4", "ac3", "horn", "hybrid"):
             result = propagate(query, sentence_structure, propagator=propagator)
             assert result is not None
             assert result.domains["x"] == {1, 6}
         with pytest.raises(ValueError):
             propagate(query, sentence_structure, propagator="ac5")
+
+    def test_hybrid_result_reuses_maintained_views(self, sentence_structure):
+        """The hybrid path ends in AC-4, so it hands over maintained views too."""
+        query = parse_query("Q <- NP(x), Child(x, y)")
+        result = propagate(query, sentence_structure, propagator=Propagator.HYBRID)
+        assert isinstance(result.views["x"], MutableDomainView)
+        assert result.sorted_domain("x") == [1, 6]
 
     def test_ac4_result_reuses_maintained_views(self, sentence_structure):
         query = parse_query("Q <- NP(x), Child(x, y)")
@@ -268,7 +289,65 @@ class TestPropagatorDimension:
         assert reference == evaluate(
             query, sentence_structure, propagator=Propagator.HORN
         )
+        assert reference == evaluate(
+            query, sentence_structure, propagator=Propagator.HYBRID
+        )
         assert reference  # non-trivial
+
+
+class TestMonadicAcyclicFastPath:
+    """evaluate() reads monadic acyclic answers off the fixpoint directly."""
+
+    def test_normalized_duplicates_still_take_the_fast_path_correctly(
+        self, medium_random_tree
+    ):
+        """Parent(y, x) normalizes to Child(x, y): one constraint, forest."""
+        from repro.evaluation import compile_query
+
+        structure = TreeStructure(medium_random_tree)
+        query = parse_query("Q(x) <- A(x), Child(x, y), Parent(y, x), B(y)")
+        assert compile_query(query).shadow_is_forest
+        expected = frozenset(
+            (node,)
+            for node in medium_random_tree.node_ids()
+            if is_satisfied(query, structure, pinned={"x": node})
+        )
+        assert evaluate(query, structure) == expected
+
+    def test_genuine_parallel_constraints_are_not_a_forest(self, medium_random_tree):
+        from repro.evaluation import compile_query
+
+        structure = TreeStructure(medium_random_tree)
+        query = parse_query("Q(x) <- Child(x, y), Following(x, y)")
+        assert not compile_query(query).shadow_is_forest
+        expected = frozenset(
+            (node,)
+            for node in medium_random_tree.node_ids()
+            if is_satisfied(query, structure, pinned={"x": node})
+        )
+        assert evaluate(query, structure) == expected
+
+    @SETTINGS
+    @given(
+        trees(max_size=14),
+        queries(
+            axes=(Axis.CHILD, Axis.CHILD_PLUS, Axis.FOLLOWING, Axis.PARENT),
+            max_variables=3,
+        ),
+    )
+    def test_matches_per_candidate_boolean_reduction(self, tree, query):
+        structure = TreeStructure(tree)
+        body_variables = sorted({v for atom in query.body for v in atom.variables()})
+        if not body_variables:
+            return
+        monadic = query.with_head((body_variables[0],))
+        expected = frozenset(
+            (node,)
+            for node in tree.node_ids()
+            if is_satisfied(monadic, structure, pinned={body_variables[0]: node})
+        )
+        for propagator in Propagator:
+            assert evaluate(monadic, structure, propagator=propagator) == expected
 
 
 class TestDeterministicEnumeration:

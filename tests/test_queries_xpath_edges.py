@@ -1,0 +1,100 @@
+"""Edge-case coverage for the XPath translator feeding the service front end.
+
+The HTTP front end and ``cq-trees batch`` hand raw client strings to
+:func:`repro.queries.xpath.xpath_to_cq` and surface
+:class:`~repro.queries.xpath.XPathTranslationError` messages verbatim, so the
+messages themselves are part of the contract -- the tests below assert them,
+not just the exception type.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import evaluate_on_tree
+from repro.queries import parse_query, xpath_to_cq
+from repro.queries.xpath import XPathTranslationError
+from repro.trees import from_nested
+from repro.trees.axes import Axis
+
+
+class TestMultiStepPredicates:
+    def test_predicate_with_a_two_step_path(self):
+        query = xpath_to_cq("//A[B/C]")
+        rendered = str(query)
+        assert "B(" in rendered and "C(" in rendered
+        # The predicate chain hangs off the selected variable: A -> B -> C.
+        atoms = query.axis_atoms()
+        assert [atom.axis for atom in atoms] == [
+            Axis.CHILD_STAR,
+            Axis.CHILD,
+            Axis.CHILD,
+        ]
+
+    def test_predicate_with_descendant_step(self):
+        query = xpath_to_cq("//A[B//C]")
+        assert Axis.CHILD_STAR in {atom.axis for atom in query.axis_atoms()[1:]}
+
+    def test_multi_step_predicate_selects_correctly(self, sentence_tree):
+        # //NP[VB] selects nothing, //VP[NP/NN] selects the VP (node 4).
+        assert evaluate_on_tree(xpath_to_cq("//NP[VB]"), sentence_tree) == frozenset()
+        assert evaluate_on_tree(xpath_to_cq("//VP[NP/NN]"), sentence_tree) == frozenset(
+            {(4,)}
+        )
+
+    def test_stacked_predicates_anchor_at_the_same_step(self):
+        tree = from_nested(("R", [("A", [("B", []), ("C", [])]), ("A", [("B", [])])]))
+        # Both predicates constrain the same A node.
+        assert evaluate_on_tree(xpath_to_cq("//A[B][C]"), tree) == frozenset({(1,)})
+
+    def test_relative_dot_predicate(self):
+        query = xpath_to_cq("//A[.//B]")
+        assert Axis.SELF in {atom.axis for atom in query.axis_atoms()}
+
+
+class TestLeadingDoubleSlash:
+    def test_double_slash_at_start_selects_root_matches_too(self):
+        tree = from_nested(("S", [("S", []), ("A", [])]))
+        assert evaluate_on_tree(xpath_to_cq("//S"), tree) == frozenset({(0,), (1,)})
+
+    def test_double_slash_with_axis_step_keeps_the_hop(self):
+        # `//following-sibling::B` must anchor the first step below some
+        # context node rather than treating it like a child abbreviation.
+        query = xpath_to_cq("//following-sibling::B")
+        axes = [atom.axis for atom in query.axis_atoms()]
+        assert axes[0] == Axis.CHILD_STAR
+        assert Axis.NEXT_SIBLING_PLUS in axes
+
+    def test_double_slash_mid_path(self, sentence_tree):
+        assert evaluate_on_tree(xpath_to_cq("//S//NN"), sentence_tree) == frozenset(
+            {(3,), (7,)}
+        )
+
+    def test_equivalent_to_datalog_twin(self, sentence_tree):
+        from_xpath = evaluate_on_tree(xpath_to_cq("//NP[NN]"), sentence_tree)
+        twin = parse_query("Q(n) <- Child*(c, n), NP(n), Child(n, m), NN(m)")
+        assert from_xpath == evaluate_on_tree(twin, sentence_tree)
+
+
+class TestTranslationErrorMessages:
+    def test_unknown_axis_names_the_axis(self):
+        with pytest.raises(XPathTranslationError, match="unsupported XPath axis: 'foo'"):
+            xpath_to_cq("foo::A")
+
+    def test_unknown_axis_inside_a_predicate(self):
+        with pytest.raises(XPathTranslationError, match="unsupported XPath axis: 'bar'"):
+            xpath_to_cq("following::A[bar::B]")
+
+    def test_empty_expression(self):
+        with pytest.raises(XPathTranslationError, match="empty XPath expression"):
+            xpath_to_cq("   ")
+
+    def test_unbalanced_predicate_brackets(self):
+        with pytest.raises(
+            XPathTranslationError, match="unbalanced predicate brackets in step 'A\\[B'"
+        ):
+            xpath_to_cq("A[B")
+
+    def test_error_type_is_a_value_error(self):
+        # The service maps ValueError subclasses to HTTP 400; keep that true.
+        assert issubclass(XPathTranslationError, ValueError)

@@ -1,0 +1,149 @@
+"""Tests for the HTTP JSON front end (in-process server on an ephemeral port)."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.evaluation import evaluate
+from repro.queries import parse_query
+from repro.service import BatchExecutor, make_server
+from repro.trees import TreeStructure, to_xml
+from repro.workloads import auction_document
+
+
+@pytest.fixture
+def server():
+    httpd = make_server(BatchExecutor(), host="127.0.0.1", port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield httpd
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        thread.join(timeout=5)
+
+
+def _call(server, method: str, path: str, payload=None):
+    host, port = server.server_address[:2]
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        f"http://{host}:{port}{path}",
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+class TestServerRoundTrip:
+    def test_healthz_and_stats(self, server):
+        status, payload = _call(server, "GET", "/healthz")
+        assert status == 200 and payload["status"] == "ok"
+        status, payload = _call(server, "GET", "/stats")
+        assert status == 200
+        assert {"executor", "store", "cache"} <= set(payload)
+
+    def test_register_query_batch_matches_direct_evaluate(self, server):
+        auction = auction_document(num_items=10, seed=9)
+        status, payload = _call(
+            server, "POST", "/documents", {"doc": "auction", "xml": to_xml(auction)}
+        )
+        assert status == 200 and payload["doc"] == "auction"
+        status, payload = _call(
+            server,
+            "POST",
+            "/documents",
+            {"doc": "sentence", "sexpr": "(S (NP (NN)) (VP (VB) (NP (NN))))"},
+        )
+        assert status == 200 and payload["nodes"] == 7
+
+        batch = {
+            "requests": [
+                {"doc": "auction", "query": "Q(i) <- item(i), Child(i, p), payment(p)"},
+                {"doc": "auction", "xpath": "//description//listitem", "propagator": "hybrid"},
+                {"doc": "sentence", "xpath": "//NP[NN]"},
+            ]
+        }
+        status, payload = _call(server, "POST", "/batch", batch)
+        assert status == 200 and payload["errors"] == 0
+
+        direct_auction = TreeStructure(auction)
+        expected_first = sorted(
+            evaluate(
+                parse_query("Q(i) <- item(i), Child(i, p), payment(p)"), direct_auction
+            )
+        )
+        assert payload["results"][0]["answers"] == [list(a) for a in expected_first]
+        assert payload["results"][2]["count"] == 2
+
+    def test_single_query_endpoint(self, server):
+        _call(server, "POST", "/documents", {"doc": "d", "sexpr": "(A (B) (B))"})
+        status, payload = _call(
+            server, "POST", "/query", {"doc": "d", "query": "Q(x) <- B(x)"}
+        )
+        assert status == 200
+        assert payload["answers"] == [[1], [2]]
+
+    def test_document_listing_and_eviction(self, server):
+        _call(server, "POST", "/documents", {"doc": "d", "sexpr": "(A)"})
+        status, payload = _call(server, "GET", "/documents")
+        assert status == 200 and payload["documents"][0]["doc"] == "d"
+        status, payload = _call(server, "DELETE", "/documents/d")
+        assert status == 200 and payload["evicted"] == "d"
+        status, _ = _call(server, "DELETE", "/documents/d")
+        assert status == 404
+
+    def test_non_string_registration_values_answer_400(self, server):
+        status, payload = _call(server, "POST", "/documents", {"doc": "d", "xml": 123})
+        assert status == 400 and "'xml' must be a string" in payload["error"]
+        # Server-side file paths are not a remote registration source.
+        status, payload = _call(
+            server, "POST", "/documents", {"doc": "d", "xml_file": "/etc/hostname"}
+        )
+        assert status == 400 and "exactly one of 'xml', 'sexpr'" in payload["error"]
+
+    def test_error_statuses(self, server):
+        # Bad XML -> 400 with the clean parse error.
+        status, payload = _call(
+            server, "POST", "/documents", {"doc": "bad", "xml": "<a><b></a>"}
+        )
+        assert status == 400 and "not well-formed" in payload["error"]
+        # Unknown route -> 404.
+        status, _ = _call(server, "GET", "/nope")
+        assert status == 404
+        # Malformed batch body -> 400.
+        status, payload = _call(server, "POST", "/batch", {"nope": []})
+        assert status == 400 and "requests" in payload["error"]
+        # Unknown document in a single query -> 400 with the error field.
+        status, payload = _call(
+            server, "POST", "/query", {"doc": "ghost", "query": "Q <- A(x)"}
+        )
+        assert status == 400 and "unknown document" in payload["error"]
+
+    def test_batch_errors_stay_per_request(self, server):
+        _call(server, "POST", "/documents", {"doc": "d", "sexpr": "(A (B))"})
+        status, payload = _call(
+            server,
+            "POST",
+            "/batch",
+            {
+                "requests": [
+                    {"doc": "d", "query": "Q(x) <- A(x)"},
+                    {"doc": "ghost", "query": "Q(x) <- A(x)"},
+                ]
+            },
+        )
+        assert status == 200
+        assert payload["errors"] == 1
+        assert payload["results"][0]["count"] == 1
+        assert "unknown document" in payload["results"][1]["error"]
