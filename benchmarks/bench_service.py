@@ -23,6 +23,17 @@ answers (through the JSON rendering) against a direct sequential
 propagator (``ac4``, ``ac3``, ``horn``, ``hybrid``), the 10k workload drops
 ``horn`` whose clause materialization is quadratic at that size.
 
+A second mode (ISSUE 4) compares the two serving *backends* head to head:
+the thread-pool :class:`~repro.service.executor.BatchExecutor` (GIL-bound:
+one process, shared artifacts) vs the process-sharded
+:class:`~repro.service.shards.ShardedExecutor` (N worker processes, documents
+routed by stable hash of their id).  Both execute the identical warm batch;
+results are cross-checked byte-identical to each other and to sequential
+``evaluate()``.  The >= 1.5x sharded-over-threaded throughput claim is only
+meaningful on a multi-core runner -- on a single core the shards serialize on
+the one CPU and pay IPC on top -- so the headline records ``cores`` and
+evaluates the claim only when at least two cores are visible.
+
 Run standalone (``python benchmarks/bench_service.py``) to regenerate
 ``BENCH_service.json``; per-request ``(query, tree_size)`` speedup entries
 feed ``check_regression.py`` like the other benchmarks (smoke runs share the
@@ -32,7 +43,9 @@ feed ``check_regression.py`` like the other benchmarks (smoke runs share the
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
+import os
 import statistics
 import time
 
@@ -43,7 +56,7 @@ from repro.evaluation import evaluate
 from repro.evaluation.compile import compile_query
 from repro.queries import parse_query, xpath_to_cq
 from repro.queries.canonical import canonicalize
-from repro.service import BatchExecutor, Request
+from repro.service import BatchExecutor, Request, ShardedExecutor, shard_for
 from repro.trees import TreeStructure, to_xml
 from repro.workloads import auction_document, random_corpus
 
@@ -158,6 +171,128 @@ def check_byte_identical(executor: BatchExecutor, requests, documents) -> None:
             )
 
 
+#: How many times the mixed workload is replicated per backend-comparison
+#: batch: a bigger batch amortizes dispatch overhead on both backends and
+#: gives the shards enough work to overlap.
+BATCH_REPLICAS = 4
+
+
+def balanced_doc_ids(doc_ids, shards: int) -> dict[str, str]:
+    """Stable ids that spread the benchmark documents round-robin over shards.
+
+    Routing is by content hash of the id, and with only *two* documents the
+    hash may well put both on one shard -- at which point the benchmark would
+    measure coin-flip luck, not the architecture.  Real fleets hold many
+    documents, so the law of large numbers balances them; here we pin a
+    balanced layout by suffixing ids until each lands on its round-robin
+    shard.
+    """
+    mapping = {}
+    for position, doc_id in enumerate(sorted(doc_ids)):
+        suffix = 0
+        while True:
+            candidate = doc_id if suffix == 0 else f"{doc_id}~{suffix}"
+            if shard_for(candidate, shards) == position % shards:
+                mapping[doc_id] = candidate
+                break
+            suffix += 1
+    return mapping
+
+
+def run_sharded(sizes=SIZES, repeats: int = 3, shards: int = 2) -> dict:
+    """Thread backend vs process-sharded backend on the identical warm batch."""
+    cores = os.cpu_count() or 1
+    entries = []
+    headline = None
+    for nominal in sizes:
+        documents = build_documents(nominal)
+        xml_texts = {doc_id: to_xml(tree) for doc_id, tree in documents.items()}
+        mapping = balanced_doc_ids(xml_texts, shards)
+        base_requests = build_workload(nominal) * BATCH_REPLICAS
+        requests = [
+            dataclasses.replace(request, doc=mapping[request.doc])
+            for request in base_requests
+        ]
+
+        threaded = BatchExecutor()
+        for doc_id, text in xml_texts.items():
+            threaded.store.register_xml(mapping[doc_id], text)
+        sharded = ShardedExecutor(shards=shards)
+        for doc_id, text in xml_texts.items():
+            sharded.register_payload({"doc": mapping[doc_id], "xml": text})
+        try:
+            # Warm both, then cross-check: sharded results must be
+            # byte-identical to the threaded backend's and to sequential
+            # evaluate() (via the same JSON rendering).
+            threaded_results = threaded.execute_batch(requests)
+            sharded_results = sharded.execute_batch(requests)
+            for request, ours, theirs in zip(requests, threaded_results, sharded_results):
+                if not (ours.ok and theirs.ok):
+                    raise AssertionError(f"backend request failed: {ours.error or theirs.error}")
+                served = json.dumps(theirs.to_json_dict()["answers"]).encode()
+                if served != json.dumps(ours.to_json_dict()["answers"]).encode():
+                    raise AssertionError(f"backends diverge for {request}")
+                direct = sorted(
+                    evaluate(
+                        _request_query(request),
+                        TreeStructure(documents[next(
+                            original for original, mapped in mapping.items()
+                            if mapped == request.doc
+                        )]),
+                        propagator=request.propagator,
+                    )
+                )
+                if served != json.dumps([list(answer) for answer in direct]).encode():
+                    raise AssertionError(f"sharded answers diverge from evaluate() for {request}")
+
+            threaded_seconds = _median_time(lambda: threaded.execute_batch(requests), repeats)
+            sharded_seconds = _median_time(lambda: sharded.execute_batch(requests), repeats)
+        finally:
+            sharded.close()
+            threaded.close()
+        entry = {
+            "tree_size": nominal,
+            "query": "sharded_vs_threaded_batch",
+            "text": f"mixed workload x{BATCH_REPLICAS} ({len(requests)} requests), "
+                    f"{shards} shards",
+            "shards": shards,
+            "requests": len(requests),
+            "threaded_seconds": threaded_seconds,
+            "sharded_seconds": sharded_seconds,
+            "threaded_qps": len(requests) / threaded_seconds,
+            "sharded_qps": len(requests) / sharded_seconds,
+            "speedup": threaded_seconds / sharded_seconds,
+        }
+        entries.append(entry)
+        print(
+            f"n={nominal:>6} sharded({shards}) {entry['sharded_qps']:.1f} q/s vs "
+            f"threaded {entry['threaded_qps']:.1f} q/s -> {entry['speedup']:.2f}x "
+            f"({cores} core(s))"
+        )
+        if headline is None or nominal > headline["tree_size"]:
+            headline = {
+                "tree_size": nominal,
+                "shards": shards,
+                "cores": cores,
+                "threaded_qps": entry["threaded_qps"],
+                "sharded_qps": entry["sharded_qps"],
+                "speedup": entry["speedup"],
+                "claim": (
+                    "sharded batch throughput >= 1.5x the threaded executor on "
+                    "the 10k-node mixed workload on a multi-core runner"
+                ),
+                # On one core the shards serialize on the CPU and pay IPC on
+                # top; the claim is only evaluated where it is meaningful.
+                "holds": (entry["speedup"] >= 1.5) if cores >= 2 else None,
+            }
+            if cores < 2:
+                headline["note"] = (
+                    f"measured on a single-core machine ({cores} core visible): "
+                    "the >=1.5x multi-core claim is recorded but not evaluated"
+                )
+    return {"results": entries, "headline": headline}
+
+
 def run(sizes=SIZES, repeats: int = 3) -> dict:
     results = []
     headline = None
@@ -253,27 +388,58 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default="BENCH_service.json", help="output JSON path")
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--shards", type=int, default=2, help="worker processes for the sharded mode"
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("all", "amortization", "sharded"),
+        default="all",
+        help="which benchmark modes to run",
+    )
     args = parser.parse_args(argv)
-    report = run(repeats=args.repeats)
+    report: dict = {"benchmark": "serving layer", "sizes": list(SIZES), "repeats": args.repeats}
+    if args.mode in ("all", "amortization"):
+        report.update(run(repeats=args.repeats))
+    if args.mode in ("all", "sharded"):
+        sharded_report = run_sharded(repeats=args.repeats, shards=args.shards)
+        report["sharded"] = sharded_report
+        report.setdefault("results", [])
+        report["results"] = list(report["results"]) + sharded_report["results"]
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
-    headline = report["headline"]
-    print(
-        f"wrote {args.out}; headline at n={headline['tree_size']}: "
-        f"cold {headline['cold_qps']:.1f} q/s vs warm {headline['warm_qps']:.1f} q/s "
-        f"({headline['speedup']:.1f}x)"
-    )
-    if headline["tree_size"] < 10_000:
-        # The acceptance bar is set at the 10k nominal size; smoke runs only
-        # measure the shared 1k grid point, where cold registration is too
-        # cheap for the bar to be meaningful.
-        print("note: >=10x claim is only enforced at the 10k nominal size")
-        return 0
-    if not headline["holds"]:
-        print("FAIL: the >=10x warm-over-cold claim does not hold at these sizes")
-        return 1
-    return 0
+
+    failed = False
+    headline = report.get("headline")
+    if headline is not None:
+        print(
+            f"wrote {args.out}; amortization headline at n={headline['tree_size']}: "
+            f"cold {headline['cold_qps']:.1f} q/s vs warm {headline['warm_qps']:.1f} q/s "
+            f"({headline['speedup']:.1f}x)"
+        )
+        if headline["tree_size"] < 10_000:
+            # The acceptance bars are set at the 10k nominal size; smoke runs
+            # only measure the shared 1k grid point, where cold registration
+            # is too cheap for the bar to be meaningful.
+            print("note: >=10x claim is only enforced at the 10k nominal size")
+        elif not headline["holds"]:
+            print("FAIL: the >=10x warm-over-cold claim does not hold at these sizes")
+            failed = True
+    sharded_headline = report.get("sharded", {}).get("headline")
+    if sharded_headline is not None:
+        print(
+            f"sharded headline at n={sharded_headline['tree_size']}: "
+            f"{sharded_headline['sharded_qps']:.1f} q/s over {sharded_headline['shards']} "
+            f"shard(s) vs threaded {sharded_headline['threaded_qps']:.1f} q/s "
+            f"({sharded_headline['speedup']:.2f}x, {sharded_headline['cores']} core(s))"
+        )
+        if sharded_headline["holds"] is None:
+            print(f"note: {sharded_headline.get('note', 'sharded claim not evaluated')}")
+        elif sharded_headline["tree_size"] >= 10_000 and not sharded_headline["holds"]:
+            print("FAIL: the >=1.5x sharded-over-threaded claim does not hold")
+            failed = True
+    return 1 if failed else 0
 
 
 # -- pytest-benchmark cases ----------------------------------------------------
@@ -315,9 +481,39 @@ def test_service_cold_registration(benchmark, doc_id):
     assert len(executor.store) == 1
 
 
+@pytest.fixture(scope="module")
+def sharded_executor():
+    executor = ShardedExecutor(shards=2)
+    mapping = balanced_doc_ids(_XML, 2)
+    requests = [dataclasses.replace(r, doc=mapping[r.doc]) for r in _REQUESTS]
+    for doc_id, text in _XML.items():
+        executor.register_payload({"doc": mapping[doc_id], "xml": text})
+    executor.execute_batch(requests)  # warm the per-shard caches
+    yield executor, requests
+    executor.close()
+
+
+def test_service_sharded_batch(benchmark, sharded_executor):
+    executor, requests = sharded_executor
+    results = benchmark(lambda: executor.execute_batch(requests))
+    assert all(result.ok for result in results)
+
+
 def test_batch_answers_byte_identical_to_sequential_evaluate(warm_executor):
     """The acceptance cross-check, runnable as a plain test at smoke size."""
     check_byte_identical(warm_executor, _REQUESTS, _DOCS)
+
+
+def test_sharded_answers_byte_identical_to_threaded(warm_executor, sharded_executor):
+    """The backends must serve byte-identical answers for the same workload."""
+    executor, requests = sharded_executor
+    threaded_results = warm_executor.execute_batch(_REQUESTS)
+    sharded_results = executor.execute_batch(requests)
+    for ours, theirs in zip(threaded_results, sharded_results):
+        assert ours.ok and theirs.ok
+        assert json.dumps(ours.to_json_dict()["answers"]) == json.dumps(
+            theirs.to_json_dict()["answers"]
+        )
 
 
 if __name__ == "__main__":

@@ -1,10 +1,18 @@
-"""CI smoke test: a real ``cq-trees serve`` process answering real HTTP.
+"""CI smoke test: real ``cq-trees serve`` processes answering real HTTP.
 
-Starts the server as a subprocess on an ephemeral port (``--port 0``),
-registers two documents, POSTs a batch of three queries, and asserts the
-answers are byte-identical to direct in-process ``evaluate()`` calls.  This
-covers the wiring the in-process tests cannot: the console entry point, the
-port-announcement banner, and a full network round trip.
+Runs the serving front ends the way CI cannot cover in-process: the console
+entry point, the port-announcement banner, and full network round trips.
+Two server modes are exercised:
+
+* the threaded front end (``cq-trees serve``), and
+* the async sharded front end (``cq-trees serve --async --shards 2``):
+  asyncio HTTP/1.1 with persistent connections over two worker processes,
+  documents routed by stable hash of their id.
+
+Each mode registers two documents, POSTs a batch of queries, evicts a
+document, and reads ``/stats``.  Answers are asserted byte-identical to
+direct in-process ``evaluate()`` calls -- and byte-identical *across the two
+modes*, which is the serving contract the sharded backend must uphold.
 
 Usage: ``python scripts/service_smoke.py`` (exit code 0 on success).
 """
@@ -25,9 +33,19 @@ sys.path.insert(0, SRC)
 from repro.evaluation import evaluate  # noqa: E402
 from repro.queries import parse_query, xpath_to_cq  # noqa: E402
 from repro.trees import TreeStructure, to_xml  # noqa: E402
+from repro.trees.builders import parse_sexpr  # noqa: E402
 from repro.workloads import auction_document  # noqa: E402
 
 SENTENCE_SEXPR = "(S (NP (DT) (NN)) (VP (VB) (NP (NN))) (PP))"
+
+BATCH = {
+    "requests": [
+        {"doc": "auction", "query": "Q(i) <- item(i), Child(i, p), payment(p)"},
+        {"doc": "auction", "xpath": "//description//listitem", "propagator": "hybrid"},
+        {"doc": "sentence", "xpath": "//NP[NN]"},
+        {"doc": "ghost", "query": "Q <- A(x)"},  # stays a per-request error
+    ]
+}
 
 
 def call(base: str, method: str, path: str, payload=None):
@@ -37,11 +55,13 @@ def call(base: str, method: str, path: str, payload=None):
         return json.loads(response.read().decode("utf-8"))
 
 
-def main() -> int:
+def run_mode(label: str, extra_args: list[str], auction) -> "list | None":
+    """One full server round trip; returns the batch results (or None on failure)."""
     environment = dict(os.environ)
     environment["PYTHONPATH"] = SRC + os.pathsep + environment.get("PYTHONPATH", "")
     process = subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve", "--host", "127.0.0.1", "--port", "0"],
+        [sys.executable, "-m", "repro", "serve", "--host", "127.0.0.1", "--port", "0"]
+        + extra_args,
         stdout=subprocess.PIPE,
         text=True,
         env=environment,
@@ -50,36 +70,36 @@ def main() -> int:
         banner = process.stdout.readline()
         match = re.search(r"http://([\d.]+):(\d+)", banner)
         if not match:
-            print(f"FAIL: no port announcement in banner {banner!r}")
-            return 1
+            print(f"FAIL [{label}]: no port announcement in banner {banner!r}")
+            return None
         base = f"http://{match.group(1)}:{match.group(2)}"
-        print(f"server up at {base}")
+        print(f"[{label}] server up at {base}")
 
-        auction = auction_document(num_items=12, seed=7)
-        assert call(base, "GET", "/healthz")["status"] == "ok"
+        if call(base, "GET", "/healthz")["status"] != "ok":
+            print(f"FAIL [{label}]: /healthz not ok")
+            return None
         call(base, "POST", "/documents", {"doc": "auction", "xml": to_xml(auction)})
         call(base, "POST", "/documents", {"doc": "sentence", "sexpr": SENTENCE_SEXPR})
 
-        batch = {
-            "requests": [
-                {"doc": "auction", "query": "Q(i) <- item(i), Child(i, p), payment(p)"},
-                {"doc": "auction", "xpath": "//description//listitem",
-                 "propagator": "hybrid"},
-                {"doc": "sentence", "xpath": "//NP[NN]"},
-            ]
-        }
-        response = call(base, "POST", "/batch", batch)
-        if response["errors"]:
-            print(f"FAIL: batch reported errors: {response}")
-            return 1
-
-        from repro.trees.builders import parse_sexpr
+        response = call(base, "POST", "/batch", BATCH)
+        if response["errors"] != 1:  # exactly the ghost request
+            print(f"FAIL [{label}]: expected exactly one per-request error: {response}")
+            return None
+        ghost = response["results"][3]
+        if "unknown document" not in ghost.get("error", ""):
+            print(f"FAIL [{label}]: ghost request not a per-request error: {ghost}")
+            return None
+        if "elapsed_ms" not in ghost or "propagator" not in ghost:
+            print(f"FAIL [{label}]: error result lacks attribution fields: {ghost}")
+            return None
 
         structures = {
             "auction": TreeStructure(auction),
             "sentence": TreeStructure(parse_sexpr(SENTENCE_SEXPR)),
         }
-        for request, result in zip(batch["requests"], response["results"]):
+        for request, result in zip(BATCH["requests"], response["results"]):
+            if request["doc"] not in structures:
+                continue
             query = (
                 xpath_to_cq(request["xpath"])
                 if "xpath" in request
@@ -95,22 +115,50 @@ def main() -> int:
             served = json.dumps(result["answers"]).encode()
             expected = json.dumps([list(answer) for answer in direct]).encode()
             if served != expected:
-                print(f"FAIL: answers diverge for {request}: {served} != {expected}")
-                return 1
-            print(f"ok: {request.get('query', request.get('xpath'))} "
+                print(f"FAIL [{label}]: answers diverge for {request}: {served} != {expected}")
+                return None
+            print(f"[{label}] ok: {request.get('query', request.get('xpath'))} "
                   f"-> {result['count']} answer(s)")
 
+        evicted = call(base, "DELETE", "/documents/sentence")
+        if evicted.get("evicted") != "sentence":
+            print(f"FAIL [{label}]: eviction failed: {evicted}")
+            return None
         stats = call(base, "GET", "/stats")
-        print(f"stats: {stats['store']['documents']} documents, "
+        if stats["store"]["documents"] != 1:
+            print(f"FAIL [{label}]: /stats documents != 1 after eviction: {stats['store']}")
+            return None
+        print(f"[{label}] stats: backend={stats['executor'].get('backend')}, "
+              f"{stats['store']['documents']} document(s), "
               f"cache hit rate {stats['cache']['hit_rate']:.2f}")
-        print("service smoke PASSED")
-        return 0
+        return response["results"]
     finally:
         process.terminate()
         try:
             process.wait(timeout=10)
         except subprocess.TimeoutExpired:  # pragma: no cover - stuck server
             process.kill()
+
+
+def main() -> int:
+    auction = auction_document(num_items=12, seed=7)
+    threaded = run_mode("threaded", [], auction)
+    if threaded is None:
+        return 1
+    sharded = run_mode("async+sharded", ["--async", "--shards", "2"], auction)
+    if sharded is None:
+        return 1
+    # The two modes must serve byte-identical answers (timings aside).
+    def stable(result: dict) -> dict:
+        return {k: v for k, v in result.items() if k not in ("elapsed_ms", "cache_hit")}
+
+    for position, (ours, theirs) in enumerate(zip(threaded, sharded)):
+        if json.dumps(stable(ours)) != json.dumps(stable(theirs)):
+            print(f"FAIL: threaded and sharded results diverge at request {position}: "
+                  f"{ours} != {theirs}")
+            return 1
+    print("service smoke PASSED (threaded + async sharded, byte-identical)")
+    return 0
 
 
 if __name__ == "__main__":

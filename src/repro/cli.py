@@ -9,6 +9,7 @@ Usage (after installation, or with ``python -m repro.cli``)::
     python -m repro.cli table1
     python -m repro.cli report --quick
     python -m repro.cli serve --port 8080 --document site=doc.xml
+    python -m repro.cli serve --async --shards 4 --port 8080
     python -m repro.cli batch --input requests.jsonl --output results.jsonl
 
 The CLI is a thin layer over the library; each sub-command maps onto one or
@@ -127,42 +128,97 @@ def _parse_document_flags(flags: Sequence[str]):
 
 
 def _build_executor(args: argparse.Namespace):
-    from .service import BatchExecutor, DocumentStore, QueryCache, preload
+    """The serving backend the flags ask for: thread-pooled or process-sharded."""
+    from .service import BatchExecutor, DocumentStore, QueryCache, ShardedExecutor
 
     from .trees import XMLParseError
 
+    documents = _parse_document_flags(args.document)
     try:
-        store = DocumentStore(capacity=args.capacity)
-        executor = BatchExecutor(store, QueryCache(), max_workers=args.workers)
+        if args.shards:
+            executor = ShardedExecutor(shards=args.shards, store_capacity=args.capacity)
+        else:
+            store = DocumentStore(capacity=args.capacity)
+            executor = BatchExecutor(store, QueryCache(), max_workers=args.workers)
     except ValueError as error:
         raise SystemExit(str(error)) from None
     try:
-        preload(store, _parse_document_flags(args.document))
-    except (OSError, XMLParseError) as error:
+        for doc_id, path in documents:
+            # The CLI shares the server's trust domain, so file registration
+            # is allowed (each shard parses its own documents).
+            executor.register_payload({"doc": doc_id, "xml_file": path}, allow_files=True)
+    except (OSError, XMLParseError, ValueError) as error:
+        executor.close()
         raise SystemExit(f"cannot pre-register document: {error}") from None
     return executor
 
 
-def _command_serve(args: argparse.Namespace) -> int:
-    from .service import make_server
-
-    executor = _build_executor(args)
-    server = make_server(executor, host=args.host, port=args.port, quiet=not args.verbose)
-    host, port = server.server_address[:2]
+def _banner(executor, host: str, port: int) -> str:
     # Printed (and flushed) first so callers that picked port 0 learn the
     # ephemeral port; the CI smoke script depends on this line.
-    print(
-        f"serving on http://{host}:{port} ({len(executor.store)} document(s) resident)",
-        flush=True,
-    )
+    return f"serving on http://{host}:{port} ({executor.document_count()} document(s) resident)"
+
+
+def _serve_threaded(executor, args: argparse.Namespace) -> int:
+    from .service import make_server
+
+    server = make_server(executor, host=args.host, port=args.port, quiet=not args.verbose)
+    host, port = server.server_address[:2]
+    print(_banner(executor, host, port), flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         pass
     finally:
         server.server_close()
-        executor.close()
     return 0
+
+
+def _serve_async(executor, args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import AsyncServiceServer
+
+    async def _run() -> None:
+        server = AsyncServiceServer(
+            executor,
+            host=args.host,
+            port=args.port,
+            max_in_flight=args.max_in_flight,
+            quiet=not args.verbose,
+        )
+        host, port = await server.start()
+        print(_banner(executor, host, port), flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    def _graceful_shutdown(_signum, _frame):  # pragma: no cover - signal path
+        raise KeyboardInterrupt
+
+    # SIGTERM (docker stop, supervisors, process.terminate()) must run the
+    # same cleanup as Ctrl-C: without it the sharded backend's worker
+    # processes are orphaned, as they only exit on the close() sentinel or on
+    # noticing the parent died.
+    signal.signal(signal.SIGTERM, _graceful_shutdown)
+    executor = _build_executor(args)
+    try:
+        if args.use_async:
+            return _serve_async(executor, args)
+        return _serve_threaded(executor, args)
+    finally:
+        executor.close()
 
 
 def _command_batch(args: argparse.Namespace) -> int:
@@ -215,8 +271,8 @@ def _command_batch(args: argparse.Namespace) -> int:
                     flush_queries(pending)
                     # The CLI shares the server's trust domain, so file
                     # registration is allowed here (unlike over HTTP).
-                    document = executor.store.register_payload(payload, allow_files=True)
-                    emit({"ok": True, **document.describe()})
+                    summary = executor.register_payload(payload, allow_files=True)
+                    emit({"ok": True, **summary})
                 elif op in (None, "query"):
                     pending.append(Request.from_json_dict(payload))
                 else:
@@ -290,10 +346,32 @@ def build_parser() -> argparse.ArgumentParser:
             help="pre-register an XML document under the given id (repeatable)",
         )
         subparser.add_argument(
-            "--capacity", type=int, default=None, help="LRU bound on resident documents"
+            "--capacity",
+            type=int,
+            default=None,
+            help=(
+                "LRU bound on resident documents (per worker process with "
+                "--shards, so the fleet bound is CAPACITY x N)"
+            ),
         )
         subparser.add_argument(
-            "--workers", type=int, default=8, help="batch thread-pool size (default 8)"
+            "--workers",
+            type=int,
+            default=8,
+            help=(
+                "batch thread-pool size for the threaded backend (default 8; "
+                "ignored with --shards, where parallelism is the shard count)"
+            ),
+        )
+        subparser.add_argument(
+            "--shards",
+            type=int,
+            default=0,
+            metavar="N",
+            help=(
+                "use the process-sharded backend with N worker processes "
+                "(documents routed by stable hash of their id; 0 = threaded backend)"
+            ),
         )
 
     serve_parser = commands.add_parser(
@@ -304,6 +382,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=8080, help="bind port (0 picks an ephemeral port)"
     )
     serve_parser.add_argument("--verbose", action="store_true", help="log every request")
+    serve_parser.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help="asyncio front end: persistent HTTP/1.1 connections, bounded in-flight requests",
+    )
+    serve_parser.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=64,
+        help="bound on concurrently executing requests for --async (default 64)",
+    )
     add_service_arguments(serve_parser)
     serve_parser.set_defaults(handler=_command_serve)
 

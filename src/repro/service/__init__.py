@@ -10,18 +10,33 @@ requests, the way an embedded or networked query service runs:
 * :mod:`~repro.service.cache` -- :class:`QueryCache`: parse -> canonicalize ->
   compile -> plan memoized behind a renaming-invariant canonical key, so
   alpha-equivalent resubmissions share one compiled plan;
+* :mod:`~repro.service.core` -- the shared request-execution core
+  (:class:`Request`, :class:`RequestResult`, :func:`run_request`): one code
+  path, one contract, for every backend;
 * :mod:`~repro.service.executor` -- :class:`BatchExecutor`: concurrent,
-  deterministic evaluation of request batches over the shared artifacts;
-* :mod:`~repro.service.server` -- a stdlib-only HTTP JSON front end
-  (``cq-trees serve``).
+  deterministic evaluation of request batches over the shared artifacts
+  (thread backend);
+* :mod:`~repro.service.shards` -- :class:`ShardedExecutor`: N worker
+  *processes*, each owning a per-process store + cache, documents routed by
+  stable hash of their id (multi-core backend);
+* :mod:`~repro.service.server` -- a stdlib-only threaded HTTP JSON front end
+  (``cq-trees serve``);
+* :mod:`~repro.service.async_server` -- the asyncio front end: persistent
+  HTTP/1.1 connections, bounded in-flight requests
+  (``cq-trees serve --async [--shards N]``).
 """
 
+from .async_server import AsyncServerThread, AsyncServiceServer
 from .cache import CachedQuery, QueryCache
-from .executor import BatchExecutor, Request, RequestResult
+from .core import Request, RequestResult, run_request
+from .executor import BatchExecutor
 from .server import ServiceHTTPServer, make_server
+from .shards import ShardedExecutor, shard_for
 from .store import DocumentNotFound, DocumentStore, StoredDocument, preload
 
 __all__ = [
+    "AsyncServerThread",
+    "AsyncServiceServer",
     "BatchExecutor",
     "CachedQuery",
     "DocumentNotFound",
@@ -30,7 +45,10 @@ __all__ = [
     "Request",
     "RequestResult",
     "ServiceHTTPServer",
+    "ShardedExecutor",
     "StoredDocument",
     "make_server",
     "preload",
+    "run_request",
+    "shard_for",
 ]

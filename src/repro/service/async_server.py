@@ -1,0 +1,327 @@
+"""An asyncio HTTP/1.1 front end over the serving backends.
+
+The threaded front end (:mod:`repro.service.server`) spends one OS thread per
+connection, which caps how many concurrent (and mostly idle) clients it can
+hold open.  This module serves the same JSON protocol -- identical routes,
+identical payloads, byte-identical response bodies -- on
+:func:`asyncio.start_server`: connections are cheap coroutines, HTTP/1.1
+keep-alive is the default so clients reuse them across requests, and a
+**bounded in-flight semaphore** keeps the number of requests actually
+executing at once under control no matter how many connections are parked.
+
+Request execution is dispatched to a serving backend --
+:class:`~repro.service.executor.BatchExecutor` (threads, shared artifacts) or
+:class:`~repro.service.shards.ShardedExecutor` (processes, hash-routed
+documents) -- both of which expose the same surface, so the front end does
+not care which one it fronts.  Single ``/query`` requests are awaited through
+``backend.submit()`` futures; everything else runs on a private thread pool
+sized to the in-flight bound.
+
+``cq-trees serve --async [--shards N]`` is the CLI entry;
+:class:`AsyncServerThread` runs the same server on a background event-loop
+thread for tests and the smoke script.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import functools
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+
+from ..queries.parser import QueryParseError
+from ..queries.xpath import XPathTranslationError
+from ..trees.xmlio import XMLParseError
+from .core import Request, execute_batch_payload
+from .server import MAX_BODY_BYTES
+
+#: Exceptions answered as HTTP 400 (mirrors the threaded front end).
+_CLIENT_ERRORS = (QueryParseError, XPathTranslationError, XMLParseError, ValueError)
+
+#: Default bound on requests executing concurrently (not on open connections).
+DEFAULT_MAX_IN_FLIGHT = 64
+
+#: Upper bound on header lines per request (mirrors http.server's cap); a
+#: client streaming endless headers must not grow memory without bound.
+MAX_HEADER_LINES = 100
+
+
+class AsyncServiceServer:
+    """One asyncio server bound to one backend; persistent HTTP/1.1."""
+
+    def __init__(
+        self,
+        executor,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+        quiet: bool = True,
+    ):
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        self.executor = executor
+        self.quiet = quiet
+        self.max_in_flight = max_in_flight
+        self.address: Optional[tuple[str, int]] = None
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._semaphore: Optional[asyncio.Semaphore] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind the listening socket; returns ``(host, port)``."""
+        self._semaphore = asyncio.Semaphore(self.max_in_flight)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.max_in_flight, thread_name_prefix="cq-trees-async"
+        )
+        self._server = await asyncio.start_server(self._handle_connection, self._host, self._port)
+        self.address = self._server.sockets[0].getsockname()[:2]
+        return self.address
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (binds first if :meth:`start` wasn't called)."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        """Stop accepting connections and release the worker pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One persistent connection: parse, dispatch, respond, repeat."""
+        try:
+            while True:
+                try:
+                    request_line = await reader.readline()
+                except ValueError:  # line over the stream limit
+                    break
+                if not request_line:
+                    break
+                parts = request_line.decode("latin-1").strip().split()
+                if len(parts) != 3:
+                    await self._send(writer, 400, {"error": "malformed request line"}, close=True)
+                    break
+                method, path, version = parts
+                headers = await self._read_headers(reader)
+                if headers is None:
+                    break
+                close_after = (
+                    version.upper() != "HTTP/1.1"
+                    or headers.get("connection", "").lower() == "close"
+                )
+                if "transfer-encoding" in headers:
+                    await self._send(
+                        writer, 501, {"error": "chunked bodies are not supported"}, close=True
+                    )
+                    break
+                try:
+                    length = int(headers.get("content-length", "0"))
+                except ValueError:
+                    length = -1
+                if length < 0 or length > MAX_BODY_BYTES:
+                    # The unread body would desync the persistent stream, so
+                    # the connection drops after answering (as the threaded
+                    # front end does).
+                    await self._send(
+                        writer, 400, {"error": "missing or oversized Content-Length"}, close=True
+                    )
+                    break
+                body = await reader.readexactly(length) if length else b""
+                if method == "POST":
+                    # Only evaluation work holds an in-flight slot; GET
+                    # control-plane probes (/healthz above all) must answer
+                    # even when the server is saturated, as the threaded
+                    # front end does.
+                    async with self._semaphore:
+                        status, payload = await self._dispatch(method, path, body)
+                else:
+                    status, payload = await self._dispatch(method, path, body)
+                if not self.quiet:  # pragma: no cover - log formatting
+                    print(f"{method} {path} -> {status}", flush=True)
+                await self._send(writer, status, payload, close=close_after)
+                if close_after:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _read_headers(self, reader: asyncio.StreamReader) -> Optional[dict]:
+        """Header lines up to the blank separator, lower-cased names.
+
+        ``None`` (drop the connection) on EOF, an over-long line, or more
+        than :data:`MAX_HEADER_LINES` lines -- per-request memory stays
+        bounded no matter what a client streams.
+        """
+        headers: dict[str, str] = {}
+        for _ in range(MAX_HEADER_LINES):
+            try:
+                line = await reader.readline()
+            except ValueError:  # header line over the stream limit
+                return None
+            if line in (b"\r\n", b"\n"):
+                return headers
+            if not line:
+                return None
+            name, separator, value = line.decode("latin-1").partition(":")
+            if separator:
+                headers[name.strip().lower()] = value.strip()
+        return None
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, status: int, payload: dict, close: bool = False
+    ) -> None:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found", 501: "Not Implemented"}
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {reason.get(status, 'OK')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # -- routing ---------------------------------------------------------------
+
+    async def _call(self, function, /, *args, **kwargs):
+        """Run one (potentially blocking) backend call on the private pool."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._pool, functools.partial(function, *args, **kwargs)
+        )
+
+    async def _dispatch(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        """Route one parsed request; returns ``(status, payload)``."""
+        executor = self.executor
+        try:
+            if method == "GET":
+                if path == "/healthz":
+                    count = await self._call(executor.document_count)
+                    return 200, {"status": "ok", "documents": count}
+                if path == "/stats":
+                    return 200, await self._call(executor.stats)
+                if path == "/documents":
+                    return 200, {"documents": await self._call(executor.describe_documents)}
+                return 404, {"error": f"unknown path {path!r}"}
+            if method == "DELETE":
+                prefix = "/documents/"
+                if path.startswith(prefix) and len(path) > len(prefix):
+                    doc_id = path[len(prefix) :]
+                    if await self._call(executor.evict_document, doc_id):
+                        return 200, {"evicted": doc_id}
+                    return 404, {"error": f"unknown document id {doc_id!r}"}
+                return 404, {"error": f"unknown path {path!r}"}
+            if method != "POST":
+                # 501 like the threaded front end's BaseHTTPRequestHandler
+                # (the body is JSON here, not stdlib HTML).
+                return 501, {"error": f"Unsupported method ({method!r})"}
+            payload = self._parse_body(body)
+            if path == "/documents":
+                # allow_files stays False over HTTP: clients must not be able
+                # to make the server read its own filesystem.
+                return 200, await self._call(executor.register_payload, payload)
+            if path == "/query":
+                request = Request.from_json_dict(payload)
+                result = await asyncio.wrap_future(executor.submit(request))
+                return (200 if result.ok else 400), result.to_json_dict()
+            if path == "/batch":
+                # The shared helper (validation + execution + rendering) runs
+                # entirely on the pool thread; its ValueErrors surface here.
+                return 200, await self._call(execute_batch_payload, self.executor, payload)
+            return 404, {"error": f"unknown path {path!r}"}
+        except _CLIENT_ERRORS as error:
+            return 400, {"error": str(error)}
+
+    def _parse_body(self, body: bytes) -> dict:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ValueError(f"invalid JSON body: {error}") from None
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+class AsyncServerThread:
+    """Run an :class:`AsyncServiceServer` on a private event-loop thread.
+
+    The synchronous face of the async front end, for tests and the smoke
+    script: ``start()`` blocks until the socket is bound (``.address`` holds
+    the ephemeral port), ``stop()`` shuts the loop down cleanly.
+    """
+
+    def __init__(self, executor, host: str = "127.0.0.1", port: int = 0, **server_kwargs):
+        self._server_args = (executor, host, port)
+        self._server_kwargs = server_kwargs
+        self._ready = threading.Event()
+        self._stop: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread = threading.Thread(
+            target=self._run, name="cq-trees-async-server", daemon=True
+        )
+        self.address: Optional[tuple[str, int]] = None
+        self.error: Optional[BaseException] = None
+
+    def start(self) -> "AsyncServerThread":
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self.error is not None:
+            raise self.error
+        if self.address is None:
+            raise RuntimeError("async server failed to start within 30s")
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30)
+
+    def __enter__(self) -> "AsyncServerThread":
+        return self.start()
+
+    def __exit__(self, *_exc_info) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:  # pragma: no cover - startup failure
+            self.error = error
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = AsyncServiceServer(*self._server_args, **self._server_kwargs)
+        try:
+            self.address = await server.start()
+        except BaseException as error:
+            self.error = error
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await server.close()

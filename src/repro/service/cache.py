@@ -95,6 +95,18 @@ class QueryCache:
                     # touch the hottest (textually stable) queries would be
                     # the first evicted from the entry LRU.
                     self._entries.move_to_end(cached.key)
+                else:
+                    # The entry was LRU-evicted while its parse-cache pointer
+                    # survived (e.g. object-form resolves pushed it out).
+                    # Serving the dead entry without re-admitting it would
+                    # silently violate the capacity bound: ``describe()`` and
+                    # ``stats()`` would disagree with what is actually being
+                    # served.  Re-admit it as the most recent entry and
+                    # re-enforce the bound.
+                    self._entries[cached.key] = cached
+                    if self.capacity is not None:
+                        while len(self._entries) > self.capacity:
+                            self._entries.popitem(last=False)
                 self._parse_hits += 1
                 self._hits += 1
                 cached.hits += 1

@@ -1,0 +1,253 @@
+"""The request-execution core shared by the thread and process backends.
+
+:class:`Request` (the wire format), :class:`RequestResult` (the outcome) and
+:func:`run_request` (resolve the cached plan, fetch the resident document,
+evaluate, sort, truncate) live here so that every serving backend --
+:class:`~repro.service.executor.BatchExecutor`'s worker threads and
+:class:`~repro.service.shards.ShardedExecutor`'s worker processes -- executes
+requests through one code path and therefore honours one contract:
+
+* results are deterministic: answers sorted ascending, ``limit`` applied
+  *after* sorting, byte-identical to a sequential
+  :func:`repro.evaluation.planner.evaluate` call for every propagator;
+* failures are per-request values, never batch aborts.  Client mistakes
+  (unknown document, parse errors, bad parameters) are reported verbatim in
+  ``RequestResult.error``; anything else -- a genuine bug in the evaluation
+  stack -- is still caught and reported with an ``internal:`` prefix, because
+  one poisoned request must not void its batchmates or kill a worker;
+* error results carry the same attribution fields (``elapsed_ms``,
+  ``propagator``) as successes, so failed requests show up in latency
+  accounting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..evaluation.planner import evaluate
+from ..evaluation.propagation import DEFAULT_PROPAGATOR, as_propagator
+from ..queries.parser import QueryParseError
+from ..queries.query import ConjunctiveQuery
+from ..queries.xpath import XPathTranslationError
+from ..trees.xmlio import XMLParseError
+from .cache import CachedQuery, QueryCache
+from .store import DocumentNotFound, DocumentStore
+
+#: Exceptions that are the client's fault; reported verbatim per request.
+REQUEST_ERRORS = (
+    DocumentNotFound,
+    QueryParseError,
+    XPathTranslationError,
+    XMLParseError,
+    ValueError,
+)
+
+
+def validate_limit(limit: object) -> Optional[int]:
+    """Check a wire-format ``limit``: a non-negative integer or ``None``.
+
+    ``bool`` is rejected explicitly -- ``True`` passes ``isinstance(x, int)``,
+    so without the check ``{"limit": true}`` would silently mean ``limit=1``.
+    """
+    if limit is not None and (
+        isinstance(limit, bool) or not isinstance(limit, int) or limit < 0
+    ):
+        raise ValueError("'limit' must be a non-negative integer")
+    return limit
+
+
+def validate_max_workers(max_workers: object) -> Optional[int]:
+    """Check a wire-format ``max_workers``: a positive integer or ``None``.
+
+    Rejects ``bool`` for the same reason as :func:`validate_limit` --
+    ``{"max_workers": true}`` must not be accepted as ``1``.
+    """
+    if max_workers is not None and (
+        isinstance(max_workers, bool) or not isinstance(max_workers, int) or max_workers < 1
+    ):
+        raise ValueError("'max_workers' must be a positive integer")
+    return max_workers
+
+
+@dataclass(frozen=True)
+class Request:
+    """One evaluation request.
+
+    Exactly one of ``query`` (datalog text or a
+    :class:`~repro.queries.query.ConjunctiveQuery`) and ``xpath`` must be
+    given.  ``limit`` truncates the *sorted* answer list; the total count is
+    reported either way.
+    """
+
+    doc: str
+    query: Union[str, ConjunctiveQuery, None] = None
+    xpath: Optional[str] = None
+    propagator: str = str(DEFAULT_PROPAGATOR)
+    limit: Optional[int] = None
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "Request":
+        """Build a request from a JSON object (HTTP body / JSONL line)."""
+        if not isinstance(payload, dict):
+            raise ValueError(f"request must be a JSON object, got {type(payload).__name__}")
+        unknown = set(payload) - {"doc", "query", "xpath", "propagator", "limit"}
+        if unknown:
+            raise ValueError(f"unknown request field(s): {', '.join(sorted(unknown))}")
+        doc = payload.get("doc")
+        if not isinstance(doc, str) or not doc:
+            raise ValueError("request needs a non-empty 'doc' document id")
+        limit = validate_limit(payload.get("limit"))
+        for key in ("query", "xpath"):
+            if payload.get(key) is not None and not isinstance(payload[key], str):
+                raise ValueError(f"'{key}' must be a string")
+        propagator = payload.get("propagator", str(DEFAULT_PROPAGATOR))
+        if not isinstance(propagator, str):
+            raise ValueError("'propagator' must be a string")
+        return cls(
+            doc=doc,
+            query=payload.get("query"),
+            xpath=payload.get("xpath"),
+            propagator=propagator,
+            limit=limit,
+        )
+
+
+@dataclass
+class RequestResult:
+    """The outcome of one request: answers or an error, plus timings."""
+
+    doc: str
+    query_key: Optional[str] = None
+    answers: Optional[list[tuple[int, ...]]] = None
+    count: int = 0
+    truncated: bool = False
+    satisfied: Optional[bool] = None
+    elapsed_ms: float = 0.0
+    propagator: str = str(DEFAULT_PROPAGATOR)
+    engine: Optional[str] = None
+    cache_hit: bool = False
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_json_dict(self) -> dict:
+        """A stable JSON rendering (HTTP responses and JSONL output)."""
+        if not self.ok:
+            # Error results keep their attribution fields: latency accounting
+            # must be able to see what a failed request cost and which
+            # propagator it asked for.
+            return {
+                "doc": self.doc,
+                "error": self.error,
+                "elapsed_ms": round(self.elapsed_ms, 3),
+                "propagator": self.propagator,
+            }
+        payload = {
+            "doc": self.doc,
+            "query_key": self.query_key,
+            "answers": [list(answer) for answer in self.answers or []],
+            "count": self.count,
+            "truncated": self.truncated,
+            "elapsed_ms": round(self.elapsed_ms, 3),
+            "propagator": self.propagator,
+            "engine": self.engine,
+            "cache_hit": self.cache_hit,
+        }
+        if self.satisfied is not None:
+            payload["satisfied"] = self.satisfied
+        return payload
+
+
+def execute_batch_payload(executor, payload: dict) -> dict:
+    """Validate and execute a ``/batch`` wire payload against any backend.
+
+    Shared by the threaded and async HTTP front ends so the batch
+    request/response shaping cannot drift between them.  Raises
+    :class:`ValueError` on malformed payloads (the front ends answer 400).
+    """
+    raw_requests = payload.get("requests")
+    if not isinstance(raw_requests, list):
+        raise ValueError("batch body needs a 'requests' list")
+    max_workers = validate_max_workers(payload.get("max_workers"))
+    requests = [Request.from_json_dict(item) for item in raw_requests]
+    results = executor.execute_batch(requests, max_workers=max_workers)
+    return {
+        "results": [result.to_json_dict() for result in results],
+        "errors": sum(1 for result in results if not result.ok),
+    }
+
+
+def resolve_entry(cache: QueryCache, request: Request) -> tuple[CachedQuery, bool]:
+    """The cache entry for the request's query, plus whether it was warm."""
+    if (request.query is None) == (request.xpath is None):
+        raise ValueError("exactly one of 'query' and 'xpath' must be given")
+    if request.xpath is not None:
+        if not isinstance(request.xpath, str):
+            raise ValueError(f"'xpath' must be a string, got {type(request.xpath).__name__}")
+        return cache.resolve_text(request.xpath, kind="xpath")
+    if isinstance(request.query, ConjunctiveQuery):
+        return cache.resolve_query(request.query)
+    if isinstance(request.query, str):
+        return cache.resolve_text(request.query, kind="datalog")
+    raise ValueError(
+        f"'query' must be a string or ConjunctiveQuery, got {type(request.query).__name__}"
+    )
+
+
+def run_request(store: DocumentStore, cache: QueryCache, request: Request) -> RequestResult:
+    """Evaluate one request against resident artifacts; never raises.
+
+    Client errors (:data:`REQUEST_ERRORS`) are reported verbatim in
+    ``result.error``; unexpected exceptions -- evaluation-stack bugs -- are
+    reported with an ``internal:`` prefix so they are distinguishable, but
+    they still come back as a *value*: a crash in one request must not abort
+    its batch, kill its worker thread, or poison its shard process.
+    """
+    started = time.perf_counter()
+    try:
+        propagator = as_propagator(request.propagator)
+        entry, cache_hit = resolve_entry(cache, request)
+        document = store.get(request.doc)
+        answers = sorted(
+            evaluate(
+                entry.query,
+                document.structure,
+                engine=entry.engine,
+                propagator=propagator,
+                compiled=entry.compiled,
+            )
+        )
+    except REQUEST_ERRORS as error:
+        return RequestResult(
+            doc=request.doc,
+            propagator=str(request.propagator),
+            elapsed_ms=(time.perf_counter() - started) * 1000.0,
+            error=str(error),
+        )
+    except Exception as error:  # noqa: BLE001 - the per-request error contract
+        return RequestResult(
+            doc=request.doc,
+            propagator=str(request.propagator),
+            elapsed_ms=(time.perf_counter() - started) * 1000.0,
+            error=f"internal: {type(error).__name__}: {error}",
+        )
+    count = len(answers)
+    truncated = request.limit is not None and count > request.limit
+    if truncated:
+        answers = answers[: request.limit]
+    return RequestResult(
+        doc=request.doc,
+        query_key=entry.key,
+        answers=answers,
+        count=count,
+        truncated=truncated,
+        satisfied=(count > 0) if entry.query.is_boolean else None,
+        elapsed_ms=(time.perf_counter() - started) * 1000.0,
+        propagator=propagator.value,
+        engine=entry.engine.value,
+        cache_hit=cache_hit,
+    )

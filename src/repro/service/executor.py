@@ -2,11 +2,14 @@
 
 A request names a resident document, a query (datalog text, XPath text, or a
 query object), a propagator, and an optional answer limit.
-:class:`BatchExecutor` is the serving facade: it owns a
+:class:`BatchExecutor` is the in-process serving backend: it owns a
 :class:`~repro.service.store.DocumentStore` and a
 :class:`~repro.service.cache.QueryCache`, evaluates single requests, and fans
 request batches out over a thread pool -- every worker sharing the same
-resident indexes, label sets and compiled plans.
+resident indexes, label sets and compiled plans.  The actual request
+execution (:func:`~repro.service.core.run_request`) is shared with the
+process-sharded backend (:class:`~repro.service.shards.ShardedExecutor`), so
+both uphold the same contract.
 
 Determinism: results come back in request order; each answer list is sorted
 ascending (node-id tuples), with ``limit`` applied *after* sorting; and the
@@ -14,122 +17,27 @@ answer sets are byte-for-byte those of a sequential
 :func:`repro.evaluation.planner.evaluate` call, for every propagator --
 evaluation over the shared artifacts is pure, and CPython's GIL plus the
 read-only index structures make the concurrent path safe.  Failures are
-per-request values (``error`` field), never batch aborts.
+per-request values (``error`` field), never batch aborts -- including
+unexpected (``internal:``) exceptions, which are caught into the result.
 """
 
 from __future__ import annotations
 
 import threading
-import time
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Optional, Sequence
 
-from ..evaluation.planner import evaluate
-from ..evaluation.propagation import DEFAULT_PROPAGATOR, as_propagator
-from ..queries.parser import QueryParseError
-from ..queries.query import ConjunctiveQuery
-from ..queries.xpath import XPathTranslationError
-from ..trees.xmlio import XMLParseError
-from .cache import CachedQuery, QueryCache
-from .store import DocumentNotFound, DocumentStore
+from .cache import QueryCache
+from .core import REQUEST_ERRORS, Request, RequestResult, run_request
+from .store import DocumentStore
 
-#: Exceptions that are the client's fault; reported verbatim per request.
-_REQUEST_ERRORS = (
-    DocumentNotFound,
-    QueryParseError,
-    XPathTranslationError,
-    XMLParseError,
-    ValueError,
-)
+#: Backward-compatible aliases; the canonical definitions live in ``core``.
+_REQUEST_ERRORS = REQUEST_ERRORS
+
+__all__ = ["BatchExecutor", "DEFAULT_MAX_WORKERS", "Request", "RequestResult"]
 
 #: Default worker-thread bound for batch execution.
 DEFAULT_MAX_WORKERS = 8
-
-
-@dataclass(frozen=True)
-class Request:
-    """One evaluation request.
-
-    Exactly one of ``query`` (datalog text or a
-    :class:`~repro.queries.query.ConjunctiveQuery`) and ``xpath`` must be
-    given.  ``limit`` truncates the *sorted* answer list; the total count is
-    reported either way.
-    """
-
-    doc: str
-    query: Union[str, ConjunctiveQuery, None] = None
-    xpath: Optional[str] = None
-    propagator: str = str(DEFAULT_PROPAGATOR)
-    limit: Optional[int] = None
-
-    @classmethod
-    def from_json_dict(cls, payload: dict) -> "Request":
-        """Build a request from a JSON object (HTTP body / JSONL line)."""
-        if not isinstance(payload, dict):
-            raise ValueError(f"request must be a JSON object, got {type(payload).__name__}")
-        unknown = set(payload) - {"doc", "query", "xpath", "propagator", "limit"}
-        if unknown:
-            raise ValueError(f"unknown request field(s): {', '.join(sorted(unknown))}")
-        doc = payload.get("doc")
-        if not isinstance(doc, str) or not doc:
-            raise ValueError("request needs a non-empty 'doc' document id")
-        limit = payload.get("limit")
-        if limit is not None and (not isinstance(limit, int) or limit < 0):
-            raise ValueError("'limit' must be a non-negative integer")
-        for key in ("query", "xpath"):
-            if payload.get(key) is not None and not isinstance(payload[key], str):
-                raise ValueError(f"'{key}' must be a string")
-        propagator = payload.get("propagator", str(DEFAULT_PROPAGATOR))
-        if not isinstance(propagator, str):
-            raise ValueError("'propagator' must be a string")
-        return cls(
-            doc=doc,
-            query=payload.get("query"),
-            xpath=payload.get("xpath"),
-            propagator=propagator,
-            limit=limit,
-        )
-
-
-@dataclass
-class RequestResult:
-    """The outcome of one request: answers or an error, plus timings."""
-
-    doc: str
-    query_key: Optional[str] = None
-    answers: Optional[list[tuple[int, ...]]] = None
-    count: int = 0
-    truncated: bool = False
-    satisfied: Optional[bool] = None
-    elapsed_ms: float = 0.0
-    propagator: str = str(DEFAULT_PROPAGATOR)
-    engine: Optional[str] = None
-    cache_hit: bool = False
-    error: Optional[str] = None
-
-    @property
-    def ok(self) -> bool:
-        return self.error is None
-
-    def to_json_dict(self) -> dict:
-        """A stable JSON rendering (HTTP responses and JSONL output)."""
-        if not self.ok:
-            return {"doc": self.doc, "error": self.error}
-        payload = {
-            "doc": self.doc,
-            "query_key": self.query_key,
-            "answers": [list(answer) for answer in self.answers or []],
-            "count": self.count,
-            "truncated": self.truncated,
-            "elapsed_ms": round(self.elapsed_ms, 3),
-            "propagator": self.propagator,
-            "engine": self.engine,
-            "cache_hit": self.cache_hit,
-        }
-        if self.satisfied is not None:
-            payload["satisfied"] = self.satisfied
-        return payload
 
 
 class BatchExecutor:
@@ -173,68 +81,24 @@ class BatchExecutor:
 
     # -- single requests -------------------------------------------------------
 
-    def _resolve_entry(self, request: Request) -> tuple[CachedQuery, bool]:
-        """The cache entry for the request's query, plus whether it was warm."""
-        if (request.query is None) == (request.xpath is None):
-            raise ValueError("exactly one of 'query' and 'xpath' must be given")
-        if request.xpath is not None:
-            if not isinstance(request.xpath, str):
-                raise ValueError(
-                    f"'xpath' must be a string, got {type(request.xpath).__name__}"
-                )
-            return self.cache.resolve_text(request.xpath, kind="xpath")
-        if isinstance(request.query, ConjunctiveQuery):
-            return self.cache.resolve_query(request.query)
-        if isinstance(request.query, str):
-            return self.cache.resolve_text(request.query, kind="datalog")
-        raise ValueError(
-            f"'query' must be a string or ConjunctiveQuery, got "
-            f"{type(request.query).__name__}"
-        )
-
     def execute(self, request: Request) -> RequestResult:
-        """Evaluate one request; client errors land in ``result.error``."""
+        """Evaluate one request; all failures land in ``result.error``."""
         with self._lock:
             self._requests += 1
-        started = time.perf_counter()
-        try:
-            propagator = as_propagator(request.propagator)
-            entry, cache_hit = self._resolve_entry(request)
-            document = self.store.get(request.doc)
-            answers = sorted(
-                evaluate(
-                    entry.query,
-                    document.structure,
-                    engine=entry.engine,
-                    propagator=propagator,
-                    compiled=entry.compiled,
-                )
-            )
-        except _REQUEST_ERRORS as error:
+        result = run_request(self.store, self.cache, request)
+        if not result.ok:
             with self._lock:
                 self._errors += 1
-            return RequestResult(
-                doc=request.doc,
-                propagator=str(request.propagator),
-                elapsed_ms=(time.perf_counter() - started) * 1000.0,
-                error=str(error),
-            )
-        count = len(answers)
-        truncated = request.limit is not None and count > request.limit
-        if truncated:
-            answers = answers[: request.limit]
-        return RequestResult(
-            doc=request.doc,
-            query_key=entry.key,
-            answers=answers,
-            count=count,
-            truncated=truncated,
-            satisfied=(count > 0) if entry.query.is_boolean else None,
-            elapsed_ms=(time.perf_counter() - started) * 1000.0,
-            propagator=propagator.value,
-            engine=entry.engine.value,
-            cache_hit=cache_hit,
-        )
+        return result
+
+    def submit(self, request: Request) -> "Future[RequestResult]":
+        """Schedule one request on the shared pool; returns its future.
+
+        This is the hook the async front end awaits
+        (:func:`asyncio.wrap_future`), mirroring
+        :meth:`~repro.service.shards.ShardedExecutor.submit`.
+        """
+        return self._shared_pool().submit(self.execute, request)
 
     # -- batches ---------------------------------------------------------------
 
@@ -257,11 +121,30 @@ class BatchExecutor:
                 return list(pool.map(self.execute, requests))
         return list(self._shared_pool().map(self.execute, requests))
 
+    # -- document operations (the serving-backend contract) --------------------
+
+    def register_payload(self, payload: dict, allow_files: bool = False) -> dict:
+        """Register a document from its wire payload; returns its summary."""
+        return self.store.register_payload(payload, allow_files=allow_files).describe()
+
+    def evict_document(self, doc_id: str) -> bool:
+        """Drop one resident document; ``True`` iff it was resident."""
+        return self.store.evict(doc_id)
+
+    def describe_documents(self) -> list[dict]:
+        """Summaries of every resident document."""
+        return self.store.describe()
+
+    def document_count(self) -> int:
+        """How many documents are resident."""
+        return len(self.store)
+
     # -- statistics ------------------------------------------------------------
 
     def stats(self) -> dict:
         with self._lock:
             executor = {
+                "backend": "threaded",
                 "requests": self._requests,
                 "errors": self._errors,
                 "batches": self._batches,

@@ -37,7 +37,8 @@ from typing import Optional
 from ..queries.parser import QueryParseError
 from ..queries.xpath import XPathTranslationError
 from ..trees.xmlio import XMLParseError
-from .executor import BatchExecutor, Request
+from .core import Request, execute_batch_payload
+from .executor import BatchExecutor
 
 #: Upper bound on accepted request bodies (64 MiB); guards the worker threads.
 MAX_BODY_BYTES = 64 * 1024 * 1024
@@ -102,14 +103,17 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         executor = self.server.executor
-        if self.path == "/healthz":
-            self._send_json(200, {"status": "ok", "documents": len(executor.store)})
-        elif self.path == "/stats":
-            self._send_json(200, executor.stats())
-        elif self.path == "/documents":
-            self._send_json(200, {"documents": executor.store.describe()})
-        else:
-            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+        try:
+            if self.path == "/healthz":
+                self._send_json(200, {"status": "ok", "documents": executor.document_count()})
+            elif self.path == "/stats":
+                self._send_json(200, executor.stats())
+            elif self.path == "/documents":
+                self._send_json(200, {"documents": executor.describe_documents()})
+            else:
+                self._send_json(404, {"error": f"unknown path {self.path!r}"})
+        except ValueError as error:  # e.g. a sharded backend with a dead worker
+            self._send_json(400, {"error": str(error)})
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         executor = self.server.executor
@@ -132,39 +136,28 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
         executor = self.server.executor
         prefix = "/documents/"
-        if self.path.startswith(prefix) and len(self.path) > len(prefix):
-            doc_id = self.path[len(prefix) :]
-            if executor.store.evict(doc_id):
-                self._send_json(200, {"evicted": doc_id})
+        try:
+            if self.path.startswith(prefix) and len(self.path) > len(prefix):
+                doc_id = self.path[len(prefix) :]
+                if executor.evict_document(doc_id):
+                    self._send_json(200, {"evicted": doc_id})
+                else:
+                    self._send_json(404, {"error": f"unknown document id {doc_id!r}"})
             else:
-                self._send_json(404, {"error": f"unknown document id {doc_id!r}"})
-        else:
-            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+                self._send_json(404, {"error": f"unknown path {self.path!r}"})
+        except ValueError as error:  # e.g. a sharded backend with a dead worker
+            self._send_json(400, {"error": str(error)})
 
     # -- handlers --------------------------------------------------------------
 
     def _register_document(self, payload: dict) -> None:
         # allow_files stays False over HTTP: clients must not be able to make
         # the server read its own filesystem.
-        document = self.server.executor.store.register_payload(payload)
-        self._send_json(200, document.describe())
+        summary = self.server.executor.register_payload(payload)
+        self._send_json(200, summary)
 
     def _execute_batch(self, payload: dict) -> None:
-        raw_requests = payload.get("requests")
-        if not isinstance(raw_requests, list):
-            raise ValueError("batch body needs a 'requests' list")
-        max_workers = payload.get("max_workers")
-        if max_workers is not None and (not isinstance(max_workers, int) or max_workers < 1):
-            raise ValueError("'max_workers' must be a positive integer")
-        requests = [Request.from_json_dict(item) for item in raw_requests]
-        results = self.server.executor.execute_batch(requests, max_workers=max_workers)
-        self._send_json(
-            200,
-            {
-                "results": [result.to_json_dict() for result in results],
-                "errors": sum(1 for result in results if not result.ok),
-            },
-        )
+        self._send_json(200, execute_batch_payload(self.server.executor, payload))
 
 
 def make_server(

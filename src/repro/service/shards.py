@@ -1,0 +1,415 @@
+"""Process-sharded serving backend: per-shard stores and caches, multi-core scaling.
+
+The thread-pool backend (:class:`~repro.service.executor.BatchExecutor`)
+shares one set of resident artifacts across worker threads -- simple and
+memory-lean, but CPython's GIL serializes the actual evaluation work, so one
+process can never use more than one core.  :class:`ShardedExecutor` scales
+*out* instead: it owns ``N`` worker **processes**, each holding a full
+per-process :class:`~repro.service.store.DocumentStore` +
+:class:`~repro.service.cache.QueryCache` and executing requests through the
+same shared core (:func:`~repro.service.core.run_request`) as the thread
+backend, so the serving contract -- sorted answers, post-sort limit,
+per-request errors, byte-identity with sequential ``evaluate()`` -- is
+identical by construction.
+
+Routing is by **stable hash of the document id** (:func:`shard_for`,
+CRC-32 -- deliberately not Python's salted ``hash()``): a document is
+registered on exactly one shard, and every request, eviction and
+re-registration for that id lands on the same worker, so its interval index,
+label sets and compiled plans stay resident in that process.  Control
+operations (``stats``, ``describe_documents``, ``document_count``) are
+*broadcast* to all shards and aggregated, so ``/stats`` reports totals across
+the whole fleet plus a per-shard breakdown.
+
+The parent talks to each worker over a pair of ``multiprocessing`` queues;
+:meth:`ShardedExecutor.submit` returns a :class:`concurrent.futures.Future`
+resolved by a per-shard listener thread, which is what the async front end
+awaits.  Each shard consumes its inbox in FIFO order, so per-shard execution
+is serial and deterministic; cross-shard parallelism is the scaling axis.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import queue
+import threading
+import zlib
+from concurrent.futures import Future
+from typing import Optional, Sequence
+
+from .cache import QueryCache
+from .core import REQUEST_ERRORS, Request, RequestResult, run_request
+from .store import DocumentStore
+
+#: Default number of worker processes.
+DEFAULT_SHARDS = 2
+
+#: Seconds to wait for a worker to drain and exit at close before terminating.
+_JOIN_TIMEOUT = 10.0
+
+#: How often an idle worker checks whether its parent process still exists.
+_PARENT_POLL_SECONDS = 5.0
+
+#: How often an idle listener checks whether its worker process still exists.
+_WORKER_POLL_SECONDS = 1.0
+
+
+def shard_for(doc_id: str, shards: int) -> int:
+    """The shard owning ``doc_id``: a stable content hash, not ``hash()``.
+
+    CRC-32 of the UTF-8 bytes is deterministic across processes and runs
+    (Python's ``hash()`` is salted per process, which would scatter a
+    document's requests across restarts).
+    """
+    return zlib.crc32(doc_id.encode("utf-8")) % shards
+
+
+def _default_start_method() -> str:
+    """``fork`` where available (cheap, instant workers), else ``spawn``."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def _shard_worker_main(
+    shard_id: int,
+    inbox,
+    outbox,
+    store_capacity: Optional[int],
+    cache_capacity: Optional[int],
+) -> None:
+    """One worker process: a private store + cache, serving its inbox FIFO.
+
+    Every message is ``(seq, op, payload)``; every reply is ``(seq, status,
+    value)`` with ``status`` in ``{"ok", "error"}``.  ``None`` is the
+    shutdown sentinel.  The loop never dies on a bad message: operation
+    errors are reported back as values, mirroring the per-request error
+    contract.
+    """
+    store = DocumentStore(capacity=store_capacity)
+    cache = QueryCache(capacity=cache_capacity)
+    parent = multiprocessing.parent_process()
+    requests = 0
+    errors = 0
+    while True:
+        try:
+            message = inbox.get(timeout=_PARENT_POLL_SECONDS)
+        except queue.Empty:
+            # If the parent died without sending the sentinel (SIGKILL, hard
+            # crash), exit instead of lingering as an orphan forever.
+            if parent is not None and not parent.is_alive():
+                break
+            continue
+        if message is None:
+            break
+        seq, op, payload = message
+        try:
+            if op == "request":
+                requests += 1
+                result = run_request(store, cache, payload)
+                if not result.ok:
+                    errors += 1
+                outbox.put((seq, "ok", result))
+            elif op == "register":
+                payload_dict, allow_files = payload
+                document = store.register_payload(payload_dict, allow_files=allow_files)
+                outbox.put((seq, "ok", document.describe()))
+            elif op == "evict":
+                outbox.put((seq, "ok", store.evict(payload)))
+            elif op == "documents":
+                outbox.put((seq, "ok", store.describe()))
+            elif op == "count":
+                outbox.put((seq, "ok", len(store)))
+            elif op == "stats":
+                outbox.put(
+                    (
+                        seq,
+                        "ok",
+                        {
+                            "shard": shard_id,
+                            "requests": requests,
+                            "errors": errors,
+                            "store": store.stats(),
+                            "cache": cache.stats(),
+                        },
+                    )
+                )
+            else:
+                outbox.put((seq, "error", f"unknown shard op {op!r}"))
+        except REQUEST_ERRORS as error:
+            # Client-fault errors cross the boundary verbatim so the parent's
+            # re-raise carries the same message as the threaded backend would
+            # (e.g. a malformed-XML registration answers the identical 400).
+            outbox.put((seq, "error", str(error)))
+        except Exception as error:  # noqa: BLE001 - errors travel as values
+            outbox.put((seq, "error", f"{type(error).__name__}: {error}"))
+
+
+class ShardedExecutor:
+    """N worker processes, documents routed by stable hash of their id.
+
+    Implements the same serving-backend surface as
+    :class:`~repro.service.executor.BatchExecutor` (``execute``, ``submit``,
+    ``execute_batch``, ``register_payload``, ``evict_document``,
+    ``describe_documents``, ``document_count``, ``stats``), so the HTTP front
+    ends work with either interchangeably.
+    """
+
+    def __init__(
+        self,
+        shards: int = DEFAULT_SHARDS,
+        store_capacity: Optional[int] = None,
+        cache_capacity: Optional[int] = 1024,
+        start_method: Optional[str] = None,
+    ):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.shards = shards
+        context = multiprocessing.get_context(start_method or _default_start_method())
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+        #: seq -> (future, shard): the shard lets a worker death fail exactly
+        #: the requests that were riding on it.
+        self._pending: dict[int, tuple[Future, int]] = {}
+        self._broken: set[int] = set()
+        self._batches = 0
+        self._closed = False
+        self._inboxes = [context.Queue() for _ in range(shards)]
+        self._outboxes = [context.Queue() for _ in range(shards)]
+        self._processes = [
+            context.Process(
+                target=_shard_worker_main,
+                args=(shard, self._inboxes[shard], self._outboxes[shard],
+                      store_capacity, cache_capacity),
+                name=f"cq-trees-shard-{shard}",
+                daemon=True,
+            )
+            for shard in range(shards)
+        ]
+        for process in self._processes:
+            process.start()
+        # Listener threads go up only after the forks: workers must not
+        # inherit half-started parent threads.
+        self._listeners = [
+            threading.Thread(
+                target=self._listen,
+                args=(shard,),
+                name=f"cq-trees-shard-listener-{shard}",
+                daemon=True,
+            )
+            for shard in range(shards)
+        ]
+        for listener in self._listeners:
+            listener.start()
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _listen(self, shard: int) -> None:
+        """Resolve futures from one shard's reply queue until the sentinel.
+
+        The blocking get is bounded so a worker that died without replying
+        (OOM kill, segfault) is noticed within :data:`_WORKER_POLL_SECONDS`:
+        its in-flight requests fail instead of hanging their clients forever,
+        and the shard is marked broken so later dispatches fail fast.
+        """
+        outbox = self._outboxes[shard]
+        process = self._processes[shard]
+        while True:
+            try:
+                message = outbox.get(timeout=_WORKER_POLL_SECONDS)
+            except queue.Empty:
+                if not process.is_alive() and not self._closed:
+                    self._fail_shard(shard)
+                    return
+                continue
+            if message is None:
+                return
+            seq, status, value = message
+            with self._lock:
+                future, _ = self._pending.pop(seq, (None, None))
+            if future is None:  # pragma: no cover - reply after cancellation
+                continue
+            if status == "ok":
+                future.set_result(value)
+            else:
+                future.set_exception(ValueError(value))
+
+    def _fail_shard(self, shard: int) -> None:
+        """A worker died: fail its in-flight requests, refuse new ones."""
+        with self._lock:
+            self._broken.add(shard)
+            doomed = [
+                (seq, future)
+                for seq, (future, owner) in self._pending.items()
+                if owner == shard
+            ]
+            for seq, _future in doomed:
+                del self._pending[seq]
+        for _seq, future in doomed:
+            future.set_exception(
+                ValueError(f"shard {shard} worker died; its in-flight requests were dropped")
+            )
+
+    def _dispatch(self, shard: int, op: str, payload) -> Future:
+        """Enqueue one operation on one shard; returns its reply future."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("ShardedExecutor is closed")
+            if shard in self._broken:
+                raise ValueError(f"shard {shard} worker is not running (restart the server)")
+            seq = next(self._seq)
+            future: Future = Future()
+            self._pending[seq] = (future, shard)
+        self._inboxes[shard].put((seq, op, payload))
+        return future
+
+    def _broadcast(self, op: str, payload=None) -> list:
+        """Run one operation on every shard; replies in shard order."""
+        futures = [self._dispatch(shard, op, payload) for shard in range(self.shards)]
+        return [future.result() for future in futures]
+
+    def shard_of(self, doc_id: str) -> int:
+        """The shard index owning ``doc_id``."""
+        return shard_for(doc_id, self.shards)
+
+    def close(self) -> None:
+        """Stop the workers and listeners; pending requests get an error."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for inbox in self._inboxes:
+            inbox.put(None)
+        for process in self._processes:
+            process.join(timeout=_JOIN_TIMEOUT)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=_JOIN_TIMEOUT)
+        for outbox in self._outboxes:
+            outbox.put(None)
+        for listener in self._listeners:
+            listener.join(timeout=_JOIN_TIMEOUT)
+        for future, _shard in pending:  # pragma: no cover - close with work in flight
+            if not future.done():
+                future.set_exception(RuntimeError("ShardedExecutor closed"))
+
+    def __enter__(self) -> "ShardedExecutor":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
+    # -- requests --------------------------------------------------------------
+
+    def submit(self, request: Request) -> "Future[RequestResult]":
+        """Route one request to its document's shard; returns its future."""
+        return self._dispatch(self.shard_of(request.doc), "request", request)
+
+    def execute(self, request: Request) -> RequestResult:
+        """Evaluate one request on its owning shard (blocking)."""
+        return self.submit(request).result()
+
+    def execute_batch(
+        self,
+        requests: Sequence[Request],
+        max_workers: Optional[int] = None,  # noqa: ARG002 - interface parity
+    ) -> list[RequestResult]:
+        """Evaluate a batch across the shards; results in request order.
+
+        ``max_workers`` is accepted for interface parity with the thread
+        backend and ignored: parallelism here *is* the shard layout (each
+        shard serves its slice of the batch serially, in order).
+
+        A broken shard (dead worker) never aborts the batch: its requests
+        come back as per-request ``internal:`` errors, like every other
+        failure.
+        """
+        with self._lock:
+            self._batches += 1
+        futures: list = []
+        for request in requests:
+            try:
+                futures.append(self.submit(request))
+            except ValueError as error:  # broken shard: fail fast, per request
+                failed: Future = Future()
+                failed.set_exception(error)
+                futures.append(failed)
+        results = []
+        for request, future in zip(requests, futures):
+            try:
+                results.append(future.result())
+            except Exception as error:  # noqa: BLE001 - per-request contract
+                results.append(
+                    RequestResult(
+                        doc=request.doc,
+                        propagator=str(request.propagator),
+                        error=f"internal: {error}",
+                    )
+                )
+        return results
+
+    # -- document operations ---------------------------------------------------
+
+    def register_payload(self, payload: dict, allow_files: bool = False) -> dict:
+        """Register a document on its owning shard; returns its summary."""
+        if not isinstance(payload, dict):
+            raise ValueError("registration payload must be a JSON object")
+        doc_id = payload.get("doc")
+        if not isinstance(doc_id, str) or not doc_id:
+            raise ValueError("registration needs a non-empty 'doc' document id")
+        return self._dispatch(
+            self.shard_of(doc_id), "register", (dict(payload), allow_files)
+        ).result()
+
+    def evict_document(self, doc_id: str) -> bool:
+        """Evict from the owning shard; ``True`` iff it was resident."""
+        return self._dispatch(self.shard_of(doc_id), "evict", doc_id).result()
+
+    def describe_documents(self) -> list[dict]:
+        """Every shard's resident-document summaries, in shard order."""
+        return [
+            summary
+            for shard_documents in self._broadcast("documents")
+            for summary in shard_documents
+        ]
+
+    def document_count(self) -> int:
+        """Total resident documents across all shards."""
+        return sum(self._broadcast("count"))
+
+    # -- statistics ------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Aggregated executor/store/cache statistics plus per-shard detail."""
+        shard_stats = self._broadcast("stats")
+        store_keys = ("documents", "resident_nodes", "registered", "evicted", "hits", "misses")
+        cache_keys = ("entries", "parse_entries", "hits", "misses", "parse_hits")
+        store = {key: sum(s["store"][key] for s in shard_stats) for key in store_keys}
+        cache = {key: sum(s["cache"][key] for s in shard_stats) for key in cache_keys}
+        # Capacities are per shard; the fleet-level bound is their sum, so
+        # aggregated documents/entries can never exceed the reported capacity.
+        store_capacity = shard_stats[0]["store"]["capacity"] if shard_stats else None
+        cache_capacity = shard_stats[0]["cache"]["capacity"] if shard_stats else None
+        store["capacity"] = None if store_capacity is None else store_capacity * self.shards
+        cache["capacity"] = None if cache_capacity is None else cache_capacity * self.shards
+        lookups = cache["hits"] + cache["misses"]
+        cache["hit_rate"] = (cache["hits"] / lookups) if lookups else 0.0
+        with self._lock:
+            batches = self._batches
+        return {
+            "executor": {
+                "backend": "sharded",
+                "shards": self.shards,
+                "requests": sum(s["requests"] for s in shard_stats),
+                "errors": sum(s["errors"] for s in shard_stats),
+                "batches": batches,
+            },
+            "store": store,
+            "cache": cache,
+            "shards": shard_stats,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShardedExecutor(shards={self.shards}, closed={self._closed})"

@@ -6,6 +6,7 @@ import os
 import shutil
 import subprocess
 import sys
+import time
 
 import pytest
 
@@ -182,6 +183,56 @@ class TestEndToEndSmoke:
             timeout=120,
         )
         assert completed.returncode != 0
+
+    def test_serve_sigterm_leaves_no_orphan_shard_workers(self):
+        """Regression: SIGTERM (docker stop, ``process.terminate()``) used to
+        kill ``serve --async --shards N`` without running ``executor.close()``,
+        orphaning the shard worker processes forever."""
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--port", "0", "--async", "--shards", "2"],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=self._subprocess_env(),
+        )
+        children: list[int] = []
+        try:
+            banner = process.stdout.readline()
+            assert "serving on http://" in banner
+            children_path = f"/proc/{process.pid}/task/{process.pid}/children"
+            if not os.path.exists(children_path):
+                pytest.skip("/proc children interface unavailable on this platform")
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                with open(children_path) as handle:
+                    children = [int(pid) for pid in handle.read().split()]
+                if len(children) >= 2:
+                    break
+                time.sleep(0.1)
+            assert len(children) >= 2, "shard workers did not come up"
+        finally:
+            process.terminate()
+            process.wait(timeout=15)
+            process.stdout.close()
+
+        def running(pid: int) -> bool:
+            # Zombies count as gone: they are dead, just not yet reaped by
+            # whatever pid 1 is in this container.
+            try:
+                with open(f"/proc/{pid}/stat") as handle:
+                    state = handle.read().rsplit(")", 1)[1].split()[0]
+            except (OSError, IndexError):
+                return False
+            return state not in ("Z", "X")
+
+        deadline = time.monotonic() + 15
+        alive = children
+        while time.monotonic() < deadline:
+            alive = [pid for pid in alive if running(pid)]
+            if not alive:
+                break
+            time.sleep(0.2)
+        assert not alive, f"orphaned shard worker processes: {alive}"
 
     def test_console_script_entry_point_target(self):
         """The ``cq-trees = repro.cli:main`` target resolves and runs."""

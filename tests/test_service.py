@@ -154,6 +154,24 @@ class TestQueryCache:
         entry, hit = cache.resolve_query(parse_query("Q <- A(y)"))
         assert hit and entry is hot
 
+    def test_parse_cache_hit_readmits_evicted_entry(self):
+        """Regression: a parse-cache hit on an LRU-evicted entry must re-admit
+        it, or the capacity bound is silently violated and ``describe()`` /
+        ``stats()`` disagree with what is actually served."""
+        cache = QueryCache(capacity=2)
+        entry_a, _ = cache.resolve_text("Q <- A(x)")
+        # Object-form resolves push A out of the entry LRU while its
+        # parse-cache pointer stays alive.
+        cache.resolve_query(parse_query("Q <- B(x)"))
+        cache.resolve_query(parse_query("Q <- C(x)"))
+        assert entry_a.key not in [entry["key"] for entry in cache.describe()]
+        served, hit = cache.resolve_text("Q <- A(x)")
+        assert hit and served is entry_a
+        keys = [entry["key"] for entry in cache.describe()]
+        assert entry_a.key in keys  # re-admitted: describe() agrees with serving
+        assert len(cache) <= 2  # the capacity bound still holds
+        assert cache.stats()["entries"] <= 2
+
     def test_stats_track_hits_and_misses(self):
         cache = QueryCache()
         cache.resolve_text("Q <- A(x)")
@@ -345,3 +363,69 @@ class TestBatchExecutor:
         assert warm.cache_hit
         assert executor.stats()["cache"]["parse_hits"] >= 1
         assert executor.stats()["store"]["hits"] >= 2
+
+
+# ---------------------------------------------------------------------------
+# Serving-contract fixes (regression tests).
+# ---------------------------------------------------------------------------
+
+
+class TestContractFixes:
+    def test_internal_crash_stays_per_request_not_batch_abort(self, executor, monkeypatch):
+        """Regression: a non-client exception inside ``execute`` used to
+        escape ``pool.map`` and void the whole batch; it must come back as an
+        ``internal:`` error value while the batchmates stay alive."""
+        import repro.service.core as core
+
+        real_evaluate = core.evaluate
+        poisoned = executor.store.get("auction").structure
+
+        def crashing_evaluate(query, structure, **kwargs):
+            if structure is poisoned:
+                raise RuntimeError("kaboom")
+            return real_evaluate(query, structure, **kwargs)
+
+        monkeypatch.setattr(core, "evaluate", crashing_evaluate)
+        errors_before = executor.stats()["executor"]["errors"]
+        # max_workers=2 forces the dedicated-pool map path the bug lived in.
+        results = executor.execute_batch(
+            [
+                Request(doc="sentence", query="Q(x) <- NP(x)"),
+                Request(doc="auction", query="Q(i) <- item(i)"),
+                Request(doc="sentence", query="Q(x) <- NN(x)"),
+            ],
+            max_workers=2,
+        )
+        assert results[0].ok and results[2].ok  # batchmates survived
+        assert results[1].error == "internal: RuntimeError: kaboom"
+        assert executor.stats()["executor"]["errors"] == errors_before + 1
+        # The shared-pool path must behave identically.
+        shared = executor.execute_batch(
+            [
+                Request(doc="auction", query="Q(i) <- item(i)"),
+                Request(doc="sentence", query="Q(x) <- NP(x)"),
+            ]
+        )
+        assert shared[0].error.startswith("internal:") and shared[1].ok
+
+    def test_error_results_keep_attribution_fields(self, executor):
+        """Regression: the error path of ``to_json_dict`` dropped
+        ``elapsed_ms`` and ``propagator``, making failures unattributable in
+        latency accounting."""
+        result = executor.execute(
+            Request(doc="ghost", query="Q(x) <- A(x)", propagator="ac3")
+        )
+        payload = result.to_json_dict()
+        assert not result.ok
+        assert payload["propagator"] == "ac3"
+        assert isinstance(payload["elapsed_ms"], float) and payload["elapsed_ms"] >= 0.0
+
+    def test_bool_limit_is_rejected(self):
+        """Regression: ``True`` passes ``isinstance(x, int)``, so
+        ``{"limit": true}`` used to be accepted as ``limit=1``."""
+        for value in (True, False):
+            with pytest.raises(ValueError, match="non-negative integer"):
+                Request.from_json_dict({"doc": "d", "query": "Q <- A(x)", "limit": value})
+        # Plain integers still pass.
+        assert Request.from_json_dict({"doc": "d", "query": "Q <- A(x)", "limit": 1}).limit == 1
+        assert Request.from_json_dict({"doc": "d", "query": "Q <- A(x)", "limit": 0}).limit == 0

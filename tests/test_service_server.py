@@ -130,6 +130,44 @@ class TestServerRoundTrip:
         )
         assert status == 400 and "unknown document" in payload["error"]
 
+    def test_bool_limit_and_max_workers_rejected_over_http(self, server):
+        """Regression: JSON ``true`` passes ``isinstance(x, int)``, so
+        ``{"limit": true}`` / ``{"max_workers": true}`` used to be accepted
+        as ``1``; both must answer 400."""
+        _call(server, "POST", "/documents", {"doc": "d", "sexpr": "(A (B))"})
+        status, payload = _call(
+            server, "POST", "/query", {"doc": "d", "query": "Q(x) <- B(x)", "limit": True}
+        )
+        assert status == 400 and "non-negative integer" in payload["error"]
+        status, payload = _call(
+            server,
+            "POST",
+            "/batch",
+            {"requests": [{"doc": "d", "query": "Q(x) <- B(x)"}], "max_workers": True},
+        )
+        assert status == 400 and "positive integer" in payload["error"]
+        # A genuine integer limit still works end to end.
+        status, payload = _call(
+            server, "POST", "/query", {"doc": "d", "query": "Q(x) <- B(x)", "limit": 0}
+        )
+        assert status == 200 and payload["truncated"] and payload["answers"] == []
+
+    def test_error_payloads_carry_latency_attribution(self, server):
+        """Regression: error results dropped ``elapsed_ms``/``propagator``
+        from the wire schema, so failures vanished from latency accounting."""
+        status, payload = _call(
+            server, "POST", "/query", {"doc": "ghost", "query": "Q <- A(x)", "propagator": "ac3"}
+        )
+        assert status == 400 and "unknown document" in payload["error"]
+        assert payload["propagator"] == "ac3"
+        assert isinstance(payload["elapsed_ms"], (int, float)) and payload["elapsed_ms"] >= 0
+        status, payload = _call(
+            server, "POST", "/batch", {"requests": [{"doc": "ghost", "query": "Q <- A(x)"}]}
+        )
+        assert status == 200
+        result = payload["results"][0]
+        assert "elapsed_ms" in result and result["propagator"] == "ac4"
+
     def test_batch_errors_stay_per_request(self, server):
         _call(server, "POST", "/documents", {"doc": "d", "sexpr": "(A (B))"})
         status, payload = _call(
