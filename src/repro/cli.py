@@ -22,7 +22,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from .evaluation import Propagator, choose_engine, evaluate
+from .evaluation import Engine, Propagator, choose_engine, evaluate
 from .queries import ConjunctiveQuery, parse_query, xpath_to_cq
 from .rewriting import RewriteTrace, to_apq
 from .trees import Tree, TreeStructure, from_xml_file, parse_sexpr
@@ -50,12 +50,19 @@ def _command_evaluate(args: argparse.Namespace) -> int:
     tree = _load_tree(args)
     query = _load_query(args)
     structure = TreeStructure(tree)
-    engine = choose_engine(query)
+    requested = Engine(args.engine)
+    engine = choose_engine(query) if requested is Engine.AUTO else requested
     propagator = Propagator(args.propagator)
-    answers = sorted(evaluate(query, structure, propagator=propagator))
+    try:
+        answers = sorted(evaluate(query, structure, engine=requested, propagator=propagator))
+    except ValueError as error:
+        # A forced engine can be inapplicable (e.g. --engine acyclic on a
+        # cyclic query); report it like any other bad-flag combination.
+        raise SystemExit(f"--engine {requested.value}: {error}") from None
+    forced = "" if requested is Engine.AUTO else " (forced)"
     print(f"query    : {query}")
     print(f"signature: {query.signature()}  ({classify(query.signature()).value})")
-    print(f"engine   : {engine.value} (propagator: {propagator.value})")
+    print(f"engine   : {engine.value}{forced} (propagator: {propagator.value})")
     print(f"tree     : {len(tree)} nodes")
     if query.is_boolean:
         print(f"answer   : {'true' if answers else 'false'}")
@@ -313,6 +320,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[propagator.value for propagator in Propagator],
         default=Propagator.AC4.value,
         help="arc-consistency engine (default: ac4 support counting)",
+    )
+    evaluate_parser.add_argument(
+        "--engine",
+        choices=[engine.value for engine in Engine],
+        default=Engine.AUTO.value,
+        help=(
+            "evaluation engine override (default: auto = planner choice; "
+            "'decomposition' forces the hypertree/Yannakakis engine, "
+            "'backtracking' the exponential fallback)"
+        ),
     )
     evaluate_parser.set_defaults(handler=_command_evaluate)
 

@@ -1,0 +1,45 @@
+"""Structural decomposition: hypergraphs, tree decompositions, Yannakakis.
+
+The planner's answer to cyclic queries used to be exponential backtracking,
+full stop.  This package adds the structural middle ground from the
+decomposition literature (Gottlob-Leone-Scarcello): build the query's atom
+hypergraph (:mod:`hypergraph`), search for a low-width tree decomposition of
+its primal graph (:mod:`decompose`), and when the width is small evaluate by
+bag materialization + semijoin passes + join-tree answer enumeration
+(:mod:`yannakakis`) -- polynomial for bounded width, exact for every query.
+"""
+
+from .decompose import (
+    EXACT_VERTEX_LIMIT,
+    TreeDecomposition,
+    decompose,
+    decompose_hypergraph,
+    exact_elimination_order,
+    min_degree_order,
+    min_fill_order,
+)
+from .hypergraph import (
+    GYOResult,
+    Hypergraph,
+    gyo_reduction,
+    is_alpha_acyclic,
+    query_hypergraph,
+)
+from .yannakakis import boolean_query_holds, evaluate_answers
+
+__all__ = [
+    "EXACT_VERTEX_LIMIT",
+    "GYOResult",
+    "Hypergraph",
+    "TreeDecomposition",
+    "boolean_query_holds",
+    "decompose",
+    "decompose_hypergraph",
+    "evaluate_answers",
+    "exact_elimination_order",
+    "gyo_reduction",
+    "is_alpha_acyclic",
+    "min_degree_order",
+    "min_fill_order",
+    "query_hypergraph",
+]

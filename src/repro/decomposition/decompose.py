@@ -1,0 +1,336 @@
+"""Tree-decomposition search over the compiled constraint graph.
+
+A *tree decomposition* of the query's primal graph is a tree of variable bags
+such that (i) every variable occurs in some bag, (ii) every constraint's
+endpoint pair is contained in some bag, and (iii) each variable's bags form a
+connected subtree.  Its *width* is the maximum bag size minus one: forests
+have width 1 (bags are the edges), cycles width 2, cliques of size k width
+k - 1.  Bounded width is the tractability handle for cyclic queries: the bags
+of a width-w decomposition can be materialized in O(n^(w+1)) and joined along
+the tree Yannakakis-style (:mod:`repro.decomposition.yannakakis`), so a cyclic
+query of width 2 evaluates in polynomial time where the generic planner
+fallback resorts to exponential backtracking.
+
+Search strategy (:func:`decompose`):
+
+* **exact** for small queries (up to :data:`EXACT_VERTEX_LIMIT` variables) --
+  the Held-Karp-style subset dynamic program over elimination prefixes
+  (Bodlaender et al., *Treewidth computations I*), O(2^n poly(n)), which is
+  nothing for query-sized graphs;
+* **min-fill and min-degree** elimination heuristics otherwise, keeping the
+  better of the two orders.
+
+Either way the result reports the *achieved* width (recomputed from the bags,
+never trusted from the search), the method that produced it, and for the exact
+path the certified optimum.  Decompositions depend only on the query, so the
+compiled query caches its decomposition (`CompiledQuery.decomposition`) and
+the serving layer's resident plans reuse it across requests for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
+
+from ..queries.atoms import Variable
+from .hypergraph import Hypergraph
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (avoids a cycle)
+    from ..evaluation.compile import CompiledQuery
+
+#: Queries with at most this many variables get the exact treewidth DP.
+EXACT_VERTEX_LIMIT = 12
+
+
+@dataclass(frozen=True)
+class TreeDecomposition:
+    """A rooted forest of variable bags.
+
+    ``bags[i]`` is the i-th bag; ``parent[i]`` the index of its parent bag
+    (``-1`` for roots).  Bags are topologically ordered: a bag's parent always
+    has a smaller index, so iterating ``bags`` in reverse visits children
+    before parents (the bottom-up order the semijoin passes want).
+    """
+
+    bags: tuple[frozenset[Variable], ...]
+    parent: tuple[int, ...]
+    width: int
+    method: str
+    #: True when the search certified ``width`` as the true treewidth.
+    exact: bool
+
+    @property
+    def roots(self) -> tuple[int, ...]:
+        return tuple(i for i, p in enumerate(self.parent) if p < 0)
+
+    def children(self) -> tuple[tuple[int, ...], ...]:
+        """Child bag indices per bag."""
+        kids: list[list[int]] = [[] for _ in self.bags]
+        for index, parent_index in enumerate(self.parent):
+            if parent_index >= 0:
+                kids[parent_index].append(index)
+        return tuple(tuple(k) for k in kids)
+
+    def covering_bag(self, variables: frozenset[Variable]) -> Optional[int]:
+        """The index of some bag containing all of ``variables``."""
+        for index, bag in enumerate(self.bags):
+            if variables <= bag:
+                return index
+        return None
+
+    def validate(self, hypergraph: Hypergraph) -> None:
+        """Assert the three decomposition properties; raises ``ValueError``.
+
+        Used by the tests and by :func:`decompose` in its own sanity path --
+        an invalid decomposition would silently corrupt answers downstream, so
+        failing loudly here is worth the O(bags * vertices) pass.
+        """
+        covered: set[Variable] = set()
+        for bag in self.bags:
+            covered |= bag
+        missing = set(hypergraph.vertices) - covered
+        if missing:
+            raise ValueError(f"vertices not covered by any bag: {sorted(missing)}")
+        for edge in hypergraph.edges:
+            if self.covering_bag(frozenset(edge)) is None:
+                raise ValueError(f"hyperedge not covered by any bag: {sorted(edge)}")
+        for vertex in hypergraph.vertices:
+            occurrences = [i for i, bag in enumerate(self.bags) if vertex in bag]
+            # Connectivity: walking from every occurrence towards the root,
+            # the occurrences must form one subtree -- equivalently all but
+            # one occurrence must have a parent that also contains the vertex.
+            without_parent = [
+                i
+                for i in occurrences
+                if self.parent[i] < 0 or vertex not in self.bags[self.parent[i]]
+            ]
+            if len(without_parent) > 1:
+                raise ValueError(f"occurrences of {vertex!r} are not connected")
+        if self.bags and self.width != max(len(bag) for bag in self.bags) - 1:
+            raise ValueError("recorded width does not match the bags")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TreeDecomposition(bags={len(self.bags)}, width={self.width}, "
+            f"method={self.method!r}, exact={self.exact})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Elimination orders -> decompositions.
+# ---------------------------------------------------------------------------
+
+
+def _copy_adjacency(
+    adjacency: Mapping[Variable, set[Variable]],
+) -> dict[Variable, set[Variable]]:
+    return {vertex: set(neighbours) for vertex, neighbours in adjacency.items()}
+
+
+def _eliminate(graph: dict[Variable, set[Variable]], vertex: Variable) -> set[Variable]:
+    """Remove ``vertex``, connecting its neighbours into a clique; returns them."""
+    neighbours = graph.pop(vertex)
+    for u in neighbours:
+        graph[u].discard(vertex)
+    members = sorted(neighbours)
+    for i, u in enumerate(members):
+        for v in members[i + 1 :]:
+            graph[u].add(v)
+            graph[v].add(u)
+    return neighbours
+
+
+def min_degree_order(adjacency: Mapping[Variable, set[Variable]]) -> tuple[Variable, ...]:
+    """Eliminate a minimum-degree vertex first (ties by name, deterministic)."""
+    graph = _copy_adjacency(adjacency)
+    order: list[Variable] = []
+    while graph:
+        vertex = min(graph, key=lambda v: (len(graph[v]), v))
+        _eliminate(graph, vertex)
+        order.append(vertex)
+    return tuple(order)
+
+
+def min_fill_order(adjacency: Mapping[Variable, set[Variable]]) -> tuple[Variable, ...]:
+    """Eliminate the vertex whose elimination adds the fewest fill edges."""
+    graph = _copy_adjacency(adjacency)
+    order: list[Variable] = []
+
+    def fill_cost(vertex: Variable) -> int:
+        neighbours = sorted(graph[vertex])
+        cost = 0
+        for i, u in enumerate(neighbours):
+            for v in neighbours[i + 1 :]:
+                if v not in graph[u]:
+                    cost += 1
+        return cost
+
+    while graph:
+        vertex = min(graph, key=lambda v: (fill_cost(v), len(graph[v]), v))
+        _eliminate(graph, vertex)
+        order.append(vertex)
+    return tuple(order)
+
+
+def decomposition_from_order(
+    adjacency: Mapping[Variable, set[Variable]],
+    order: Sequence[Variable],
+    method: str,
+    exact: bool = False,
+) -> TreeDecomposition:
+    """The standard bag construction from an elimination order.
+
+    Eliminating ``v`` creates the bag ``{v} U N(v)`` (neighbours in the
+    current fill graph); the bag's parent is the bag of the first-eliminated
+    remaining neighbour, which yields the connectivity property by
+    construction.  Bags are emitted in *reverse* elimination order so parents
+    precede children (the class invariant).
+    """
+    graph = _copy_adjacency(adjacency)
+    position = {vertex: i for i, vertex in enumerate(order)}
+    raw_bags: list[frozenset[Variable]] = []
+    attach_to: list[Optional[Variable]] = []
+    for vertex in order:
+        neighbours = _eliminate(graph, vertex)
+        raw_bags.append(frozenset({vertex}) | frozenset(neighbours))
+        attach_to.append(
+            min(neighbours, key=position.__getitem__) if neighbours else None
+        )
+    # Re-index: bag of order[i] gets final index (n - 1 - i), so roots (the
+    # last-eliminated vertices) come first and parents precede children.
+    n = len(order)
+    final_index = {order[i]: n - 1 - i for i in range(n)}
+    bags: list[frozenset[Variable]] = [frozenset()] * n
+    parent: list[int] = [-1] * n
+    for i, vertex in enumerate(order):
+        index = final_index[vertex]
+        bags[index] = raw_bags[i]
+        anchor = attach_to[i]
+        parent[index] = final_index[anchor] if anchor is not None else -1
+    width = max((len(bag) for bag in bags), default=1) - 1
+    return TreeDecomposition(
+        bags=tuple(bags),
+        parent=tuple(parent),
+        width=width,
+        method=method,
+        exact=exact,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Exact treewidth (subset dynamic program over elimination prefixes).
+# ---------------------------------------------------------------------------
+
+
+def _q_degree(
+    adjacency: Mapping[Variable, set[Variable]],
+    eliminated: frozenset[Variable],
+    vertex: Variable,
+) -> int:
+    """|{w not eliminated, w != vertex, reachable from vertex through eliminated}|.
+
+    This is the degree ``vertex`` has at the moment it is eliminated after
+    exactly the set ``eliminated`` (fill edges included), computed by a BFS
+    that may only pass through eliminated vertices.
+    """
+    seen = {vertex}
+    frontier = [vertex]
+    reachable: set[Variable] = set()
+    while frontier:
+        current = frontier.pop()
+        for neighbour in adjacency[current]:
+            if neighbour in seen:
+                continue
+            seen.add(neighbour)
+            if neighbour in eliminated:
+                frontier.append(neighbour)
+            else:
+                reachable.add(neighbour)
+    return len(reachable)
+
+
+def exact_elimination_order(
+    adjacency: Mapping[Variable, set[Variable]],
+) -> tuple[tuple[Variable, ...], int]:
+    """An elimination order achieving the exact treewidth, plus that width.
+
+    ``dp[S]`` is the best achievable maximum elimination degree over orders
+    that eliminate exactly the vertices of ``S`` first:
+
+        dp[S] = min over v in S of  max(dp[S - v], q(S - v, v))
+
+    O(2^n * n * (n + m)); callers gate on :data:`EXACT_VERTEX_LIMIT`.
+    """
+    vertices = tuple(sorted(adjacency))
+    n = len(vertices)
+    if n == 0:
+        return (), -1
+
+    def members(mask: int) -> frozenset[Variable]:
+        return frozenset(vertices[i] for i in range(n) if mask & (1 << i))
+
+    dp = [0] * (1 << n)
+    choice = [-1] * (1 << n)
+    for mask in range(1, 1 << n):
+        best, best_vertex = None, -1
+        rest = mask
+        while rest:
+            bit = rest & -rest
+            rest ^= bit
+            i = bit.bit_length() - 1
+            previous = mask ^ bit
+            cost = max(dp[previous], _q_degree(adjacency, members(previous), vertices[i]))
+            if best is None or cost < best:
+                best, best_vertex = cost, i
+        dp[mask] = best if best is not None else 0
+        choice[mask] = best_vertex
+    order_reversed: list[Variable] = []
+    mask = (1 << n) - 1
+    while mask:
+        i = choice[mask]
+        order_reversed.append(vertices[i])
+        mask ^= 1 << i
+    order = tuple(reversed(order_reversed))
+    return order, dp[(1 << n) - 1]
+
+
+# ---------------------------------------------------------------------------
+# The search entry point.
+# ---------------------------------------------------------------------------
+
+
+def decompose_hypergraph(
+    hypergraph: Hypergraph,
+    exact_limit: int = EXACT_VERTEX_LIMIT,
+) -> TreeDecomposition:
+    """Best tree decomposition we can find for the hypergraph's primal graph."""
+    adjacency = hypergraph.adjacency()
+    if not adjacency:
+        return TreeDecomposition(
+            bags=(), parent=(), width=-1, method="empty", exact=True
+        )
+    if len(adjacency) <= exact_limit:
+        order, width = exact_elimination_order(adjacency)
+        decomposition = decomposition_from_order(adjacency, order, "exact", exact=True)
+        # The bag-derived width is authoritative; the DP value cross-checks it.
+        if decomposition.width != width:  # pragma: no cover - internal invariant
+            raise AssertionError(
+                f"exact DP width {width} != bag width {decomposition.width}"
+            )
+        decomposition.validate(hypergraph)
+        return decomposition
+    candidates = [
+        decomposition_from_order(adjacency, min_fill_order(adjacency), "min-fill"),
+        decomposition_from_order(adjacency, min_degree_order(adjacency), "min-degree"),
+    ]
+    decomposition = min(candidates, key=lambda d: d.width)
+    decomposition.validate(hypergraph)
+    return decomposition
+
+
+def decompose(
+    compiled: "CompiledQuery",
+    exact_limit: int = EXACT_VERTEX_LIMIT,
+) -> TreeDecomposition:
+    """Tree decomposition of a compiled query's constraint graph."""
+    return decompose_hypergraph(Hypergraph.of_compiled(compiled), exact_limit)

@@ -1,0 +1,177 @@
+"""The query's atom hypergraph and the GYO acyclicity test.
+
+The hypergraph of a conjunctive query has the query variables as vertices and
+one hyperedge per atom -- for our binary-atom setting every hyperedge has one
+or two vertices, so the hypergraph is (essentially) the shadow multigraph of
+:class:`~repro.queries.graph.QueryGraph`, but the hypergraph view is the one
+the decomposition literature (Gottlob-Leone-Scarcello, *Hypertree
+Decompositions and Tractable Queries*) speaks, and the GYO reduction
+implemented here is the standard alpha-acyclicity test:
+
+    repeat until no rule applies:
+      (1) delete a vertex that occurs in at most one hyperedge ("ear" vertex),
+      (2) delete a hyperedge that is contained in another hyperedge;
+    the hypergraph is alpha-acyclic iff everything is deleted.
+
+For hypergraphs whose edges have at most two vertices, GYO succeeds exactly
+when the shadow multigraph is a forest, i.e. when the query is acyclic in the
+paper's sense -- the tests cross-check :func:`is_alpha_acyclic` against
+:meth:`QueryGraph.is_acyclic` on random queries.  The reduction also records a
+*join forest* for free (each deleted edge points at the witness edge that
+absorbed it, exposed as :func:`join_forest`); the evaluator does not consume
+it today -- :mod:`repro.decomposition.decompose` manufactures its join tree
+from a tree decomposition, which covers the acyclic case at width 1 -- but it
+is the natural input for a future bag-free fast path on alpha-acyclic queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from ..queries.atoms import Variable
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (avoids a cycle)
+    from ..evaluation.compile import CompiledQuery
+
+
+@dataclass(frozen=True)
+class Hypergraph:
+    """Vertices plus hyperedges (as frozensets of vertices), insertion-ordered.
+
+    ``edges`` may contain duplicates of the same vertex set (parallel atoms on
+    one variable pair); GYO rule (2) absorbs them, so they do not affect
+    alpha-acyclicity -- unlike the paper's shadow-multigraph notion of
+    acyclicity, where parallel edges count as a length-two cycle.
+    """
+
+    vertices: tuple[Variable, ...]
+    edges: tuple[frozenset[Variable], ...]
+
+    @classmethod
+    def of_compiled(cls, compiled: "CompiledQuery") -> "Hypergraph":
+        """One hyperedge per normalized atom (loops become singleton edges)."""
+        edges = tuple(
+            frozenset({atom.source, atom.target}) for atom in compiled.atoms
+        )
+        return cls(vertices=compiled.variables, edges=edges)
+
+    @classmethod
+    def of_edges(
+        cls,
+        vertices: Iterable[Variable],
+        edges: Iterable[Iterable[Variable]],
+    ) -> "Hypergraph":
+        return cls(
+            vertices=tuple(vertices),
+            edges=tuple(frozenset(edge) for edge in edges),
+        )
+
+    # -- derived graphs --------------------------------------------------------
+
+    def primal_edges(self) -> frozenset[frozenset[Variable]]:
+        """The primal (Gaifman) graph: vertex pairs co-occurring in an edge."""
+        pairs: set[frozenset[Variable]] = set()
+        for edge in self.edges:
+            members = sorted(edge)
+            for i, u in enumerate(members):
+                for v in members[i + 1 :]:
+                    pairs.add(frozenset({u, v}))
+        return frozenset(pairs)
+
+    def adjacency(self) -> dict[Variable, set[Variable]]:
+        """Primal-graph adjacency over all vertices (isolated ones included)."""
+        neighbours: dict[Variable, set[Variable]] = {v: set() for v in self.vertices}
+        for pair in self.primal_edges():
+            u, v = sorted(pair)
+            neighbours[u].add(v)
+            neighbours[v].add(u)
+        return neighbours
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Hypergraph(vertices={len(self.vertices)}, edges={len(self.edges)})"
+
+
+@dataclass(frozen=True)
+class GYOResult:
+    """The outcome of a GYO reduction.
+
+    ``acyclic`` says whether the reduction consumed every edge.  When it did,
+    ``parent`` maps each edge index to the index of the edge that absorbed it
+    (``-1`` for the roots of the join forest), in a valid bottom-up order
+    ``elimination_order`` (children always precede their parents).
+    """
+
+    acyclic: bool
+    parent: tuple[int, ...]
+    elimination_order: tuple[int, ...]
+
+
+def gyo_reduction(hypergraph: Hypergraph) -> GYOResult:
+    """Run the GYO reduction, recording the join forest it builds.
+
+    O(|edges|^2 * max-edge-size) -- plenty for query-sized hypergraphs (our
+    edges have at most two vertices).
+    """
+    live: dict[int, set[Variable]] = {
+        index: set(edge) for index, edge in enumerate(hypergraph.edges)
+    }
+    # How many live edges contain each vertex.
+    occurrences: dict[Variable, int] = {v: 0 for v in hypergraph.vertices}
+    for members in live.values():
+        for vertex in members:
+            occurrences[vertex] = occurrences.get(vertex, 0) + 1
+
+    parent = [-1] * len(hypergraph.edges)
+    order: list[int] = []
+
+    changed = True
+    while changed and live:
+        changed = False
+        # Rule (1): drop vertices occurring in at most one live edge.
+        for index, members in live.items():
+            ears = [v for v in members if occurrences.get(v, 0) <= 1]
+            for vertex in ears:
+                members.discard(vertex)
+                occurrences[vertex] = 0
+                changed = True
+        # Rule (2): absorb an edge contained in another live edge.
+        for index in sorted(live):
+            members = live[index]
+            witness = None
+            for other in sorted(live):
+                if other != index and members <= live[other]:
+                    witness = other
+                    break
+            if witness is None and not members:
+                # Fully reduced to the empty edge: it is its own component root.
+                witness = -1
+            if witness is not None or not members:
+                for vertex in members:
+                    occurrences[vertex] -= 1
+                parent[index] = witness if witness is not None else -1
+                order.append(index)
+                del live[index]
+                changed = True
+                break
+    return GYOResult(
+        acyclic=not live,
+        parent=tuple(parent),
+        elimination_order=tuple(order),
+    )
+
+
+def is_alpha_acyclic(hypergraph: Hypergraph) -> bool:
+    """Alpha-acyclicity via GYO: does the reduction consume every edge?"""
+    return gyo_reduction(hypergraph).acyclic
+
+
+def query_hypergraph(compiled: "CompiledQuery") -> Hypergraph:
+    """Convenience wrapper: the hypergraph of a compiled query."""
+    return Hypergraph.of_compiled(compiled)
+
+
+def join_forest(hypergraph: Hypergraph) -> Optional[tuple[int, ...]]:
+    """The GYO join forest (edge index -> parent edge index), if acyclic."""
+    result = gyo_reduction(hypergraph)
+    return result.parent if result.acyclic else None

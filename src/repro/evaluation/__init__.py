@@ -16,6 +16,7 @@ from .backtracking import SearchStatistics, count_solutions, find_solution, iter
 from .compile import AxisClass, CompiledAtom, CompiledQuery, compile_query
 from .domains import Domains, Valuation, domain_views, initial_domains, valuation_satisfies
 from .planner import (
+    MAX_AUTO_DECOMPOSITION_WIDTH,
     Engine,
     check_answer,
     choose_engine,
@@ -46,6 +47,7 @@ __all__ = [
     "DEFAULT_PROPAGATOR",
     "Domains",
     "Engine",
+    "MAX_AUTO_DECOMPOSITION_WIDTH",
     "PropagationResult",
     "Propagator",
     "SearchStatistics",

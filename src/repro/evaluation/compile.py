@@ -35,8 +35,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from functools import lru_cache
-from typing import Mapping, Optional
+from functools import cached_property, lru_cache
+from typing import TYPE_CHECKING, Mapping, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (avoids a cycle)
+    from ..decomposition.decompose import TreeDecomposition
 
 from ..queries.atoms import AxisAtom, LabelAtom, Variable
 from ..queries.query import ConjunctiveQuery
@@ -203,6 +206,22 @@ class CompiledQuery:
                 return False
             domains[loop.source] = keep
         return True
+
+    # -- structural decomposition ----------------------------------------------
+
+    @cached_property
+    def decomposition(self) -> "TreeDecomposition":
+        """The query's tree decomposition (lazy, cached on the compiled form).
+
+        Computed from the normalized constraint graph on first access and then
+        resident for the lifetime of the compiled artifact -- the serving
+        layer's query cache holds these, so a decomposition is searched once
+        per distinct (alpha-equivalence class of) query, not per request.
+        ``decomposition.width`` is what the planner's engine routing consults.
+        """
+        from ..decomposition.decompose import decompose
+
+        return decompose(self)
 
     # -- convenience -----------------------------------------------------------
 

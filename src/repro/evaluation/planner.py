@@ -7,8 +7,15 @@ Given a query, the planner chooses the cheapest applicable engine:
 2. **acyclic evaluation** (Yannakakis-style) whenever the query graph's shadow
    is a forest -- this covers every signature, since acyclic queries are
    tractable regardless of the axes used,
-3. **backtracking search** otherwise (cyclic query over an NP-hard signature;
-   by Section 5 no general polynomial algorithm is expected).
+3. **decomposition evaluation** (:mod:`repro.decomposition`) for cyclic
+   queries whose constraint graph has a tree decomposition of width at most
+   :data:`MAX_AUTO_DECOMPOSITION_WIDTH` -- bag materialization plus
+   Yannakakis semijoin passes, polynomial for bounded width even though the
+   signature is NP-hard in general,
+4. **backtracking search** otherwise (cyclic *and* high-width query over an
+   NP-hard signature; by Section 5 no general polynomial algorithm is
+   expected).  Backtracking remains selectable everywhere as the ablation
+   and cross-check path.
 
 Orthogonally to the engine choice, every path needs the subset-maximal
 arc-consistent prevaluation; *how* it is computed is the second planner
@@ -29,6 +36,7 @@ from enum import Enum
 from itertools import product
 from typing import Mapping, Optional
 
+from ..decomposition import yannakakis
 from ..queries.apq import UnionQuery, as_union
 from ..queries.graph import QueryGraph
 from ..queries.query import ConjunctiveQuery
@@ -47,10 +55,20 @@ class Engine(str, Enum):
     AUTO = "auto"
     XPROPERTY = "xproperty"
     ACYCLIC = "acyclic"
+    DECOMPOSITION = "decomposition"
     BACKTRACKING = "backtracking"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
+
+
+#: Cyclic queries whose tree decomposition achieves at most this width are
+#: routed to the decomposition engine instead of backtracking.  Width 2 covers
+#: triangles, diamonds and every series-parallel constraint graph while
+#: keeping bag materialization at O(n^3) worst case; wider queries would pay
+#: n^(w+1) bag sizes, where first-solution backtracking is usually the better
+#: gamble.  Forcing ``engine="decomposition"`` bypasses the bound.
+MAX_AUTO_DECOMPOSITION_WIDTH = 2
 
 
 def choose_engine(query: ConjunctiveQuery) -> Engine:
@@ -59,6 +77,8 @@ def choose_engine(query: ConjunctiveQuery) -> Engine:
         return Engine.XPROPERTY
     if QueryGraph(query).is_acyclic():
         return Engine.ACYCLIC
+    if compile_query(query).decomposition.width <= MAX_AUTO_DECOMPOSITION_WIDTH:
+        return Engine.DECOMPOSITION
     return Engine.BACKTRACKING
 
 
@@ -78,6 +98,10 @@ def is_satisfied(
         )
     if chosen is Engine.ACYCLIC:
         return acyclic.boolean_query_holds(
+            boolean_query, structure, pinned=pinned, propagator=propagator
+        )
+    if chosen is Engine.DECOMPOSITION:
+        return yannakakis.boolean_query_holds(
             boolean_query, structure, pinned=pinned, propagator=propagator
         )
     return backtracking.boolean_query_holds(
@@ -118,9 +142,12 @@ def evaluate(
     fixpoint: on forest-shaped queries the fixpoint is globally consistent
     (every surviving candidate extends to a full solution of its component --
     the same fact the acyclic enumerator rests on), so the head variable's
-    domain *is* the answer set.  Remaining k-ary queries enumerate candidate
-    head tuples from the fixpoint (a sound over-approximation of the answer
-    projection) and check each tuple via the Boolean reduction.
+    domain *is* the answer set.  Queries routed (or forced) to the
+    decomposition engine enumerate their answers in one join-tree traversal
+    (:func:`repro.decomposition.yannakakis.evaluate_answers`), never touching
+    the per-tuple Boolean reduction.  Remaining k-ary queries enumerate
+    candidate head tuples from the fixpoint (a sound over-approximation of
+    the answer projection) and check each tuple via the Boolean reduction.
 
     ``compiled`` lets callers that keep compiled artifacts resident (the
     serving layer's query cache) bypass the compile-cache lookup; it must be
@@ -132,6 +159,11 @@ def evaluate(
 
     if compiled is None:
         compiled = compile_query(query)
+    chosen = choose_engine(query) if engine is Engine.AUTO else engine
+    if chosen is Engine.DECOMPOSITION:
+        return yannakakis.evaluate_answers(
+            query, structure, propagator=propagator, compiled=compiled
+        )
     result = propagate(compiled, structure, propagator=propagator)
     if result is None:
         return frozenset()

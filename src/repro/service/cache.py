@@ -48,11 +48,18 @@ class CachedQuery:
     hits: int = field(default=0)
 
     def describe(self) -> dict:
+        # Report the decomposition width only when the lazy cached property
+        # was already materialized (engine routing forces it for every cyclic
+        # query).  Forcing it here would run the exact treewidth search for
+        # entries that never needed one -- tens of milliseconds per 12-variable
+        # entry, under the cache lock -- just to describe them.
+        decomposition = self.compiled.__dict__.get("decomposition")
         return {
             "key": self.key,
             "arity": self.query.arity,
             "atoms": len(self.query.body),
             "engine": self.engine.value,
+            "width": decomposition.width if decomposition is not None else None,
             "hits": self.hits,
         }
 

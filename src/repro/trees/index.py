@@ -527,6 +527,122 @@ class AxisIndex:
             return self.has_successor_in(INVERSE[axis], v, view)
         raise NotImplementedError(f"axis not supported by the index: {axis}")
 
+    # -- witness enumeration ---------------------------------------------------
+
+    def successors_in(self, axis: Axis, u: int, view: DomainView) -> Iterator[int]:
+        """Enumerate the ``v`` in the view with ``axis(u, v)``, ascending.
+
+        The interval axes are contiguous pre-order ranges of the sorted view
+        (``Child+``: ``(u, end(u)]``, ``Following``: ``(end(u), n)``, ...), so
+        enumeration costs O(log |S| + answers) -- this is what lets the
+        decomposition engine materialize its bags in output-proportional time
+        instead of |S| membership tests per node.  Local axes walk the tree's
+        child/sibling pointer arrays; anything else falls back to scanning the
+        view with :meth:`holds`.
+        """
+        array = view.array
+        if not array:
+            return
+        if axis is Axis.CHILD_PLUS:
+            yield from nodes_in_pre_range(array, u + 1, self.subtree_end[u] + 1)
+        elif axis is Axis.CHILD_STAR:
+            yield from nodes_in_pre_range(array, u, self.subtree_end[u] + 1)
+        elif axis is Axis.FOLLOWING:
+            yield from array[bisect_left(array, self.subtree_end[u] + 1) :]
+        elif axis is Axis.DOCUMENT_ORDER:
+            yield from array[bisect_left(array, u + 1) :]
+        elif axis is Axis.CHILD:
+            members = view.members
+            children = self.tree.children_of[u]
+            lo = bisect_left(array, u + 1)
+            hi = bisect_left(array, self.subtree_end[u] + 1)
+            if hi - lo < len(children):
+                parent = self.parent
+                yield from (array[i] for i in range(lo, hi) if parent[array[i]] == u)
+            else:
+                yield from (child for child in children if child in members)
+        elif axis is Axis.NEXT_SIBLING:
+            sibling = self.next_sibling[u]
+            if sibling >= 0 and sibling in view.members:
+                yield sibling
+        elif axis is Axis.NEXT_SIBLING_PLUS or axis is Axis.NEXT_SIBLING_STAR:
+            members = view.members
+            if axis is Axis.NEXT_SIBLING_STAR and u in members:
+                yield u
+            sibling = self.next_sibling[u]
+            while sibling >= 0:
+                if sibling in members:
+                    yield sibling
+                sibling = self.next_sibling[sibling]
+        elif axis is Axis.SUCC_PRE:
+            if (u + 1) in view.members:
+                yield u + 1
+        elif axis is Axis.SELF:
+            if u in view.members:
+                yield u
+        elif axis in _INVERSE_AXES:
+            yield from self.predecessors_in(INVERSE[axis], u, view)
+        else:
+            yield from (v for v in array if self.holds(axis, u, v))
+
+    def predecessors_in(self, axis: Axis, v: int, view: DomainView) -> Iterator[int]:
+        """Enumerate the ``u`` in the view with ``axis(u, v)``, ascending.
+
+        ``Child+`` predecessors (ancestors) walk the parent chain, so they
+        cost O(depth); ``Following`` predecessors filter the view's prefix
+        before ``v`` by ``subtree_end < v`` (the set is not an interval in
+        pre-order, so O(prefix) is the honest bound).
+        """
+        array = view.array
+        if not array:
+            return
+        if axis is Axis.CHILD_PLUS or axis is Axis.CHILD_STAR:
+            members = view.members
+            ancestors = []
+            if axis is Axis.CHILD_STAR and v in members:
+                ancestors.append(v)
+            node = self.parent[v]
+            while node >= 0:
+                if node in members:
+                    ancestors.append(node)
+                node = self.parent[node]
+            yield from sorted(ancestors)
+        elif axis is Axis.FOLLOWING:
+            end = self.subtree_end
+            hi = bisect_left(array, v)
+            yield from (array[i] for i in range(hi) if end[array[i]] < v)
+        elif axis is Axis.DOCUMENT_ORDER:
+            yield from array[: bisect_left(array, v)]
+        elif axis is Axis.CHILD:
+            parent_id = self.parent[v]
+            if parent_id >= 0 and parent_id in view.members:
+                yield parent_id
+        elif axis is Axis.NEXT_SIBLING:
+            sibling = self.prev_sibling[v]
+            if sibling >= 0 and sibling in view.members:
+                yield sibling
+        elif axis is Axis.NEXT_SIBLING_PLUS or axis is Axis.NEXT_SIBLING_STAR:
+            members = view.members
+            earlier = []
+            sibling = self.prev_sibling[v]
+            while sibling >= 0:
+                if sibling in members:
+                    earlier.append(sibling)
+                sibling = self.prev_sibling[sibling]
+            if axis is Axis.NEXT_SIBLING_STAR and v in members:
+                earlier.append(v)
+            yield from sorted(earlier)
+        elif axis is Axis.SUCC_PRE:
+            if v - 1 >= 0 and (v - 1) in view.members:
+                yield v - 1
+        elif axis is Axis.SELF:
+            if v in view.members:
+                yield v
+        elif axis in _INVERSE_AXES:
+            yield from self.successors_in(INVERSE[axis], v, view)
+        else:
+            yield from (u for u in array if self.holds(axis, u, v))
+
     # -- helpers ---------------------------------------------------------------
 
     def _child_witness(self, u: int, view: DomainView) -> bool:

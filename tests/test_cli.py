@@ -72,6 +72,90 @@ class TestEvaluateCommand:
         assert exit_code == 0
         assert "... 2 more" in output
 
+    def test_engine_auto_picks_decomposition_for_cyclic_bounded_width(self, capsys):
+        exit_code = main(
+            [
+                "evaluate",
+                "--sexpr",
+                "(A (B (C)) (B (C) (C)))",
+                "--query",
+                "Q(x) <- A(x), Child+(x, y), Child+(x, z), Following(y, z)",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "engine   : decomposition (propagator: ac4)" in output
+        assert "answers  : 1" in output
+
+    def test_engine_override_forces_backtracking(self, capsys):
+        exit_code = main(
+            [
+                "evaluate",
+                "--sexpr",
+                "(A (B (C)) (B (C) (C)))",
+                "--query",
+                "Q(x) <- A(x), Child+(x, y), Child+(x, z), Following(y, z)",
+                "--engine",
+                "backtracking",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "engine   : backtracking (forced) (propagator: ac4)" in output
+        assert "answers  : 1" in output
+
+    def test_engine_overrides_agree_in_process(self, capsys):
+        answer_lines = set()
+        for engine in ("auto", "decomposition", "backtracking"):
+            exit_code = main(
+                [
+                    "evaluate",
+                    "--sexpr",
+                    "(A (B (C)) (B (C) (C)))",
+                    "--query",
+                    "Q(y) <- B(y), Child+(x, y), Child+(x, z), Following(y, z)",
+                    "--engine",
+                    engine,
+                ]
+            )
+            assert exit_code == 0
+            output = capsys.readouterr().out
+            answer_lines.add(output[output.index("answers") :])
+        assert len(answer_lines) == 1
+
+    def test_engine_rejects_unknown_value(self, capsys):
+        # argparse validates the choice list, matching the --propagator style.
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "evaluate",
+                    "--sexpr",
+                    "(A)",
+                    "--query",
+                    "Q <- A(x)",
+                    "--engine",
+                    "quantum",
+                ]
+            )
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_engine_inapplicable_combination_reports_cleanly(self, capsys):
+        # Forcing the acyclic evaluator on a cyclic query is a client error,
+        # not a traceback.
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "evaluate",
+                    "--sexpr",
+                    "(A (B) (B))",
+                    "--query",
+                    "Q(x) <- A(x), Child+(x, y), Child+(x, z), Following(y, z)",
+                    "--engine",
+                    "acyclic",
+                ]
+            )
+        assert "--engine acyclic" in str(excinfo.value)
+
 
 class TestClassifyCommand:
     def test_tractable_signature(self, capsys):

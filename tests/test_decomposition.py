@@ -1,0 +1,391 @@
+"""Tests for the structural decomposition engine.
+
+Covers the three layers of ``repro.decomposition`` -- the hypergraph/GYO
+acyclicity test, the tree-decomposition search, the Yannakakis evaluator --
+plus the planner routing, the compiled-query caching and the index's witness
+enumeration primitives the evaluator is built on.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.decomposition import (
+    Hypergraph,
+    TreeDecomposition,
+    decompose_hypergraph,
+    evaluate_answers,
+    exact_elimination_order,
+    gyo_reduction,
+    is_alpha_acyclic,
+    min_degree_order,
+    min_fill_order,
+    query_hypergraph,
+)
+from repro.decomposition.decompose import decomposition_from_order
+from repro.evaluation import (
+    MAX_AUTO_DECOMPOSITION_WIDTH,
+    Engine,
+    choose_engine,
+    compile_query,
+    evaluate,
+    is_satisfied,
+)
+from repro.queries import ConjunctiveQuery, is_acyclic, parse_query
+from repro.queries.atoms import AxisAtom, LabelAtom
+from repro.trees import Axis, TreeStructure, random_tree
+from repro.trees.axes import predecessors as reference_predecessors
+from repro.trees.axes import successors as reference_successors
+
+TRIANGLE = "Q <- A(x), Child+(x, y), Child+(x, z), Following(y, z)"
+DIAMOND = (
+    "Q <- Child+(x, y), Child+(x, z), Following(y, z), Child+(y, w), Child+(z, w)"
+)
+K4 = (
+    "Q <- Child(a, b), Child+(a, c), Following(a, d), "
+    "Child+(b, c), Child(b, d), Following(c, d)"
+)
+
+
+def _graph(edges):
+    vertices = sorted({v for edge in edges for v in edge})
+    return Hypergraph.of_edges(vertices, edges)
+
+
+class TestHypergraphGYO:
+    def test_path_is_alpha_acyclic(self):
+        assert is_alpha_acyclic(_graph([("a", "b"), ("b", "c"), ("c", "d")]))
+
+    def test_triangle_is_not_alpha_acyclic(self):
+        assert not is_alpha_acyclic(_graph([("a", "b"), ("b", "c"), ("c", "a")]))
+
+    def test_triangle_plus_covering_edge_is_alpha_acyclic(self):
+        # The classical example: adding the 3-ary edge {a,b,c} makes the
+        # triangle alpha-acyclic (the big edge absorbs the small ones).
+        hypergraph = Hypergraph.of_edges(
+            ("a", "b", "c"),
+            [("a", "b"), ("b", "c"), ("c", "a"), ("a", "b", "c")],
+        )
+        assert is_alpha_acyclic(hypergraph)
+
+    def test_parallel_binary_edges_are_absorbed(self):
+        # Unlike the paper's shadow-multigraph notion, duplicated vertex sets
+        # do not make a hypergraph cyclic.
+        assert is_alpha_acyclic(_graph([("a", "b"), ("a", "b")]))
+
+    def test_join_forest_children_precede_parents(self):
+        hypergraph = _graph([("a", "b"), ("b", "c"), ("c", "d")])
+        result = gyo_reduction(hypergraph)
+        assert result.acyclic
+        seen = set()
+        for index in result.elimination_order:
+            parent = result.parent[index]
+            assert parent == -1 or parent not in seen
+            seen.add(index)
+
+    def test_gyo_matches_query_graph_acyclicity_on_random_queries(self):
+        # On binary-edge hypergraphs *without* parallel atoms, GYO acyclicity
+        # coincides with the paper's shadow-forest notion.
+        rng = random.Random(7)
+        axes = [Axis.CHILD, Axis.CHILD_PLUS, Axis.FOLLOWING, Axis.NEXT_SIBLING_PLUS]
+        for _ in range(100):
+            variables = [f"v{i}" for i in range(rng.randint(2, 6))]
+            pairs = set()
+            while len(pairs) < rng.randint(1, len(variables) + 2):
+                pair = tuple(sorted(rng.sample(variables, 2)))
+                pairs.add(pair)
+            atoms = tuple(AxisAtom(rng.choice(axes), a, b) for a, b in sorted(pairs))
+            query = ConjunctiveQuery((), atoms, "G")
+            compiled = compile_query(query)
+            assert is_alpha_acyclic(query_hypergraph(compiled)) == is_acyclic(query)
+
+    def test_primal_edges(self):
+        hypergraph = Hypergraph.of_edges(("a", "b", "c"), [("a", "b", "c")])
+        assert hypergraph.primal_edges() == frozenset(
+            {
+                frozenset({"a", "b"}),
+                frozenset({"a", "c"}),
+                frozenset({"b", "c"}),
+            }
+        )
+
+
+class TestDecompose:
+    @pytest.mark.parametrize(
+        "edges, width",
+        [
+            ([("a", "b"), ("b", "c"), ("c", "d")], 1),  # path
+            ([("a", "b"), ("b", "c"), ("c", "a")], 2),  # triangle
+            ([("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")], 2),  # C4
+            (
+                [
+                    ("a", "b"),
+                    ("a", "c"),
+                    ("a", "d"),
+                    ("b", "c"),
+                    ("b", "d"),
+                    ("c", "d"),
+                ],
+                3,
+            ),  # K4
+        ],
+    )
+    def test_exact_treewidth_on_known_graphs(self, edges, width):
+        hypergraph = _graph(edges)
+        decomposition = decompose_hypergraph(hypergraph)
+        assert decomposition.exact
+        assert decomposition.width == width
+        decomposition.validate(hypergraph)
+
+    def test_exact_dp_matches_heuristics_at_most(self):
+        # Heuristic orders can only over-estimate the exact width.
+        rng = random.Random(3)
+        for _ in range(40):
+            vertices = [f"v{i}" for i in range(rng.randint(2, 8))]
+            edges = set()
+            for _ in range(rng.randint(1, 2 * len(vertices))):
+                edges.add(tuple(sorted(rng.sample(vertices, 2))))
+            hypergraph = Hypergraph.of_edges(vertices, sorted(edges))
+            adjacency = hypergraph.adjacency()
+            _, exact_width = exact_elimination_order(adjacency)
+            for order_fn, name in (
+                (min_fill_order, "min-fill"),
+                (min_degree_order, "min-degree"),
+            ):
+                decomposition = decomposition_from_order(
+                    adjacency, order_fn(adjacency), name
+                )
+                decomposition.validate(hypergraph)
+                assert decomposition.width >= exact_width
+
+    def test_heuristic_path_used_above_exact_limit(self):
+        variables = [f"v{i}" for i in range(20)]
+        atoms = tuple(
+            AxisAtom(Axis.CHILD_PLUS, variables[i], variables[i + 1])
+            for i in range(19)
+        )
+        compiled = compile_query(ConjunctiveQuery((), atoms, "Long"))
+        decomposition = compiled.decomposition
+        assert not decomposition.exact
+        assert decomposition.method in ("min-fill", "min-degree")
+        assert decomposition.width == 1
+
+    def test_isolated_variables_get_bags(self):
+        query = ConjunctiveQuery((), (LabelAtom("A", "x"), LabelAtom("B", "y")), "Iso")
+        decomposition = compile_query(query).decomposition
+        covered = set().union(*decomposition.bags) if decomposition.bags else set()
+        assert covered == {"x", "y"}
+
+    def test_decomposition_cached_on_compiled_query(self):
+        compiled = compile_query(parse_query(TRIANGLE))
+        assert compiled.decomposition is compiled.decomposition
+
+    def test_parents_precede_children(self):
+        decomposition = compile_query(parse_query(DIAMOND)).decomposition
+        for index, parent in enumerate(decomposition.parent):
+            assert parent < index
+
+    def test_validate_rejects_uncovered_edge(self):
+        bad = TreeDecomposition(
+            bags=(frozenset({"a", "b"}),),
+            parent=(-1,),
+            width=1,
+            method="bogus",
+            exact=False,
+        )
+        with pytest.raises(ValueError):
+            bad.validate(_graph([("a", "b"), ("b", "c")]))
+
+
+class TestPlannerRouting:
+    def test_cyclic_bounded_width_routes_to_decomposition(self):
+        query = parse_query(TRIANGLE)
+        assert choose_engine(query) is Engine.DECOMPOSITION
+        assert compile_query(query).decomposition.width <= MAX_AUTO_DECOMPOSITION_WIDTH
+
+    def test_high_width_routes_to_backtracking(self):
+        query = parse_query(K4)
+        assert compile_query(query).decomposition.width == 3
+        assert choose_engine(query) is Engine.BACKTRACKING
+
+    def test_tractable_signature_still_wins(self):
+        # A cyclic query over {Child+, Child*} stays with the X-property
+        # evaluator: the dichotomy routing is unchanged.
+        query = parse_query("Q <- Child+(x, y), Child*(y, z), Child+(z, x)")
+        assert choose_engine(query) is Engine.XPROPERTY
+
+    def test_acyclic_still_wins(self):
+        query = parse_query("Q <- Child(x, y), Following(y, z)")
+        assert choose_engine(query) is Engine.ACYCLIC
+
+
+class TestYannakakisEvaluation:
+    @pytest.fixture(scope="class")
+    def structure(self):
+        return TreeStructure(random_tree(160, alphabet=("A", "B", "C"), seed=11))
+
+    @pytest.mark.parametrize("propagator", ["ac4", "ac3", "horn", "hybrid"])
+    def test_triangle_matches_backtracking(self, structure, propagator):
+        query = parse_query("Q(x) <- A(x), Child+(x, y), Child+(x, z), Following(y, z)")
+        assert sorted(
+            evaluate(query, structure, engine=Engine.DECOMPOSITION, propagator=propagator)
+        ) == sorted(
+            evaluate(query, structure, engine=Engine.BACKTRACKING, propagator=propagator)
+        )
+
+    def test_unsatisfiable_diamond_is_empty(self, structure):
+        # Following(y, z) contradicts y and z sharing the descendant w.
+        query = parse_query(DIAMOND)
+        assert evaluate(query, structure, engine=Engine.DECOMPOSITION) == frozenset()
+
+    def test_binary_head(self, structure):
+        query = parse_query(
+            "Q(x, y) <- A(x), B(y), Child+(x, y), Child+(x, z), Following(y, z)"
+        )
+        assert evaluate(query, structure, engine=Engine.DECOMPOSITION) == evaluate(
+            query, structure, engine=Engine.BACKTRACKING
+        )
+
+    def test_repeated_head_variable(self, structure):
+        query = parse_query("Q(x, x) <- A(x), Child+(x, y), Child+(x, z), Following(y, z)")
+        assert evaluate(query, structure, engine=Engine.DECOMPOSITION) == evaluate(
+            query, structure, engine=Engine.BACKTRACKING
+        )
+
+    def test_forced_on_acyclic_query(self, structure):
+        query = parse_query("Q(x) <- A(x), Child(x, y), B(y)")
+        assert evaluate(query, structure, engine=Engine.DECOMPOSITION) == evaluate(
+            query, structure
+        )
+
+    def test_boolean_and_pinned(self, structure):
+        query = parse_query(TRIANGLE)
+        assert is_satisfied(query, structure, Engine.DECOMPOSITION) == is_satisfied(
+            query, structure, Engine.BACKTRACKING
+        )
+        for node in (0, 1, 5, 17):
+            assert is_satisfied(
+                query, structure, Engine.DECOMPOSITION, pinned={"x": node}
+            ) == is_satisfied(
+                query, structure, Engine.BACKTRACKING, pinned={"x": node}
+            )
+
+    def test_high_width_query_still_exact(self, structure):
+        # Routing avoids K4-shaped queries, but forcing the engine must still
+        # give exact answers (the width bound is a preference, not a limit).
+        query = parse_query(K4)
+        assert is_satisfied(query, structure, Engine.DECOMPOSITION) == is_satisfied(
+            query, structure, Engine.BACKTRACKING
+        )
+
+    def test_empty_body(self, structure):
+        query = parse_query("Q <- true")
+        assert evaluate_answers(query, structure) == frozenset({()})
+
+    def test_disconnected_components(self, structure):
+        query = parse_query(
+            "Q(x, u) <- A(x), Child+(x, y), Child+(x, z), Following(y, z), "
+            "B(u), Child(u, v), C(v)"
+        )
+        assert evaluate(query, structure, engine=Engine.DECOMPOSITION) == evaluate(
+            query, structure, engine=Engine.BACKTRACKING
+        )
+
+    def test_self_loop_atoms(self, structure):
+        query = ConjunctiveQuery(
+            ("x",),
+            (
+                AxisAtom(Axis.CHILD_STAR, "x", "x"),
+                AxisAtom(Axis.CHILD, "x", "y"),
+                AxisAtom(Axis.CHILD_PLUS, "x", "y"),
+                LabelAtom("A", "x"),
+            ),
+            "Loop",
+        )
+        assert evaluate(query, structure, engine=Engine.DECOMPOSITION) == evaluate(
+            query, structure, engine=Engine.BACKTRACKING
+        )
+
+
+class TestWitnessEnumeration:
+    @pytest.mark.parametrize(
+        "axis",
+        [
+            Axis.CHILD,
+            Axis.CHILD_PLUS,
+            Axis.CHILD_STAR,
+            Axis.NEXT_SIBLING,
+            Axis.NEXT_SIBLING_PLUS,
+            Axis.NEXT_SIBLING_STAR,
+            Axis.FOLLOWING,
+            Axis.DOCUMENT_ORDER,
+            Axis.SUCC_PRE,
+            Axis.SELF,
+            Axis.PARENT,
+            Axis.ANCESTOR,
+            Axis.PRECEDING,
+            Axis.PRECEDING_SIBLING,
+        ],
+    )
+    def test_matches_reference_enumeration(self, axis):
+        rng = random.Random(13)
+        for seed in range(5):
+            tree = random_tree(30, alphabet=("A", "B"), max_children=3, seed=seed)
+            structure = TreeStructure(tree)
+            index = structure.index
+            candidates = sorted(rng.sample(range(len(tree)), 12))
+            view = index.view(candidates)
+            member_set = set(candidates)
+            for node in range(len(tree)):
+                expected_succ = sorted(
+                    v for v in reference_successors(tree, axis, node) if v in member_set
+                )
+                assert list(index.successors_in(axis, node, view)) == expected_succ
+                expected_pred = sorted(
+                    u for u in reference_predecessors(tree, axis, node) if u in member_set
+                )
+                assert list(index.predecessors_in(axis, node, view)) == expected_pred
+
+
+class TestServingIntegration:
+    def test_cache_entry_reports_width_and_engine(self):
+        from repro.service import QueryCache
+
+        cache = QueryCache()
+        entry, _ = cache.resolve_text(TRIANGLE)
+        description = entry.describe()
+        assert description["engine"] == "decomposition"
+        assert description["width"] == 2
+        # The decomposition is resident on the shared compiled artifact.
+        assert "decomposition" in entry.compiled.__dict__
+
+    def test_batch_executor_uses_decomposition_engine(self):
+        from repro.service import BatchExecutor, DocumentStore, QueryCache, Request
+
+        store = DocumentStore()
+        store.register_tree("doc", random_tree(80, alphabet=("A", "B", "C"), seed=3))
+        executor = BatchExecutor(store, QueryCache())
+        try:
+            [result] = executor.execute_batch(
+                [
+                    Request(
+                        doc="doc",
+                        query="Q(x) <- A(x), Child+(x, y), Child+(x, z), Following(y, z)",
+                    )
+                ]
+            )
+        finally:
+            executor.close()
+        assert result.ok
+        assert result.engine == "decomposition"
+        structure = TreeStructure(random_tree(80, alphabet=("A", "B", "C"), seed=3))
+        expected = sorted(
+            evaluate(
+                parse_query("Q(x) <- A(x), Child+(x, y), Child+(x, z), Following(y, z)"),
+                structure,
+                engine=Engine.BACKTRACKING,
+            )
+        )
+        assert result.answers == [tuple(answer) for answer in expected]

@@ -235,8 +235,27 @@ class TestPlanner:
             is Engine.XPROPERTY
         )
         assert choose_engine(parse_query("Q <- Child(x, y), Following(y, z)")) is Engine.ACYCLIC
+        # Cyclic (parallel edges / triangles) but of bounded decomposition
+        # width: the structural engine takes these now.
         assert (
             choose_engine(parse_query("Q <- Child(x, y), Child+(x, y)"))
+            is Engine.DECOMPOSITION
+        )
+        assert (
+            choose_engine(
+                parse_query("Q <- Child(x, y), Following(y, z), Child+(x, z)")
+            )
+            is Engine.DECOMPOSITION
+        )
+        # Width 3 (a K4 over an NP-hard signature): backtracking remains the
+        # fallback beyond MAX_AUTO_DECOMPOSITION_WIDTH.
+        assert (
+            choose_engine(
+                parse_query(
+                    "Q <- Child(a, b), Child+(a, c), Following(a, d), "
+                    "Child+(b, c), Child(b, d), Following(c, d)"
+                )
+            )
             is Engine.BACKTRACKING
         )
 
@@ -244,7 +263,13 @@ class TestPlanner:
         query = parse_query("Q <- S(x), Child+(x, y), NP(y), Child+(x, z), PP(z)")
         results = {
             engine: is_satisfied(query, sentence_structure, engine)
-            for engine in (Engine.AUTO, Engine.XPROPERTY, Engine.ACYCLIC, Engine.BACKTRACKING)
+            for engine in (
+                Engine.AUTO,
+                Engine.XPROPERTY,
+                Engine.ACYCLIC,
+                Engine.DECOMPOSITION,
+                Engine.BACKTRACKING,
+            )
         }
         assert set(results.values()) == {True}
 

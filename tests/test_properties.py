@@ -20,6 +20,8 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.evaluation import (
+    Engine,
+    evaluate,
     evaluate_on_tree,
     is_satisfied,
     iter_solutions,
@@ -75,6 +77,19 @@ def queries(draw, axes: tuple[Axis, ...], max_variables: int = 4) -> Conjunctive
         if rng.random() < 0.5:
             atoms.append(LabelAtom(rng.choice(ALPHABET), variable))
     return ConjunctiveQuery((), tuple(atoms), "H")
+
+
+@st.composite
+def head_queries(
+    draw, axes: tuple[Axis, ...], max_variables: int = 4, max_arity: int = 2
+) -> ConjunctiveQuery:
+    """Like :func:`queries`, but with a random (possibly repeating) head."""
+    query = draw(queries(axes, max_variables))
+    body_variables = sorted({v for atom in query.body for v in atom.variables()})
+    arity = draw(st.integers(min_value=0, max_value=max_arity))
+    rng = random.Random(draw(st.integers(min_value=0, max_value=10_000)))
+    head = tuple(rng.choice(body_variables) for _ in range(arity))
+    return query.with_head(head)
 
 
 class TestTreeInvariants:
@@ -184,6 +199,68 @@ class TestEvaluatorAgreementProperties:
     def test_planner_agrees_with_backtracking_everywhere(self, tree, query):
         structure = TreeStructure(tree)
         assert is_satisfied(query, structure) == bt_holds(query, structure)
+
+
+class TestDecompositionEngineProperties:
+    """The structural engine must agree with backtracking *exactly*.
+
+    The matrix covers cyclic and acyclic shapes (the random atom soup produces
+    both), every propagator, random k-ary heads (including repeated head
+    variables) and pinning; answers are compared as byte-identical sorted
+    lists, which is what the serving layer ultimately emits.
+    """
+
+    @SETTINGS
+    @given(
+        trees(max_size=12),
+        head_queries((Axis.CHILD, Axis.CHILD_PLUS, Axis.FOLLOWING)),
+        st.sampled_from(["ac4", "ac3", "horn", "hybrid"]),
+    )
+    def test_answers_match_backtracking(self, tree, query, propagator):
+        structure = TreeStructure(tree)
+        decomposition_answers = sorted(
+            evaluate(query, structure, engine=Engine.DECOMPOSITION, propagator=propagator)
+        )
+        backtracking_answers = sorted(
+            evaluate(query, structure, engine=Engine.BACKTRACKING, propagator=propagator)
+        )
+        assert repr(decomposition_answers) == repr(backtracking_answers)
+
+    @SETTINGS
+    @given(
+        trees(max_size=12),
+        queries((Axis.CHILD, Axis.NEXT_SIBLING_PLUS, Axis.FOLLOWING)),
+        st.sampled_from(["ac4", "ac3", "horn", "hybrid"]),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_boolean_with_pinning_matches_backtracking(
+        self, tree, query, propagator, seed
+    ):
+        structure = TreeStructure(tree)
+        rng = random.Random(seed)
+        variable = rng.choice(query.variables())
+        pinned = {variable: rng.randrange(len(tree))}
+        assert is_satisfied(
+            query, structure, Engine.DECOMPOSITION, pinned, propagator
+        ) == is_satisfied(query, structure, Engine.BACKTRACKING, pinned, propagator)
+
+    @SETTINGS
+    @given(trees(max_size=12), head_queries((Axis.CHILD_STAR, Axis.NEXT_SIBLING_STAR)))
+    def test_reflexive_axes_match_backtracking(self, tree, query):
+        structure = TreeStructure(tree)
+        assert sorted(
+            evaluate(query, structure, engine=Engine.DECOMPOSITION)
+        ) == sorted(evaluate(query, structure, engine=Engine.BACKTRACKING))
+
+    @SETTINGS
+    @given(trees(max_size=12), head_queries((Axis.CHILD, Axis.CHILD_PLUS, Axis.FOLLOWING)))
+    def test_planner_auto_matches_backtracking_with_heads(self, tree, query):
+        # Whatever engine the planner picks (xproperty / acyclic /
+        # decomposition / backtracking), the answer list is the same.
+        structure = TreeStructure(tree)
+        assert sorted(evaluate(query, structure)) == sorted(
+            evaluate(query, structure, engine=Engine.BACKTRACKING)
+        )
 
 
 class TestRewritingProperties:
