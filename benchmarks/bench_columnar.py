@@ -1,0 +1,309 @@
+"""Benchmark: columnar axis kernels vs the per-candidate bisection paths.
+
+The interval index answers "does candidate ``u`` still have a support in
+domain ``S``?" either per candidate (a bisection probe per watched node, the
+``columnar=False`` ablation) or in bulk: one staircase merge over the sorted
+rank columns answers the question for *every* watched node in a single pass
+of C-level ``array`` traversals (:mod:`repro.trees.columnar`).  The AC-3
+worklist re-asks that question on every revise pass, so slow-convergence
+shapes multiply whatever the per-pass primitive costs.
+
+Two entry groups are measured, both as ``columnar=True`` vs the
+``columnar=False`` per-candidate ablation of the *same* fixpoint:
+
+* ``pain_*`` -- label-free ``Following`` chains, the worst revise-pass
+  multipliers for the AC-3 worklist.  The committed headline
+  (``min_speedup``) is the minimum columnar speedup over this group at the
+  largest size and must meet the >= 5x acceptance bar.
+* ``ablation_*`` -- entries kept to report where the columnar kernels win
+  less or not at all, excluded from the headline: mixed ``Child+`` /
+  ``Following`` chains (~3-5x), pure ``Child+`` chains (~2-3x), the AC-4
+  support-counting init (parity by design -- its ``Following`` trackers are
+  threshold-based in both modes), the hybrid propagator (~2x), and bag
+  materialization through the decomposition engine, where the bulk tail
+  emission trims constant factors only (~1-1.5x).
+
+Byte-identity between the two modes is asserted on every measured instance,
+and the SQLite accel-table backend (:mod:`repro.backends.sqlite`) is
+cross-checked against both on a fixed small document.
+
+Run standalone (``python benchmarks/bench_columnar.py``) to regenerate
+``BENCH_columnar.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+
+import pytest
+from bench_config import SMOKE, scaled
+
+from repro.decomposition.yannakakis import evaluate_answers
+from repro.evaluation import (
+    maximal_arc_consistent,
+    maximal_arc_consistent_ac4,
+    maximal_arc_consistent_hybrid,
+)
+from repro.queries import parse_query
+from repro.trees import TreeStructure, random_tree
+
+# The 5_000 size is shared between the full and smoke grids on purpose:
+# check_regression.py matches entries on (query, tree_size), so the smoke run
+# needs at least one size present in the committed full-size baseline.
+SIZES = scaled((5_000, 100_000), (2_000, 5_000))
+
+#: Node count of the fixed labeled document used for the SQLite cross-check.
+CROSSCHECK_SIZE = scaled(5_000, 1_000)
+
+
+def _chain(axis: str, length: int) -> str:
+    return "Q <- " + ", ".join(f"{axis}(x{i}, x{i + 1})" for i in range(length))
+
+
+#: Label-free Following chains: many revise passes, every pass re-scans whole
+#: domains, so the per-pass staircase merge vs bisection gap compounds.
+PAIN_QUERIES = {
+    "pain_following_chain8": _chain("Following", 8),
+    "pain_following_chain12": _chain("Following", 12),
+}
+
+#: AC-3 shapes where the worklist converges quickly, so fewer passes amortise
+#: the columnar win; reported honestly, excluded from the headline.
+ABLATION_AC3_QUERIES = {
+    "ablation_mix_chain5": (
+        "Q <- Child+(a, b), Following(b, c), Child+(c, d), Following(d, e), Child+(e, f)"
+    ),
+    "ablation_childplus_chain6": _chain("Child+", 6),
+}
+
+AC3_QUERIES = {**PAIN_QUERIES, **ABLATION_AC3_QUERIES}
+
+#: The query whose AC-4 init / hybrid sweep is measured in both modes.
+PROPAGATOR_ABLATION_QUERY = "pain_following_chain8"
+
+#: Acyclic k-ary query driving the bag-materialization ablation: the last bag
+#: variable carries no residual checks, so the columnar path emits each
+#: head-prefix's tail slice in bulk.
+BAG_QUERY = "Q(x, y) <- A(x), Child+(x, y), B(y)"
+
+
+def _tree(size: int):
+    return random_tree(size, alphabet=(), seed=42)
+
+
+def _labeled_tree(size: int):
+    return random_tree(size, alphabet=("A", "B", "C"), seed=42)
+
+
+def _median_time(function, repeats: int) -> float:
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        timings.append(time.perf_counter() - start)
+    return statistics.median(timings)
+
+
+def _as_sets(domains):
+    return None if domains is None else {v: set(nodes) for v, nodes in domains.items()}
+
+
+def _entry(size, name, kind, pain, slow, fast):
+    entry = {
+        "tree_size": size,
+        "query": name,
+        "kind": kind,
+        "pain_case": pain,
+        "per_candidate_seconds": slow,
+        "columnar_seconds": fast,
+        "speedup": slow / fast if fast > 0 else float("inf"),
+    }
+    print(
+        f"n={size:>6} {name:<28} {kind:<12} per_candidate={slow:.4f}s "
+        f"columnar={fast:.4f}s speedup={entry['speedup']:.1f}x"
+    )
+    return entry
+
+
+def _measure_fixpoint(fixpoint, query, structure, repeats):
+    """Byte-identity check plus median timings for one fixpoint, both modes."""
+    fast_domains = fixpoint(query, structure, columnar=True)
+    slow_domains = fixpoint(query, structure, columnar=False)
+    if _as_sets(fast_domains) != _as_sets(slow_domains):
+        raise AssertionError(f"columnar/per-candidate fixpoint mismatch: {query}")
+    fast = _median_time(lambda: fixpoint(query, structure, columnar=True), repeats)
+    slow = _median_time(lambda: fixpoint(query, structure, columnar=False), repeats)
+    return slow, fast
+
+
+def _crosscheck_sqlite(size: int) -> int:
+    """Columnar, per-candidate and SQLite answers agree on a fixed document."""
+    from repro.backends.sqlite import SQLiteBackend
+
+    tree = _labeled_tree(size)
+    structure = TreeStructure(tree)
+    query = parse_query(BAG_QUERY)
+    columnar = sorted(evaluate_answers(query, structure, columnar=True))
+    per_candidate = sorted(evaluate_answers(query, structure, columnar=False))
+    with SQLiteBackend() as backend:
+        backend.register_tree("doc", tree)
+        sql = sorted(backend.evaluate("doc", query))
+    if not (repr(columnar) == repr(per_candidate) == repr(sql)):
+        raise AssertionError("cross-backend answer mismatch on the bag query")
+    return len(columnar)
+
+
+def run(sizes=SIZES, repeats: int = 3) -> dict:
+    """Measure columnar vs per-candidate paths on every (size, entry) pair."""
+    results = []
+    for size in sizes:
+        structure = TreeStructure(_tree(size))
+        structure.index  # the O(n) index build is shared and paid up front
+        for name, text in AC3_QUERIES.items():
+            query = parse_query(text)
+            slow, fast = _measure_fixpoint(
+                maximal_arc_consistent, query, structure, repeats
+            )
+            results.append(
+                _entry(size, name, "ac3_worklist", name in PAIN_QUERIES, slow, fast)
+            )
+        # AC-4 init and hybrid on the chain shape: the ablations that show
+        # where the columnar flag changes little (AC-4's Following trackers
+        # are threshold-based in both modes).
+        query = parse_query(AC3_QUERIES[PROPAGATOR_ABLATION_QUERY])
+        slow, fast = _measure_fixpoint(
+            maximal_arc_consistent_ac4, query, structure, repeats
+        )
+        results.append(_entry(size, "ablation_ac4_init", "ac4_init", False, slow, fast))
+        slow, fast = _measure_fixpoint(
+            maximal_arc_consistent_hybrid, query, structure, repeats
+        )
+        results.append(_entry(size, "ablation_hybrid", "hybrid", False, slow, fast))
+        # Bag materialization through the decomposition engine on a labeled
+        # tree: identical row sets, bulk tail emission vs per-row recursion.
+        labeled = TreeStructure(_labeled_tree(size))
+        labeled.index
+        bag_query = parse_query(BAG_QUERY)
+        fast_rows = evaluate_answers(bag_query, labeled, columnar=True)
+        slow_rows = evaluate_answers(bag_query, labeled, columnar=False)
+        if repr(sorted(fast_rows)) != repr(sorted(slow_rows)):
+            raise AssertionError(f"bag materialization mismatch (n={size})")
+        fast = _median_time(
+            lambda: evaluate_answers(bag_query, labeled, columnar=True), repeats
+        )
+        slow = _median_time(
+            lambda: evaluate_answers(bag_query, labeled, columnar=False), repeats
+        )
+        entry = _entry(size, "ablation_pair_bag", "bag_rows", False, slow, fast)
+        entry["rows"] = len(fast_rows)
+        results.append(entry)
+    crosscheck_rows = _crosscheck_sqlite(CROSSCHECK_SIZE)
+    print(f"sqlite cross-check: {crosscheck_rows} rows byte-identical at n={CROSSCHECK_SIZE}")
+    largest = max(sizes)
+    headline = min(
+        entry["speedup"]
+        for entry in results
+        if entry["tree_size"] == largest and entry["pain_case"]
+    )
+    ablation_at_largest = [
+        entry
+        for entry in results
+        if entry["tree_size"] == largest and not entry["pain_case"]
+    ]
+    return {
+        "benchmark": "columnar axis kernels vs per-candidate bisection paths",
+        "sizes": list(sizes),
+        "repeats": repeats,
+        "results": results,
+        "headline": {
+            "tree_size": largest,
+            "min_speedup": headline,
+            "claim": (
+                "columnar AC-3 worklist >= 5x faster than the per-candidate "
+                "bisection path on label-free Following chains"
+            ),
+            "holds": headline >= 5.0,
+        },
+        # Where the kernels do NOT dominate, kept honest and out of the
+        # headline: AC-4 init is parity by design, bag emission trims
+        # constant factors only.
+        "ablation": {
+            "tree_size": largest,
+            "min_speedup": min(e["speedup"] for e in ablation_at_largest),
+            "max_speedup": max(e["speedup"] for e in ablation_at_largest),
+        },
+        "sqlite_crosscheck": {
+            "tree_size": CROSSCHECK_SIZE,
+            "rows": crosscheck_rows,
+            "byte_identical": True,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_columnar.json", help="output JSON path")
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+    report = run(repeats=args.repeats)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"wrote {args.out}; headline min pain-case speedup on "
+        f"n={report['headline']['tree_size']}: {report['headline']['min_speedup']:.1f}x"
+    )
+    if not report["headline"]["holds"]:
+        print("FAIL: the >=5x speedup claim does not hold at these sizes")
+        return 1
+    return 0
+
+
+# -- pytest-benchmark cases ----------------------------------------------------
+
+SMALLEST = min(SIZES)
+BENCH_TREE = _tree(SMALLEST)
+
+
+@pytest.mark.parametrize("name", sorted(PAIN_QUERIES))
+def test_columnar_pain_queries(benchmark, name):
+    query = parse_query(PAIN_QUERIES[name])
+    structure = TreeStructure(BENCH_TREE)
+    benchmark(lambda: maximal_arc_consistent(query, structure, columnar=True))
+
+
+@pytest.mark.parametrize(
+    "name", sorted(PAIN_QUERIES)[:1] if SMOKE else sorted(PAIN_QUERIES)
+)
+def test_per_candidate_pain_queries(benchmark, name):
+    query = parse_query(PAIN_QUERIES[name])
+    structure = TreeStructure(BENCH_TREE)
+    benchmark(lambda: maximal_arc_consistent(query, structure, columnar=False))
+
+
+def test_cross_backend_byte_identity_smoke():
+    """The three backends agree on the bag query on a small fixed document."""
+    assert _crosscheck_sqlite(1_000) > 0
+
+
+def test_columnar_speedup_meets_claim():
+    """A relaxed wall-clock guard against losing the speedup entirely.
+
+    The real >=5x claim is enforced by ``main`` (run by CI's bench-smoke job
+    and gated by ``check_regression.py`` against the committed baseline);
+    this pytest variant uses a 2x margin at the smallest size so it stays
+    robust on loaded machines, while still catching a regression that makes
+    the columnar worklist no faster than the per-candidate path.
+    """
+    structure = TreeStructure(BENCH_TREE)
+    query = parse_query(PAIN_QUERIES["pain_following_chain8"])
+    fast = _median_time(lambda: maximal_arc_consistent(query, structure, columnar=True), 3)
+    slow = _median_time(lambda: maximal_arc_consistent(query, structure, columnar=False), 3)
+    assert slow >= 2.0 * fast
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,7 +13,11 @@ committed one fails the job -- the guard is deliberately loose, flagging only
 A benchmark can land in the same PR as its first CI run:
 ``--allow-missing-baseline`` turns a missing committed file into a warning +
 skip instead of an error (scoped to that one invocation, so a typoed
-``--committed`` path elsewhere still fails loudly).
+``--committed`` path elsewhere still fails loudly).  The opposite direction,
+``--require-baseline``, additionally insists the committed file carries a
+*holding* headline claim (``headline.holds == true``) -- CI passes it so a
+baseline committed from a failed full-size run cannot make the comparisons
+vacuous.
 
 Usage::
 
@@ -80,7 +84,20 @@ def main(argv=None) -> int:
             "typoed --committed path cannot silently disable the gate."
         ),
     )
+    parser.add_argument(
+        "--require-baseline",
+        action="store_true",
+        help=(
+            "additionally require the committed baseline to carry a headline "
+            "whose claim holds (headline.holds == true).  Guards against a "
+            "baseline committed from a run whose speedup bar already failed, "
+            "which would make every future comparison vacuous.  Mutually "
+            "exclusive with --allow-missing-baseline."
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.require_baseline and args.allow_missing_baseline:
+        parser.error("--require-baseline and --allow-missing-baseline conflict")
     if not os.path.exists(args.committed):
         message = f"no committed baseline at {args.committed}"
         if args.allow_missing_baseline:
@@ -90,6 +107,15 @@ def main(argv=None) -> int:
         return 1
     with open(args.committed) as handle:
         committed = json.load(handle)
+    if args.require_baseline:
+        headline = committed.get("headline", {})
+        if headline.get("holds") is not True:
+            print(
+                f"ERROR: committed baseline {args.committed} has no holding "
+                f"headline claim (headline.holds={headline.get('holds')!r}); "
+                "regenerate it with a full-size run that meets its speedup bar"
+            )
+            return 1
     with open(args.fresh) as handle:
         fresh = json.load(handle)
     regressions = compare(committed, fresh, args.factor)

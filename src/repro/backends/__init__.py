@@ -1,0 +1,14 @@
+"""Out-of-core evaluation backends.
+
+The in-memory engines of :mod:`repro.evaluation` hold the whole document --
+rank arrays, label index, interval index -- resident.  This package hosts
+backends that externalise the same accel columns to durable storage so that
+documents far bigger than RAM remain queryable with byte-identical answers:
+
+* :mod:`repro.backends.sqlite` -- the pre/post-order interval encoding as a
+  SQLite ``accel`` table, conjunctive queries lowered to range self-joins.
+"""
+
+from .sqlite import SQLiteBackend
+
+__all__ = ["SQLiteBackend"]

@@ -1,0 +1,396 @@
+"""SQLite accel-table backend: out-of-core evaluation over interval columns.
+
+The same pre/post-order interval encoding that powers the in-memory engines
+(descendants of ``u`` are exactly the pre-order range ``(u, subtree_end(u)]``;
+``Following(u, v)`` iff ``v > subtree_end(u)``) externalises directly to a
+relational accel table::
+
+    accel(doc, id, pre_order, post_order, parent, depth,
+          subtree_end, sibling_index)
+    label(doc, node, name)
+    documents(doc, nodes, registered_at)
+
+Every axis of the paper's ``Ax`` (plus the Section 4 extras and the inverse
+axes) becomes a constant-size SQL predicate over two ``accel`` aliases, so a
+conjunctive query lowers to one range self-join -- ``SELECT DISTINCT`` over
+the head columns -- that SQLite answers out of its page cache.  Documents far
+bigger than RAM stay queryable: :meth:`SQLiteBackend.ensure_document`
+materialises a tree into a file-backed database once and every later session
+reopens it without re-parsing.
+
+Answers are byte-identical to the in-memory planner on every query -- the
+cross-backend equivalence suite (``tests/test_backend_equivalence.py``) pins
+in-memory, columnar-kernel and SQLite answers against each other, and the CI
+``backend-equivalence`` job runs it on every push.
+
+The planner exposes this backend as ``Engine.SQL``; it is never auto-chosen
+(:func:`repro.evaluation.planner.choose_engine` stays in-memory) but is always
+selectable for cross-checking and for out-of-core documents.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+import time
+from typing import Iterable, Mapping, Optional
+from weakref import WeakKeyDictionary
+
+from ..queries.atoms import AxisAtom, LabelAtom, Variable
+from ..queries.query import ConjunctiveQuery
+from ..trees.axes import Axis
+from ..trees.structure import TreeStructure
+from ..trees.tree import Tree
+
+Row = tuple[int, ...]
+
+#: Axis -> SQL predicate template over a source alias ``{s}`` and a target
+#: alias ``{t}``.  ``id`` *is* the pre-order rank, so the interval axes are
+#: pure range comparisons; the local axes use the parent / sibling_index
+#: columns.  Inverse axes swap the roles of the interval endpoints.
+_AXIS_SQL: dict[Axis, str] = {
+    Axis.CHILD: "{t}.parent = {s}.id",
+    Axis.CHILD_PLUS: "{t}.id > {s}.id AND {t}.id <= {s}.subtree_end",
+    Axis.CHILD_STAR: "{t}.id >= {s}.id AND {t}.id <= {s}.subtree_end",
+    Axis.NEXT_SIBLING: (
+        "{t}.parent = {s}.parent AND {t}.sibling_index = {s}.sibling_index + 1"
+    ),
+    Axis.NEXT_SIBLING_PLUS: (
+        "{t}.parent = {s}.parent AND {t}.sibling_index > {s}.sibling_index"
+    ),
+    Axis.NEXT_SIBLING_STAR: (
+        "{t}.parent = {s}.parent AND {t}.sibling_index >= {s}.sibling_index"
+    ),
+    Axis.FOLLOWING: "{t}.id > {s}.subtree_end",
+    Axis.DOCUMENT_ORDER: "{t}.id > {s}.id",
+    Axis.SUCC_PRE: "{t}.id = {s}.id + 1",
+    Axis.SELF: "{t}.id = {s}.id",
+    Axis.PARENT: "{s}.parent = {t}.id",
+    Axis.ANCESTOR: "{s}.id > {t}.id AND {s}.id <= {t}.subtree_end",
+    Axis.ANCESTOR_OR_SELF: "{s}.id >= {t}.id AND {s}.id <= {t}.subtree_end",
+    Axis.PREVIOUS_SIBLING: (
+        "{s}.parent = {t}.parent AND {s}.sibling_index = {t}.sibling_index + 1"
+    ),
+    Axis.PRECEDING_SIBLING: (
+        "{s}.parent = {t}.parent AND {s}.sibling_index > {t}.sibling_index"
+    ),
+    Axis.PRECEDING: "{s}.id > {t}.subtree_end",
+}
+
+#: Above this many members an extra-unary relation is staged into a temp
+#: table instead of an ``IN (?, ?, ...)`` list (SQLite caps bound variables).
+_IN_LIST_LIMIT = 500
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS documents (
+    doc            TEXT PRIMARY KEY,
+    nodes          INTEGER NOT NULL,
+    registered_at  REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS accel (
+    doc            TEXT NOT NULL,
+    id             INTEGER NOT NULL,
+    pre_order      INTEGER NOT NULL,
+    post_order     INTEGER NOT NULL,
+    parent         INTEGER NOT NULL,
+    depth          INTEGER NOT NULL,
+    subtree_end    INTEGER NOT NULL,
+    sibling_index  INTEGER NOT NULL,
+    PRIMARY KEY (doc, id)
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS accel_parent ON accel (doc, parent);
+CREATE TABLE IF NOT EXISTS label (
+    doc   TEXT NOT NULL,
+    node  INTEGER NOT NULL,
+    name  TEXT NOT NULL,
+    PRIMARY KEY (doc, name, node)
+) WITHOUT ROWID;
+"""
+
+
+class SQLiteBackend:
+    """Accel-table document store plus conjunctive-query evaluator.
+
+    ``path=":memory:"`` (the default) keeps the database in RAM -- the
+    cross-check configuration; a file path gives the out-of-core
+    configuration, where registered documents persist across processes.  One
+    connection is shared and serialised behind a lock, so a backend instance
+    is safe to use from the serving layer's worker threads.
+    """
+
+    def __init__(self, path: str = ":memory:"):
+        self.path = path
+        self._connection = sqlite3.connect(path, check_same_thread=False)
+        self._lock = threading.Lock()
+        self._temp_counter = 0
+        with self._lock:
+            self._connection.executescript(_SCHEMA)
+            self._connection.commit()
+
+    # -- document registration -------------------------------------------------
+
+    def register_tree(self, doc_id: str, tree: Tree) -> None:
+        """Materialise ``tree``'s accel columns under ``doc_id`` (replacing)."""
+        n = len(tree)
+        subtree_end = tree.subtree_end
+        accel_rows = (
+            (
+                doc_id,
+                node_id,
+                node_id,  # pre_order: node ids ARE pre-order ranks
+                tree.post[node_id],
+                tree.parent[node_id],
+                tree.depth[node_id],
+                subtree_end[node_id],
+                tree.sibling_index[node_id],
+            )
+            for node_id in range(n)
+        )
+        label_rows = (
+            (doc_id, node_id, name)
+            for node_id in range(n)
+            for name in tree.labels_of[node_id]
+        )
+        with self._lock:
+            cursor = self._connection.cursor()
+            cursor.execute("DELETE FROM accel WHERE doc = ?", (doc_id,))
+            cursor.execute("DELETE FROM label WHERE doc = ?", (doc_id,))
+            cursor.executemany(
+                "INSERT INTO accel VALUES (?, ?, ?, ?, ?, ?, ?, ?)", accel_rows
+            )
+            cursor.executemany("INSERT INTO label VALUES (?, ?, ?)", label_rows)
+            cursor.execute(
+                "INSERT OR REPLACE INTO documents VALUES (?, ?, ?)",
+                (doc_id, n, time.time()),
+            )
+            self._connection.commit()
+
+    def ensure_document(self, doc_id: str, tree: Tree) -> bool:
+        """Register ``tree`` unless ``doc_id`` is already materialised.
+
+        Returns ``True`` when the document was (re)materialised, ``False``
+        when the existing accel rows were reused -- the out-of-core fast path
+        for file-backed databases surviving across sessions.
+        """
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT nodes FROM documents WHERE doc = ?", (doc_id,)
+            ).fetchone()
+        if row is not None and row[0] == len(tree):
+            return False
+        self.register_tree(doc_id, tree)
+        return True
+
+    def has_document(self, doc_id: str) -> bool:
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT 1 FROM documents WHERE doc = ?", (doc_id,)
+            ).fetchone()
+        return row is not None
+
+    def document_ids(self) -> list[str]:
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT doc FROM documents ORDER BY doc"
+            ).fetchall()
+        return [doc for (doc,) in rows]
+
+    # -- query lowering --------------------------------------------------------
+
+    def _lower(
+        self,
+        doc_id: str,
+        query: ConjunctiveQuery,
+        pinned: Optional[Mapping[Variable, int]],
+        extra_unary: Mapping[str, frozenset[int]],
+        boolean: bool,
+    ) -> tuple[str, list, list[str]]:
+        """Compile the query to one SQL statement.
+
+        Returns ``(sql, parameters, temp_tables)``; the caller drops the temp
+        tables (large extra-unary relations staged out of the ``IN`` list)
+        after fetching.
+        """
+        variables = query.variables()
+        alias = {variable: f"a{i}" for i, variable in enumerate(variables)}
+        params: list = []
+        temp_tables: list[str] = []
+        from_clause = ", ".join(f"accel {alias[v]}" for v in variables)
+        conditions: list[str] = []
+        for variable in variables:
+            conditions.append(f"{alias[variable]}.doc = ?")
+            params.append(doc_id)
+        for atom in query.body:
+            if isinstance(atom, AxisAtom):
+                template = _AXIS_SQL.get(atom.axis)
+                if template is None:  # pragma: no cover - defensive
+                    raise ValueError(f"axis {atom.axis} has no SQL lowering")
+                conditions.append(
+                    "(" + template.format(s=alias[atom.source], t=alias[atom.target]) + ")"
+                )
+            elif isinstance(atom, LabelAtom):
+                column = f"{alias[atom.variable]}.id"
+                if atom.label in extra_unary:
+                    conditions.append(
+                        self._unary_condition(column, extra_unary[atom.label], params, temp_tables)
+                    )
+                else:
+                    conditions.append(
+                        "EXISTS (SELECT 1 FROM label WHERE doc = ? "
+                        f"AND node = {column} AND name = ?)"
+                    )
+                    params.extend((doc_id, atom.label))
+        if pinned:
+            for variable, node_id in pinned.items():
+                if variable in alias:
+                    conditions.append(f"{alias[variable]}.id = ?")
+                    params.append(node_id)
+        where = " AND ".join(conditions) if conditions else "1"
+        if boolean or not query.head:
+            sql = f"SELECT 1 FROM {from_clause} WHERE {where} LIMIT 1"
+        else:
+            columns = ", ".join(f"{alias[v]}.id" for v in query.head)
+            sql = f"SELECT DISTINCT {columns} FROM {from_clause} WHERE {where}"
+        return sql, params, temp_tables
+
+    def _unary_condition(
+        self,
+        column: str,
+        members: frozenset[int],
+        params: list,
+        temp_tables: list[str],
+    ) -> str:
+        """Membership test against an extra-unary relation.
+
+        Small relations (the singleton pins of the k-ary reduction) inline as
+        an ``IN`` list; large ones stage into a temp table to stay clear of
+        SQLite's bound-variable cap.
+        """
+        if not members:
+            return "0"
+        if len(members) <= _IN_LIST_LIMIT:
+            params.extend(sorted(members))
+            return f"{column} IN ({', '.join('?' * len(members))})"
+        self._temp_counter += 1
+        name = f"tmp_unary_{self._temp_counter}"
+        cursor = self._connection.cursor()
+        cursor.execute(f"CREATE TEMP TABLE {name} (node INTEGER PRIMARY KEY)")
+        cursor.executemany(
+            f"INSERT INTO {name} VALUES (?)", ((node,) for node in sorted(members))
+        )
+        temp_tables.append(name)
+        return f"{column} IN (SELECT node FROM {name})"
+
+    # -- evaluation ------------------------------------------------------------
+
+    def evaluate(
+        self,
+        doc_id: str,
+        query: ConjunctiveQuery,
+        pinned: Optional[Mapping[Variable, int]] = None,
+        extra_unary: Optional[Mapping[str, frozenset[int]]] = None,
+    ) -> frozenset[Row]:
+        """All answers of ``query`` on the registered document.
+
+        Boolean queries return ``{()}`` / ``frozenset()``; the answer set is
+        byte-identical to :func:`repro.evaluation.planner.evaluate` on every
+        query, which the equivalence suite enforces.
+        """
+        extras = extra_unary or {}
+        if not query.variables():
+            return frozenset({()})
+        if query.is_boolean:
+            return (
+                frozenset({()})
+                if self.is_satisfied(doc_id, query, pinned, extra_unary)
+                else frozenset()
+            )
+        with self._lock:
+            sql, params, temp_tables = self._lower(doc_id, query, pinned, extras, False)
+            try:
+                rows = self._connection.execute(sql, params).fetchall()
+            finally:
+                self._drop_temp_tables(temp_tables)
+        return frozenset(tuple(row) for row in rows)
+
+    def is_satisfied(
+        self,
+        doc_id: str,
+        query: ConjunctiveQuery,
+        pinned: Optional[Mapping[Variable, int]] = None,
+        extra_unary: Optional[Mapping[str, frozenset[int]]] = None,
+    ) -> bool:
+        """Boolean evaluation (existential closure) of ``query``."""
+        extras = extra_unary or {}
+        if not query.variables():
+            return True
+        with self._lock:
+            sql, params, temp_tables = self._lower(doc_id, query, pinned, extras, True)
+            try:
+                row = self._connection.execute(sql, params).fetchone()
+            finally:
+                self._drop_temp_tables(temp_tables)
+        return row is not None
+
+    def _drop_temp_tables(self, temp_tables: Iterable[str]) -> None:
+        for name in temp_tables:
+            self._connection.execute(f"DROP TABLE IF EXISTS {name}")
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            self._connection.close()
+
+    def __enter__(self) -> "SQLiteBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SQLiteBackend(path={self.path!r})"
+
+
+# ---------------------------------------------------------------------------
+# Planner integration: evaluate a TreeStructure through a cached backend.
+# ---------------------------------------------------------------------------
+
+#: One in-memory backend per live tree, for ``Engine.SQL`` cross-checking;
+#: entries die with their tree.
+_TREE_BACKENDS: "WeakKeyDictionary[Tree, SQLiteBackend]" = WeakKeyDictionary()
+_TREE_DOC_ID = "tree"
+
+
+def backend_for_tree(tree: Tree) -> SQLiteBackend:
+    """The (memoized) in-memory accel database of ``tree``."""
+    backend = _TREE_BACKENDS.get(tree)
+    if backend is None:
+        backend = SQLiteBackend()
+        backend.register_tree(_TREE_DOC_ID, tree)
+        _TREE_BACKENDS[tree] = backend
+    return backend
+
+
+def evaluate_structure(
+    query: ConjunctiveQuery,
+    structure: TreeStructure,
+    pinned: Optional[Mapping[Variable, int]] = None,
+) -> frozenset[Row]:
+    """``Engine.SQL`` entry point: answers of ``query`` over ``structure``."""
+    backend = backend_for_tree(structure.tree)
+    return backend.evaluate(
+        _TREE_DOC_ID, query, pinned=pinned, extra_unary=structure.extra_unary_relations()
+    )
+
+
+def structure_is_satisfied(
+    query: ConjunctiveQuery,
+    structure: TreeStructure,
+    pinned: Optional[Mapping[Variable, int]] = None,
+) -> bool:
+    """``Engine.SQL`` Boolean entry point."""
+    backend = backend_for_tree(structure.tree)
+    return backend.is_satisfied(
+        _TREE_DOC_ID, query, pinned=pinned, extra_unary=structure.extra_unary_relations()
+    )

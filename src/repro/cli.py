@@ -53,8 +53,32 @@ def _command_evaluate(args: argparse.Namespace) -> int:
     requested = Engine(args.engine)
     engine = choose_engine(query) if requested is Engine.AUTO else requested
     propagator = Propagator(args.propagator)
+    accel_line = None
     try:
-        answers = sorted(evaluate(query, structure, engine=requested, propagator=propagator))
+        if args.accel_db is not None:
+            if requested is not Engine.SQL:
+                raise SystemExit("--accel-db requires --engine sql")
+            # Out-of-core path: materialise the document into a file-backed
+            # accel database once, then evaluate there; later runs against the
+            # same database skip re-materialisation.
+            import hashlib
+
+            from .backends.sqlite import SQLiteBackend
+
+            doc_id = args.tree or (
+                "sexpr:" + hashlib.sha256(args.sexpr.encode("utf-8")).hexdigest()[:16]
+            )
+            backend = SQLiteBackend(args.accel_db)
+            materialised = backend.ensure_document(doc_id, tree)
+            accel_line = (
+                f"accel    : {args.accel_db} "
+                f"({'materialised' if materialised else 'reused'} doc {doc_id!r})"
+            )
+            answers = sorted(backend.evaluate(doc_id, query))
+        else:
+            answers = sorted(
+                evaluate(query, structure, engine=requested, propagator=propagator)
+            )
     except ValueError as error:
         # A forced engine can be inapplicable (e.g. --engine acyclic on a
         # cyclic query); report it like any other bad-flag combination.
@@ -63,6 +87,8 @@ def _command_evaluate(args: argparse.Namespace) -> int:
     print(f"query    : {query}")
     print(f"signature: {query.signature()}  ({classify(query.signature()).value})")
     print(f"engine   : {engine.value}{forced} (propagator: {propagator.value})")
+    if accel_line is not None:
+        print(accel_line)
     print(f"tree     : {len(tree)} nodes")
     if query.is_boolean:
         print(f"answer   : {'true' if answers else 'false'}")
@@ -328,7 +354,17 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "evaluation engine override (default: auto = planner choice; "
             "'decomposition' forces the hypertree/Yannakakis engine, "
-            "'backtracking' the exponential fallback)"
+            "'backtracking' the exponential fallback, 'sql' the SQLite "
+            "accel-table backend)"
+        ),
+    )
+    evaluate_parser.add_argument(
+        "--accel-db",
+        default=None,
+        metavar="PATH",
+        help=(
+            "with --engine sql: file-backed accel database to materialise the "
+            "document into (and reuse on later runs) -- the out-of-core path"
         ),
     )
     evaluate_parser.set_defaults(handler=_command_evaluate)

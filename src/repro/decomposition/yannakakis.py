@@ -84,6 +84,7 @@ def _materialize_bag(
     structure: TreeStructure,
     variable_index: Mapping[Variable, int],
     needed: frozenset[Variable],
+    columnar: bool = True,
 ) -> _BagRelation:
     """Enumerate the bag's relation, projected onto its ``needed`` columns.
 
@@ -287,6 +288,21 @@ def _materialize_bag(
             if witness(depth):
                 rows.append(tuple(current[p] for p in keep_positions))
             return
+        if (
+            columnar
+            and depth == cut - 1
+            and cut == len(order)
+            and not checks[depth]
+            and keep_positions
+            and keep_positions[-1] == depth
+        ):
+            # Bulk tail: the final variable has no residual checks and no
+            # witness suffix behind it, so *every* candidate the driver or
+            # window produces completes the prefix into a row -- emit the
+            # whole candidate column at once instead of recursing per node.
+            head = tuple(current[p] for p in keep_positions[:-1])
+            rows.extend(head + (node,) for node in candidates_at(depth))
+            return
         for node in candidates_at(depth):
             if satisfies_checks(depth, node):
                 current[depth] = node
@@ -433,6 +449,7 @@ def _evaluate(
     propagator,
     compiled: Optional["CompiledQuery"],
     boolean_only: bool,
+    columnar: bool = True,
 ) -> Optional[frozenset[Row]]:
     from ..evaluation.compile import compile_query
     from ..evaluation.propagation import propagate
@@ -441,7 +458,7 @@ def _evaluate(
         compiled = compile_query(query)
     if not compiled.variables:
         return frozenset({()})
-    result = propagate(compiled, structure, pinned, propagator)
+    result = propagate(compiled, structure, pinned, propagator, columnar=columnar)
     if result is None:
         return None if boolean_only else frozenset()
     decomposition = compiled.decomposition
@@ -465,7 +482,13 @@ def _evaluate(
         for child in children[index]:
             needed |= bag & decomposition.bags[child]
         relation = _materialize_bag(
-            bag, bag_atoms, views, structure, compiled.variable_index, frozenset(needed)
+            bag,
+            bag_atoms,
+            views,
+            structure,
+            compiled.variable_index,
+            frozenset(needed),
+            columnar=columnar,
         )
         if not relation.rows:
             return None if boolean_only else frozenset()
@@ -482,13 +505,20 @@ def boolean_query_holds(
     structure: TreeStructure,
     pinned: Optional[Mapping[Variable, int]] = None,
     propagator=None,
+    columnar: bool = True,
 ) -> bool:
     """Boolean evaluation: materialize the bags and run the bottom-up pass."""
     from ..evaluation.propagation import DEFAULT_PROPAGATOR
 
     chosen = DEFAULT_PROPAGATOR if propagator is None else propagator
     outcome = _evaluate(
-        query.as_boolean(), structure, pinned, chosen, None, boolean_only=True
+        query.as_boolean(),
+        structure,
+        pinned,
+        chosen,
+        None,
+        boolean_only=True,
+        columnar=columnar,
     )
     return outcome is not None
 
@@ -499,6 +529,7 @@ def evaluate_answers(
     pinned: Optional[Mapping[Variable, int]] = None,
     propagator=None,
     compiled: Optional["CompiledQuery"] = None,
+    columnar: bool = True,
 ) -> frozenset[Row]:
     """All answers of a (possibly cyclic) k-ary query via the join tree.
 
@@ -509,6 +540,8 @@ def evaluate_answers(
     from ..evaluation.propagation import DEFAULT_PROPAGATOR
 
     chosen = DEFAULT_PROPAGATOR if propagator is None else propagator
-    outcome = _evaluate(query, structure, pinned, chosen, compiled, boolean_only=False)
+    outcome = _evaluate(
+        query, structure, pinned, chosen, compiled, boolean_only=False, columnar=columnar
+    )
     assert outcome is not None
     return outcome

@@ -50,6 +50,7 @@ from typing import Callable, Iterable, Mapping, Optional, Sequence
 from ..queries.atoms import Variable
 from ..queries.query import ConjunctiveQuery
 from ..trees.axes import Axis
+from ..trees.columnar import ancestor_counts, casualties, descendant_counts
 from ..trees.index import MutableDomainView
 from ..trees.structure import TreeStructure
 from .compile import CompiledQuery, compile_query
@@ -136,27 +137,49 @@ class _LocalCounter(_Tracker):
 class _DescendantCounter(_Tracker):
     """``Child+``/``Child*`` in the descendant direction (watched = ancestor).
 
-    ``count[u] = |support ∩ (u, end(u)]|`` (``[u, end(u)]`` for ``Child*``),
-    one bisection each.  A deleted witness ``w`` was counted by exactly the
-    ancestors(-or-self) of ``w``: walk the parent chain and decrement.
+    ``count[u] = |support ∩ (u, end(u)]|`` (``[u, end(u)]`` for ``Child*``).
+    Columnar initialisation reads every count off the support's cumulative
+    membership column in three fused C-level passes
+    (:func:`repro.trees.columnar.descendant_counts`); the per-candidate
+    two-bisection loop is kept as the ``columnar=False`` ablation.  A deleted
+    witness ``w`` was counted by exactly the ancestors(-or-self) of ``w``:
+    walk the parent chain and decrement.
     """
 
-    __slots__ = ("include_self", "counts", "_parent", "_end")
+    __slots__ = ("include_self", "columnar", "counts", "_parent", "_end", "_end_plus1")
 
-    def __init__(self, watched, support, watched_view, support_view, include_self):
+    def __init__(self, watched, support, watched_view, support_view, include_self, columnar):
         super().__init__(watched, support, watched_view, support_view)
         self.include_self = include_self
+        self.columnar = columnar
         index = watched_view.index
         self._parent = index.parent
         self._end = index.subtree_end
+        self._end_plus1 = index.subtree_end_plus1
 
     def initialise(self) -> list[int]:
+        watched_array = self.watched_view.array
+        n = len(self._parent)
+        if self.columnar:
+            per_candidate = descendant_counts(
+                watched_array, self._end_plus1, self.support_view.cum_pre, self.include_self
+            )
+            if len(watched_array) == n:
+                # Dense domain: candidate position == node id, so the kernel's
+                # output is already the id-indexed counter array.
+                counts = per_candidate
+            else:
+                counts = [0] * n
+                for u, count in zip(watched_array, per_candidate):
+                    counts[u] = count
+            self.counts = counts
+            return casualties(watched_array, per_candidate)
         support_array = self.support_view.array
         end = self._end
         offset = 0 if self.include_self else 1
-        counts = [0] * len(self._parent)
+        counts = [0] * n
         empty = []
-        for u in self.watched_view.array:
+        for u in watched_array:
             count = bisect_left(support_array, end[u] + 1) - bisect_left(
                 support_array, u + offset
             )
@@ -183,19 +206,25 @@ class _DescendantCounter(_Tracker):
 class _AncestorCounter(_Tracker):
     """``Child+``/``Child*`` in the ancestor direction (watched = descendant).
 
-    ``count[w] = |ancestors(-or-self)(w) ∩ support|``.  Initialisation picks
-    the cheaper of two strategies: per-candidate parent-chain walks (sparse
-    domains) or a single pre-order stack sweep over the whole tree carrying a
-    running ancestors-in-support count (dense domains).  A deleted support
-    node ``v`` was counted by exactly the candidates inside ``v``'s subtree
-    interval, enumerated live from the incremental view.
+    ``count[w] = |ancestors(-or-self)(w) ∩ support|``.  Columnar
+    initialisation uses the closed form ``cum_pre[w] - cum_end[w]`` over the
+    support's cumulative membership columns
+    (:func:`repro.trees.columnar.ancestor_counts`) -- strict ancestors of
+    ``w`` are the support nodes opening before ``w`` whose subtree has not
+    closed before ``w`` -- falling back to per-candidate parent-chain walks
+    when the watched domain is sparse enough that even one O(n) column build
+    would dominate.  The ``columnar=False`` ablation keeps the previous
+    strategy pair (parent-chain walks or a pre-order stack sweep).  A deleted
+    support node ``v`` was counted by exactly the candidates inside ``v``'s
+    subtree interval, enumerated live from the incremental view.
     """
 
-    __slots__ = ("include_self", "counts", "_parent", "_end")
+    __slots__ = ("include_self", "columnar", "counts", "_parent", "_end")
 
-    def __init__(self, watched, support, watched_view, support_view, include_self):
+    def __init__(self, watched, support, watched_view, support_view, include_self, columnar):
         super().__init__(watched, support, watched_view, support_view)
         self.include_self = include_self
+        self.columnar = columnar
         index = watched_view.index
         self._parent = index.parent
         self._end = index.subtree_end
@@ -205,6 +234,22 @@ class _AncestorCounter(_Tracker):
         support_members = self.support_view.members
         parent = self._parent
         n = len(parent)
+        if self.columnar and len(watched_array) * 8 >= n:
+            support_view = self.support_view
+            per_candidate = ancestor_counts(
+                watched_array,
+                support_view.cum_pre,
+                support_view.cum_end,
+                support_view.live_mask if self.include_self else None,
+            )
+            if len(watched_array) == n:
+                counts = per_candidate
+            else:
+                counts = [0] * n
+                for w, count in zip(watched_array, per_candidate):
+                    counts[w] = count
+            self.counts = counts
+            return casualties(watched_array, per_candidate)
         counts = [0] * n
         if len(watched_array) * 8 < n:
             for w in watched_array:
@@ -461,6 +506,7 @@ def _make_trackers(
     structure: TreeStructure,
     atom,
     views: Views,
+    columnar: bool = True,
 ) -> Sequence[_Tracker]:
     """The forward and backward trackers of one non-loop compiled atom."""
     index = structure.index
@@ -487,8 +533,8 @@ def _make_trackers(
     if axis is Axis.CHILD_PLUS or axis is Axis.CHILD_STAR:
         include_self = axis is Axis.CHILD_STAR
         return (
-            fwd(_DescendantCounter, include_self),
-            bwd(_AncestorCounter, include_self),
+            fwd(_DescendantCounter, include_self, columnar),
+            bwd(_AncestorCounter, include_self, columnar),
         )
     if axis is Axis.NEXT_SIBLING:
         return (
@@ -539,6 +585,8 @@ def ac4_fixpoint(
     structure: TreeStructure,
     pinned: Optional[Mapping[Variable, int]] = None,
     initial_domains: Optional[Domains] = None,
+    initial_views: Optional[Views] = None,
+    columnar: bool = True,
 ) -> Optional[Views]:
     """The maximal arc-consistent prevaluation as maintained mutable views.
 
@@ -549,40 +597,50 @@ def ac4_fixpoint(
 
     ``initial_domains`` lets a caller seed the engine with domains it has
     already (soundly) narrowed -- the hybrid propagator's bulk revise sweep
-    uses this.  Seeded domains must have the pin and self-loop filters applied
-    and be non-empty; confluence of the deletion rules guarantees the fixpoint
-    is unchanged.  ``pinned`` therefore cannot be combined with a seed (the
-    seed is expected to embody it already).
+    uses this.  ``initial_views`` is the same idea one step further: already
+    maintained views (e.g. straight out of
+    :func:`~repro.evaluation.arc_consistency.bulk_revise_views`) are adopted
+    without rebuilding.  Seeded domains/views must have the pin and self-loop
+    filters applied and be non-empty; confluence of the deletion rules
+    guarantees the fixpoint is unchanged.  ``pinned`` therefore cannot be
+    combined with a seed (the seed is expected to embody it already).
+
+    ``columnar=False`` switches the interval counters' initialisation back to
+    the per-candidate bisection/sweep paths (ablation; same fixpoint).
     """
-    if pinned is not None and initial_domains is not None:
+    if initial_domains is not None and initial_views is not None:
+        raise ValueError("initial_domains and initial_views are mutually exclusive seeds")
+    if pinned is not None and (initial_domains is not None or initial_views is not None):
         raise ValueError(
-            "pinned cannot be combined with initial_domains; apply the pin "
-            "while building the seed instead"
+            "pinned cannot be combined with initial_domains/initial_views; "
+            "apply the pin while building the seed instead"
         )
     compiled = query if isinstance(query, CompiledQuery) else compile_query(query)
     index = structure.index
 
-    if initial_domains is None:
-        domains = compiled.initial_domains(structure, pinned)
-        for domain in domains.values():
-            if not domain:
-                return None
-        # Self-loops R(x, x) are static per-node filters, applied once up front.
-        if not compiled.apply_loop_filters(domains, structure):
-            return None
+    if initial_views is not None:
+        views = initial_views
     else:
-        domains = initial_domains
-
-    views: Views = {
-        variable: index.mutable_view(domains[variable]) for variable in compiled.variables
-    }
+        if initial_domains is None:
+            domains = compiled.initial_domains(structure, pinned)
+            for domain in domains.values():
+                if not domain:
+                    return None
+            # Self-loops R(x, x) are static per-node filters, applied once up front.
+            if not compiled.apply_loop_filters(domains, structure):
+                return None
+        else:
+            domains = initial_domains
+        views = {
+            variable: index.mutable_view(domains[variable]) for variable in compiled.variables
+        }
 
     trackers_by_support: dict[Variable, list[_Tracker]] = {
         variable: [] for variable in compiled.variables
     }
     queue: deque[tuple[Variable, int]] = deque()
     for atom in compiled.edges:
-        for tracker in _make_trackers(structure, atom, views):
+        for tracker in _make_trackers(structure, atom, views, columnar):
             trackers_by_support[tracker.support].append(tracker)
             for candidate in tracker.initialise():
                 queue.append((tracker.watched, candidate))
@@ -603,11 +661,12 @@ def hybrid_fixpoint(
     query: ConjunctiveQuery | CompiledQuery,
     structure: TreeStructure,
     pinned: Optional[Mapping[Variable, int]] = None,
+    columnar: bool = True,
 ) -> Optional[Views]:
     """One bulk AC-3 revise sweep, then AC-4 support counting (``hybrid``).
 
     The ROADMAP trade-off: on fast-converging queries (pure ``Child+`` chains)
-    AC-3's bulk set scans beat AC-4's per-candidate bookkeeping, while on
+    AC-3's bulk scans beat AC-4's per-candidate bookkeeping, while on
     slow-converging ones (``Following`` chains, cyclic shapes) AC-4's bounded
     total work wins by orders of magnitude.  The hybrid takes one bulk
     interval-revise pass over every edge first -- harvesting the cheap
@@ -615,6 +674,11 @@ def hybrid_fixpoint(
     engine, whose counter initialisation is now proportionally cheaper.  Both
     stages delete only unsupported candidates, so the fixpoint (and therefore
     every consumer downstream) is identical to the other propagators'.
+
+    With ``columnar=True`` the sweep runs the staircase kernels directly on
+    maintained views and the AC-4 stage adopts those views as its seed -- no
+    set round trip, no re-sort; ``columnar=False`` keeps the per-candidate
+    set-based pipeline as the ablation.
     """
     compiled = query if isinstance(query, CompiledQuery) else compile_query(query)
     domains = compiled.initial_domains(structure, pinned)
@@ -623,20 +687,31 @@ def hybrid_fixpoint(
             return None
     if not compiled.apply_loop_filters(domains, structure):
         return None
+    if columnar:
+        from .arc_consistency import bulk_revise_views
+
+        index = structure.index
+        views: Views = {
+            variable: index.mutable_view(domains[variable]) for variable in compiled.variables
+        }
+        if not bulk_revise_views(compiled, views, structure):
+            return None
+        return ac4_fixpoint(compiled, structure, initial_views=views)
     from .arc_consistency import bulk_revise_sweep
 
-    if not bulk_revise_sweep(compiled, domains, structure):
+    if not bulk_revise_sweep(compiled, domains, structure, columnar=False):
         return None
-    return ac4_fixpoint(compiled, structure, initial_domains=domains)
+    return ac4_fixpoint(compiled, structure, initial_domains=domains, columnar=False)
 
 
 def maximal_arc_consistent_hybrid(
     query: ConjunctiveQuery | CompiledQuery,
     structure: TreeStructure,
     pinned: Optional[Mapping[Variable, int]] = None,
+    columnar: bool = True,
 ) -> Optional[Domains]:
     """Hybrid twin of :func:`maximal_arc_consistent_ac4` (same fixpoint)."""
-    views = hybrid_fixpoint(query, structure, pinned)
+    views = hybrid_fixpoint(query, structure, pinned, columnar=columnar)
     if views is None:
         return None
     return {variable: view.members for variable, view in views.items()}
@@ -646,13 +721,14 @@ def maximal_arc_consistent_ac4(
     query: ConjunctiveQuery | CompiledQuery,
     structure: TreeStructure,
     pinned: Optional[Mapping[Variable, int]] = None,
+    columnar: bool = True,
 ) -> Optional[Domains]:
     """AC-4 twin of :func:`~repro.evaluation.arc_consistency.maximal_arc_consistent`.
 
     Same fixpoint, support-counting propagation; returns plain per-variable
     node sets (the live member sets of the maintained views).
     """
-    views = ac4_fixpoint(query, structure, pinned)
+    views = ac4_fixpoint(query, structure, pinned, columnar=columnar)
     if views is None:
         return None
     return {variable: view.members for variable, view in views.items()}

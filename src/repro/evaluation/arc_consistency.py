@@ -28,26 +28,43 @@ Both return ``None`` when no arc-consistent prevaluation exists (some variable
 loses all candidates), in which case the query is unsatisfiable on the
 structure.
 
-The worklist algorithm's revise step has two interchangeable implementations
+The worklist algorithm's revise step has three interchangeable implementations
 (cross-checked against each other in the tests):
 
-* :func:`_revise_interval` (the default) asks the tree's pre/post interval
-  index (:mod:`repro.trees.index`) whether each candidate has a witness inside
+* the *columnar* worklist (the default) keeps every domain in a delete-aware
+  :class:`~repro.trees.index.MutableDomainView` and revises whole domains at
+  once with the staircase kernels of :mod:`repro.trees.columnar` -- support
+  counts for the interval axes come from cumulative membership columns in a
+  few fused C-level passes, and deletions are O(1) amortized discards, so a
+  revise pass never sorts and never loops per candidate;
+* :func:`_revise_interval` asks the tree's pre/post interval index
+  (:mod:`repro.trees.index`) whether each candidate has a witness inside
   the opposite domain -- O(1) or O(log n) per candidate against a sorted-array
-  view, so one revise pass is O((|Phi(x)| + |Phi(y)|) log n);
+  view, so one revise pass is O((|Phi(x)| + |Phi(y)|) log n).  It is the
+  per-candidate ablation baseline the columnar kernels are benchmarked
+  against (``columnar=False``);
 * :func:`_revise_enumeration` materializes ``axis_successors`` /
   ``axis_predecessors`` per candidate and intersects -- O(n) per candidate for
   the transitive axes.  It is kept as the fallback for axes the index does not
-  know and as the ablation baseline for the benchmarks.
+  know and as the deepest ablation baseline (``use_index=False``).
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from collections import deque
 from typing import Mapping, Optional
 
 from ..queries.atoms import AxisAtom, LabelAtom, Variable
 from ..queries.query import ConjunctiveQuery
+from ..trees.axes import Axis
+from ..trees.columnar import (
+    ancestor_counts,
+    casualties,
+    descendant_counts,
+    threshold_casualties_by_end,
+)
+from ..trees.index import AxisIndex, MutableDomainView
 from ..trees.structure import TreeStructure
 from .compile import AxisClass, CompiledAtom, CompiledQuery, compile_query
 from .domains import Domains
@@ -58,6 +75,7 @@ def maximal_arc_consistent(
     structure: TreeStructure,
     pinned: Optional[Mapping[Variable, int]] = None,
     use_index: bool = True,
+    columnar: bool = True,
 ) -> Optional[Domains]:
     """Compute the subset-maximal arc-consistent prevaluation (worklist form).
 
@@ -71,9 +89,10 @@ def maximal_arc_consistent(
     the initial-domain recipe all come from the :class:`CompiledQuery` instead
     of being re-derived per call.
 
-    ``use_index=False`` forces the per-candidate enumeration revise step
-    instead of the interval-index one; both reach the same fixpoint (the
-    deletion rules are confluent), so the flag exists only for ablation
+    ``columnar=False`` forces the per-candidate interval revise step instead
+    of the bulk columnar kernels; ``use_index=False`` additionally forces the
+    materializing enumeration revise step.  All three reach the same fixpoint
+    (the deletion rules are confluent), so the flags exist only for ablation
     benchmarks and cross-checking tests.
     """
     compiled = query if isinstance(query, CompiledQuery) else compile_query(query)
@@ -84,6 +103,15 @@ def maximal_arc_consistent(
     # Self-loops R(x, x) are static per-node filters: apply them once.
     if not compiled.apply_loop_filters(domains, structure):
         return None
+
+    if use_index and columnar:
+        views = {
+            variable: structure.index.mutable_view(domains[variable])
+            for variable in compiled.variables
+        }
+        if not _worklist_columnar(compiled, views, structure):
+            return None
+        return {variable: view.members for variable, view in views.items()}
 
     queue: deque[CompiledAtom] = deque(compiled.edges)
     queued: set[CompiledAtom] = set(compiled.edges)
@@ -103,25 +131,219 @@ def maximal_arc_consistent(
 
 
 def bulk_revise_sweep(
-    compiled: CompiledQuery, domains: Domains, structure: TreeStructure
+    compiled: CompiledQuery,
+    domains: Domains,
+    structure: TreeStructure,
+    columnar: bool = True,
 ) -> bool:
     """One bulk interval-revise pass over every edge (no worklist, no repeats).
 
     This is the opening move of the ``hybrid`` propagator
     (:func:`repro.evaluation.ac4.hybrid_fixpoint`): on fast-converging queries
-    (pure ``Child+`` chains) a single pass of AC-3's set-comprehension scans
-    removes the bulk of the dead candidates far cheaper than per-candidate
-    support bookkeeping, and whatever it leaves behind is finished off by the
+    (pure ``Child+`` chains) a single pass of AC-3's bulk scans removes the
+    bulk of the dead candidates far cheaper than per-candidate support
+    bookkeeping, and whatever it leaves behind is finished off by the
     deletion-driven AC-4 engine.  Deleting only unsupported candidates keeps
     the fixpoint unchanged (the deletion rules are confluent).
 
     Mutates ``domains`` in place; returns ``False`` iff some domain empties.
+    With ``columnar=True`` the pass runs the staircase kernels over fresh
+    mutable views and writes the surviving member sets back; the hybrid
+    propagator avoids even that round trip by calling
+    :func:`bulk_revise_views` on views it keeps.
     """
+    if columnar:
+        views = {
+            variable: structure.index.mutable_view(domains[variable])
+            for variable in compiled.variables
+        }
+        alive = bulk_revise_views(compiled, views, structure)
+        for variable, view in views.items():
+            domains[variable] = view.members
+        return alive
     for atom in compiled.edges:
         for variable in _revise(atom, domains, structure):
             if not domains[variable]:
                 return False
     return True
+
+
+def bulk_revise_views(
+    compiled: CompiledQuery,
+    views: Mapping[Variable, MutableDomainView],
+    structure: TreeStructure,
+) -> bool:
+    """One columnar revise pass over every edge, mutating the views in place.
+
+    Returns ``False`` iff some view empties.  The views stay valid (and
+    maintained) either way, so the hybrid propagator hands them straight to
+    the AC-4 engine without rebuilding.
+    """
+    index = structure.index
+    for atom in compiled.edges:
+        for variable in _revise_columnar(atom, views, index, structure):
+            if not views[variable].members:
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Columnar worklist: staircase kernels over maintained mutable views.
+# ---------------------------------------------------------------------------
+
+
+def _worklist_columnar(
+    compiled: CompiledQuery,
+    views: Mapping[Variable, MutableDomainView],
+    structure: TreeStructure,
+) -> bool:
+    """Run the worklist to fixpoint over mutable views; False iff some empties.
+
+    The per-candidate worklist re-sorts both domains into fresh
+    :class:`~repro.trees.index.DomainView` snapshots on every revise of every
+    atom; over a long-converging query that sorting alone dominates.  Here the
+    domains *live* in delete-aware views -- kept sorted by construction, with
+    bulk kernels producing the exact casualty list of each revise -- so total
+    deletion work is bounded by the total number of deletions and each pass
+    costs a handful of C-level column sweeps.
+    """
+    index = structure.index
+    queue: deque[CompiledAtom] = deque(compiled.edges)
+    queued: set[CompiledAtom] = set(compiled.edges)
+    while queue:
+        atom = queue.popleft()
+        queued.discard(atom)
+        for variable in _revise_columnar(atom, views, index, structure):
+            if not views[variable].members:
+                return False
+            for neighbour_atom in compiled.atoms_of(variable):
+                if neighbour_atom not in queued:
+                    queue.append(neighbour_atom)
+                    queued.add(neighbour_atom)
+    return True
+
+
+def _revise_columnar(
+    atom: CompiledAtom,
+    views: Mapping[Variable, MutableDomainView],
+    index: AxisIndex,
+    structure: TreeStructure,
+) -> list[Variable]:
+    """Columnar revise of one atom: discard all unsupported candidates at once.
+
+    Returns the variables whose domains shrank.  (When used by
+    :func:`bulk_revise_views` the returned variables' views may be consulted
+    directly; the worklist uses the names to re-enqueue neighbours.)
+    """
+    changed: list[Variable] = []
+    source_view = views[atom.source]
+    target_view = views[atom.target]
+
+    if atom.axis_class is AxisClass.ENUMERATION:
+        # Axes outside the index vocabulary (none after normalization, but the
+        # engine stays total): materialize the relation per candidate.
+        dead = [
+            u
+            for u in source_view.array
+            if not target_view.members.intersection(structure.axis_successors(atom.axis, u))
+        ]
+        if dead:
+            for node in dead:
+                source_view.discard(node)
+            changed.append(atom.source)
+            if not source_view.members:
+                return changed
+        dead = [
+            w
+            for w in target_view.array
+            if not source_view.members.intersection(structure.axis_predecessors(atom.axis, w))
+        ]
+        if dead:
+            for node in dead:
+                target_view.discard(node)
+            changed.append(atom.target)
+        return changed
+
+    dead = _unsupported_forward(atom.axis, source_view, target_view, index, structure)
+    if dead:
+        discard = source_view.discard
+        for node in dead:
+            discard(node)
+        changed.append(atom.source)
+        if not source_view.members:
+            return changed
+
+    dead = _unsupported_backward(atom.axis, target_view, source_view, index, structure)
+    if dead:
+        discard = target_view.discard
+        for node in dead:
+            discard(node)
+        changed.append(atom.target)
+    return changed
+
+
+def _unsupported_forward(
+    axis: Axis,
+    watched: MutableDomainView,
+    support: MutableDomainView,
+    index: AxisIndex,
+    structure: TreeStructure,
+) -> list[int]:
+    """Watched candidates ``u`` with no ``v`` in the support: ``axis(u, v)``."""
+    candidates = watched.array
+    if not candidates:
+        return []
+    support_array = support.array
+    if not support_array:
+        return list(candidates)
+    if axis is Axis.CHILD_PLUS or axis is Axis.CHILD_STAR:
+        counts = descendant_counts(
+            candidates, index.subtree_end_plus1, support.cum_pre, axis is Axis.CHILD_STAR
+        )
+        return casualties(candidates, counts)
+    if axis is Axis.FOLLOWING:
+        # Supported iff some support node opens after u's subtree closes.
+        return threshold_casualties_by_end(candidates, index.subtree_end, support_array[-1])
+    if axis is Axis.DOCUMENT_ORDER:
+        # Supported iff max(support) > u: the casualties are a suffix slice.
+        return list(candidates[bisect_left(candidates, support_array[-1]) :])
+    # Local and sibling-threshold axes: per-candidate O(1) witness tests
+    # against the support view's aggregates (already bulk-built and cached).
+    has_successor_in = index.has_successor_in
+    return [u for u in candidates if not has_successor_in(axis, u, support)]
+
+
+def _unsupported_backward(
+    axis: Axis,
+    watched: MutableDomainView,
+    support: MutableDomainView,
+    index: AxisIndex,
+    structure: TreeStructure,
+) -> list[int]:
+    """Watched candidates ``w`` with no ``u`` in the support: ``axis(u, w)``."""
+    candidates = watched.array
+    if not candidates:
+        return []
+    support_array = support.array
+    if not support_array:
+        return list(candidates)
+    if axis is Axis.CHILD_PLUS or axis is Axis.CHILD_STAR:
+        include_self = axis is Axis.CHILD_STAR
+        counts = ancestor_counts(
+            candidates,
+            support.cum_pre,
+            support.cum_end,
+            support.live_mask if include_self else None,
+        )
+        return casualties(candidates, counts)
+    if axis is Axis.FOLLOWING:
+        # Supported iff some support subtree closes before w opens: the
+        # casualties are the prefix w <= min(subtree_end over support).
+        return list(candidates[: bisect_right(candidates, support.min_end)])
+    if axis is Axis.DOCUMENT_ORDER:
+        return list(candidates[: bisect_right(candidates, support_array[0])])
+    has_predecessor_in = index.has_predecessor_in
+    return [w for w in candidates if not has_predecessor_in(axis, w, support)]
 
 
 def _revise(

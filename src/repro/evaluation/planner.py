@@ -57,6 +57,10 @@ class Engine(str, Enum):
     ACYCLIC = "acyclic"
     DECOMPOSITION = "decomposition"
     BACKTRACKING = "backtracking"
+    #: The SQLite accel-table backend (:mod:`repro.backends.sqlite`): the
+    #: out-of-core path, never auto-chosen, always selectable for
+    #: cross-checking.  Ignores ``propagator`` (SQLite plans the join).
+    SQL = "sql"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -92,6 +96,10 @@ def is_satisfied(
     """Boolean evaluation of (the existential closure of) a query."""
     boolean_query = query.as_boolean()
     chosen = choose_engine(boolean_query) if engine is Engine.AUTO else engine
+    if chosen is Engine.SQL:
+        from ..backends.sqlite import structure_is_satisfied
+
+        return structure_is_satisfied(boolean_query, structure, pinned=pinned)
     if chosen is Engine.XPROPERTY:
         return xprop_evaluator.boolean_query_holds(
             boolean_query, structure, pinned=pinned, propagator=propagator
@@ -157,6 +165,10 @@ def evaluate(
         satisfied = is_satisfied(query, structure, engine, propagator=propagator)
         return frozenset({()}) if satisfied else frozenset()
 
+    if engine is Engine.SQL:
+        from ..backends.sqlite import evaluate_structure
+
+        return evaluate_structure(query, structure)
     if compiled is None:
         compiled = compile_query(query)
     chosen = choose_engine(query) if engine is Engine.AUTO else engine

@@ -105,7 +105,7 @@ class PropagationResult:
 
     def sorted_domain(self, variable: Variable) -> list[int]:
         """The surviving candidates of ``variable`` in ascending node order."""
-        return self.views[variable].array
+        return list(self.views[variable].array)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         sizes = {variable: len(nodes) for variable, nodes in self.domains.items()}
@@ -117,6 +117,7 @@ def propagate(
     structure: TreeStructure,
     pinned: Optional[Mapping[Variable, int]] = None,
     propagator: PropagatorLike = DEFAULT_PROPAGATOR,
+    columnar: bool = True,
 ) -> Optional[PropagationResult]:
     """Compute the maximal arc-consistent prevaluation with the chosen engine.
 
@@ -124,17 +125,21 @@ def propagate(
     empties), i.e. the query is unsatisfiable on the structure.  Accepts a
     pre-compiled query directly, so callers holding resident artifacts (the
     serving layer's query cache) skip even the compile-cache lookup.
+
+    ``columnar=False`` forces the per-candidate ablation paths of the chosen
+    engine (same fixpoint; benchmark/cross-check use only).  The Horn engine
+    has no columnar dimension and ignores the flag.
     """
     chosen = as_propagator(propagator)
     if chosen is Propagator.AC4 or chosen is Propagator.HYBRID:
         fixpoint = ac4_fixpoint if chosen is Propagator.AC4 else hybrid_fixpoint
-        views = fixpoint(query, structure, pinned)
+        views = fixpoint(query, structure, pinned, columnar=columnar)
         if views is None:
             return None
         domains = {variable: view.members for variable, view in views.items()}
         return PropagationResult(structure, domains, views)
     if chosen is Propagator.AC3:
-        domains = maximal_arc_consistent(query, structure, pinned)
+        domains = maximal_arc_consistent(query, structure, pinned, columnar=columnar)
     else:
         domains = maximal_arc_consistent_horn(query, structure, pinned)
     if domains is None:

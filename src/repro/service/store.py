@@ -78,12 +78,19 @@ class DocumentStore:
         Optional LRU bound on the number of resident documents.  Registering
         beyond it evicts the least recently used document (use counts as a
         touch).  ``None`` means unbounded -- eviction is entirely explicit.
+    accel_backend:
+        Optional :class:`~repro.backends.sqlite.SQLiteBackend` every
+        registered tree is mirrored into (via ``ensure_document``, so
+        re-registering an unchanged document is a no-op).  A file-backed
+        mirror makes registered documents queryable out-of-core and across
+        restarts; eviction from the in-memory store never drops accel rows.
     """
 
-    def __init__(self, capacity: Optional[int] = None):
+    def __init__(self, capacity: Optional[int] = None, accel_backend=None):
         if capacity is not None and capacity < 1:
             raise ValueError("capacity must be >= 1 (or None for unbounded)")
         self.capacity = capacity
+        self.accel_backend = accel_backend
         self._documents: "OrderedDict[str, StoredDocument]" = OrderedDict()
         self._lock = threading.RLock()
         self._registered = 0
@@ -102,6 +109,8 @@ class DocumentStore:
         for label in tree.alphabet():
             structure.unary_member_set(label)  # warm the label inverted index
         document = StoredDocument(doc_id, tree, structure, source)
+        if self.accel_backend is not None:
+            self.accel_backend.ensure_document(doc_id, tree)
         with self._lock:
             if doc_id in self._documents:
                 # Re-registration replaces the resident artifacts in place.

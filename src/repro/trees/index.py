@@ -59,10 +59,18 @@ Interval reasoning used by the witness tests (``end`` = ``subtree_end``):
 
 from __future__ import annotations
 
+from array import array
 from bisect import bisect_left, bisect_right
+from itertools import accumulate
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from .axes import INVERSE, Axis
+from .columnar import (
+    COLUMN_TYPECODE,
+    cumulative_end_membership,
+    cumulative_membership,
+    membership_mask,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (Tree builds us lazily)
     from .tree import Tree
@@ -109,7 +117,14 @@ class DomainView:
     * :attr:`min_end` -- minimum ``subtree_end`` over ``S``, for ``Following``
       predecessor witnesses;
     * :attr:`max_sibling_rank` / :attr:`min_sibling_rank` -- per-parent
-      extrema of sibling ranks, for ``NextSibling+`` witnesses.
+      extrema of sibling ranks, for ``NextSibling+`` witnesses;
+    * :attr:`cum_pre` / :attr:`cum_end` / :attr:`live_mask` -- the cumulative
+      membership columns consumed by the bulk kernels of
+      :mod:`repro.trees.columnar`.
+
+    ``array`` is a contiguous ``array``-module column (pre-order sorted), so
+    bulk consumers slice and scan it at C speed; it supports the same
+    bisection/iteration protocol the previous list representation did.
     """
 
     __slots__ = (
@@ -120,6 +135,9 @@ class DomainView:
         "_min_end",
         "_max_sibling_rank",
         "_min_sibling_rank",
+        "_cum_pre",
+        "_cum_end",
+        "_live_mask",
     )
 
     def __init__(self, index: "AxisIndex", nodes: Iterable[int]):
@@ -127,11 +145,14 @@ class DomainView:
         # Snapshot: a view must stay internally consistent even if the caller
         # later mutates the set it was built from.
         self.members = frozenset(nodes)
-        self.array: list[int] = sorted(self.members)
+        self.array: array = array(COLUMN_TYPECODE, sorted(self.members))
         self._prefix_max_end: list[int] | None = None
         self._min_end: int | None = None
         self._max_sibling_rank: dict[int, int] | None = None
         self._min_sibling_rank: dict[int, int] | None = None
+        self._cum_pre: list[int] | None = None
+        self._cum_end: list[int] | None = None
+        self._live_mask: bytearray | None = None
 
     def __len__(self) -> int:
         return len(self.array)
@@ -144,12 +165,7 @@ class DomainView:
         """``prefix_max_end[i] = max(subtree_end[array[j]] for j <= i)``."""
         if self._prefix_max_end is None:
             end = self.index.subtree_end
-            running = -1
-            prefix = []
-            for node_id in self.array:
-                running = max(running, end[node_id])
-                prefix.append(running)
-            self._prefix_max_end = prefix
+            self._prefix_max_end = list(accumulate(map(end.__getitem__, self.array), max))
         return self._prefix_max_end
 
     @property
@@ -157,8 +173,31 @@ class DomainView:
         """Minimum ``subtree_end`` over the view (``n`` when empty)."""
         if self._min_end is None:
             end = self.index.subtree_end
-            self._min_end = min((end[node_id] for node_id in self.array), default=len(end))
+            self._min_end = min(map(end.__getitem__, self.array), default=len(end))
         return self._min_end
+
+    @property
+    def cum_pre(self) -> list[int]:
+        """Cumulative membership column ``cum_pre[j] = |{s in S : s < j}|``."""
+        if self._cum_pre is None:
+            self._cum_pre = cumulative_membership(self.array, self.index.n)
+        return self._cum_pre
+
+    @property
+    def cum_end(self) -> list[int]:
+        """``cum_end[j] = |{s in S : subtree_end[s] < j}|`` (ancestor kernel)."""
+        if self._cum_end is None:
+            self._cum_end = cumulative_end_membership(
+                self.array, self.index.subtree_end, self.index.n
+            )
+        return self._cum_end
+
+    @property
+    def live_mask(self) -> bytearray:
+        """0/1 byte mask of the members, for or-self kernel corrections."""
+        if self._live_mask is None:
+            self._live_mask = membership_mask(self.array, self.index.n)
+        return self._live_mask
 
     @property
     def max_sibling_rank(self) -> dict[int, int]:
@@ -226,12 +265,15 @@ class MutableDomainView:
         "_min_end",
         "_max_sibling_rank",
         "_min_sibling_rank",
+        "_cum_pre",
+        "_cum_end",
+        "_live_mask",
     )
 
     def __init__(self, index: "AxisIndex", nodes: Iterable[int]):
         self.index = index
         self.members: set[int] = set(nodes)
-        self._array: list[int] = sorted(self.members)
+        self._array: array = array(COLUMN_TYPECODE, sorted(self.members))
         self._dead = 0
         self._invalidate()
 
@@ -240,6 +282,9 @@ class MutableDomainView:
         self._min_end: int | None = None
         self._max_sibling_rank: dict[int, int] | None = None
         self._min_sibling_rank: dict[int, int] | None = None
+        self._cum_pre: list[int] | None = None
+        self._cum_end: list[int] | None = None
+        self._live_mask: bytearray | None = None
 
     def __len__(self) -> int:
         return len(self.members)
@@ -262,20 +307,22 @@ class MutableDomainView:
 
     def _compact(self) -> None:
         members = self.members
-        self._array = [node_id for node_id in self._array if node_id in members]
+        self._array = array(
+            COLUMN_TYPECODE, (node_id for node_id in self._array if node_id in members)
+        )
         self._dead = 0
 
     # -- reads -----------------------------------------------------------------
 
     @property
-    def array(self) -> list[int]:
-        """The live members as a sorted array (compacts dead entries first)."""
+    def array(self) -> array:
+        """The live members as a sorted column (compacts dead entries first)."""
         if self._dead:
             self._compact()
         return self._array
 
     @property
-    def unpruned_array(self) -> list[int]:
+    def unpruned_array(self) -> array:
         """The sorted backing array, possibly still containing dead entries.
 
         For hot scan loops that tolerate (or liveness-check) dead nodes; the
@@ -299,12 +346,7 @@ class MutableDomainView:
         """``prefix_max_end[i] = max(subtree_end[array[j]] for j <= i)``."""
         if self._prefix_max_end is None:
             end = self.index.subtree_end
-            running = -1
-            prefix = []
-            for node_id in self.array:
-                running = max(running, end[node_id])
-                prefix.append(running)
-            self._prefix_max_end = prefix
+            self._prefix_max_end = list(accumulate(map(end.__getitem__, self.array), max))
         return self._prefix_max_end
 
     @property
@@ -312,8 +354,31 @@ class MutableDomainView:
         """Minimum ``subtree_end`` over the live members (``n`` when empty)."""
         if self._min_end is None:
             end = self.index.subtree_end
-            self._min_end = min((end[node_id] for node_id in self.array), default=len(end))
+            self._min_end = min(map(end.__getitem__, self.array), default=len(end))
         return self._min_end
+
+    @property
+    def cum_pre(self) -> list[int]:
+        """Cumulative membership column over the live members (see kernels)."""
+        if self._cum_pre is None:
+            self._cum_pre = cumulative_membership(self.array, self.index.n)
+        return self._cum_pre
+
+    @property
+    def cum_end(self) -> list[int]:
+        """``cum_end[j] = |{live s : subtree_end[s] < j}|`` (ancestor kernel)."""
+        if self._cum_end is None:
+            self._cum_end = cumulative_end_membership(
+                self.array, self.index.subtree_end, self.index.n
+            )
+        return self._cum_end
+
+    @property
+    def live_mask(self) -> bytearray:
+        """0/1 byte mask of the live members, for or-self kernel corrections."""
+        if self._live_mask is None:
+            self._live_mask = membership_mask(self.array, self.index.n)
+        return self._live_mask
 
     @property
     def max_sibling_rank(self) -> dict[int, int]:
@@ -389,6 +454,9 @@ class AxisIndex:
         self.parent: list[int] = tree.parent
         self.sibling_index: list[int] = tree.sibling_index
         self.subtree_end: list[int] = tree.subtree_end
+        #: ``subtree_end[u] + 1`` precomputed once, so the columnar kernels'
+        #: upper-bound lookups run as a single fused ``map`` pipeline.
+        self.subtree_end_plus1: list[int] = [end + 1 for end in tree.subtree_end]
         self.first_child: list[int] = [
             children[0] if children else -1 for children in tree.children_of
         ]

@@ -170,6 +170,15 @@ class TreeStructure:
     def unary_names(self) -> frozenset[str]:
         return self.tree.alphabet() | frozenset(self._extra_unary)
 
+    def extra_unary_relations(self) -> Mapping[str, frozenset[int]]:
+        """The extra (non-label) unary relations, name -> member set.
+
+        These shadow same-named tree labels (matching :meth:`unary_holds`);
+        out-of-core backends need them explicitly because only the labels are
+        materialised in the accel store.
+        """
+        return dict(self._extra_unary)
+
     # -- binary relations ------------------------------------------------------
 
     def axis_holds(self, axis: Axis, u: int, v: int) -> bool:

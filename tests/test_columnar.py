@@ -1,0 +1,314 @@
+"""Property tests pinning the columnar kernels to the bisection primitives.
+
+The staircase-merge / galloping-intersection kernels of
+:mod:`repro.trees.columnar` must return byte-identical results to the
+per-candidate interval primitives of :mod:`repro.trees.index` (``range_count``,
+``has_successor_in``, ``has_predecessor_in``) on every axis, every support
+set, and every :class:`~repro.trees.index.MutableDomainView` deletion state --
+the columnar paths are pure performance refactors, so any divergence is a bug.
+The same goes one level up: the columnar fixpoints (AC-3 worklist, AC-4
+counter init, hybrid) and the columnar bag materialization must compute
+exactly what their per-candidate ablations compute.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.decomposition.yannakakis import evaluate_answers
+from repro.evaluation.ac4 import ac4_fixpoint, hybrid_fixpoint
+from repro.evaluation.arc_consistency import (
+    _unsupported_backward,
+    _unsupported_forward,
+    maximal_arc_consistent,
+)
+from repro.queries.atoms import AxisAtom, LabelAtom
+from repro.queries.query import ConjunctiveQuery
+from repro.trees import Axis, Tree, TreeStructure, random_tree
+from repro.trees.columnar import (
+    ancestor_counts,
+    casualties,
+    cumulative_end_membership,
+    cumulative_membership,
+    descendant_counts,
+    membership_mask,
+    survivors,
+    threshold_casualties_by_end,
+)
+from repro.trees.index import range_count
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+ALPHABET = ("A", "B", "C")
+
+#: Every axis the revise kernels may see (interval, local, sibling, extras).
+KERNEL_AXES = (
+    Axis.CHILD,
+    Axis.CHILD_PLUS,
+    Axis.CHILD_STAR,
+    Axis.NEXT_SIBLING,
+    Axis.NEXT_SIBLING_PLUS,
+    Axis.NEXT_SIBLING_STAR,
+    Axis.FOLLOWING,
+    Axis.DOCUMENT_ORDER,
+    Axis.SUCC_PRE,
+)
+
+
+@st.composite
+def trees(draw, min_size: int = 1, max_size: int = 16) -> Tree:
+    size = draw(st.integers(min_value=min_size, max_value=max_size))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return random_tree(
+        size,
+        alphabet=ALPHABET,
+        max_children=3,
+        unlabeled_probability=draw(st.sampled_from([0.0, 0.2])),
+        seed=seed,
+    )
+
+
+@st.composite
+def tree_and_subsets(draw):
+    """A tree plus two random node subsets (watched candidates, support)."""
+    tree = draw(trees())
+    n = len(tree)
+    rng = random.Random(draw(st.integers(min_value=0, max_value=10_000)))
+    watched = sorted(rng.sample(range(n), rng.randint(0, n)))
+    support = sorted(rng.sample(range(n), rng.randint(0, n)))
+    return tree, watched, support
+
+
+@st.composite
+def queries(draw, axes, max_variables: int = 4) -> ConjunctiveQuery:
+    num_variables = draw(st.integers(min_value=2, max_value=max_variables))
+    variables = [f"v{i}" for i in range(num_variables)]
+    num_atoms = draw(st.integers(min_value=1, max_value=num_variables + 2))
+    rng = random.Random(draw(st.integers(min_value=0, max_value=10_000)))
+    atoms: list = []
+    for _ in range(num_atoms):
+        source, target = rng.sample(variables, 2)
+        atoms.append(AxisAtom(rng.choice(list(axes)), source, target))
+    for variable in variables:
+        if rng.random() < 0.5:
+            atoms.append(LabelAtom(rng.choice(ALPHABET), variable))
+    return ConjunctiveQuery((), tuple(atoms), "H")
+
+
+class TestCumulativeColumns:
+    @SETTINGS
+    @given(tree_and_subsets())
+    def test_cumulative_membership_counts_prefix(self, data):
+        tree, _, support = data
+        n = len(tree)
+        cum = cumulative_membership(support, n)
+        assert len(cum) == n + 1
+        for j in range(n + 1):
+            assert cum[j] == sum(1 for s in support if s < j)
+            assert cum[j] == range_count(support, 0, j)
+
+    @SETTINGS
+    @given(tree_and_subsets())
+    def test_cumulative_end_membership_counts_closed_subtrees(self, data):
+        tree, _, support = data
+        n = len(tree)
+        end = tree.subtree_end
+        cum_end = cumulative_end_membership(support, end, n)
+        for j in range(n + 1):
+            assert cum_end[j] == sum(1 for s in support if end[s] < j)
+
+    @SETTINGS
+    @given(tree_and_subsets())
+    def test_membership_mask(self, data):
+        tree, _, support = data
+        mask = membership_mask(support, len(tree))
+        assert [i for i, bit in enumerate(mask) if bit] == support
+
+
+class TestCountKernels:
+    @SETTINGS
+    @given(tree_and_subsets(), st.booleans())
+    def test_descendant_counts_match_range_count(self, data, include_self):
+        tree, watched, support = data
+        index = tree.index
+        cum = cumulative_membership(support, len(tree))
+        counts = descendant_counts(watched, index.subtree_end_plus1, cum, include_self)
+        for u, count in zip(watched, counts):
+            lo = u if include_self else u + 1
+            assert count == range_count(support, lo, tree.subtree_end[u] + 1)
+
+    @SETTINGS
+    @given(tree_and_subsets(), st.booleans())
+    def test_ancestor_counts_match_parent_chain(self, data, include_self):
+        tree, watched, support = data
+        n = len(tree)
+        cum = cumulative_membership(support, n)
+        cum_end = cumulative_end_membership(support, tree.subtree_end, n)
+        mask = membership_mask(support, n) if include_self else None
+        counts = ancestor_counts(watched, cum, cum_end, mask)
+        support_set = set(support)
+        for u, count in zip(watched, counts):
+            expected = 1 if include_self and u in support_set else 0
+            node = tree.parent[u]
+            while node >= 0:
+                expected += node in support_set
+                node = tree.parent[node]
+            assert count == expected
+
+    @SETTINGS
+    @given(tree_and_subsets())
+    def test_survivors_and_casualties_partition(self, data):
+        tree, watched, support = data
+        cum = cumulative_membership(support, len(tree))
+        counts = descendant_counts(watched, tree.index.subtree_end_plus1, cum, False)
+        kept = survivors(watched, counts)
+        dead = casualties(watched, counts)
+        assert sorted(kept + dead) == watched
+        assert all(count > 0 for u, count in zip(watched, counts) if u in set(kept))
+
+    @SETTINGS
+    @given(tree_and_subsets())
+    def test_following_threshold_matches_definition(self, data):
+        tree, watched, support = data
+        if not support:
+            return
+        bound = support[-1]
+        dead = threshold_casualties_by_end(watched, tree.subtree_end, bound)
+        expected = [u for u in watched if tree.subtree_end[u] >= bound]
+        assert dead == expected
+
+
+class TestUnsupportedKernels:
+    """The bulk revise kernels vs brute-force witness search, on every axis."""
+
+    @SETTINGS
+    @given(tree_and_subsets(), st.sampled_from(KERNEL_AXES))
+    def test_unsupported_forward_matches_brute_force(self, data, axis):
+        tree, watched, support = data
+        structure = TreeStructure(tree)
+        index = tree.index
+        watched_view = index.mutable_view(watched)
+        support_view = index.mutable_view(support)
+        dead = _unsupported_forward(axis, watched_view, support_view, index, structure)
+        support_set = set(support)
+        expected = [
+            u
+            for u in watched
+            if not any(structure.axis_holds(axis, u, v) for v in support_set)
+        ]
+        assert list(dead) == expected
+
+    @SETTINGS
+    @given(tree_and_subsets(), st.sampled_from(KERNEL_AXES))
+    def test_unsupported_backward_matches_brute_force(self, data, axis):
+        tree, watched, support = data
+        structure = TreeStructure(tree)
+        index = tree.index
+        watched_view = index.mutable_view(watched)
+        support_view = index.mutable_view(support)
+        dead = _unsupported_backward(axis, watched_view, support_view, index, structure)
+        support_set = set(support)
+        expected = [
+            w
+            for w in watched
+            if not any(structure.axis_holds(axis, u, w) for u in support_set)
+        ]
+        assert list(dead) == expected
+
+    @SETTINGS
+    @given(tree_and_subsets(), st.sampled_from(KERNEL_AXES))
+    def test_kernels_respect_view_deletion_state(self, data, axis):
+        """Aggregates rebuilt after discards: kernels see only live members."""
+        tree, watched, support = data
+        structure = TreeStructure(tree)
+        index = tree.index
+        support_view = index.mutable_view(range(len(tree)))
+        # Force the cached aggregates, then invalidate them through discards.
+        support_view.cum_pre, support_view.cum_end, support_view.live_mask
+        for node in range(len(tree)):
+            if node not in set(support):
+                support_view.discard(node)
+        watched_view = index.mutable_view(watched)
+        fresh_support = index.mutable_view(support)
+        assert list(support_view.array) == list(fresh_support.array)
+        assert support_view.cum_pre == fresh_support.cum_pre
+        assert support_view.cum_end == fresh_support.cum_end
+        assert support_view.live_mask == fresh_support.live_mask
+        assert list(
+            _unsupported_forward(axis, watched_view, support_view, index, structure)
+        ) == list(
+            _unsupported_forward(axis, watched_view, fresh_support, index, structure)
+        )
+
+
+class TestFixpointAblation:
+    """Columnar fixpoints are byte-identical to their per-candidate ablations."""
+
+    @SETTINGS
+    @given(trees(), queries(KERNEL_AXES))
+    def test_ac3_worklist_columnar_matches_per_candidate(self, tree, query):
+        structure = TreeStructure(tree)
+        fast = maximal_arc_consistent(query, structure, columnar=True)
+        slow = maximal_arc_consistent(query, structure, columnar=False)
+        assert fast == slow
+
+    @SETTINGS
+    @given(trees(), queries(KERNEL_AXES))
+    def test_ac4_columnar_matches_per_candidate(self, tree, query):
+        structure = TreeStructure(tree)
+        fast = ac4_fixpoint(query, structure, columnar=True)
+        slow = ac4_fixpoint(query, structure, columnar=False)
+        if fast is None or slow is None:
+            assert fast is None and slow is None
+            return
+        assert {v: set(view.members) for v, view in fast.items()} == {
+            v: set(view.members) for v, view in slow.items()
+        }
+
+    @SETTINGS
+    @given(trees(), queries(KERNEL_AXES))
+    def test_hybrid_columnar_matches_per_candidate(self, tree, query):
+        structure = TreeStructure(tree)
+        fast = hybrid_fixpoint(query, structure, columnar=True)
+        slow = hybrid_fixpoint(query, structure, columnar=False)
+        if fast is None or slow is None:
+            assert fast is None and slow is None
+            return
+        assert {v: set(view.members) for v, view in fast.items()} == {
+            v: set(view.members) for v, view in slow.items()
+        }
+
+    @SETTINGS
+    @given(
+        trees(),
+        queries((Axis.CHILD, Axis.CHILD_PLUS, Axis.FOLLOWING)),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_columnar_fixpoint_with_pinning(self, tree, query, seed):
+        structure = TreeStructure(tree)
+        rng = random.Random(seed)
+        pinned = {rng.choice(query.variables()): rng.randrange(len(tree))}
+        assert maximal_arc_consistent(
+            query, structure, pinned, columnar=True
+        ) == maximal_arc_consistent(query, structure, pinned, columnar=False)
+
+
+class TestDecompositionColumnar:
+    @SETTINGS
+    @given(trees(), queries((Axis.CHILD, Axis.CHILD_PLUS, Axis.FOLLOWING)))
+    def test_bag_materialization_bulk_tail_matches(self, tree, query):
+        rng = random.Random(len(tree) + len(query.body))
+        body_variables = sorted({v for atom in query.body for v in atom.variables()})
+        head = tuple(rng.sample(body_variables, rng.randint(0, min(2, len(body_variables)))))
+        kary = query.with_head(head)
+        structure = TreeStructure(tree)
+        fast = evaluate_answers(kary, structure, columnar=True)
+        slow = evaluate_answers(kary, structure, columnar=False)
+        assert repr(sorted(fast)) == repr(sorted(slow))

@@ -76,7 +76,7 @@ class TestMutableDomainView:
         assert not view.discard(4)  # already gone
         assert 4 not in view
         assert len(view) == 8
-        assert view.array == [0, 1, 2, 3, 5, 6, 7, 8]
+        assert list(view.array) == [0, 1, 2, 3, 5, 6, 7, 8]
 
     def test_compaction_keeps_dead_fraction_bounded(self, sentence_tree):
         view = self._view(sentence_tree, range(9))
@@ -84,7 +84,7 @@ class TestMutableDomainView:
             view.discard(node)
         # At most half of the backing array may be dead.
         assert len(view.unpruned_array) <= 2 * len(view)
-        assert view.array == [1, 3, 5, 7]
+        assert list(view.array) == [1, 3, 5, 7]
 
     def test_iter_live_range_skips_dead(self, sentence_tree):
         view = self._view(sentence_tree, range(9))
@@ -172,9 +172,9 @@ class TestAc4Engine:
         views = ac4_fixpoint(query, structure)
         assert views is not None
         for variable, view in views.items():
-            assert sorted(view.members) == view.array
+            assert sorted(view.members) == list(view.array)
             fresh = structure.index.view(view.members)
-            assert view.array == fresh.array
+            assert list(view.array) == list(fresh.array)
             assert view.min_end == fresh.min_end
             assert view.prefix_max_end == fresh.prefix_max_end
 
