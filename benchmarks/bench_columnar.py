@@ -16,12 +16,13 @@ Two entry groups are measured, both as ``columnar=True`` vs the
   (``min_speedup``) is the minimum columnar speedup over this group at the
   largest size and must meet the >= 5x acceptance bar.
 * ``ablation_*`` -- entries kept to report where the columnar kernels win
-  less or not at all, excluded from the headline: mixed ``Child+`` /
-  ``Following`` chains (~3-5x), pure ``Child+`` chains (~2-3x), the AC-4
-  support-counting init (parity by design -- its ``Following`` trackers are
-  threshold-based in both modes), the hybrid propagator (~2x), and bag
-  materialization through the decomposition engine, where the bulk tail
-  emission trims constant factors only (~1-1.5x).
+  less, excluded from the headline: mixed ``Child+`` / ``Following`` chains
+  (~3-5x), pure ``Child+`` chains (~2-3x), the hybrid propagator (~2x), and
+  bag materialization through the decomposition engine, where the bulk tail
+  emission trims constant factors only (~1-1.5x).  The former
+  ``ablation_ac4_init`` entry measured at parity by design (AC-4's
+  ``Following`` trackers are threshold-based in both modes) and was retired
+  along with the columnar counter-init path itself.
 
 Byte-identity between the two modes is asserted on every measured instance,
 and the SQLite accel-table backend (:mod:`repro.backends.sqlite`) is
@@ -44,7 +45,6 @@ from bench_config import SMOKE, scaled
 from repro.decomposition.yannakakis import evaluate_answers
 from repro.evaluation import (
     maximal_arc_consistent,
-    maximal_arc_consistent_ac4,
     maximal_arc_consistent_hybrid,
 )
 from repro.queries import parse_query
@@ -170,14 +170,11 @@ def run(sizes=SIZES, repeats: int = 3) -> dict:
             results.append(
                 _entry(size, name, "ac3_worklist", name in PAIN_QUERIES, slow, fast)
             )
-        # AC-4 init and hybrid on the chain shape: the ablations that show
-        # where the columnar flag changes little (AC-4's Following trackers
-        # are threshold-based in both modes).
+        # Hybrid on the chain shape: the ablation that shows where the
+        # columnar flag changes less (its AC-4 stage's Following trackers are
+        # threshold-based in both modes; the retired ac4_init entry measured
+        # at parity by design and is no longer carried).
         query = parse_query(AC3_QUERIES[PROPAGATOR_ABLATION_QUERY])
-        slow, fast = _measure_fixpoint(
-            maximal_arc_consistent_ac4, query, structure, repeats
-        )
-        results.append(_entry(size, "ablation_ac4_init", "ac4_init", False, slow, fast))
         slow, fast = _measure_fixpoint(
             maximal_arc_consistent_hybrid, query, structure, repeats
         )

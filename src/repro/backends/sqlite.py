@@ -11,21 +11,43 @@ relational accel table::
     documents(doc, nodes, registered_at)
 
 Every axis of the paper's ``Ax`` (plus the Section 4 extras and the inverse
-axes) becomes a constant-size SQL predicate over two ``accel`` aliases, so a
-conjunctive query lowers to one range self-join -- ``SELECT DISTINCT`` over
-the head columns -- that SQLite answers out of its page cache.  Documents far
+axes) becomes a constant-size SQL predicate over two ``accel`` aliases.  Two
+lowerings share that vocabulary:
+
+* ``lowering="tree"`` (the default) -- **join-tree lowering**: the query's
+  tree decomposition (``CompiledQuery.decomposition``) becomes one CTE per
+  bag, defined children-first so every bag CTE embeds the bottom-up semijoin
+  (``EXISTS``/``IN`` pushdown onto its children's CTEs) -- the SQL mirror of
+  the Yannakakis reduction.  Witness-only variables are never joined: their
+  order-statistic atoms (``Following``, ``DocumentOrder``,
+  ``NextSibling+``/``*``) lower to comparisons against aggregates of the
+  witness relation (global extrema, or per-parent extrema via a window
+  function) -- the SQL mirror of AC-4's ``_GlobalThreshold`` /
+  ``_SiblingThreshold`` trackers -- and the remaining axes to correlated
+  first-witness ``EXISTS`` probes that ride the ``accel`` primary key.  The
+  final statement joins only the bags on the head variables' root paths, so a
+  monadic chain query never materialises a quadratic intermediate.
+* ``lowering="flat"`` -- the original one-big-join lowering, kept as the
+  ablation and cross-check path.
+
+Answers can be **streamed**: :meth:`SQLiteBackend.stream_answers` orders the
+head columns ascending in SQL, pushes ``LIMIT`` down after the ``ORDER BY``,
+and iterates a server-side cursor in ``fetchmany`` batches, so peak Python
+memory is bounded by the batch size, not the result size.  Documents far
 bigger than RAM stay queryable: :meth:`SQLiteBackend.ensure_document`
 materialises a tree into a file-backed database once and every later session
-reopens it without re-parsing.
+reopens it without re-parsing (or re-building any resident index).
 
-Answers are byte-identical to the in-memory planner on every query -- the
-cross-backend equivalence suite (``tests/test_backend_equivalence.py``) pins
-in-memory, columnar-kernel and SQLite answers against each other, and the CI
-``backend-equivalence`` job runs it on every push.
+Answers are byte-identical to the in-memory planner on every query and under
+both lowerings -- the cross-backend equivalence suite
+(``tests/test_backend_equivalence.py``, ``tests/test_sqlite_lowering.py``)
+pins them against each other, and the CI ``backend-equivalence`` job runs it
+on every push.
 
-The planner exposes this backend as ``Engine.SQL``; it is never auto-chosen
-(:func:`repro.evaluation.planner.choose_engine` stays in-memory) but is always
-selectable for cross-checking and for out-of-core documents.
+The planner exposes this backend as ``Engine.SQL``; the serving layer
+auto-routes to it when a document is registered *accel-only* (lives in the
+accel store without a resident ``TreeStructure``), and it stays selectable
+everywhere for cross-checking.
 """
 
 from __future__ import annotations
@@ -33,7 +55,7 @@ from __future__ import annotations
 import sqlite3
 import threading
 import time
-from typing import Iterable, Mapping, Optional
+from typing import Iterable, Iterator, Mapping, Optional
 from weakref import WeakKeyDictionary
 
 from ..queries.atoms import AxisAtom, LabelAtom, Variable
@@ -81,6 +103,25 @@ _AXIS_SQL: dict[Axis, str] = {
 #: table instead of an ``IN (?, ?, ...)`` list (SQLite caps bound variables).
 _IN_LIST_LIMIT = 500
 
+#: Default rows per ``fetchmany`` batch when streaming answers.
+STREAM_BATCH_SIZE = 1024
+
+#: Witness-only endpoints of these axes compare against a *global* extremum
+#: of the witness relation (``Following``: ``max id`` / ``min subtree_end``;
+#: ``DocumentOrder``: ``max``/``min id``) instead of a range join.
+_GLOBAL_THRESHOLD_AXES = frozenset({Axis.FOLLOWING, Axis.DOCUMENT_ORDER})
+
+#: Witness-only endpoints of these axes compare against *per-parent* sibling
+#: extrema, computed by a window function over the witness relation.
+_SIBLING_THRESHOLD_AXES = frozenset({Axis.NEXT_SIBLING_PLUS, Axis.NEXT_SIBLING_STAR})
+
+#: Window functions arrived in SQLite 3.25; older libraries fall back to the
+#: correlated-EXISTS formulation (same answers, no window CTE).
+_HAS_WINDOW_FUNCTIONS = sqlite3.sqlite_version_info >= (3, 25, 0)
+
+#: Recognised values for the ``lowering=`` knobs.
+LOWERINGS = ("tree", "flat")
+
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS documents (
     doc            TEXT PRIMARY KEY,
@@ -106,6 +147,465 @@ CREATE TABLE IF NOT EXISTS label (
     PRIMARY KEY (doc, name, node)
 ) WITHOUT ROWID;
 """
+
+
+class _TreeLowering:
+    """Builds the join-tree SQL for one query against one document.
+
+    The decomposition's bags become CTEs ``bag_i`` emitted children-first
+    along the join tree re-rooted at a head bag (see
+    :meth:`_reduced_head_tree`), so every child CTE is defined before its
+    parent references it.  Each ``bag_i`` selects the bag's
+    *keep* columns -- the separator to its parent, the separators to children
+    whose subtrees contain head variables, and the bag's own head variables --
+    from ``accel`` aliases constrained by the bag's atoms, with the bottom-up
+    Yannakakis semijoin folded in as ``IN``/``EXISTS`` conditions over the
+    children's CTEs.  Everything else in the bag is witness-only and is never
+    joined: single order-statistic atoms become threshold comparisons against
+    aggregates of the witness relation, everything else a correlated
+    first-witness ``EXISTS``.
+
+    Parameter ordering: SQLite binds ``?`` placeholders left-to-right over
+    the *whole* statement (CTE bodies included), so every fragment collects
+    its parameters in a local list that is appended to :attr:`params` at the
+    moment the fragment's text is appended to :attr:`ctes`.
+    """
+
+    def __init__(
+        self,
+        backend: "SQLiteBackend",
+        doc_id: str,
+        query: ConjunctiveQuery,
+        pinned: Optional[Mapping[Variable, int]],
+        extra_unary: Mapping[str, frozenset[int]],
+    ):
+        from ..evaluation.compile import compile_query
+
+        self.backend = backend
+        self.doc_id = doc_id
+        self.query = query
+        self.compiled = compile_query(query)
+        self.vix = self.compiled.variable_index
+        self.pinned = {
+            variable: node
+            for variable, node in (pinned or {}).items()
+            if variable in self.vix
+        }
+        self.extra_unary = extra_unary
+        self.decomposition = self.compiled.decomposition
+        self.bags, self.parent, self.children, self.roots = self._reduced_head_tree()
+        self.params: list = []
+        self.temp_tables: list[str] = []
+        self.ctes: list[str] = []
+        self._sibling_counter = 0
+        self.loops_by_variable: dict[Variable, list] = {}
+        for loop in self.compiled.loops:
+            self.loops_by_variable.setdefault(loop.source, []).append(loop)
+
+    def _reduced_head_tree(
+        self,
+    ) -> tuple[list[frozenset], list[int], list[list[int]], list[int]]:
+        """The compiled join tree, subset bags contracted, rooted at head bags.
+
+        Two normalizations that the compiled decomposition does not promise
+        but the lowering's cost model depends on:
+
+        * **Reduction**: a bag that is a subset of a neighbour carries no
+          constraint of its own, yet as a separate CTE it would materialize
+          its separator -- for a two-variable atom-free bag that is a full
+          cross product of candidate sets.  Contracting subset bags into
+          their neighbours (the standard *reduced* tree decomposition, which
+          preserves the running-intersection property) removes them.
+        * **Orientation**: any re-rooting of a join tree is a join tree, but
+          the lowering is not orientation-agnostic -- variables outside the
+          keep sets are eliminated as cheap witnesses (threshold aggregates,
+          first-witness ``EXISTS``), and keep sets grow along the path from
+          the head bags to the root.  A tree rooted at the far end of an
+          acyclic tail drags every tail variable into materialized
+          separators; re-rooted at the bag sharing the most head variables
+          (ties to the lowest index; headless components keep their compiled
+          root when it survives reduction) the same tail reduces bottom-up
+          to semijoins.
+        """
+        decomposition = self.decomposition
+        count = len(decomposition.bags)
+        bags = list(decomposition.bags)
+        neighbours: list[set[int]] = [set() for _ in range(count)]
+        for index, parent_index in enumerate(decomposition.parent):
+            if parent_index >= 0:
+                neighbours[index].add(parent_index)
+                neighbours[parent_index].add(index)
+        alive = set(range(count))
+        merged = True
+        while merged:
+            merged = False
+            for i in sorted(alive):
+                target = next(
+                    (j for j in sorted(neighbours[i]) if bags[i] <= bags[j]), None
+                )
+                if target is None:
+                    continue
+                neighbours[target].discard(i)
+                for k in neighbours[i]:
+                    if k != target:
+                        neighbours[k].discard(i)
+                        neighbours[k].add(target)
+                        neighbours[target].add(k)
+                neighbours[i].clear()
+                alive.discard(i)
+                merged = True
+                break
+
+        relabel = {old: new for new, old in enumerate(sorted(alive))}
+        reduced_bags = [bags[old] for old in sorted(alive)]
+        reduced_neighbours: list[list[int]] = [[] for _ in relabel]
+        for old in sorted(alive):
+            reduced_neighbours[relabel[old]] = sorted(relabel[k] for k in neighbours[old])
+
+        head_set = set(self.query.head)
+        reduced_count = len(reduced_bags)
+        parent = [-2] * reduced_count
+        children: list[list[int]] = [[] for _ in range(reduced_count)]
+        roots: list[int] = []
+        for start in range(reduced_count):
+            if parent[start] != -2:
+                continue
+            component = [start]
+            seen = {start}
+            for bag in component:
+                for neighbour in reduced_neighbours[bag]:
+                    if neighbour not in seen:
+                        seen.add(neighbour)
+                        component.append(neighbour)
+            root = component[0]
+            if head_set:
+                best = max(len(reduced_bags[i] & head_set) for i in component)
+                if best > 0:
+                    root = min(
+                        i for i in component if len(reduced_bags[i] & head_set) == best
+                    )
+            roots.append(root)
+            parent[root] = -1
+            stack = [root]
+            while stack:
+                bag = stack.pop()
+                for neighbour in reduced_neighbours[bag]:
+                    if parent[neighbour] == -2:
+                        parent[neighbour] = bag
+                        children[bag].append(neighbour)
+                        stack.append(neighbour)
+        return reduced_bags, parent, children, roots
+
+    def _covering_bag(self, atom) -> int:
+        """The lowest-index reduced bag containing both endpoints of ``atom``."""
+        pair = {atom.source, atom.target}
+        for index, bag in enumerate(self.bags):
+            if pair <= bag:
+                return index
+        raise ValueError(f"no bag covers atom {atom!r}")  # pragma: no cover
+
+    # -- shared fragments ------------------------------------------------------
+
+    def _unary_conditions(self, alias: str, variable: Variable, params: list) -> list[str]:
+        """The document, label, pin and self-loop filters of one variable."""
+        conditions = [f"{alias}.doc = ?"]
+        params.append(self.doc_id)
+        for label in self.compiled.labels_by_variable.get(variable, ()):
+            if label in self.extra_unary:
+                conditions.append(
+                    self.backend._unary_condition(
+                        f"{alias}.id", self.extra_unary[label], params, self.temp_tables
+                    )
+                )
+            else:
+                conditions.append(
+                    "EXISTS (SELECT 1 FROM label WHERE doc = ? "
+                    f"AND node = {alias}.id AND name = ?)"
+                )
+                params.extend((self.doc_id, label))
+        if variable in self.pinned:
+            conditions.append(f"{alias}.id = ?")
+            params.append(self.pinned[variable])
+        for loop in self.loops_by_variable.get(variable, ()):
+            conditions.append("(" + _AXIS_SQL[loop.axis].format(s=alias, t=alias) + ")")
+        return conditions
+
+    @staticmethod
+    def _atom_condition(atom, source_alias: str, target_alias: str) -> str:
+        return "(" + _AXIS_SQL[atom.axis].format(s=source_alias, t=target_alias) + ")"
+
+    # -- witness-only variables ------------------------------------------------
+
+    def _witness_condition(
+        self,
+        variable: Variable,
+        atoms: list,
+        alias: Mapping[Variable, str],
+        refining_children: list[int],
+        bag_params: list,
+    ) -> str:
+        """Eliminate a witness-only variable from its bag.
+
+        ``refining_children`` are the child bags whose separator is exactly
+        ``(variable,)``: their already-reduced CTEs narrow the witness
+        relation (the bottom-up semijoin applied *before* the aggregate, so a
+        threshold never counts a witness the subtree below has refuted).
+        """
+        position = self.vix[variable]
+        walias = f"w{position}"
+        local: list = []
+        conditions = self._unary_conditions(walias, variable, local)
+        conditions.extend(
+            f"{walias}.id IN (SELECT c{position} FROM bag_{child})"
+            for child in refining_children
+        )
+        if len(atoms) == 1 and atoms[0].axis in _GLOBAL_THRESHOLD_AXES:
+            atom = atoms[0]
+            dropped_is_target = atom.target == variable
+            other = alias[atom.source if dropped_is_target else atom.target]
+            where = " AND ".join(conditions)
+            bag_params.extend(local)
+            if atom.axis is Axis.FOLLOWING:
+                if dropped_is_target:
+                    # exists t: t.id > s.subtree_end  <=>  s.subtree_end < max(t.id)
+                    return (
+                        f"{other}.subtree_end < "
+                        f"(SELECT MAX({walias}.id) FROM accel {walias} WHERE {where})"
+                    )
+                # exists s: t.id > s.subtree_end  <=>  t.id > min(s.subtree_end)
+                return (
+                    f"{other}.id > "
+                    f"(SELECT MIN({walias}.subtree_end) FROM accel {walias} WHERE {where})"
+                )
+            if dropped_is_target:  # DocumentOrder
+                return (
+                    f"{other}.id < "
+                    f"(SELECT MAX({walias}.id) FROM accel {walias} WHERE {where})"
+                )
+            return (
+                f"{other}.id > "
+                f"(SELECT MIN({walias}.id) FROM accel {walias} WHERE {where})"
+            )
+        if (
+            len(atoms) == 1
+            and atoms[0].axis in _SIBLING_THRESHOLD_AXES
+            and _HAS_WINDOW_FUNCTIONS
+        ):
+            atom = atoms[0]
+            dropped_is_target = atom.target == variable
+            other = alias[atom.source if dropped_is_target else atom.target]
+            where = " AND ".join(conditions)
+            self._sibling_counter += 1
+            name = f"sib_{self._sibling_counter}"
+            aggregate = "MAX" if dropped_is_target else "MIN"
+            self.ctes.append(
+                f"{name} AS (SELECT DISTINCT {walias}.parent AS parent, "
+                f"{aggregate}({walias}.sibling_index) "
+                f"OVER (PARTITION BY {walias}.parent) AS si "
+                f"FROM accel {walias} WHERE {where})"
+            )
+            self.params.extend(local)
+            strict = atom.axis is Axis.NEXT_SIBLING_PLUS
+            operator = (">" if strict else ">=") if dropped_is_target else ("<" if strict else "<=")
+            return (
+                f"EXISTS (SELECT 1 FROM {name} WHERE {name}.parent = {other}.parent "
+                f"AND {name}.si {operator} {other}.sibling_index)"
+            )
+        # Generic first-witness probe: one EXISTS over all of the variable's
+        # in-bag atoms (they share the single witness), riding the accel
+        # primary key for the range predicates.
+        for atom in atoms:
+            source = walias if atom.source == variable else alias[atom.source]
+            target = walias if atom.target == variable else alias[atom.target]
+            conditions.append(self._atom_condition(atom, source, target))
+        bag_params.extend(local)
+        where = " AND ".join(conditions)
+        return f"EXISTS (SELECT 1 FROM accel {walias} WHERE {where})"
+
+    # -- bag CTEs --------------------------------------------------------------
+
+    def _emit_bag(
+        self,
+        index: int,
+        atoms: list,
+        keep: list[Variable],
+        separators: list[tuple[Variable, ...]],
+    ) -> None:
+        vix = self.vix
+        bag = self.bags[index]
+        keep_set = set(keep)
+
+        # Children semijoin into this bag on their separators.  Single-variable
+        # separators refine that variable's rows directly (and can be folded
+        # into a witness-only variable's relation); wider or empty separators
+        # become EXISTS conditions over retained aliases.
+        refining: dict[Variable, list[int]] = {}
+        blocked: set[Variable] = set()
+        exists_children: list[tuple[int, tuple[Variable, ...]]] = []
+        for child in self.children[index]:
+            separator = separators[child]
+            if len(separator) == 1:
+                refining.setdefault(separator[0], []).append(child)
+            else:
+                blocked.update(separator)
+                exists_children.append((child, separator))
+
+        droppable = {v for v in bag if v not in keep_set and v not in blocked}
+        # An atom between two witness-only variables shares its witness pair;
+        # retain one endpoint so every eliminated variable's atoms connect it
+        # to joined aliases only.
+        for atom in atoms:
+            if atom.source in droppable and atom.target in droppable:
+                droppable.discard(max(atom.source, atom.target, key=lambda v: vix[v]))
+        retained = sorted((v for v in bag if v not in droppable), key=lambda v: vix[v])
+
+        alias = {v: f"v{vix[v]}" for v in retained}
+        params: list = []
+        conditions: list[str] = []
+        for variable in retained:
+            conditions.extend(self._unary_conditions(alias[variable], variable, params))
+        for atom in atoms:
+            if atom.source in droppable or atom.target in droppable:
+                continue
+            conditions.append(
+                self._atom_condition(atom, alias[atom.source], alias[atom.target])
+            )
+        for variable, kids in refining.items():
+            if variable in droppable:
+                continue
+            position = vix[variable]
+            conditions.extend(
+                f"{alias[variable]}.id IN (SELECT c{position} FROM bag_{child})"
+                for child in kids
+            )
+        for child, separator in exists_children:
+            if separator:
+                equalities = " AND ".join(
+                    f"bag_{child}.c{vix[v]} = {alias[v]}.id" for v in separator
+                )
+                conditions.append(f"EXISTS (SELECT 1 FROM bag_{child} WHERE {equalities})")
+            else:
+                conditions.append(f"EXISTS (SELECT 1 FROM bag_{child})")
+        for variable in sorted(droppable, key=lambda v: vix[v]):
+            own_atoms = [a for a in atoms if variable in (a.source, a.target)]
+            if own_atoms:
+                conditions.append(
+                    self._witness_condition(
+                        variable, own_atoms, alias, refining.get(variable, []), params
+                    )
+                )
+            else:
+                # Unconstrained inside the bag: existence of one candidate.
+                local: list = []
+                walias = f"w{vix[variable]}"
+                unary = self._unary_conditions(walias, variable, local)
+                unary.extend(
+                    f"{walias}.id IN (SELECT c{vix[variable]} FROM bag_{child})"
+                    for child in refining.get(variable, [])
+                )
+                params.extend(local)
+                conditions.append(
+                    f"EXISTS (SELECT 1 FROM accel {walias} WHERE {' AND '.join(unary)})"
+                )
+
+        where = " AND ".join(conditions) if conditions else "1"
+        from_clause = (
+            " FROM " + ", ".join(f"accel {alias[v]}" for v in retained) if retained else ""
+        )
+        if keep:
+            columns = ", ".join(f"{alias[v]}.id AS c{vix[v]}" for v in keep)
+            body = f"SELECT DISTINCT {columns}{from_clause} WHERE {where}"
+        else:
+            # Witness-only bag (a headless component): one row iff satisfiable.
+            body = f"SELECT 1 AS ok{from_clause} WHERE {where} LIMIT 1"
+        self.ctes.append(f"bag_{index} AS ({body})")
+        self.params.extend(params)
+
+    # -- whole statements ------------------------------------------------------
+
+    def lower(self, boolean: bool) -> tuple[str, list, list[str]]:
+        bags = self.bags
+        parent = self.parent
+        count = len(bags)
+        vix = self.vix
+        head = () if boolean else self.query.head
+        head_set = set(head)
+
+        bag_atoms: list[list] = [[] for _ in range(count)]
+        for atom in self.compiled.edges:
+            bag_atoms[self._covering_bag(atom)].append(atom)
+
+        separators: list[tuple[Variable, ...]] = []
+        for index in range(count):
+            if parent[index] < 0:
+                separators.append(())
+            else:
+                shared = bags[index] & bags[parent[index]]
+                separators.append(tuple(sorted(shared, key=lambda v: vix[v])))
+
+        # Parents-first order of the (re-rooted) tree; reversed it is the
+        # children-first CTE emission order (a CTE may only reference CTEs
+        # defined before it, and each bag references its children's).
+        top_down: list[int] = []
+        stack = list(self.roots)
+        while stack:
+            bag_index = stack.pop()
+            top_down.append(bag_index)
+            stack.extend(self.children[bag_index])
+
+        subtree_has_head = [bool(bags[index] & head_set) for index in range(count)]
+        for index in reversed(top_down):
+            if subtree_has_head[index] and parent[index] >= 0:
+                subtree_has_head[parent[index]] = True
+
+        keep: list[list[Variable]] = []
+        for index in range(count):
+            keep_set = (bags[index] & head_set) | set(separators[index])
+            for child in self.children[index]:
+                if subtree_has_head[child]:
+                    keep_set |= set(separators[child])
+            keep.append(sorted(keep_set, key=lambda v: vix[v]))
+
+        # The final join touches only the head bags and their root paths; every
+        # sibling subtree is already folded in by the bottom-up semijoins.
+        kept: set[int] = set()
+        for index in range(count):
+            if bags[index] & head_set:
+                walk = index
+                while walk >= 0 and walk not in kept:
+                    kept.add(walk)
+                    walk = parent[walk]
+
+        for index in reversed(top_down):
+            self._emit_bag(index, bag_atoms[index], keep[index], separators)
+
+        if boolean or not head:
+            conditions = " AND ".join(
+                f"EXISTS (SELECT 1 FROM bag_{root})" for root in self.roots
+            )
+            final = f"SELECT 1 WHERE {conditions} LIMIT 1"
+        else:
+            kept_order = sorted(kept)
+            conditions = []
+            for index in kept_order:
+                if parent[index] >= 0:
+                    conditions.extend(
+                        f"bag_{index}.c{vix[v]} = bag_{parent[index]}.c{vix[v]}"
+                        for v in separators[index]
+                    )
+            for root in self.roots:
+                if root not in kept:
+                    conditions.append(f"EXISTS (SELECT 1 FROM bag_{root})")
+            home = {
+                variable: min(i for i in kept_order if variable in set(keep[i]))
+                for variable in head_set
+            }
+            columns = ", ".join(f"bag_{home[v]}.c{vix[v]}" for v in head)
+            from_clause = ", ".join(f"bag_{index}" for index in kept_order)
+            where = " AND ".join(conditions) if conditions else "1"
+            final = f"SELECT DISTINCT {columns} FROM {from_clause} WHERE {where}"
+        sql = "WITH " + ",\n     ".join(self.ctes) + "\n" + final
+        return sql, self.params, self.temp_tables
 
 
 class SQLiteBackend:
@@ -172,21 +672,29 @@ class SQLiteBackend:
         when the existing accel rows were reused -- the out-of-core fast path
         for file-backed databases surviving across sessions.
         """
-        with self._lock:
-            row = self._connection.execute(
-                "SELECT nodes FROM documents WHERE doc = ?", (doc_id,)
-            ).fetchone()
-        if row is not None and row[0] == len(tree):
+        if self.document_nodes(doc_id) == len(tree):
             return False
         self.register_tree(doc_id, tree)
         return True
 
     def has_document(self, doc_id: str) -> bool:
+        return self.document_nodes(doc_id) is not None
+
+    def document_nodes(self, doc_id: str) -> Optional[int]:
+        """Node count of a registered document, or ``None``."""
         with self._lock:
             row = self._connection.execute(
-                "SELECT 1 FROM documents WHERE doc = ?", (doc_id,)
+                "SELECT nodes FROM documents WHERE doc = ?", (doc_id,)
             ).fetchone()
-        return row is not None
+        return None if row is None else row[0]
+
+    def document_label_count(self, doc_id: str) -> int:
+        """Distinct label names of a registered document."""
+        with self._lock:
+            (count,) = self._connection.execute(
+                "SELECT COUNT(DISTINCT name) FROM label WHERE doc = ?", (doc_id,)
+            ).fetchone()
+        return count
 
     def document_ids(self) -> list[str]:
         with self._lock:
@@ -204,6 +712,7 @@ class SQLiteBackend:
         pinned: Optional[Mapping[Variable, int]],
         extra_unary: Mapping[str, frozenset[int]],
         boolean: bool,
+        lowering: str,
     ) -> tuple[str, list, list[str]]:
         """Compile the query to one SQL statement.
 
@@ -211,6 +720,21 @@ class SQLiteBackend:
         tables (large extra-unary relations staged out of the ``IN`` list)
         after fetching.
         """
+        if lowering == "flat":
+            return self._lower_flat(doc_id, query, pinned, extra_unary, boolean)
+        if lowering != "tree":
+            raise ValueError(f"unknown lowering {lowering!r} (expected one of {LOWERINGS})")
+        return _TreeLowering(self, doc_id, query, pinned, extra_unary).lower(boolean)
+
+    def _lower_flat(
+        self,
+        doc_id: str,
+        query: ConjunctiveQuery,
+        pinned: Optional[Mapping[Variable, int]],
+        extra_unary: Mapping[str, frozenset[int]],
+        boolean: bool,
+    ) -> tuple[str, list, list[str]]:
+        """The PR 6 one-big-join lowering (the ``lowering="flat"`` ablation)."""
         variables = query.variables()
         alias = {variable: f"a{i}" for i, variable in enumerate(variables)}
         params: list = []
@@ -289,12 +813,13 @@ class SQLiteBackend:
         query: ConjunctiveQuery,
         pinned: Optional[Mapping[Variable, int]] = None,
         extra_unary: Optional[Mapping[str, frozenset[int]]] = None,
+        lowering: str = "tree",
     ) -> frozenset[Row]:
         """All answers of ``query`` on the registered document.
 
         Boolean queries return ``{()}`` / ``frozenset()``; the answer set is
         byte-identical to :func:`repro.evaluation.planner.evaluate` on every
-        query, which the equivalence suite enforces.
+        query and under both lowerings, which the equivalence suite enforces.
         """
         extras = extra_unary or {}
         if not query.variables():
@@ -302,16 +827,102 @@ class SQLiteBackend:
         if query.is_boolean:
             return (
                 frozenset({()})
-                if self.is_satisfied(doc_id, query, pinned, extra_unary)
+                if self.is_satisfied(doc_id, query, pinned, extra_unary, lowering=lowering)
                 else frozenset()
             )
         with self._lock:
-            sql, params, temp_tables = self._lower(doc_id, query, pinned, extras, False)
+            sql, params, temp_tables = self._lower(
+                doc_id, query, pinned, extras, False, lowering
+            )
             try:
                 rows = self._connection.execute(sql, params).fetchall()
             finally:
                 self._drop_temp_tables(temp_tables)
         return frozenset(tuple(row) for row in rows)
+
+    def stream_answers(
+        self,
+        doc_id: str,
+        query: ConjunctiveQuery,
+        pinned: Optional[Mapping[Variable, int]] = None,
+        extra_unary: Optional[Mapping[str, frozenset[int]]] = None,
+        *,
+        limit: Optional[int] = None,
+        batch_size: int = STREAM_BATCH_SIZE,
+        lowering: str = "tree",
+    ) -> Iterator[Row]:
+        """Answers in ascending head-tuple order, streamed in cursor batches.
+
+        The ``ORDER BY`` over the head columns runs inside SQLite (matching
+        Python's lexicographic tuple order on the sorted answer set) and
+        ``limit`` is pushed down *after* it, so a truncated request never
+        materialises the full answer set anywhere -- peak Python memory is
+        bounded by ``batch_size`` rows, not the result size.
+        """
+        extras = extra_unary or {}
+        if not query.variables() or query.is_boolean:
+            if limit is not None and limit <= 0:
+                return
+            if self.is_satisfied(doc_id, query, pinned, extra_unary, lowering=lowering):
+                yield ()
+            return
+        with self._lock:
+            sql, params, temp_tables = self._lower(
+                doc_id, query, pinned, extras, False, lowering
+            )
+            order = ", ".join(str(k + 1) for k in range(len(query.head)))
+            sql += f" ORDER BY {order}"
+            if limit is not None:
+                sql += " LIMIT ?"
+                params.append(limit)
+            cursor = self._connection.cursor()
+            try:
+                cursor.execute(sql, params)
+            except BaseException:
+                self._drop_temp_tables(temp_tables)
+                raise
+        try:
+            while True:
+                with self._lock:
+                    rows = cursor.fetchmany(batch_size)
+                if not rows:
+                    return
+                for row in rows:
+                    yield tuple(row)
+        finally:
+            with self._lock:
+                cursor.close()
+                self._drop_temp_tables(temp_tables)
+
+    def count_answers(
+        self,
+        doc_id: str,
+        query: ConjunctiveQuery,
+        pinned: Optional[Mapping[Variable, int]] = None,
+        extra_unary: Optional[Mapping[str, frozenset[int]]] = None,
+        lowering: str = "tree",
+    ) -> int:
+        """Exact answer count, without materialising any answers in Python.
+
+        The serving layer pairs this with a ``LIMIT``-ed stream so truncated
+        responses still report the exact total.
+        """
+        extras = extra_unary or {}
+        if not query.variables() or query.is_boolean:
+            return (
+                1 if self.is_satisfied(doc_id, query, pinned, extra_unary, lowering=lowering) else 0
+            )
+        with self._lock:
+            sql, params, temp_tables = self._lower(
+                doc_id, query, pinned, extras, False, lowering
+            )
+            try:
+                (count,) = self._connection.execute(
+                    f"SELECT COUNT(*) FROM ({sql})", params
+                ).fetchone()
+            finally:
+                self._drop_temp_tables(temp_tables)
+        return count
 
     def is_satisfied(
         self,
@@ -319,13 +930,16 @@ class SQLiteBackend:
         query: ConjunctiveQuery,
         pinned: Optional[Mapping[Variable, int]] = None,
         extra_unary: Optional[Mapping[str, frozenset[int]]] = None,
+        lowering: str = "tree",
     ) -> bool:
         """Boolean evaluation (existential closure) of ``query``."""
         extras = extra_unary or {}
         if not query.variables():
             return True
         with self._lock:
-            sql, params, temp_tables = self._lower(doc_id, query, pinned, extras, True)
+            sql, params, temp_tables = self._lower(
+                doc_id, query, pinned, extras, True, lowering
+            )
             try:
                 row = self._connection.execute(sql, params).fetchone()
             finally:
@@ -376,11 +990,16 @@ def evaluate_structure(
     query: ConjunctiveQuery,
     structure: TreeStructure,
     pinned: Optional[Mapping[Variable, int]] = None,
+    lowering: str = "tree",
 ) -> frozenset[Row]:
     """``Engine.SQL`` entry point: answers of ``query`` over ``structure``."""
     backend = backend_for_tree(structure.tree)
     return backend.evaluate(
-        _TREE_DOC_ID, query, pinned=pinned, extra_unary=structure.extra_unary_relations()
+        _TREE_DOC_ID,
+        query,
+        pinned=pinned,
+        extra_unary=structure.extra_unary_relations(),
+        lowering=lowering,
     )
 
 
@@ -388,9 +1007,14 @@ def structure_is_satisfied(
     query: ConjunctiveQuery,
     structure: TreeStructure,
     pinned: Optional[Mapping[Variable, int]] = None,
+    lowering: str = "tree",
 ) -> bool:
     """``Engine.SQL`` Boolean entry point."""
     backend = backend_for_tree(structure.tree)
     return backend.is_satisfied(
-        _TREE_DOC_ID, query, pinned=pinned, extra_unary=structure.extra_unary_relations()
+        _TREE_DOC_ID,
+        query,
+        pinned=pinned,
+        extra_unary=structure.extra_unary_relations(),
+        lowering=lowering,
     )

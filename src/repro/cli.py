@@ -47,17 +47,26 @@ def _load_query(args: argparse.Namespace) -> ConjunctiveQuery:
 
 
 def _command_evaluate(args: argparse.Namespace) -> int:
-    tree = _load_tree(args)
     query = _load_query(args)
-    structure = TreeStructure(tree)
     requested = Engine(args.engine)
-    engine = choose_engine(query) if requested is Engine.AUTO else requested
     propagator = Propagator(args.propagator)
+    if args.doc is not None and args.accel_db is None:
+        raise SystemExit("--doc requires --accel-db (it names a document in the accel database)")
+    # Pure out-of-core mode: --doc names an already-materialised document in
+    # the accel database, so no tree source is needed (or loaded).
+    out_of_core = (
+        args.accel_db is not None and args.doc is not None and not (args.tree or args.sexpr)
+    )
+    tree = None if out_of_core else _load_tree(args)
     accel_line = None
+    print_limit = args.limit if args.limit is not None else 20
     try:
         if args.accel_db is not None:
-            if requested is not Engine.SQL:
-                raise SystemExit("--accel-db requires --engine sql")
+            if requested not in (Engine.AUTO, Engine.SQL):
+                raise SystemExit(
+                    f"--accel-db documents evaluate on the SQL engine; "
+                    f"--engine {requested.value} needs a resident tree"
+                )
             # Out-of-core path: materialise the document into a file-backed
             # accel database once, then evaluate there; later runs against the
             # same database skip re-materialisation.
@@ -65,20 +74,50 @@ def _command_evaluate(args: argparse.Namespace) -> int:
 
             from .backends.sqlite import SQLiteBackend
 
-            doc_id = args.tree or (
-                "sexpr:" + hashlib.sha256(args.sexpr.encode("utf-8")).hexdigest()[:16]
-            )
             backend = SQLiteBackend(args.accel_db)
-            materialised = backend.ensure_document(doc_id, tree)
-            accel_line = (
-                f"accel    : {args.accel_db} "
-                f"({'materialised' if materialised else 'reused'} doc {doc_id!r})"
+            if tree is not None:
+                doc_id = args.doc or args.tree or (
+                    "sexpr:" + hashlib.sha256(args.sexpr.encode("utf-8")).hexdigest()[:16]
+                )
+                materialised = backend.ensure_document(doc_id, tree)
+                accel_line = (
+                    f"accel    : {args.accel_db} "
+                    f"({'materialised' if materialised else 'reused'} doc {doc_id!r})"
+                )
+                node_count = len(tree)
+            else:
+                doc_id = args.doc
+                nodes = backend.document_nodes(doc_id)
+                if nodes is None:
+                    raise SystemExit(
+                        f"document {doc_id!r} is not in {args.accel_db}; "
+                        "register it first (or pass --tree/--sexpr alongside --doc)"
+                    )
+                accel_line = f"accel    : {args.accel_db} (accel-only doc {doc_id!r})"
+                node_count = nodes
+            # Mirrors serving-layer routing: accel residency auto-routes the
+            # planner to the SQL engine; an explicit --engine sql still wins.
+            engine = (
+                choose_engine(query, accel_only=True)
+                if requested is Engine.AUTO
+                else requested
             )
-            answers = sorted(backend.evaluate(doc_id, query))
+            if query.is_boolean:
+                count = 1 if backend.is_satisfied(doc_id, query) else 0
+                answers = [()] if count else []
+            else:
+                # Streamed + limit pushdown: only the printed prefix is ever
+                # materialised in Python; the exact total is one COUNT(*).
+                count = backend.count_answers(doc_id, query)
+                answers = list(backend.stream_answers(doc_id, query, limit=print_limit))
         else:
+            structure = TreeStructure(tree)
+            engine = choose_engine(query) if requested is Engine.AUTO else requested
             answers = sorted(
                 evaluate(query, structure, engine=requested, propagator=propagator)
             )
+            count = len(answers)
+            node_count = len(tree)
     except ValueError as error:
         # A forced engine can be inapplicable (e.g. --engine acyclic on a
         # cyclic query); report it like any other bad-flag combination.
@@ -89,20 +128,22 @@ def _command_evaluate(args: argparse.Namespace) -> int:
     print(f"engine   : {engine.value}{forced} (propagator: {propagator.value})")
     if accel_line is not None:
         print(accel_line)
-    print(f"tree     : {len(tree)} nodes")
+    print(f"tree     : {node_count} nodes")
     if query.is_boolean:
-        print(f"answer   : {'true' if answers else 'false'}")
+        print(f"answer   : {'true' if count else 'false'}")
     else:
-        print(f"answers  : {len(answers)}")
-        limit = args.limit if args.limit is not None else 20
-        for answer in answers[:limit]:
-            labels = [",".join(sorted(tree.labels(node))) or "-" for node in answer]
-            rendered = ", ".join(
-                f"{node}({label})" for node, label in zip(answer, labels)
-            )
+        print(f"answers  : {count}")
+        for answer in answers[:print_limit]:
+            if tree is not None:
+                labels = [",".join(sorted(tree.labels(node))) or "-" for node in answer]
+                rendered = ", ".join(
+                    f"{node}({label})" for node, label in zip(answer, labels)
+                )
+            else:
+                rendered = ", ".join(str(node) for node in answer)
             print(f"    {rendered}")
-        if len(answers) > limit:
-            print(f"    ... {len(answers) - limit} more")
+        if count > print_limit:
+            print(f"    ... {count - print_limit} more")
     return 0
 
 
@@ -167,11 +208,19 @@ def _build_executor(args: argparse.Namespace):
     from .trees import XMLParseError
 
     documents = _parse_document_flags(args.document)
+    accel_db = getattr(args, "accel_db", None)
     try:
         if args.shards:
-            executor = ShardedExecutor(shards=args.shards, store_capacity=args.capacity)
+            executor = ShardedExecutor(
+                shards=args.shards, store_capacity=args.capacity, accel_db=accel_db
+            )
         else:
-            store = DocumentStore(capacity=args.capacity)
+            accel_backend = None
+            if accel_db is not None:
+                from .backends.sqlite import SQLiteBackend
+
+                accel_backend = SQLiteBackend(accel_db)
+            store = DocumentStore(capacity=args.capacity, accel_backend=accel_backend)
             executor = BatchExecutor(store, QueryCache(), max_workers=args.workers)
     except ValueError as error:
         raise SystemExit(str(error)) from None
@@ -363,8 +412,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help=(
-            "with --engine sql: file-backed accel database to materialise the "
-            "document into (and reuse on later runs) -- the out-of-core path"
+            "file-backed accel database to materialise the document into "
+            "(and reuse on later runs) -- the out-of-core path, auto-routed "
+            "to the SQL engine"
+        ),
+    )
+    evaluate_parser.add_argument(
+        "--doc",
+        default=None,
+        metavar="ID",
+        help=(
+            "with --accel-db: the document id to register under (with a tree "
+            "source) or to query accel-only (without one, no tree is loaded)"
         ),
     )
     evaluate_parser.set_defaults(handler=_command_evaluate)
@@ -424,6 +483,17 @@ def build_parser() -> argparse.ArgumentParser:
             help=(
                 "use the process-sharded backend with N worker processes "
                 "(documents routed by stable hash of their id; 0 = threaded backend)"
+            ),
+        )
+        subparser.add_argument(
+            "--accel-db",
+            default=None,
+            metavar="PATH",
+            help=(
+                "SQLite accel database backing the store: registered documents "
+                "are mirrored into it, documents already in it are queryable "
+                "accel-only (auto-routed to the SQL engine); with --shards each "
+                "worker opens its own connection to the shared file"
             ),
         )
 

@@ -372,6 +372,69 @@ def _reduce(
     return True
 
 
+def _first_witness(
+    decomposition: TreeDecomposition,
+    relations: list[_BagRelation],
+) -> bool:
+    """First-solution search down the join tree for Boolean queries.
+
+    Instead of the full bottom-up + top-down semijoin passes (which reduce
+    *every* bag globally before answering), walk the tree once looking for a
+    single globally consistent assignment: a bag row is a witness iff every
+    child bag has a witness row agreeing with it on their separator.  Outcomes
+    are memoized per ``(bag, separator key)`` and each bag's separator index
+    is built lazily on first access, so a satisfiable instance can stop after
+    touching a handful of rows while the worst case stays one semijoin pass.
+    """
+    parent = decomposition.parent
+    children = decomposition.children()
+    separators: list[tuple[Variable, ...]] = []
+    for i, parent_index in enumerate(parent):
+        if parent_index < 0:
+            separators.append(())
+        else:
+            shared = decomposition.bags[i] & decomposition.bags[parent_index]
+            separators.append(tuple(sorted(shared)))
+    # For a row of bag i, the lookup key into child c is c's separator read
+    # out of i's columns (the separator is shared, so both bags carry it).
+    child_key_positions = [
+        [(c, relations[i].project_positions(separators[c])) for c in children[i]]
+        for i in range(len(parent))
+    ]
+    own_positions = [
+        relations[i].project_positions(separators[i]) for i in range(len(parent))
+    ]
+    key_index: list[Optional[dict[Row, list[Row]]]] = [None] * len(parent)
+    memo: dict[tuple[int, Row], bool] = {}
+
+    def rows_for(i: int, key: Row) -> list[Row]:
+        index = key_index[i]
+        if index is None:
+            index = {}
+            positions = own_positions[i]
+            for row in relations[i].rows:
+                index.setdefault(tuple(row[p] for p in positions), []).append(row)
+            key_index[i] = index
+        return index.get(key, [])
+
+    def witness(i: int, key: Row) -> bool:
+        cached = memo.get((i, key))
+        if cached is not None:
+            return cached
+        found = False
+        for row in rows_for(i, key):
+            if all(
+                witness(c, tuple(row[p] for p in positions))
+                for c, positions in child_key_positions[i]
+            ):
+                found = True
+                break
+        memo[(i, key)] = found
+        return found
+
+    return all(witness(root, ()) for root in decomposition.roots)
+
+
 def _collect_answers(
     decomposition: TreeDecomposition,
     relations: list[_BagRelation],
@@ -493,10 +556,12 @@ def _evaluate(
         if not relation.rows:
             return None if boolean_only else frozenset()
         relations.append(relation)
-    if not _reduce(decomposition, relations):
-        return None if boolean_only else frozenset()
     if boolean_only:
-        return frozenset({()})
+        # First-solution short-circuit: a Boolean query only needs one
+        # globally consistent assignment, not fully reduced bags.
+        return frozenset({()}) if _first_witness(decomposition, relations) else None
+    if not _reduce(decomposition, relations):
+        return frozenset()
     return _collect_answers(decomposition, relations, query.head)
 
 
@@ -507,7 +572,7 @@ def boolean_query_holds(
     propagator=None,
     columnar: bool = True,
 ) -> bool:
-    """Boolean evaluation: materialize the bags and run the bottom-up pass."""
+    """Boolean evaluation: materialize the bags, stop at the first witness."""
     from ..evaluation.propagation import DEFAULT_PROPAGATOR
 
     chosen = DEFAULT_PROPAGATOR if propagator is None else propagator

@@ -50,7 +50,6 @@ from typing import Callable, Iterable, Mapping, Optional, Sequence
 from ..queries.atoms import Variable
 from ..queries.query import ConjunctiveQuery
 from ..trees.axes import Axis
-from ..trees.columnar import ancestor_counts, casualties, descendant_counts
 from ..trees.index import MutableDomainView
 from ..trees.structure import TreeStructure
 from .compile import CompiledQuery, compile_query
@@ -138,42 +137,27 @@ class _DescendantCounter(_Tracker):
     """``Child+``/``Child*`` in the descendant direction (watched = ancestor).
 
     ``count[u] = |support ∩ (u, end(u)]|`` (``[u, end(u)]`` for ``Child*``).
-    Columnar initialisation reads every count off the support's cumulative
-    membership column in three fused C-level passes
-    (:func:`repro.trees.columnar.descendant_counts`); the per-candidate
-    two-bisection loop is kept as the ``columnar=False`` ablation.  A deleted
-    witness ``w`` was counted by exactly the ancestors(-or-self) of ``w``:
-    walk the parent chain and decrement.
+    Initialisation is the per-candidate two-bisection loop: the measured
+    columnar variant (cumulative-membership reads via
+    ``repro.trees.columnar.descendant_counts``) was parity with it on every
+    benchmarked size -- counter init is bisection-bound either way -- so the
+    BENCH_columnar ablation retired it.  A deleted witness ``w`` was counted
+    by exactly the ancestors(-or-self) of ``w``: walk the parent chain and
+    decrement.
     """
 
-    __slots__ = ("include_self", "columnar", "counts", "_parent", "_end", "_end_plus1")
+    __slots__ = ("include_self", "counts", "_parent", "_end")
 
-    def __init__(self, watched, support, watched_view, support_view, include_self, columnar):
+    def __init__(self, watched, support, watched_view, support_view, include_self):
         super().__init__(watched, support, watched_view, support_view)
         self.include_self = include_self
-        self.columnar = columnar
         index = watched_view.index
         self._parent = index.parent
         self._end = index.subtree_end
-        self._end_plus1 = index.subtree_end_plus1
 
     def initialise(self) -> list[int]:
         watched_array = self.watched_view.array
         n = len(self._parent)
-        if self.columnar:
-            per_candidate = descendant_counts(
-                watched_array, self._end_plus1, self.support_view.cum_pre, self.include_self
-            )
-            if len(watched_array) == n:
-                # Dense domain: candidate position == node id, so the kernel's
-                # output is already the id-indexed counter array.
-                counts = per_candidate
-            else:
-                counts = [0] * n
-                for u, count in zip(watched_array, per_candidate):
-                    counts[u] = count
-            self.counts = counts
-            return casualties(watched_array, per_candidate)
         support_array = self.support_view.array
         end = self._end
         offset = 0 if self.include_self else 1
@@ -206,25 +190,21 @@ class _DescendantCounter(_Tracker):
 class _AncestorCounter(_Tracker):
     """``Child+``/``Child*`` in the ancestor direction (watched = descendant).
 
-    ``count[w] = |ancestors(-or-self)(w) ∩ support|``.  Columnar
-    initialisation uses the closed form ``cum_pre[w] - cum_end[w]`` over the
-    support's cumulative membership columns
-    (:func:`repro.trees.columnar.ancestor_counts`) -- strict ancestors of
-    ``w`` are the support nodes opening before ``w`` whose subtree has not
-    closed before ``w`` -- falling back to per-candidate parent-chain walks
-    when the watched domain is sparse enough that even one O(n) column build
-    would dominate.  The ``columnar=False`` ablation keeps the previous
-    strategy pair (parent-chain walks or a pre-order stack sweep).  A deleted
-    support node ``v`` was counted by exactly the candidates inside ``v``'s
-    subtree interval, enumerated live from the incremental view.
+    ``count[w] = |ancestors(-or-self)(w) ∩ support|``, initialised by
+    per-candidate parent-chain walks when the watched domain is sparse and by
+    one pre-order stack sweep otherwise.  The measured columnar variant (the
+    closed form ``cum_pre[w] - cum_end[w]`` via
+    ``repro.trees.columnar.ancestor_counts``) was parity with this pair on
+    every benchmarked size, so the BENCH_columnar ablation retired it.  A
+    deleted support node ``v`` was counted by exactly the candidates inside
+    ``v``'s subtree interval, enumerated live from the incremental view.
     """
 
-    __slots__ = ("include_self", "columnar", "counts", "_parent", "_end")
+    __slots__ = ("include_self", "counts", "_parent", "_end")
 
-    def __init__(self, watched, support, watched_view, support_view, include_self, columnar):
+    def __init__(self, watched, support, watched_view, support_view, include_self):
         super().__init__(watched, support, watched_view, support_view)
         self.include_self = include_self
-        self.columnar = columnar
         index = watched_view.index
         self._parent = index.parent
         self._end = index.subtree_end
@@ -234,22 +214,6 @@ class _AncestorCounter(_Tracker):
         support_members = self.support_view.members
         parent = self._parent
         n = len(parent)
-        if self.columnar and len(watched_array) * 8 >= n:
-            support_view = self.support_view
-            per_candidate = ancestor_counts(
-                watched_array,
-                support_view.cum_pre,
-                support_view.cum_end,
-                support_view.live_mask if self.include_self else None,
-            )
-            if len(watched_array) == n:
-                counts = per_candidate
-            else:
-                counts = [0] * n
-                for w, count in zip(watched_array, per_candidate):
-                    counts[w] = count
-            self.counts = counts
-            return casualties(watched_array, per_candidate)
         counts = [0] * n
         if len(watched_array) * 8 < n:
             for w in watched_array:
@@ -506,7 +470,6 @@ def _make_trackers(
     structure: TreeStructure,
     atom,
     views: Views,
-    columnar: bool = True,
 ) -> Sequence[_Tracker]:
     """The forward and backward trackers of one non-loop compiled atom."""
     index = structure.index
@@ -533,8 +496,8 @@ def _make_trackers(
     if axis is Axis.CHILD_PLUS or axis is Axis.CHILD_STAR:
         include_self = axis is Axis.CHILD_STAR
         return (
-            fwd(_DescendantCounter, include_self, columnar),
-            bwd(_AncestorCounter, include_self, columnar),
+            fwd(_DescendantCounter, include_self),
+            bwd(_AncestorCounter, include_self),
         )
     if axis is Axis.NEXT_SIBLING:
         return (
@@ -605,8 +568,11 @@ def ac4_fixpoint(
     guarantees the fixpoint is unchanged.  ``pinned`` therefore cannot be
     combined with a seed (the seed is expected to embody it already).
 
-    ``columnar=False`` switches the interval counters' initialisation back to
-    the per-candidate bisection/sweep paths (ablation; same fixpoint).
+    ``columnar`` is accepted for API stability but no longer changes the
+    counter initialisation: the columnar interval-counter init measured at
+    parity with the per-candidate bisection/sweep paths (both are
+    bisection-bound), so the ablation retired it and the per-candidate paths
+    are now the only implementation.
     """
     if initial_domains is not None and initial_views is not None:
         raise ValueError("initial_domains and initial_views are mutually exclusive seeds")
@@ -640,7 +606,7 @@ def ac4_fixpoint(
     }
     queue: deque[tuple[Variable, int]] = deque()
     for atom in compiled.edges:
-        for tracker in _make_trackers(structure, atom, views, columnar):
+        for tracker in _make_trackers(structure, atom, views):
             trackers_by_support[tracker.support].append(tracker)
             for candidate in tracker.initialise():
                 queue.append((tracker.watched, candidate))

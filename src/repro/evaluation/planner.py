@@ -58,8 +58,11 @@ class Engine(str, Enum):
     DECOMPOSITION = "decomposition"
     BACKTRACKING = "backtracking"
     #: The SQLite accel-table backend (:mod:`repro.backends.sqlite`): the
-    #: out-of-core path, never auto-chosen, always selectable for
-    #: cross-checking.  Ignores ``propagator`` (SQLite plans the join).
+    #: out-of-core path.  Auto-chosen only when the document lives solely in
+    #: the accel store (``choose_engine(..., accel_only=True)``, which the
+    #: serving layer derives from :meth:`DocumentStore.residency`); always
+    #: selectable for cross-checking.  Ignores ``propagator`` (SQLite plans
+    #: the join).
     SQL = "sql"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -75,8 +78,17 @@ class Engine(str, Enum):
 MAX_AUTO_DECOMPOSITION_WIDTH = 2
 
 
-def choose_engine(query: ConjunctiveQuery) -> Engine:
-    """Pick the engine the planner would use for this query."""
+def choose_engine(query: ConjunctiveQuery, accel_only: bool = False) -> Engine:
+    """Pick the engine the planner would use for this query.
+
+    ``accel_only`` is the document-residency signal: a document that lives
+    only in the SQLite accel store (no resident ``TreeStructure``/axis index)
+    can only be evaluated by the SQL backend, so residency overrides the
+    query-shape dispatch.  Without it the choice depends on the query alone
+    and never selects :attr:`Engine.SQL`.
+    """
+    if accel_only:
+        return Engine.SQL
     if is_tractable(query.signature()):
         return Engine.XPROPERTY
     if QueryGraph(query).is_acyclic():

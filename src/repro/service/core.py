@@ -26,7 +26,7 @@ import time
 from dataclasses import dataclass
 from typing import Optional, Union
 
-from ..evaluation.planner import evaluate
+from ..evaluation.planner import Engine, choose_engine, evaluate
 from ..evaluation.propagation import DEFAULT_PROPAGATOR, as_propagator
 from ..queries.parser import QueryParseError
 from ..queries.query import ConjunctiveQuery
@@ -58,6 +58,27 @@ def validate_limit(limit: object) -> Optional[int]:
     return limit
 
 
+def validate_engine(engine: object) -> Optional[Engine]:
+    """Check a wire-format ``engine``; ``None``/``"auto"`` mean no override.
+
+    Returns the explicit :class:`Engine` override or ``None`` when the
+    planner (query shape + document residency) should choose.
+    """
+    if engine is None:
+        return None
+    if isinstance(engine, Engine):
+        member = engine
+    elif isinstance(engine, str):
+        try:
+            member = Engine(engine)
+        except ValueError:
+            allowed = ", ".join(e.value for e in Engine)
+            raise ValueError(f"unknown engine {engine!r}; expected one of: {allowed}") from None
+    else:
+        raise ValueError("'engine' must be a string")
+    return None if member is Engine.AUTO else member
+
+
 def validate_max_workers(max_workers: object) -> Optional[int]:
     """Check a wire-format ``max_workers``: a positive integer or ``None``.
 
@@ -78,7 +99,10 @@ class Request:
     Exactly one of ``query`` (datalog text or a
     :class:`~repro.queries.query.ConjunctiveQuery`) and ``xpath`` must be
     given.  ``limit`` truncates the *sorted* answer list; the total count is
-    reported either way.
+    reported either way.  ``engine`` forces a specific evaluation engine
+    (``"sql"``, ``"backtracking"``, ...); by default the planner chooses from
+    the query shape and the document's residency (accel-only documents route
+    to SQL automatically).
     """
 
     doc: str
@@ -86,19 +110,21 @@ class Request:
     xpath: Optional[str] = None
     propagator: str = str(DEFAULT_PROPAGATOR)
     limit: Optional[int] = None
+    engine: Optional[str] = None
 
     @classmethod
     def from_json_dict(cls, payload: dict) -> "Request":
         """Build a request from a JSON object (HTTP body / JSONL line)."""
         if not isinstance(payload, dict):
             raise ValueError(f"request must be a JSON object, got {type(payload).__name__}")
-        unknown = set(payload) - {"doc", "query", "xpath", "propagator", "limit"}
+        unknown = set(payload) - {"doc", "query", "xpath", "propagator", "limit", "engine"}
         if unknown:
             raise ValueError(f"unknown request field(s): {', '.join(sorted(unknown))}")
         doc = payload.get("doc")
         if not isinstance(doc, str) or not doc:
             raise ValueError("request needs a non-empty 'doc' document id")
         limit = validate_limit(payload.get("limit"))
+        validate_engine(payload.get("engine"))  # fail fast on unknown engines
         for key in ("query", "xpath"):
             if payload.get(key) is not None and not isinstance(payload[key], str):
                 raise ValueError(f"'{key}' must be a string")
@@ -111,6 +137,7 @@ class Request:
             xpath=payload.get("xpath"),
             propagator=propagator,
             limit=limit,
+            engine=payload.get("engine"),
         )
 
 
@@ -198,6 +225,26 @@ def resolve_entry(cache: QueryCache, request: Request) -> tuple[CachedQuery, boo
     )
 
 
+def _stream_sql_answers(
+    backend, request: Request, query: ConjunctiveQuery
+) -> tuple[list[tuple[int, ...]], int, bool]:
+    """Streamed ``(answers, count, truncated)`` for an accel-only document.
+
+    The answers arrive already sorted (the SQL carries a deterministic
+    ``ORDER BY``) and the ``limit`` is pushed into the statement, so a
+    truncated request never materializes the full answer set anywhere --
+    streaming ``limit + 1`` rows detects truncation, and the exact total
+    then comes from one ``COUNT(*)`` that needs O(1) result memory.
+    """
+    if request.limit is None:
+        answers = list(backend.stream_answers(request.doc, query))
+        return answers, len(answers), False
+    answers = list(backend.stream_answers(request.doc, query, limit=request.limit + 1))
+    if len(answers) <= request.limit:
+        return answers, len(answers), False
+    return answers[: request.limit], backend.count_answers(request.doc, query), True
+
+
 def run_request(store: DocumentStore, cache: QueryCache, request: Request) -> RequestResult:
     """Evaluate one request against resident artifacts; never raises.
 
@@ -206,21 +253,52 @@ def run_request(store: DocumentStore, cache: QueryCache, request: Request) -> Re
     reported with an ``internal:`` prefix so they are distinguishable, but
     they still come back as a *value*: a crash in one request must not abort
     its batch, kill its worker thread, or poison its shard process.
+
+    Engine routing: an explicit ``request.engine`` always wins; otherwise the
+    planner's per-query choice applies, except that documents resident only
+    in the accel store auto-route to :attr:`Engine.SQL` (the sole engine that
+    can see them) with answers streamed out of SQLite in sorted order --
+    byte-identical to what the in-memory engines would produce.
     """
     started = time.perf_counter()
     try:
         propagator = as_propagator(request.propagator)
+        override = validate_engine(request.engine)
         entry, cache_hit = resolve_entry(cache, request)
-        document = store.get(request.doc)
-        answers = sorted(
-            evaluate(
-                entry.query,
-                document.structure,
-                engine=entry.engine,
-                propagator=propagator,
-                compiled=entry.compiled,
+        residency = store.residency(request.doc)
+        if residency is None:
+            raise DocumentNotFound(request.doc)
+        accel_only = residency == "accel"
+        if override is not None:
+            engine = override
+        elif accel_only:
+            engine = choose_engine(entry.query, accel_only=True)
+        else:
+            engine = entry.engine
+        if accel_only:
+            if engine is not Engine.SQL:
+                raise ValueError(
+                    f"document {request.doc!r} is accel-only; "
+                    f"engine {engine.value!r} needs a resident document"
+                )
+            answers, count, truncated = _stream_sql_answers(
+                store.accel_backend, request, entry.query
             )
-        )
+        else:
+            document = store.get(request.doc)
+            answers = sorted(
+                evaluate(
+                    entry.query,
+                    document.structure,
+                    engine=engine,
+                    propagator=propagator,
+                    compiled=entry.compiled,
+                )
+            )
+            count = len(answers)
+            truncated = request.limit is not None and count > request.limit
+            if truncated:
+                answers = answers[: request.limit]
     except REQUEST_ERRORS as error:
         return RequestResult(
             doc=request.doc,
@@ -235,10 +313,6 @@ def run_request(store: DocumentStore, cache: QueryCache, request: Request) -> Re
             elapsed_ms=(time.perf_counter() - started) * 1000.0,
             error=f"internal: {type(error).__name__}: {error}",
         )
-    count = len(answers)
-    truncated = request.limit is not None and count > request.limit
-    if truncated:
-        answers = answers[: request.limit]
     return RequestResult(
         doc=request.doc,
         query_key=entry.key,
@@ -248,6 +322,6 @@ def run_request(store: DocumentStore, cache: QueryCache, request: Request) -> Re
         satisfied=(count > 0) if entry.query.is_boolean else None,
         elapsed_ms=(time.perf_counter() - started) * 1000.0,
         propagator=propagator.value,
-        engine=entry.engine.value,
+        engine=engine.value,
         cache_hit=cache_hit,
     )

@@ -77,6 +77,7 @@ def _shard_worker_main(
     outbox,
     store_capacity: Optional[int],
     cache_capacity: Optional[int],
+    accel_db: Optional[str] = None,
 ) -> None:
     """One worker process: a private store + cache, serving its inbox FIFO.
 
@@ -85,8 +86,19 @@ def _shard_worker_main(
     shutdown sentinel.  The loop never dies on a bad message: operation
     errors are reported back as values, mirroring the per-request error
     contract.
+
+    ``accel_db`` names a SQLite accel database file each worker opens with
+    its *own* connection (SQLite connections must not cross process forks).
+    Workers sharing one file all see the same accel-only documents -- the
+    store's lazy residency attach means a document registered by any process
+    is queryable from every shard without a registration broadcast.
     """
-    store = DocumentStore(capacity=store_capacity)
+    accel_backend = None
+    if accel_db is not None:
+        from ..backends.sqlite import SQLiteBackend
+
+        accel_backend = SQLiteBackend(accel_db)
+    store = DocumentStore(capacity=store_capacity, accel_backend=accel_backend)
     cache = QueryCache(capacity=cache_capacity)
     parent = multiprocessing.parent_process()
     requests = 0
@@ -161,10 +173,12 @@ class ShardedExecutor:
         store_capacity: Optional[int] = None,
         cache_capacity: Optional[int] = 1024,
         start_method: Optional[str] = None,
+        accel_db: Optional[str] = None,
     ):
         if shards < 1:
             raise ValueError("shards must be >= 1")
         self.shards = shards
+        self.accel_db = accel_db
         context = multiprocessing.get_context(start_method or _default_start_method())
         self._seq = itertools.count()
         self._lock = threading.Lock()
@@ -180,7 +194,7 @@ class ShardedExecutor:
             context.Process(
                 target=_shard_worker_main,
                 args=(shard, self._inboxes[shard], self._outboxes[shard],
-                      store_capacity, cache_capacity),
+                      store_capacity, cache_capacity, accel_db),
                 name=f"cq-trees-shard-{shard}",
                 daemon=True,
             )
@@ -384,7 +398,15 @@ class ShardedExecutor:
     def stats(self) -> dict:
         """Aggregated executor/store/cache statistics plus per-shard detail."""
         shard_stats = self._broadcast("stats")
-        store_keys = ("documents", "resident_nodes", "registered", "evicted", "hits", "misses")
+        store_keys = (
+            "documents",
+            "accel_only_documents",
+            "resident_nodes",
+            "registered",
+            "evicted",
+            "hits",
+            "misses",
+        )
         cache_keys = ("entries", "parse_entries", "hits", "misses", "parse_hits")
         store = {key: sum(s["store"][key] for s in shard_stats) for key in store_keys}
         cache = {key: sum(s["cache"][key] for s in shard_stats) for key in cache_keys}

@@ -18,6 +18,14 @@ and keeps resident, per document:
 Eviction is explicit (:meth:`evict`, :meth:`clear`) plus an optional LRU
 ``capacity`` bound, so an embedding process controls its own memory.  All
 operations are thread-safe; the executor's worker threads share the store.
+
+Documents larger than the resident budget can instead be registered
+**accel-only** (:meth:`register_tree_accel_only`): the tree is written to the
+SQLite accel backend and then dropped -- no resident ``Tree``, structure or
+axis index -- leaving the document queryable exclusively through the SQL
+engine's streamed, bounded-memory path.  :meth:`residency` reports which of
+the two worlds a document lives in; documents found in a (file-backed,
+possibly pre-populated) accel database attach lazily on first lookup.
 """
 
 from __future__ import annotations
@@ -92,6 +100,7 @@ class DocumentStore:
         self.capacity = capacity
         self.accel_backend = accel_backend
         self._documents: "OrderedDict[str, StoredDocument]" = OrderedDict()
+        self._accel_only: dict[str, int] = {}  # doc id -> node count
         self._lock = threading.RLock()
         self._registered = 0
         self._evicted = 0
@@ -115,6 +124,8 @@ class DocumentStore:
             if doc_id in self._documents:
                 # Re-registration replaces the resident artifacts in place.
                 del self._documents[doc_id]
+            # A resident registration upgrades a previously accel-only doc.
+            self._accel_only.pop(doc_id, None)
             self._documents[doc_id] = document
             self._registered += 1
             if self.capacity is not None:
@@ -122,6 +133,26 @@ class DocumentStore:
                     evicted_id, _ = self._documents.popitem(last=False)
                     self._evicted += 1
         return document
+
+    def register_tree_accel_only(self, doc_id: str, tree: Tree, source: str = "tree") -> dict:
+        """Register a tree into the accel backend only: the out-of-core path.
+
+        The tree is written to SQLite (rows + labels + rank columns) and
+        nothing is kept resident -- callers typically discard the in-memory
+        ``Tree`` right after, so a document far larger than RAM stays
+        queryable through the SQL engine's streamed answers.  Returns the
+        JSON-friendly summary :meth:`describe` would report.
+        """
+        if not doc_id:
+            raise ValueError("document id must be a non-empty string")
+        if self.accel_backend is None:
+            raise ValueError("accel-only registration requires an accel backend")
+        self.accel_backend.ensure_document(doc_id, tree)
+        nodes = len(tree)
+        with self._lock:
+            self._accel_only[doc_id] = nodes
+            self._registered += 1
+        return {"doc": doc_id, "nodes": nodes, "source": source, "accel_only": True}
 
     def register_xml(self, doc_id: str, text: str) -> StoredDocument:
         """Parse an XML string and register the resulting tree."""
@@ -175,21 +206,66 @@ class DocumentStore:
             self._hits += 1
             return document
 
-    def __contains__(self, doc_id: str) -> bool:
+    def residency(self, doc_id: str) -> Optional[str]:
+        """Where a document lives: ``"resident"``, ``"accel"`` or ``None``.
+
+        Documents present in the accel backend but never registered through
+        this store (e.g. a file-backed database populated by another process
+        or a previous run) attach lazily: the first lookup records them in
+        the accel-only registry, so shards sharing one database file agree on
+        residency without any registration broadcast.
+        """
         with self._lock:
-            return doc_id in self._documents
+            if doc_id in self._documents:
+                return "resident"
+            if doc_id in self._accel_only:
+                return "accel"
+        if self.accel_backend is not None:
+            nodes = self.accel_backend.document_nodes(doc_id)
+            if nodes is not None:
+                with self._lock:
+                    if doc_id not in self._documents:
+                        self._accel_only.setdefault(doc_id, nodes)
+                        return "accel"
+                return "resident"
+        return None
+
+    def accel_only(self, doc_id: str) -> bool:
+        """True iff the document is queryable only through the accel backend."""
+        return self.residency(doc_id) == "accel"
+
+    def __contains__(self, doc_id: str) -> bool:
+        return self.residency(doc_id) is not None
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._documents)
+            return len(self._documents) + len(
+                [doc for doc in self._accel_only if doc not in self._documents]
+            )
 
     def doc_ids(self) -> list[str]:
         with self._lock:
-            return list(self._documents)
+            resident = list(self._documents)
+            return resident + [doc for doc in self._accel_only if doc not in self._documents]
 
     def describe(self) -> list[dict]:
         with self._lock:
-            return [document.describe() for document in self._documents.values()]
+            described = [document.describe() for document in self._documents.values()]
+            accel_only = {
+                doc: nodes for doc, nodes in self._accel_only.items() if doc not in self._documents
+            }
+        backend = self.accel_backend
+        for doc, nodes in accel_only.items():
+            described.append(
+                {
+                    "doc": doc,
+                    "nodes": nodes,
+                    "labels": backend.document_label_count(doc) if backend is not None else 0,
+                    "source": "accel",
+                    "accel_only": True,
+                }
+            )
+        return described
 
     # -- eviction --------------------------------------------------------------
 
@@ -214,6 +290,9 @@ class DocumentStore:
         with self._lock:
             return {
                 "documents": len(self._documents),
+                "accel_only_documents": len(
+                    [doc for doc in self._accel_only if doc not in self._documents]
+                ),
                 "resident_nodes": sum(d.nodes for d in self._documents.values()),
                 "capacity": self.capacity,
                 "registered": self._registered,

@@ -1,0 +1,362 @@
+"""The join-tree SQL lowering and the out-of-core serving path.
+
+Four concern groups, matching the PR 7 surface:
+
+* **Window/threshold formulations**: the order-statistic axes (``Following``,
+  ``NextSibling+``, ``DocumentOrder`` and their inverses) lower to aggregate
+  thresholds / window CTEs instead of quadratic range predicates; each is
+  property-tested against :class:`~repro.trees.index.AxisIndex` ground truth
+  (``index.holds`` over the label-filtered candidate pairs) with the dropped
+  variable on both sides of the atom.
+* **IN-list boundary**: extra unary relations switch from an inline ``IN``
+  list to a temp-table join at exactly 500 members; both sides of the
+  boundary, the empty relation and the single-node document are checked
+  byte-identical to the in-memory planner on both lowerings.
+* **Streaming**: ``stream_answers`` equals the sorted answer set for every
+  batch size, ``limit`` is applied after the deterministic ``ORDER BY``, and
+  ``count_answers`` reports the exact total.
+* **Routing**: the serving layer auto-routes accel-only documents to
+  ``Engine.SQL``, explicit engine overrides win, and responses are
+  byte-identical across the routing paths (including ``limit``/``truncated``
+  and boolean semantics).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.backends.sqlite import (
+    SQLiteBackend,
+    evaluate_structure,
+    structure_is_satisfied,
+)
+from repro.decomposition.yannakakis import boolean_query_holds, evaluate_answers
+from repro.evaluation import Engine, choose_engine, evaluate
+from repro.queries import parse_query
+from repro.service import DocumentStore, QueryCache, Request, run_request
+from repro.trees import Axis, TreeStructure, parse_sexpr, random_tree
+
+SETTINGS = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: The order-statistic axes the tree lowering turns into aggregate-threshold
+#: or window-function witnesses, forward and inverse forms both included (the
+#: compiler normalises inverses away, so ``Preceding(x, y)`` exercises the
+#: source-dropped branch of the ``Following`` formulation and vice versa).
+WINDOW_AXES = (
+    Axis.FOLLOWING,
+    Axis.PRECEDING,
+    Axis.NEXT_SIBLING_PLUS,
+    Axis.NEXT_SIBLING_STAR,
+    Axis.PRECEDING_SIBLING,
+    Axis.DOCUMENT_ORDER,
+)
+
+
+@st.composite
+def window_trees(draw, max_size: int = 250):
+    size = draw(st.integers(min_value=20, max_value=max_size))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return random_tree(
+        size,
+        alphabet=("A", "B"),
+        max_children=4,
+        multi_label_probability=0.2,
+        seed=seed,
+    )
+
+
+def _axis_ground_truth(structure, axis):
+    """Expected ``A x B`` pairs straight off the AxisIndex rank predicates."""
+    index = structure.index
+    a_nodes = structure.unary_member_set("A")
+    b_nodes = structure.unary_member_set("B")
+    return frozenset(
+        (u, v) for u in a_nodes for v in b_nodes if index.holds(axis, u, v)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Window/threshold formulations vs AxisIndex ground truth.
+# ---------------------------------------------------------------------------
+
+
+def _assert_axis_lowering_matches(tree, axis):
+    structure = TreeStructure(tree)
+    expected = _axis_ground_truth(structure, axis)
+    pair_query = parse_query(f"Q(x, y) <- A(x), {axis.value}(x, y), B(y)")
+    # Projecting either endpoint out makes it witness-only: the source-dropped
+    # and target-dropped threshold/window branches are both exercised.
+    source_query = parse_query(f"Q(x) <- A(x), {axis.value}(x, y), B(y)")
+    target_query = parse_query(f"Q(y) <- A(x), {axis.value}(x, y), B(y)")
+    with SQLiteBackend() as backend:
+        backend.register_tree("doc", tree)
+        assert backend.evaluate("doc", pair_query) == expected
+        assert backend.evaluate("doc", source_query) == frozenset(
+            (u,) for u, _ in expected
+        )
+        assert backend.evaluate("doc", target_query) == frozenset(
+            (v,) for _, v in expected
+        )
+
+
+@pytest.mark.parametrize("axis", WINDOW_AXES, ids=lambda a: a.value)
+@given(tree=window_trees())
+@SETTINGS
+def test_window_lowering_matches_axis_index(axis, tree):
+    _assert_axis_lowering_matches(tree, axis)
+
+
+@pytest.mark.parametrize("axis", WINDOW_AXES, ids=lambda a: a.value)
+def test_window_lowering_matches_axis_index_at_1k(axis):
+    """One fixed 1000-node document per axis (the ISSUE's stated scale)."""
+    tree = random_tree(
+        1_000, alphabet=("A", "B"), max_children=4, multi_label_probability=0.2, seed=1234
+    )
+    _assert_axis_lowering_matches(tree, axis)
+
+
+@given(tree=window_trees())
+@SETTINGS
+def test_window_chain_matches_in_memory(tree):
+    """A Following chain: thresholds compose across eliminated variables."""
+    structure = TreeStructure(tree)
+    query = parse_query("Q(x, z) <- A(x), Following(x, y), B(y), Following(y, z), A(z)")
+    expected = evaluate(query, structure)
+    assert evaluate_structure(query, structure) == expected
+    assert evaluate_structure(query, structure, lowering="flat") == expected
+
+
+# ---------------------------------------------------------------------------
+# IN-list boundary, empty relations, single-node documents.
+# ---------------------------------------------------------------------------
+
+IN_LIST_QUERY = "Q(x, y) <- Hot(x), Child+(x, y), A(y)"
+
+
+@pytest.mark.parametrize("members", [500, 501], ids=["inline-in-list", "temp-table"])
+def test_extra_unary_in_list_boundary(members):
+    """Exactly at and just past the 500-member IN-list cutover."""
+    tree = random_tree(600, alphabet=("A",), max_children=3, seed=7)
+    structure = TreeStructure(tree)
+    structure.add_unary("Hot", range(members))
+    query = parse_query(IN_LIST_QUERY)
+    expected = evaluate(query, structure)
+    assert len(expected) > 0
+    assert evaluate_structure(query, structure) == expected
+    assert evaluate_structure(query, structure, lowering="flat") == expected
+
+
+def test_extra_unary_empty_relation():
+    tree = random_tree(60, alphabet=("A",), max_children=3, seed=9)
+    structure = TreeStructure(tree)
+    structure.add_unary("Hot", ())
+    query = parse_query(IN_LIST_QUERY)
+    assert evaluate(query, structure) == frozenset()
+    assert evaluate_structure(query, structure) == frozenset()
+    assert evaluate_structure(query, structure, lowering="flat") == frozenset()
+    assert not structure_is_satisfied(parse_query("Q() <- Hot(x)"), structure)
+
+
+def test_single_node_document():
+    structure = TreeStructure(parse_sexpr("(A)"))
+    cases = {
+        "Q(x) <- A(x)": frozenset({(0,)}),
+        "Q(x) <- A(x), Child+(x, y)": frozenset(),
+        "Q(x) <- A(x), Following(x, y)": frozenset(),
+        "Q(x, y) <- A(x), Self(x, y)": frozenset({(0, 0)}),
+        "Q() <- A(x)": frozenset({()}),
+        "Q() <- B(x)": frozenset(),
+    }
+    for text, expected in cases.items():
+        query = parse_query(text)
+        assert evaluate(query, structure) == expected, text
+        assert evaluate_structure(query, structure) == expected, text
+        assert evaluate_structure(query, structure, lowering="flat") == expected, text
+
+
+# ---------------------------------------------------------------------------
+# Streaming: sorted order, limit pushdown, exact counts.
+# ---------------------------------------------------------------------------
+
+
+def test_stream_answers_sorted_and_limited():
+    tree = random_tree(400, alphabet=("A", "B"), max_children=4, seed=11)
+    query = parse_query("Q(x, y) <- A(x), Child+(x, y), B(y)")
+    with SQLiteBackend() as backend:
+        backend.register_tree("doc", tree)
+        expected = sorted(backend.evaluate("doc", query))
+        assert len(expected) > 3
+        assert list(backend.stream_answers("doc", query)) == expected
+        assert list(backend.stream_answers("doc", query, batch_size=1)) == expected
+        for limit in (0, 1, 3, len(expected), len(expected) + 5):
+            assert list(backend.stream_answers("doc", query, limit=limit)) == (
+                expected[:limit]
+            ), limit
+        assert backend.count_answers("doc", query) == len(expected)
+
+
+def test_stream_answers_boolean_query():
+    with SQLiteBackend() as backend:
+        backend.register_tree("doc", parse_sexpr("(A (B))"))
+        satisfied = parse_query("Q() <- A(x), Child(x, y), B(y)")
+        unsatisfied = parse_query("Q() <- B(x), Child(x, y), A(y)")
+        assert list(backend.stream_answers("doc", satisfied)) == [()]
+        assert list(backend.stream_answers("doc", satisfied, limit=0)) == []
+        assert list(backend.stream_answers("doc", unsatisfied)) == []
+        assert backend.count_answers("doc", satisfied) == 1
+        assert backend.count_answers("doc", unsatisfied) == 0
+
+
+# ---------------------------------------------------------------------------
+# Serving-layer routing: residency, overrides, byte-identity.
+# ---------------------------------------------------------------------------
+
+ROUTING_QUERY = "Q(x, y) <- A(x), Child+(x, y), B(y)"
+
+
+@pytest.fixture()
+def routed():
+    backend = SQLiteBackend()
+    store = DocumentStore(accel_backend=backend)
+    tree = random_tree(300, alphabet=("A", "B"), max_children=4, seed=5)
+    store.register_tree("resident", tree)
+    store.register_tree_accel_only("cold", tree)
+    yield store, QueryCache()
+    backend.close()
+
+
+def test_residency_and_containment(routed):
+    store, _cache = routed
+    assert store.residency("resident") == "resident"
+    assert store.residency("cold") == "accel"
+    assert store.residency("absent") is None
+    assert store.accel_only("cold") and not store.accel_only("resident")
+    assert "cold" in store and "resident" in store and "absent" not in store
+    described = {entry["doc"]: entry for entry in store.describe()}
+    assert described["cold"]["accel_only"] and described["cold"]["nodes"] == 300
+    assert store.stats()["accel_only_documents"] == 1
+
+
+def test_choose_engine_consults_residency():
+    query = parse_query(ROUTING_QUERY)
+    assert choose_engine(query) is not Engine.SQL
+    assert choose_engine(query, accel_only=True) is Engine.SQL
+
+
+def test_accel_only_auto_routes_to_sql(routed):
+    store, cache = routed
+    resident = run_request(store, cache, Request(doc="resident", query=ROUTING_QUERY))
+    cold = run_request(store, cache, Request(doc="cold", query=ROUTING_QUERY))
+    assert resident.ok and cold.ok
+    assert resident.engine != "sql"
+    assert cold.engine == "sql"
+    assert resident.to_json_dict()["answers"] == cold.to_json_dict()["answers"]
+    assert resident.count == cold.count
+
+
+def test_explicit_engine_override_wins(routed):
+    store, cache = routed
+    baseline = run_request(store, cache, Request(doc="resident", query=ROUTING_QUERY))
+    forced = run_request(
+        store, cache, Request(doc="resident", query=ROUTING_QUERY, engine="sql")
+    )
+    assert forced.ok and forced.engine == "sql"
+    assert forced.answers == baseline.answers
+    # A non-SQL engine cannot see an accel-only document: a client error, not
+    # a silent wrong answer and not a batch abort.
+    wrong = run_request(
+        store, cache, Request(doc="cold", query=ROUTING_QUERY, engine="backtracking")
+    )
+    assert not wrong.ok and "accel-only" in wrong.error
+
+
+def test_limit_semantics_identical_across_paths(routed):
+    store, cache = routed
+    full = run_request(store, cache, Request(doc="resident", query=ROUTING_QUERY))
+    for limit in (0, 1, 2, full.count, full.count + 10):
+        resident = run_request(
+            store, cache, Request(doc="resident", query=ROUTING_QUERY, limit=limit)
+        )
+        cold = run_request(
+            store, cache, Request(doc="cold", query=ROUTING_QUERY, limit=limit)
+        )
+        assert (resident.answers, resident.count, resident.truncated) == (
+            cold.answers,
+            cold.count,
+            cold.truncated,
+        ), limit
+
+
+def test_boolean_semantics_identical_across_paths(routed):
+    store, cache = routed
+    text = "Q() <- A(x), Following(x, y), B(y)"
+    for limit in (None, 0, 1):
+        resident = run_request(
+            store, cache, Request(doc="resident", query=text, limit=limit)
+        )
+        cold = run_request(store, cache, Request(doc="cold", query=text, limit=limit))
+        assert resident.ok and cold.ok
+        assert (resident.answers, resident.count, resident.truncated, resident.satisfied) == (
+            cold.answers,
+            cold.count,
+            cold.truncated,
+            cold.satisfied,
+        ), limit
+
+
+def test_unknown_engine_and_document_are_client_errors(routed):
+    store, cache = routed
+    bad_engine = run_request(
+        store, cache, Request(doc="resident", query=ROUTING_QUERY, engine="warp")
+    )
+    assert not bad_engine.ok and "unknown engine" in bad_engine.error
+    with pytest.raises(ValueError, match="unknown engine"):
+        Request.from_json_dict({"doc": "resident", "query": ROUTING_QUERY, "engine": "warp"})
+    missing = run_request(store, cache, Request(doc="absent", query=ROUTING_QUERY))
+    assert not missing.ok and "unknown document" in missing.error
+
+
+def test_lazy_residency_attach_from_shared_file(tmp_path):
+    """A second store over the same accel file sees the document accel-only."""
+    path = str(tmp_path / "accel.db")
+    tree = random_tree(120, alphabet=("A", "B"), max_children=3, seed=3)
+    with SQLiteBackend(path) as writer:
+        DocumentStore(accel_backend=writer).register_tree_accel_only("shared", tree)
+    with SQLiteBackend(path) as reader:
+        store = DocumentStore(accel_backend=reader)
+        cache = QueryCache()
+        assert store.residency("shared") == "accel"
+        result = run_request(store, cache, Request(doc="shared", query=ROUTING_QUERY))
+        assert result.ok and result.engine == "sql"
+        expected = sorted(evaluate(parse_query(ROUTING_QUERY), TreeStructure(tree)))
+        assert result.answers == expected
+
+
+# ---------------------------------------------------------------------------
+# Decomposition engine: Boolean first-witness short-circuit regression.
+# ---------------------------------------------------------------------------
+
+CYCLIC_BOOLEAN_QUERIES = (
+    "Q() <- A(x), Child+(x, y), Child+(x, z), Following(y, z), B(y), A(z)",
+    "Q() <- A(x), Following(x, y), B(y), Following(y, z), A(z)",
+    "Q() <- A(x), Child+(x, y), B(y), NextSibling+(y, z), A(z), Child+(x, z)",
+)
+
+
+@pytest.mark.parametrize("text", CYCLIC_BOOLEAN_QUERIES)
+def test_boolean_short_circuit_matches_full_enumeration(text):
+    query = parse_query(text)
+    for seed in range(12):
+        tree = random_tree(
+            25, alphabet=("A", "B"), max_children=3, unlabeled_probability=0.3, seed=seed
+        )
+        structure = TreeStructure(tree)
+        assert boolean_query_holds(query, structure) == bool(
+            evaluate_answers(query, structure)
+        ), seed
