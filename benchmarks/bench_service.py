@@ -56,6 +56,7 @@ from repro.evaluation import evaluate
 from repro.evaluation.compile import compile_query
 from repro.queries import parse_query, xpath_to_cq
 from repro.queries.canonical import canonicalize
+from repro.queries.simplify import simplify_query
 from repro.service import BatchExecutor, Request, ShardedExecutor, shard_for
 from repro.trees import TreeStructure, to_xml
 from repro.workloads import auction_document, random_corpus
@@ -137,6 +138,7 @@ def _clear_global_query_caches() -> None:
     """Reset the process-wide memoizations the cold path must not inherit."""
     compile_query.cache_clear()
     canonicalize.cache_clear()
+    simplify_query.cache_clear()
 
 
 def _cold_once(request: Request, doc_id: str, xml_text: str) -> None:

@@ -9,8 +9,10 @@ Two server modes are exercised:
   asyncio HTTP/1.1 with persistent connections over two worker processes,
   documents routed by stable hash of their id.
 
-Each mode registers two documents, POSTs a batch of queries, evicts a
-document, and reads ``/stats``.  Answers are asserted byte-identical to
+Each mode registers two documents, POSTs a batch of queries, scrapes
+``/metrics`` (asserting a well-formed Prometheus exposition with nonzero
+request counters -- shard-merged in the sharded mode), evicts a document, and
+reads ``/stats``.  Answers are asserted byte-identical to
 direct in-process ``evaluate()`` calls -- and byte-identical *across the two
 modes*, which is the serving contract the sharded backend must uphold.
 
@@ -53,6 +55,42 @@ def call(base: str, method: str, path: str, payload=None):
     request = urllib.request.Request(base + path, data=data, method=method)
     with urllib.request.urlopen(request, timeout=30) as response:
         return json.loads(response.read().decode("utf-8"))
+
+
+def scrape_metrics(base: str):
+    """``GET /metrics`` raw: ``(content_type, text)`` (it is not JSON)."""
+    with urllib.request.urlopen(base + "/metrics", timeout=30) as response:
+        return response.getheader("Content-Type"), response.read().decode("utf-8")
+
+
+def check_metrics(label: str, base: str) -> bool:
+    """Scrape ``/metrics`` and assert a well-formed, non-trivial exposition."""
+    content_type, text = scrape_metrics(base)
+    if not content_type.startswith("text/plain"):
+        print(f"FAIL [{label}]: /metrics content type {content_type!r} is not text/plain")
+        return False
+    families: set = set()
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            families.add(line.split(" ")[2])
+        elif line and not line.startswith("#"):
+            name = line.split("{", 1)[0].split(" ", 1)[0]
+            base_name = re.sub(r"_(bucket|sum|count)$", "", name)
+            if name not in families and base_name not in families:
+                print(f"FAIL [{label}]: /metrics sample before its TYPE line: {line!r}")
+                return False
+    ok_requests = re.search(r'^cqtrees_requests_total\{status="ok"\} (\d+)$', text, re.M)
+    if not ok_requests or int(ok_requests.group(1)) < 3:
+        # The batch above ran three successful requests (plus the ghost error),
+        # and with shards the counters arrive merged from the workers.
+        print(f"FAIL [{label}]: /metrics ok-request counter missing or zero:\n{text[:400]}")
+        return False
+    if "cqtrees_http_requests_total" not in text or "_bucket{" not in text:
+        print(f"FAIL [{label}]: /metrics lacks HTTP counters or histogram buckets")
+        return False
+    print(f"[{label}] metrics: {int(ok_requests.group(1))} ok request(s), "
+          f"{len(families)} familie(s)")
+    return True
 
 
 def run_mode(label: str, extra_args: list[str], auction) -> "list | None":
@@ -119,6 +157,9 @@ def run_mode(label: str, extra_args: list[str], auction) -> "list | None":
                 return None
             print(f"[{label}] ok: {request.get('query', request.get('xpath'))} "
                   f"-> {result['count']} answer(s)")
+
+        if not check_metrics(label, base):
+            return None
 
         evicted = call(base, "DELETE", "/documents/sentence")
         if evicted.get("evicted") != "sentence":

@@ -58,6 +58,8 @@ import time
 from typing import Iterable, Iterator, Mapping, Optional
 from weakref import WeakKeyDictionary
 
+from ..observability import tracing
+from ..observability.metrics import DEFAULT_SIZE_BUCKETS, REGISTRY
 from ..queries.atoms import AxisAtom, LabelAtom, Variable
 from ..queries.query import ConjunctiveQuery
 from ..trees.axes import Axis
@@ -65,6 +67,23 @@ from ..trees.structure import TreeStructure
 from ..trees.tree import Tree
 
 Row = tuple[int, ...]
+
+SQL_ROWS_STREAMED = REGISTRY.counter(
+    "cqtrees_sql_rows_streamed_total",
+    "Answer rows streamed out of the SQLite accel backend.",
+)
+#: Approximate: SQLite answer columns are 64-bit node ids, so bytes are
+#: estimated as 8 per fetched value -- a traffic-shape signal, not an exact
+#: wire accounting.
+SQL_BYTES_FETCHED = REGISTRY.counter(
+    "cqtrees_sql_bytes_fetched_total",
+    "Approximate bytes fetched from the SQLite accel backend (8 per value).",
+)
+SQL_STREAM_ROWS = REGISTRY.histogram(
+    "cqtrees_sql_stream_rows",
+    "Rows streamed per stream_answers call.",
+    buckets=DEFAULT_SIZE_BUCKETS,
+)
 
 #: Axis -> SQL predicate template over a source alias ``{s}`` and a target
 #: alias ``{t}``.  ``id`` *is* the pre-order rank, so the interval axes are
@@ -881,15 +900,23 @@ class SQLiteBackend:
             except BaseException:
                 self._drop_temp_tables(temp_tables)
                 raise
+        tracing.annotate(sql=sql, doc=doc_id)
+        streamed = 0
+        width = len(query.head)
         try:
             while True:
                 with self._lock:
                     rows = cursor.fetchmany(batch_size)
                 if not rows:
                     return
+                streamed += len(rows)
+                SQL_ROWS_STREAMED.inc(len(rows))
+                SQL_BYTES_FETCHED.inc(8 * width * len(rows))
                 for row in rows:
                     yield tuple(row)
         finally:
+            SQL_STREAM_ROWS.observe(streamed)
+            tracing.annotate(rows_streamed=streamed)
             with self._lock:
                 cursor.close()
                 self._drop_temp_tables(temp_tables)
@@ -949,6 +976,24 @@ class SQLiteBackend:
     def _drop_temp_tables(self, temp_tables: Iterable[str]) -> None:
         for name in temp_tables:
             self._connection.execute(f"DROP TABLE IF EXISTS {name}")
+
+    def explain_sql(self, doc_id: str, query: ConjunctiveQuery, lowering: str = "tree") -> str:
+        """The SQL text :meth:`evaluate` would run -- without executing it.
+
+        Lowers with an empty extra-unary environment (label membership stays
+        as ``EXISTS`` probes against the ``label`` table, never an inlined
+        ``IN`` list), so no temp table is staged and nothing is executed:
+        the EXPLAIN surface can describe plans for documents that are not
+        even registered in this backend.
+        """
+        if not query.variables():
+            return "SELECT 1"
+        with self._lock:
+            sql, _params, temp_tables = self._lower(
+                doc_id, query, None, {}, query.is_boolean, lowering
+            )
+            self._drop_temp_tables(temp_tables)
+        return sql
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -1018,3 +1063,30 @@ def structure_is_satisfied(
         extra_unary=structure.extra_unary_relations(),
         lowering=lowering,
     )
+
+
+#: Lazily created shared backend used only to *lower* queries for the
+#: EXPLAIN surface (the schema exists; no document rows ever do).
+_EXPLAIN_BACKEND: Optional[SQLiteBackend] = None
+_EXPLAIN_LOCK = threading.Lock()
+
+
+def explain_sql(
+    query: ConjunctiveQuery,
+    doc_id: str = "doc",
+    backend: Optional[SQLiteBackend] = None,
+    lowering: str = "tree",
+) -> str:
+    """The SQL text ``Engine.SQL`` would run for ``query`` -- never executed.
+
+    With ``backend=None`` (a document that is not accel-resident) the
+    lowering runs against a shared empty in-memory backend: the generated
+    statement depends only on the query and the doc id, not on any data.
+    """
+    global _EXPLAIN_BACKEND
+    if backend is None:
+        with _EXPLAIN_LOCK:
+            if _EXPLAIN_BACKEND is None:
+                _EXPLAIN_BACKEND = SQLiteBackend()
+            backend = _EXPLAIN_BACKEND
+    return backend.explain_sql(doc_id, query, lowering=lowering)

@@ -4,6 +4,7 @@ Usage (after installation, or with ``python -m repro.cli``)::
 
     python -m repro.cli evaluate --tree doc.xml --query "Q(x) <- item(x), Child(x, p), payment(p)"
     python -m repro.cli evaluate --sexpr "(S (NP) (VP))" --xpath "//NP"
+    python -m repro.cli explain --tree doc.xml --query "Q(x) <- a(x), Child+(x, y), b(y)"
     python -m repro.cli classify "Child, Following"
     python -m repro.cli rewrite "Q <- A(x), Child+(x, z), B(y), Child+(y, z)" --trace
     python -m repro.cli table1
@@ -145,6 +146,47 @@ def _command_evaluate(args: argparse.Namespace) -> int:
         if count > print_limit:
             print(f"    ... {count - print_limit} more")
     return 0
+
+
+def _command_explain(args: argparse.Namespace) -> int:
+    """Describe the plan for a query -- engine, width, bags, SQL -- without
+    executing it (the CLI face of ``"explain": true`` on ``/query``)."""
+    import json
+
+    from .service import DocumentStore, QueryCache, Request
+    from .service.core import run_request
+
+    accel_backend = None
+    if args.accel_db is not None:
+        from .backends.sqlite import SQLiteBackend
+
+        accel_backend = SQLiteBackend(args.accel_db)
+    store = DocumentStore(accel_backend=accel_backend)
+    accel_only = (
+        args.accel_db is not None and args.doc is not None and not (args.tree or args.sexpr)
+    )
+    if accel_only:
+        doc_id = args.doc
+        if accel_backend.document_nodes(doc_id) is None:
+            raise SystemExit(
+                f"document {doc_id!r} is not in {args.accel_db}; "
+                "register it first (or pass --tree/--sexpr alongside --doc)"
+            )
+    else:
+        tree = _load_tree(args)
+        doc_id = args.doc or args.tree or "cli"
+        store.register_tree(doc_id, tree)
+    request = Request(
+        doc=doc_id,
+        query=getattr(args, "query", None),
+        xpath=getattr(args, "xpath", None),
+        propagator=args.propagator,
+        engine=args.engine if args.engine != Engine.AUTO.value else None,
+        explain=True,
+    )
+    result = run_request(store, QueryCache(), request)
+    print(json.dumps(result.to_json_dict(), indent=2, sort_keys=True))
+    return 0 if result.ok else 1
 
 
 def _command_classify(args: argparse.Namespace) -> int:
@@ -427,6 +469,40 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     evaluate_parser.set_defaults(handler=_command_evaluate)
+
+    explain_parser = commands.add_parser(
+        "explain",
+        help="describe the plan for a query (engine, width, bags, SQL) without running it",
+    )
+    explain_parser.add_argument("--tree", help="XML file containing the data tree")
+    explain_parser.add_argument("--sexpr", help="the data tree as an s-expression")
+    explain_parser.add_argument("--query", help="conjunctive query in datalog notation")
+    explain_parser.add_argument("--xpath", help="query as an XPath expression")
+    explain_parser.add_argument(
+        "--propagator",
+        choices=[propagator.value for propagator in Propagator],
+        default=Propagator.AC4.value,
+        help="arc-consistency engine the plan would use (default: ac4)",
+    )
+    explain_parser.add_argument(
+        "--engine",
+        choices=[engine.value for engine in Engine],
+        default=Engine.AUTO.value,
+        help="evaluation engine override (default: auto = planner choice)",
+    )
+    explain_parser.add_argument(
+        "--accel-db",
+        default=None,
+        metavar="PATH",
+        help="SQLite accel database; with --doc and no tree source, explain accel-only",
+    )
+    explain_parser.add_argument(
+        "--doc",
+        default=None,
+        metavar="ID",
+        help="document id (defaults to the --tree path, or 'cli')",
+    )
+    explain_parser.set_defaults(handler=_command_explain)
 
     classify_parser = commands.add_parser(
         "classify", help="classify an axis signature (Table I / Theorem 1.1)"

@@ -20,6 +20,18 @@ Search strategy (:func:`decompose`):
 * **min-fill and min-degree** elimination heuristics otherwise, keeping the
   better of the two orders.
 
+Width alone does not pin down the decomposition: a graph usually admits many
+width-optimal trees, and they are *not* evaluation-equivalent.  For the
+bench's ``open_auction/bidder/Following`` triangle, one width-2 tree covers
+its middle bag with a ``Child`` atom (linear rows) while another covers it
+only with ``Following`` (quadratic rows) -- a 100x materialization gap the
+canonicalizer used to flip between by alpha-renaming, because ties broke on
+variable names.  The search therefore minimizes ``(width, static cost)``: a
+rename-invariant estimate of bag materialization expense from axis density
+(:data:`AXIS_WEIGHTS` -- point axes cheap, subtree axes medium, the interval
+order axes dense, atom-less fill pairs worst).  On the exact path a second
+subset DP picks the cheapest order among those achieving the certified width.
+
 Either way the result reports the *achieved* width (recomputed from the bags,
 never trusted from the search), the method that produced it, and for the exact
 path the certified optimum.  Decompositions depend only on the query, so the
@@ -33,6 +45,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 
 from ..queries.atoms import Variable
+from ..trees.axes import Axis
 from .hypergraph import Hypergraph
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import (avoids a cycle)
@@ -40,6 +53,86 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import (avoids a cycle)
 
 #: Queries with at most this many variables get the exact treewidth DP.
 EXACT_VERTEX_LIMIT = 12
+
+#: Relative per-step fan-out of instantiating a bag variable through an atom
+#: of the given axis (roughly log-scaled relation density on an n-node tree):
+#: point/local axes produce O(1)-O(degree) candidates per anchor, the subtree
+#: axes O(depth * fanout), and the document-order interval axes O(n).
+AXIS_WEIGHTS: dict[Axis, int] = {
+    Axis.SELF: 1,
+    Axis.CHILD: 1,
+    Axis.PARENT: 1,
+    Axis.NEXT_SIBLING: 1,
+    Axis.PREVIOUS_SIBLING: 1,
+    Axis.SUCC_PRE: 1,
+    Axis.CHILD_PLUS: 4,
+    Axis.CHILD_STAR: 4,
+    Axis.ANCESTOR: 4,
+    Axis.ANCESTOR_OR_SELF: 4,
+    Axis.NEXT_SIBLING_PLUS: 4,
+    Axis.NEXT_SIBLING_STAR: 4,
+    Axis.PRECEDING_SIBLING: 4,
+    Axis.FOLLOWING: 16,
+    Axis.PRECEDING: 16,
+    Axis.DOCUMENT_ORDER: 16,
+}
+#: A bag pair with no covering atom (a fill edge): an unconstrained product.
+FILL_WEIGHT = 64
+
+PairCosts = Mapping[frozenset, int]
+
+
+def atom_pair_costs(compiled: "CompiledQuery") -> dict[frozenset, int]:
+    """Cheapest axis weight per variable pair carrying at least one atom."""
+    costs: dict[frozenset, int] = {}
+    for atom in compiled.atoms:
+        if atom.is_loop:
+            continue
+        pair = frozenset({atom.source, atom.target})
+        weight = AXIS_WEIGHTS.get(atom.axis, 4)
+        if weight < costs.get(pair, FILL_WEIGHT + 1):
+            costs[pair] = weight
+    return costs
+
+
+def _bag_cost(bag: frozenset, pair_costs: PairCosts) -> int:
+    """Static materialization-cost estimate of one bag.
+
+    Mirrors :func:`~repro.decomposition.yannakakis._materialize_bag`'s
+    strategy: the first variable iterates its domain (a constant factor shared
+    by every bag, counted as 1), each subsequent one is driven by its cheapest
+    atom into the already-assigned prefix.  The estimate is the product of
+    those per-step weights, minimized over the starting variable, so it is
+    invariant under variable renaming.
+    """
+    members = sorted(bag)
+    if len(members) <= 1:
+        return 1
+
+    def cheapest_link(variable, assigned: list) -> int:
+        return min(
+            pair_costs.get(frozenset({variable, other}), FILL_WEIGHT)
+            for other in assigned
+        )
+
+    best: Optional[int] = None
+    for start in members:
+        assigned = [start]
+        rest = [m for m in members if m != start]
+        total = 1
+        while rest:
+            weights = {v: cheapest_link(v, assigned) for v in rest}
+            pick = min(rest, key=lambda v: (weights[v], v))
+            total *= weights[pick]
+            assigned.append(pick)
+            rest.remove(pick)
+        best = total if best is None else min(best, total)
+    return best if best is not None else 1
+
+
+def decomposition_cost(decomposition: "TreeDecomposition", pair_costs: PairCosts) -> int:
+    """Total static cost of a decomposition: the sum of its bag costs."""
+    return sum(_bag_cost(bag, pair_costs) for bag in decomposition.bags)
 
 
 @dataclass(frozen=True)
@@ -222,16 +315,17 @@ def decomposition_from_order(
 # ---------------------------------------------------------------------------
 
 
-def _q_degree(
+def _q_neighbours(
     adjacency: Mapping[Variable, set[Variable]],
     eliminated: frozenset[Variable],
     vertex: Variable,
-) -> int:
-    """|{w not eliminated, w != vertex, reachable from vertex through eliminated}|.
+) -> set[Variable]:
+    """{w not eliminated, w != vertex, reachable from vertex through eliminated}.
 
-    This is the degree ``vertex`` has at the moment it is eliminated after
-    exactly the set ``eliminated`` (fill edges included), computed by a BFS
-    that may only pass through eliminated vertices.
+    These are exactly the neighbours ``vertex`` has at the moment it is
+    eliminated after the set ``eliminated`` (fill edges included), computed by
+    a BFS that may only pass through eliminated vertices; its own bag is
+    ``{vertex} | _q_neighbours(...)``.
     """
     seen = {vertex}
     frontier = [vertex]
@@ -246,7 +340,16 @@ def _q_degree(
                 frontier.append(neighbour)
             else:
                 reachable.add(neighbour)
-    return len(reachable)
+    return reachable
+
+
+def _q_degree(
+    adjacency: Mapping[Variable, set[Variable]],
+    eliminated: frozenset[Variable],
+    vertex: Variable,
+) -> int:
+    """The elimination degree of ``vertex`` after ``eliminated``."""
+    return len(_q_neighbours(adjacency, eliminated, vertex))
 
 
 def exact_elimination_order(
@@ -294,6 +397,62 @@ def exact_elimination_order(
     return order, dp[(1 << n) - 1]
 
 
+def cost_optimal_order(
+    adjacency: Mapping[Variable, set[Variable]],
+    width: int,
+    pair_costs: PairCosts,
+) -> tuple[Variable, ...]:
+    """The cheapest elimination order among those achieving ``width``.
+
+    A second subset DP over elimination prefixes, now constrained to steps of
+    elimination degree at most ``width`` (so the certified treewidth is kept)
+    and minimizing the *sum* of static bag costs instead of the maximum
+    degree.  Always feasible when ``width`` comes from
+    :func:`exact_elimination_order` -- that order itself satisfies the
+    constraint -- and the same O(2^n poly(n)) as the width DP.
+    """
+    vertices = tuple(sorted(adjacency))
+    n = len(vertices)
+    if n == 0:
+        return ()
+
+    def members(mask: int) -> frozenset[Variable]:
+        return frozenset(vertices[i] for i in range(n) if mask & (1 << i))
+
+    infinity = float("inf")
+    dp: list[float] = [infinity] * (1 << n)
+    dp[0] = 0
+    choice = [-1] * (1 << n)
+    for mask in range(1, 1 << n):
+        rest = mask
+        while rest:
+            bit = rest & -rest
+            rest ^= bit
+            i = bit.bit_length() - 1
+            previous = mask ^ bit
+            if dp[previous] == infinity:
+                continue
+            eliminated = members(previous)
+            neighbours = _q_neighbours(adjacency, eliminated, vertices[i])
+            if len(neighbours) > width:
+                continue
+            bag = frozenset({vertices[i]}) | neighbours
+            cost = dp[previous] + _bag_cost(bag, pair_costs)
+            if cost < dp[mask]:
+                dp[mask] = cost
+                choice[mask] = i
+    full = (1 << n) - 1
+    if choice[full] < 0:  # pragma: no cover - exact width is always feasible
+        raise AssertionError(f"no elimination order of width {width} found")
+    order_reversed: list[Variable] = []
+    mask = full
+    while mask:
+        i = choice[mask]
+        order_reversed.append(vertices[i])
+        mask ^= 1 << i
+    return tuple(reversed(order_reversed))
+
+
 # ---------------------------------------------------------------------------
 # The search entry point.
 # ---------------------------------------------------------------------------
@@ -302,8 +461,16 @@ def exact_elimination_order(
 def decompose_hypergraph(
     hypergraph: Hypergraph,
     exact_limit: int = EXACT_VERTEX_LIMIT,
+    pair_costs: Optional[PairCosts] = None,
 ) -> TreeDecomposition:
-    """Best tree decomposition we can find for the hypergraph's primal graph."""
+    """Best tree decomposition we can find for the hypergraph's primal graph.
+
+    ``pair_costs`` (cheapest axis weight per constrained variable pair, see
+    :func:`atom_pair_costs`) turns the search cost-aware: among width-optimal
+    decompositions it picks one minimizing the static bag-materialization
+    estimate, so the choice no longer depends on variable names.  Without it
+    the search minimizes width only (ties broken by name, the legacy order).
+    """
     adjacency = hypergraph.adjacency()
     if not adjacency:
         return TreeDecomposition(
@@ -311,6 +478,8 @@ def decompose_hypergraph(
         )
     if len(adjacency) <= exact_limit:
         order, width = exact_elimination_order(adjacency)
+        if pair_costs is not None:
+            order = cost_optimal_order(adjacency, width, pair_costs)
         decomposition = decomposition_from_order(adjacency, order, "exact", exact=True)
         # The bag-derived width is authoritative; the DP value cross-checks it.
         if decomposition.width != width:  # pragma: no cover - internal invariant
@@ -323,7 +492,13 @@ def decompose_hypergraph(
         decomposition_from_order(adjacency, min_fill_order(adjacency), "min-fill"),
         decomposition_from_order(adjacency, min_degree_order(adjacency), "min-degree"),
     ]
-    decomposition = min(candidates, key=lambda d: d.width)
+    if pair_costs is None:
+        decomposition = min(candidates, key=lambda d: d.width)
+    else:
+        decomposition = min(
+            candidates,
+            key=lambda d: (d.width, decomposition_cost(d, pair_costs), d.method),
+        )
     decomposition.validate(hypergraph)
     return decomposition
 
@@ -332,5 +507,14 @@ def decompose(
     compiled: "CompiledQuery",
     exact_limit: int = EXACT_VERTEX_LIMIT,
 ) -> TreeDecomposition:
-    """Tree decomposition of a compiled query's constraint graph."""
-    return decompose_hypergraph(Hypergraph.of_compiled(compiled), exact_limit)
+    """Tree decomposition of a compiled query's constraint graph.
+
+    Cost-aware: the compiled atoms supply per-pair axis weights, so among
+    width-optimal trees the one with the cheapest estimated bag
+    materialization wins -- invariant under the canonicalizer's renaming.
+    """
+    return decompose_hypergraph(
+        Hypergraph.of_compiled(compiled),
+        exact_limit,
+        pair_costs=atom_pair_costs(compiled),
+    )

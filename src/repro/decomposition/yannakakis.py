@@ -516,6 +516,7 @@ def _evaluate(
 ) -> Optional[frozenset[Row]]:
     from ..evaluation.compile import compile_query
     from ..evaluation.propagation import propagate
+    from ..observability import tracing
 
     if compiled is None:
         compiled = compile_query(query)
@@ -524,45 +525,61 @@ def _evaluate(
     result = propagate(compiled, structure, pinned, propagator, columnar=columnar)
     if result is None:
         return None if boolean_only else frozenset()
-    decomposition = compiled.decomposition
+    with tracing.span("decompose"):
+        decomposition = compiled.decomposition
+        tracing.annotate(
+            width=decomposition.width,
+            exact=decomposition.exact,
+            method=decomposition.method,
+            bags=len(decomposition.bags),
+        )
     views = result.views
     head_set = frozenset() if boolean_only else frozenset(query.head)
     children = decomposition.children()
     relations: list[_BagRelation] = []
-    for index, bag in enumerate(decomposition.bags):
-        bag_atoms = [
-            atom
-            for atom in compiled.atoms
-            if atom.source in bag and atom.target in bag
-        ]
-        # The columns the join tree consumes from this bag: the separators to
-        # its parent and children plus its head variables.  Everything else
-        # is witness-only and projected out during materialization.
-        needed = head_set & bag
-        parent_index = decomposition.parent[index]
-        if parent_index >= 0:
-            needed |= bag & decomposition.bags[parent_index]
-        for child in children[index]:
-            needed |= bag & decomposition.bags[child]
-        relation = _materialize_bag(
-            bag,
-            bag_atoms,
-            views,
-            structure,
-            compiled.variable_index,
-            frozenset(needed),
-            columnar=columnar,
-        )
-        if not relation.rows:
-            return None if boolean_only else frozenset()
-        relations.append(relation)
+    with tracing.span("materialize_bags"):
+        for index, bag in enumerate(decomposition.bags):
+            bag_atoms = [
+                atom
+                for atom in compiled.atoms
+                if atom.source in bag and atom.target in bag
+            ]
+            # The columns the join tree consumes from this bag: the separators
+            # to its parent and children plus its head variables.  Everything
+            # else is witness-only and projected out during materialization.
+            needed = head_set & bag
+            parent_index = decomposition.parent[index]
+            if parent_index >= 0:
+                needed |= bag & decomposition.bags[parent_index]
+            for child in children[index]:
+                needed |= bag & decomposition.bags[child]
+            relation = _materialize_bag(
+                bag,
+                bag_atoms,
+                views,
+                structure,
+                compiled.variable_index,
+                frozenset(needed),
+                columnar=columnar,
+            )
+            if not relation.rows:
+                return None if boolean_only else frozenset()
+            relations.append(relation)
+        tracing.annotate(bag_rows=[len(relation.rows) for relation in relations])
     if boolean_only:
         # First-solution short-circuit: a Boolean query only needs one
         # globally consistent assignment, not fully reduced bags.
-        return frozenset({()}) if _first_witness(decomposition, relations) else None
-    if not _reduce(decomposition, relations):
+        with tracing.span("semijoin", mode="first_witness"):
+            witness = _first_witness(decomposition, relations)
+        return frozenset({()}) if witness else None
+    with tracing.span("semijoin", mode="reduce"):
+        reduced = _reduce(decomposition, relations)
+    if not reduced:
         return frozenset()
-    return _collect_answers(decomposition, relations, query.head)
+    with tracing.span("enumerate", strategy="join_tree"):
+        answers = _collect_answers(decomposition, relations, query.head)
+        tracing.annotate(answers=len(answers))
+    return answers
 
 
 def boolean_query_holds(

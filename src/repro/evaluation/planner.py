@@ -37,6 +37,7 @@ from itertools import product
 from typing import Mapping, Optional
 
 from ..decomposition import yannakakis
+from ..observability import tracing
 from ..queries.apq import UnionQuery, as_union
 from ..queries.graph import QueryGraph
 from ..queries.query import ConjunctiveQuery
@@ -174,13 +175,18 @@ def evaluate(
     the compilation of ``query``.
     """
     if query.is_boolean:
-        satisfied = is_satisfied(query, structure, engine, propagator=propagator)
+        with tracing.span("enumerate", strategy="boolean"):
+            satisfied = is_satisfied(query, structure, engine, propagator=propagator)
+            tracing.annotate(satisfied=satisfied)
         return frozenset({()}) if satisfied else frozenset()
 
     if engine is Engine.SQL:
         from ..backends.sqlite import evaluate_structure
 
-        return evaluate_structure(query, structure)
+        with tracing.span("sql_execute", engine="sql"):
+            answers = evaluate_structure(query, structure)
+            tracing.annotate(answers=len(answers))
+        return answers
     if compiled is None:
         compiled = compile_query(query)
     chosen = choose_engine(query) if engine is Engine.AUTO else engine
@@ -197,7 +203,10 @@ def evaluate(
         # compiled (normalized, deduplicated) edges -- distinct parallel
         # constraints on one variable pair count as a cycle and never take
         # this path, while self-loops were already applied as static filters.
-        return frozenset((node,) for node in result.sorted_domain(query.head[0]))
+        with tracing.span("enumerate", strategy="fixpoint_projection"):
+            answers = frozenset((node,) for node in result.sorted_domain(query.head[0]))
+            tracing.annotate(answers=len(answers))
+        return answers
     # Atoms connecting two head variables can be checked in O(1) per candidate
     # tuple from the tree's rank arrays, skipping the full Boolean evaluation
     # for tuples that already violate one of them.
@@ -210,24 +219,30 @@ def evaluate(
     index = structure.index
     candidate_sets = [result.sorted_domain(variable) for variable in query.head]
     answers: set[tuple[int, ...]] = set()
-    for candidate in product(*candidate_sets):
-        # Head variables may repeat; a repeated variable must get one node.
-        pinned: dict[str, int] = {}
-        consistent = True
-        for variable, node in zip(query.head, candidate):
-            if variable in pinned and pinned[variable] != node:
-                consistent = False
-                break
-            pinned[variable] = node
-        if not consistent:
-            continue
-        if not all(
-            index.holds(atom.axis, pinned[atom.source], pinned[atom.target])
-            for atom in head_atoms
-        ):
-            continue
-        if is_satisfied(query, structure, engine, pinned, propagator):
-            answers.add(tuple(candidate))
+    with tracing.span("enumerate", strategy="candidate_product"):
+        # Suppress tracing inside the loop: each Boolean-reduction check
+        # would otherwise add its own propagate span per candidate tuple.
+        with tracing.suppress():
+            for candidate in product(*candidate_sets):
+                # Head variables may repeat; a repeated variable must get one
+                # node.
+                pinned: dict[str, int] = {}
+                consistent = True
+                for variable, node in zip(query.head, candidate):
+                    if variable in pinned and pinned[variable] != node:
+                        consistent = False
+                        break
+                    pinned[variable] = node
+                if not consistent:
+                    continue
+                if not all(
+                    index.holds(atom.axis, pinned[atom.source], pinned[atom.target])
+                    for atom in head_atoms
+                ):
+                    continue
+                if is_satisfied(query, structure, engine, pinned, propagator):
+                    answers.add(tuple(candidate))
+        tracing.annotate(answers=len(answers))
     return frozenset(answers)
 
 

@@ -28,16 +28,25 @@ engines build once on demand.
 
 from __future__ import annotations
 
+import time
 from enum import Enum
 from typing import Mapping, Optional, Union
 
+from ..observability import tracing
+from ..observability.metrics import REGISTRY
 from ..queries.atoms import Variable
 from ..queries.query import ConjunctiveQuery
 from ..trees.structure import TreeStructure
 from .ac4 import Views, ac4_fixpoint, hybrid_fixpoint
 from .arc_consistency import maximal_arc_consistent, maximal_arc_consistent_horn
-from .compile import CompiledQuery
+from .compile import CompiledQuery, compile_query
 from .domains import Domains
+
+PROPAGATE_SECONDS = REGISTRY.histogram(
+    "cqtrees_propagate_seconds",
+    "Arc-consistency fixpoint latency in seconds, by propagator.",
+    ("propagator",),
+)
 
 
 class Propagator(str, Enum):
@@ -129,8 +138,49 @@ def propagate(
     ``columnar=False`` forces the per-candidate ablation paths of the chosen
     engine (same fixpoint; benchmark/cross-check use only).  The Horn engine
     has no columnar dimension and ignores the flag.
+
+    Every call lands in the per-propagator latency histogram
+    (:data:`PROPAGATE_SECONDS`); inside an active trace a ``propagate`` span
+    records per-variable domain sizes before and after the fixpoint -- the
+    domain-shrinkage signal the cost-model roadmap item needs -- which costs
+    an initial-domain materialization and is therefore trace-only.
     """
     chosen = as_propagator(propagator)
+    if not tracing.is_active():
+        started = time.perf_counter()
+        result = _propagate(query, structure, pinned, chosen, columnar)
+        PROPAGATE_SECONDS.observe(time.perf_counter() - started, propagator=chosen.value)
+        return result
+    with tracing.span("propagate", propagator=chosen.value):
+        compiled = query if isinstance(query, CompiledQuery) else compile_query(query)
+        initial = compiled.initial_domains(structure, pinned)
+        tracing.annotate(
+            domains_before={
+                variable: len(nodes) for variable, nodes in sorted(initial.items())
+            }
+        )
+        started = time.perf_counter()
+        result = _propagate(compiled, structure, pinned, chosen, columnar)
+        PROPAGATE_SECONDS.observe(time.perf_counter() - started, propagator=chosen.value)
+        if result is None:
+            tracing.annotate(satisfiable=False)
+        else:
+            tracing.annotate(
+                satisfiable=True,
+                domains_after={
+                    variable: len(nodes) for variable, nodes in sorted(result.domains.items())
+                },
+            )
+    return result
+
+
+def _propagate(
+    query: ConjunctiveQuery | CompiledQuery,
+    structure: TreeStructure,
+    pinned: Optional[Mapping[Variable, int]],
+    chosen: Propagator,
+    columnar: bool,
+) -> Optional[PropagationResult]:
     if chosen is Propagator.AC4 or chosen is Propagator.HYBRID:
         fixpoint = ac4_fixpoint if chosen is Propagator.AC4 else hybrid_fixpoint
         views = fixpoint(query, structure, pinned, columnar=columnar)

@@ -1,0 +1,44 @@
+"""Dependency-free observability core: metrics, tracing spans, structured logs.
+
+Three pieces, threaded through every layer of the serving stack:
+
+* :mod:`repro.observability.metrics` -- thread-safe counters/gauges and
+  fixed-bucket histograms whose bucket arrays merge across shard worker
+  processes, rendered in Prometheus text format at ``GET /metrics``; plus the
+  slow-query ring buffer surfaced under ``/stats``.
+* :mod:`repro.observability.tracing` -- context-local span trees attached to
+  ``RequestResult`` when a request sets ``debug: true``.
+* :mod:`repro.observability.logging` -- ``key=value`` structured logging for
+  runtime output (bare ``print`` in ``src/`` is ruff-banned).
+"""
+
+from repro.observability.logging import get_logger
+from repro.observability.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    REGISTRY,
+    SLOW_LOG,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SlowQueryLog,
+)
+from repro.observability.tracing import Span, annotate, current_span, is_active, span, trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SlowQueryLog",
+    "DEFAULT_LATENCY_BUCKETS",
+    "REGISTRY",
+    "SLOW_LOG",
+    "Span",
+    "annotate",
+    "current_span",
+    "is_active",
+    "span",
+    "trace",
+    "get_logger",
+]

@@ -1,0 +1,121 @@
+"""Context-local tracing spans for request debugging.
+
+A trace is a tree of :class:`Span` nodes recorded while a request executes:
+``request -> parse -> compile -> decompose -> propagate -> enumerate`` (or the
+SQL-lowering path).  The active span lives in a :class:`contextvars.ContextVar`,
+so the instrumentation composes across threads (each request thread gets its
+own context) and across ``async`` tasks for free, and crosses the shard
+process boundary as a plain dict (``Span.to_json_dict`` is picklable JSON).
+
+The design constraint is zero overhead when nobody asked for a trace: the
+:func:`span` context manager checks the context variable and yields ``None``
+immediately when no trace is active -- instrumented code never branches on a
+flag itself, it just writes ``with span("propagate"):`` unconditionally.
+Tracing only activates inside a ``with trace("request") as root:`` block,
+which :func:`repro.service.core.run_request` opens when the request sets
+``debug: true``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+__all__ = ["Span", "trace", "span", "annotate", "is_active", "current_span", "suppress"]
+
+
+@dataclass
+class Span:
+    """One timed node in a trace tree."""
+
+    name: str
+    attributes: dict = field(default_factory=dict)
+    elapsed_ms: float = 0.0
+    children: "list[Span]" = field(default_factory=list)
+
+    def to_json_dict(self) -> dict:
+        payload: dict = {"name": self.name, "elapsed_ms": round(self.elapsed_ms, 3)}
+        if self.attributes:
+            payload["attributes"] = dict(self.attributes)
+        if self.children:
+            payload["children"] = [child.to_json_dict() for child in self.children]
+        return payload
+
+    def find(self, name: str) -> "Optional[Span]":
+        """Depth-first lookup by span name (handy in tests)."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+
+_ACTIVE: "ContextVar[Optional[Span]]" = ContextVar("repro_active_span", default=None)
+
+
+def is_active() -> bool:
+    """True when a trace is being recorded in this context."""
+    return _ACTIVE.get() is not None
+
+
+def current_span() -> Optional[Span]:
+    return _ACTIVE.get()
+
+
+@contextmanager
+def trace(name: str, **attributes: object) -> Iterator[Span]:
+    """Open a root span and activate tracing for the dynamic extent."""
+    root = Span(name, attributes=dict(attributes))
+    token = _ACTIVE.set(root)
+    started = time.perf_counter()
+    try:
+        yield root
+    finally:
+        root.elapsed_ms = (time.perf_counter() - started) * 1000.0
+        _ACTIVE.reset(token)
+
+
+@contextmanager
+def span(name: str, **attributes: object) -> Iterator[Optional[Span]]:
+    """Record a child span under the active one; no-op without a trace."""
+    parent = _ACTIVE.get()
+    if parent is None:
+        yield None
+        return
+    child = Span(name, attributes=dict(attributes))
+    parent.children.append(child)
+    token = _ACTIVE.set(child)
+    started = time.perf_counter()
+    try:
+        yield child
+    finally:
+        child.elapsed_ms = (time.perf_counter() - started) * 1000.0
+        _ACTIVE.reset(token)
+
+
+def annotate(**attributes: object) -> None:
+    """Attach attributes to the innermost active span (no-op otherwise)."""
+    active = _ACTIVE.get()
+    if active is not None:
+        active.attributes.update(attributes)
+
+
+@contextmanager
+def suppress() -> Iterator[None]:
+    """Deactivate tracing for the dynamic extent.
+
+    Hot per-candidate loops (the planner's Boolean-reduction checks) would
+    otherwise record one ``propagate`` span per candidate tuple -- thousands
+    of nodes that bury the request tree.  The loop suppresses, the wrapping
+    ``enumerate`` span keeps the aggregate timing.
+    """
+    token = _ACTIVE.set(None)
+    try:
+        yield
+    finally:
+        _ACTIVE.reset(token)

@@ -3,6 +3,7 @@
 from .apq import UnionQuery, as_union
 from .atoms import Atom, AxisAtom, LabelAtom, Variable, axis, label
 from .canonical import canonical_key, canonicalize
+from .simplify import simplify_query
 from .containment import (
     answers_on,
     contained_on,
@@ -34,6 +35,7 @@ __all__ = [
     "axis_chain",
     "canonical_key",
     "canonicalize",
+    "simplify_query",
     "contained_on",
     "contained_on_samples",
     "contained_on_trees",

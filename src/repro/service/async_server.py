@@ -29,14 +29,19 @@ import contextlib
 import functools
 import json
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Optional
+from typing import Optional, Union
 
+from ..observability.logging import get_logger
 from ..queries.parser import QueryParseError
 from ..queries.xpath import XPathTranslationError
 from ..trees.xmlio import XMLParseError
 from .core import Request, execute_batch_payload
+from .http_metrics import METRICS_CONTENT_TYPE, observe_http
 from .server import MAX_BODY_BYTES
+
+_LOG = get_logger("repro.service.async")
 
 #: Exceptions answered as HTTP 400 (mirrors the threaded front end).
 _CLIENT_ERRORS = (QueryParseError, XPathTranslationError, XMLParseError, ValueError)
@@ -145,6 +150,7 @@ class AsyncServiceServer:
                     )
                     break
                 body = await reader.readexactly(length) if length else b""
+                started = time.perf_counter()
                 if method == "POST":
                     # Only evaluation work holds an in-flight slot; GET
                     # control-plane probes (/healthz above all) must answer
@@ -154,8 +160,9 @@ class AsyncServiceServer:
                         status, payload = await self._dispatch(method, path, body)
                 else:
                     status, payload = await self._dispatch(method, path, body)
+                observe_http(path, method, status, time.perf_counter() - started)
                 if not self.quiet:  # pragma: no cover - log formatting
-                    print(f"{method} {path} -> {status}", flush=True)
+                    _LOG.info("request", method=method, path=path, status=status)
                 await self._send(writer, status, payload, close=close_after)
                 if close_after:
                     break
@@ -189,13 +196,23 @@ class AsyncServiceServer:
         return None
 
     async def _send(
-        self, writer: asyncio.StreamWriter, status: int, payload: dict, close: bool = False
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Union[dict, str],
+        close: bool = False,
     ) -> None:
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found", 501: "Not Implemented"}
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, str):
+            # Pre-rendered text payloads (the /metrics exposition).
+            body = payload.encode("utf-8")
+            content_type = METRICS_CONTENT_TYPE
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {reason.get(status, 'OK')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'close' if close else 'keep-alive'}\r\n"
             f"\r\n"
@@ -222,6 +239,8 @@ class AsyncServiceServer:
                     return 200, {"status": "ok", "documents": count}
                 if path == "/stats":
                     return 200, await self._call(executor.stats)
+                if path == "/metrics":
+                    return 200, await self._call(executor.render_metrics)
                 if path == "/documents":
                     return 200, {"documents": await self._call(executor.describe_documents)}
                 return 404, {"error": f"unknown path {path!r}"}

@@ -28,13 +28,24 @@ from typing import Optional
 
 from ..evaluation.compile import CompiledQuery, compile_query
 from ..evaluation.planner import Engine, choose_engine
+from ..observability import tracing
+from ..observability.metrics import REGISTRY
 from ..queries.canonical import canonical_key, canonicalize
+from ..queries.simplify import simplify_query
 from ..queries.parser import parse_query
 from ..queries.query import ConjunctiveQuery
 from ..queries.xpath import xpath_to_cq
 
 #: Recognised query syntaxes for textual submissions.
 KINDS = ("datalog", "xpath")
+
+#: Query-cache lookups by result: ``parse_hit`` (byte-identical text, parser
+#: skipped), ``hit`` (alpha-equivalent entry), ``miss`` (full compile).
+CACHE_LOOKUPS = REGISTRY.counter(
+    "cqtrees_query_cache_lookups_total",
+    "Query-cache lookups by result (parse_hit / hit / miss).",
+    ("result",),
+)
 
 
 @dataclass
@@ -117,8 +128,10 @@ class QueryCache:
                 self._parse_hits += 1
                 self._hits += 1
                 cached.hits += 1
+                CACHE_LOOKUPS.inc(result="parse_hit")
                 return cached, True
-        query = xpath_to_cq(text) if kind == "xpath" else parse_query(text)
+        with tracing.span("parse", kind=kind):
+            query = xpath_to_cq(text) if kind == "xpath" else parse_query(text)
         entry, hit = self.resolve_query(query)
         with self._lock:
             self._parse_cache[parse_key] = entry
@@ -130,8 +143,13 @@ class QueryCache:
     def resolve_query(self, query: ConjunctiveQuery) -> tuple[CachedQuery, bool]:
         """The cache entry for a query object, plus whether it was warm.
 
-        Alpha-equivalent queries share one entry (and one compiled artifact).
+        Alpha-equivalent queries share one entry (and one compiled artifact);
+        the answer-preserving simplification runs first, so queries that only
+        differ in vacuous existential structure (``//``-step roots, collapsible
+        ``Child*``/``Child`` chains) share one too -- and the compiled plan
+        never carries the full-domain variables the rewrite removes.
         """
+        query = simplify_query(query)
         key = canonical_key(query)
         with self._lock:
             entry = self._entries.get(key)
@@ -139,24 +157,30 @@ class QueryCache:
                 self._entries.move_to_end(key)
                 self._hits += 1
                 entry.hits += 1
+                CACHE_LOOKUPS.inc(result="hit")
                 return entry, True
         # Compile outside the lock: canonicalize/compile_query are themselves
         # memoized and thread-safe, so a rare duplicate compile race is cheap.
-        canonical = canonicalize(query)
-        entry = CachedQuery(
-            key=key,
-            query=canonical,
-            compiled=compile_query(canonical),
-            engine=choose_engine(canonical),
-        )
+        with tracing.span("canonicalize"):
+            canonical = canonicalize(query)
+        with tracing.span("compile"):
+            entry = CachedQuery(
+                key=key,
+                query=canonical,
+                compiled=compile_query(canonical),
+                engine=choose_engine(canonical),
+            )
+            tracing.annotate(engine=entry.engine.value)
         with self._lock:
             existing = self._entries.get(key)
             if existing is not None:
                 self._hits += 1
                 existing.hits += 1
+                CACHE_LOOKUPS.inc(result="hit")
                 return existing, True
             self._entries[key] = entry
             self._misses += 1
+            CACHE_LOOKUPS.inc(result="miss")
             if self.capacity is not None:
                 while len(self._entries) > self.capacity:
                     self._entries.popitem(last=False)

@@ -16,8 +16,8 @@ requests through one code path and therefore honours one contract:
   stack -- is still caught and reported with an ``internal:`` prefix, because
   one poisoned request must not void its batchmates or kill a worker;
 * error results carry the same attribution fields (``elapsed_ms``,
-  ``propagator``) as successes, so failed requests show up in latency
-  accounting.
+  ``propagator``, ``engine``) as successes, so failed requests show up in
+  latency accounting with full routing attribution.
 """
 
 from __future__ import annotations
@@ -28,12 +28,29 @@ from typing import Optional, Union
 
 from ..evaluation.planner import Engine, choose_engine, evaluate
 from ..evaluation.propagation import DEFAULT_PROPAGATOR, as_propagator
+from ..observability import tracing
+from ..observability.metrics import REGISTRY, SLOW_LOG
 from ..queries.parser import QueryParseError
 from ..queries.query import ConjunctiveQuery
 from ..queries.xpath import XPathTranslationError
 from ..trees.xmlio import XMLParseError
 from .cache import CachedQuery, QueryCache
 from .store import DocumentNotFound, DocumentStore
+
+#: Request outcomes: ``ok`` / ``error`` (client mistakes) / ``internal``.
+REQUESTS_TOTAL = REGISTRY.counter(
+    "cqtrees_requests_total",
+    "Evaluation requests executed, by outcome.",
+    ("status",),
+)
+#: End-to-end request latency, attributed to the engine/propagator pair that
+#: served it (errors attribute to the engine chosen before the failure, or
+#: ``none`` when routing itself failed).
+REQUEST_SECONDS = REGISTRY.histogram(
+    "cqtrees_request_seconds",
+    "End-to-end request latency in seconds, by engine and propagator.",
+    ("engine", "propagator"),
+)
 
 #: Exceptions that are the client's fault; reported verbatim per request.
 REQUEST_ERRORS = (
@@ -111,13 +128,26 @@ class Request:
     propagator: str = str(DEFAULT_PROPAGATOR)
     limit: Optional[int] = None
     engine: Optional[str] = None
+    #: Record a tracing span tree for this request (attached as ``trace``).
+    debug: bool = False
+    #: Explain the plan -- engine, width, bags, SQL -- without executing.
+    explain: bool = False
 
     @classmethod
     def from_json_dict(cls, payload: dict) -> "Request":
         """Build a request from a JSON object (HTTP body / JSONL line)."""
         if not isinstance(payload, dict):
             raise ValueError(f"request must be a JSON object, got {type(payload).__name__}")
-        unknown = set(payload) - {"doc", "query", "xpath", "propagator", "limit", "engine"}
+        unknown = set(payload) - {
+            "doc",
+            "query",
+            "xpath",
+            "propagator",
+            "limit",
+            "engine",
+            "debug",
+            "explain",
+        }
         if unknown:
             raise ValueError(f"unknown request field(s): {', '.join(sorted(unknown))}")
         doc = payload.get("doc")
@@ -131,6 +161,9 @@ class Request:
         propagator = payload.get("propagator", str(DEFAULT_PROPAGATOR))
         if not isinstance(propagator, str):
             raise ValueError("'propagator' must be a string")
+        for key in ("debug", "explain"):
+            if not isinstance(payload.get(key, False), bool):
+                raise ValueError(f"'{key}' must be a boolean")
         return cls(
             doc=doc,
             query=payload.get("query"),
@@ -138,6 +171,8 @@ class Request:
             propagator=propagator,
             limit=limit,
             engine=payload.get("engine"),
+            debug=bool(payload.get("debug", False)),
+            explain=bool(payload.get("explain", False)),
         )
 
 
@@ -156,6 +191,10 @@ class RequestResult:
     engine: Optional[str] = None
     cache_hit: bool = False
     error: Optional[str] = None
+    #: The span tree recorded for a ``debug: true`` request (JSON dict).
+    trace: Optional[dict] = None
+    #: The plan description of an ``explain: true`` request (JSON dict).
+    explain: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -166,12 +205,27 @@ class RequestResult:
         if not self.ok:
             # Error results keep their attribution fields: latency accounting
             # must be able to see what a failed request cost and which
-            # propagator it asked for.
-            return {
+            # engine/propagator pair it was (or would have been) routed to.
+            payload = {
                 "doc": self.doc,
                 "error": self.error,
                 "elapsed_ms": round(self.elapsed_ms, 3),
                 "propagator": self.propagator,
+                "engine": self.engine,
+            }
+            if self.trace is not None:
+                payload["trace"] = self.trace
+            return payload
+        if self.explain is not None:
+            # Explain results never executed: answers/count would be noise.
+            return {
+                "doc": self.doc,
+                "query_key": self.query_key,
+                "explain": self.explain,
+                "elapsed_ms": round(self.elapsed_ms, 3),
+                "propagator": self.propagator,
+                "engine": self.engine,
+                "cache_hit": self.cache_hit,
             }
         payload = {
             "doc": self.doc,
@@ -186,6 +240,8 @@ class RequestResult:
         }
         if self.satisfied is not None:
             payload["satisfied"] = self.satisfied
+        if self.trace is not None:
+            payload["trace"] = self.trace
         return payload
 
 
@@ -245,6 +301,132 @@ def _stream_sql_answers(
     return answers[: request.limit], backend.count_answers(request.doc, query), True
 
 
+def _resolve_plan(
+    store: DocumentStore,
+    cache: QueryCache,
+    request: Request,
+    attribution: Optional[dict] = None,
+):
+    """Shared routing front half: ``(propagator, entry, cache_hit, residency, engine)``.
+
+    An explicit ``request.engine`` always wins; otherwise the planner's
+    per-query choice applies, except that documents resident only in the
+    accel store auto-route to :attr:`Engine.SQL` (the sole engine that can
+    see them).  Raises :data:`REQUEST_ERRORS` members on routing mistakes;
+    ``attribution`` (when given) is filled as facts are established, so even
+    a routing failure is attributed to the engine it was routed to.
+    """
+    propagator = as_propagator(request.propagator)
+    if attribution is not None:
+        attribution["propagator"] = propagator.value
+    override = validate_engine(request.engine)
+    if override is not None and attribution is not None:
+        attribution["engine"] = override.value
+    entry, cache_hit = resolve_entry(cache, request)
+    residency = store.residency(request.doc)
+    if residency is None:
+        raise DocumentNotFound(request.doc)
+    accel_only = residency == "accel"
+    if override is not None:
+        engine = override
+    elif accel_only:
+        engine = choose_engine(entry.query, accel_only=True)
+    else:
+        engine = entry.engine
+    if attribution is not None:
+        attribution["engine"] = engine.value
+        attribution["query_key"] = entry.key
+    if accel_only and engine is not Engine.SQL:
+        raise ValueError(
+            f"document {request.doc!r} is accel-only; "
+            f"engine {engine.value!r} needs a resident document"
+        )
+    return propagator, entry, cache_hit, residency, engine
+
+
+def _execute_request(
+    store: DocumentStore, cache: QueryCache, request: Request, attribution: dict, started: float
+) -> RequestResult:
+    """The happy path of :func:`run_request`; exceptions bubble to the caller.
+
+    ``attribution`` collects routing facts as they are established, so the
+    caller's error handler can attribute failures to the engine/propagator
+    they were (or would have been) routed to.
+    """
+    propagator, entry, cache_hit, residency, engine = _resolve_plan(
+        store, cache, request, attribution
+    )
+    if residency == "accel":
+        with tracing.span("sql_execute", doc=request.doc, engine=engine.value):
+            answers, count, truncated = _stream_sql_answers(
+                store.accel_backend, request, entry.query
+            )
+    else:
+        document = store.get(request.doc)
+        with tracing.span("evaluate", engine=engine.value, propagator=propagator.value):
+            answers = sorted(
+                evaluate(
+                    entry.query,
+                    document.structure,
+                    engine=engine,
+                    propagator=propagator,
+                    compiled=entry.compiled,
+                )
+            )
+        count = len(answers)
+        truncated = request.limit is not None and count > request.limit
+        if truncated:
+            answers = answers[: request.limit]
+    return RequestResult(
+        doc=request.doc,
+        query_key=entry.key,
+        answers=answers,
+        count=count,
+        truncated=truncated,
+        satisfied=(count > 0) if entry.query.is_boolean else None,
+        elapsed_ms=(time.perf_counter() - started) * 1000.0,
+        propagator=propagator.value,
+        engine=engine.value,
+        cache_hit=cache_hit,
+    )
+
+
+def _error_result(request: Request, attribution: dict, started: float, error: str) -> RequestResult:
+    return RequestResult(
+        doc=request.doc,
+        query_key=attribution.get("query_key"),
+        propagator=attribution.get("propagator", str(request.propagator)),
+        engine=attribution.get("engine"),
+        elapsed_ms=(time.perf_counter() - started) * 1000.0,
+        error=error,
+    )
+
+
+def _observe_result(result: RequestResult) -> RequestResult:
+    """Record a finished request in the metrics registry and the slow log."""
+    if result.ok:
+        status = "ok"
+    elif result.error is not None and result.error.startswith("internal:"):
+        status = "internal"
+    else:
+        status = "error"
+    REQUESTS_TOTAL.inc(status=status)
+    REQUEST_SECONDS.observe(
+        result.elapsed_ms / 1000.0,
+        engine=result.engine or "none",
+        propagator=result.propagator,
+    )
+    SLOW_LOG.maybe_record(
+        result.elapsed_ms,
+        doc=result.doc,
+        query_key=result.query_key,
+        engine=result.engine,
+        propagator=result.propagator,
+        ok=result.ok,
+    )
+    return result
+
+
 def run_request(store: DocumentStore, cache: QueryCache, request: Request) -> RequestResult:
     """Evaluate one request against resident artifacts; never raises.
 
@@ -259,69 +441,88 @@ def run_request(store: DocumentStore, cache: QueryCache, request: Request) -> Re
     in the accel store auto-route to :attr:`Engine.SQL` (the sole engine that
     can see them) with answers streamed out of SQLite in sorted order --
     byte-identical to what the in-memory engines would produce.
+
+    Observability: every executed request lands in the metrics registry
+    (:data:`REQUESTS_TOTAL`, :data:`REQUEST_SECONDS`) and, past the latency
+    threshold, the slow-query log.  ``request.explain`` short-circuits to
+    :func:`explain_request` (plan only, never executed, not metered);
+    ``request.debug`` additionally records a span tree and attaches it as
+    ``result.trace``.
+    """
+    if request.explain:
+        return explain_request(store, cache, request)
+    if not request.debug:
+        return _run_request(store, cache, request)
+    with tracing.trace("request", doc=request.doc) as root:
+        result = _run_request(store, cache, request)
+    result.trace = root.to_json_dict()
+    return result
+
+
+def _run_request(store: DocumentStore, cache: QueryCache, request: Request) -> RequestResult:
+    started = time.perf_counter()
+    attribution: dict = {}
+    try:
+        result = _execute_request(store, cache, request, attribution, started)
+    except REQUEST_ERRORS as error:
+        result = _error_result(request, attribution, started, str(error))
+    except Exception as error:  # noqa: BLE001 - the per-request error contract
+        result = _error_result(
+            request, attribution, started, f"internal: {type(error).__name__}: {error}"
+        )
+    return _observe_result(result)
+
+
+def explain_request(store: DocumentStore, cache: QueryCache, request: Request) -> RequestResult:
+    """Describe the plan a request would run -- without executing it.
+
+    The ``explain`` payload reports the chosen engine and propagator, the
+    document's residency, cache state, the compiled decomposition (achieved
+    width, exactness, method, bag structure as sorted variable lists plus the
+    join-tree parent vector) and -- for :attr:`Engine.SQL` -- the generated
+    SQL text (lowered with an empty extra-unary environment: the statement a
+    plain evaluation of the canonical query would execute).  Errors follow
+    the same per-request value contract as :func:`run_request`.
     """
     started = time.perf_counter()
+    attribution: dict = {}
     try:
-        propagator = as_propagator(request.propagator)
-        override = validate_engine(request.engine)
-        entry, cache_hit = resolve_entry(cache, request)
-        residency = store.residency(request.doc)
-        if residency is None:
-            raise DocumentNotFound(request.doc)
-        accel_only = residency == "accel"
-        if override is not None:
-            engine = override
-        elif accel_only:
-            engine = choose_engine(entry.query, accel_only=True)
-        else:
-            engine = entry.engine
-        if accel_only:
-            if engine is not Engine.SQL:
-                raise ValueError(
-                    f"document {request.doc!r} is accel-only; "
-                    f"engine {engine.value!r} needs a resident document"
-                )
-            answers, count, truncated = _stream_sql_answers(
-                store.accel_backend, request, entry.query
-            )
-        else:
-            document = store.get(request.doc)
-            answers = sorted(
-                evaluate(
-                    entry.query,
-                    document.structure,
-                    engine=engine,
-                    propagator=propagator,
-                    compiled=entry.compiled,
-                )
-            )
-            count = len(answers)
-            truncated = request.limit is not None and count > request.limit
-            if truncated:
-                answers = answers[: request.limit]
-    except REQUEST_ERRORS as error:
-        return RequestResult(
-            doc=request.doc,
-            propagator=str(request.propagator),
-            elapsed_ms=(time.perf_counter() - started) * 1000.0,
-            error=str(error),
+        propagator, entry, cache_hit, residency, engine = _resolve_plan(
+            store, cache, request, attribution
         )
+        decomposition = entry.compiled.decomposition
+        plan = {
+            "doc": request.doc,
+            "residency": residency,
+            "engine": engine.value,
+            "propagator": propagator.value,
+            "cache_hit": cache_hit,
+            "cache_hits": entry.hits,
+            "arity": entry.query.arity,
+            "atoms": len(entry.query.body),
+            "width": decomposition.width,
+            "width_exact": decomposition.exact,
+            "decomposition_method": decomposition.method,
+            "bags": [sorted(bag) for bag in decomposition.bags],
+            "bag_parents": list(decomposition.parent),
+        }
+        if engine is Engine.SQL:
+            from ..backends.sqlite import explain_sql
+
+            backend = store.accel_backend if residency == "accel" else None
+            plan["sql"] = explain_sql(entry.query, doc_id=request.doc, backend=backend)
+    except REQUEST_ERRORS as error:
+        return _error_result(request, attribution, started, str(error))
     except Exception as error:  # noqa: BLE001 - the per-request error contract
-        return RequestResult(
-            doc=request.doc,
-            propagator=str(request.propagator),
-            elapsed_ms=(time.perf_counter() - started) * 1000.0,
-            error=f"internal: {type(error).__name__}: {error}",
+        return _error_result(
+            request, attribution, started, f"internal: {type(error).__name__}: {error}"
         )
     return RequestResult(
         doc=request.doc,
         query_key=entry.key,
-        answers=answers,
-        count=count,
-        truncated=truncated,
-        satisfied=(count > 0) if entry.query.is_boolean else None,
         elapsed_ms=(time.perf_counter() - started) * 1000.0,
         propagator=propagator.value,
         engine=engine.value,
         cache_hit=cache_hit,
+        explain=plan,
     )

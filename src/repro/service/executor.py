@@ -27,6 +27,7 @@ import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Optional, Sequence
 
+from ..observability.metrics import REGISTRY, SLOW_LOG
 from .cache import QueryCache
 from .core import REQUEST_ERRORS, Request, RequestResult, run_request
 from .store import DocumentStore
@@ -154,4 +155,10 @@ class BatchExecutor:
             "executor": executor,
             "store": self.store.stats(),
             "cache": self.cache.stats(),
+            "slow_queries": SLOW_LOG.stats(),
         }
+
+    def render_metrics(self) -> str:
+        """The Prometheus text exposition of this process's registry."""
+        self.store.refresh_metrics()
+        return REGISTRY.render()

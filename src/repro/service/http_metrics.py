@@ -1,0 +1,45 @@
+"""HTTP-layer metrics shared by the threaded and asyncio front ends.
+
+Both front ends route the same paths; this module owns the per-route request
+counter and latency histogram plus the route-label normalization
+(``/documents/<id>`` collapses to ``/documents/{id}``, anything unknown to
+``other``) so the two expositions stay label-compatible and unbounded ids
+never explode the label space.
+"""
+
+from __future__ import annotations
+
+from ..observability.metrics import REGISTRY
+
+#: The Prometheus text exposition content type (version 0.0.4).
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Routes served by both front ends (label values; see :func:`normalize_route`).
+KNOWN_ROUTES = ("/healthz", "/stats", "/metrics", "/documents", "/query", "/batch")
+
+HTTP_REQUESTS = REGISTRY.counter(
+    "cqtrees_http_requests_total",
+    "HTTP requests served, by route, method and status code.",
+    ("route", "method", "code"),
+)
+HTTP_SECONDS = REGISTRY.histogram(
+    "cqtrees_http_request_seconds",
+    "HTTP request latency in seconds, by route.",
+    ("route",),
+)
+
+
+def normalize_route(path: str) -> str:
+    """Collapse a request path to a bounded route label."""
+    if path in KNOWN_ROUTES:
+        return path
+    if path.startswith("/documents/"):
+        return "/documents/{id}"
+    return "other"
+
+
+def observe_http(path: str, method: str, code: int, seconds: float) -> None:
+    """Record one served HTTP request (both front ends call this)."""
+    route = normalize_route(path)
+    HTTP_REQUESTS.inc(route=route, method=method, code=str(code))
+    HTTP_SECONDS.observe(seconds, route=route)

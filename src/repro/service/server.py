@@ -6,7 +6,8 @@
 path              method  behaviour
 ================  ======  ====================================================
 ``/healthz``      GET     liveness: ``{"status": "ok", "documents": N}``
-``/stats``        GET     executor + store + cache statistics
+``/stats``        GET     executor + store + cache statistics + slow queries
+``/metrics``      GET     Prometheus text exposition (shard-merged histograms)
 ``/documents``    GET     resident document summaries
 ``/documents``    POST    register: ``{"doc": id, "xml": ...}`` or
                           ``{"doc": id, "sexpr": ...}``
@@ -16,7 +17,9 @@ path              method  behaviour
 ================  ======  ====================================================
 
 A request object is ``{"doc": id, "query": datalog}`` or
-``{"doc": id, "xpath": expr}`` plus optional ``"propagator"`` and ``"limit"``;
+``{"doc": id, "xpath": expr}`` plus optional ``"propagator"``, ``"limit"``,
+``"engine"``, ``"debug"`` (attach a tracing span tree) and ``"explain"``
+(describe the plan without executing);
 responses mirror :meth:`repro.service.executor.RequestResult.to_json_dict`.
 Malformed bodies answer 400 and unknown paths 404.  Unknown document *ids*
 are request-level failures, not path lookups: ``/query`` answers 400 with the
@@ -31,6 +34,7 @@ thread per connection, all of them sharing the executor's resident artifacts.
 from __future__ import annotations
 
 import json
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
@@ -39,6 +43,7 @@ from ..queries.xpath import XPathTranslationError
 from ..trees.xmlio import XMLParseError
 from .core import Request, execute_batch_payload
 from .executor import BatchExecutor
+from .http_metrics import METRICS_CONTENT_TYPE, observe_http
 
 #: Upper bound on accepted request bodies (64 MiB); guards the worker threads.
 MAX_BODY_BYTES = 64 * 1024 * 1024
@@ -69,8 +74,15 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def _send_json(self, status: int, payload: dict) -> None:
         body = json.dumps(payload).encode("utf-8")
+        self._send_bytes(status, body, "application/json")
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        self._send_bytes(status, text.encode("utf-8"), content_type)
+
+    def _send_bytes(self, status: int, body: bytes, content_type: str) -> None:
+        self._status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -101,13 +113,43 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
 
     # -- routes ----------------------------------------------------------------
 
+    def _observed(self, handler) -> None:
+        """Run one route handler, recording per-route count + latency.
+
+        ``self._status`` is set by ``_send_bytes``; a handler that crashes
+        before sending anything records status 500 (the connection is about
+        to die anyway, but the scrape should still see the failure).
+        """
+        started = time.perf_counter()
+        self._status = 0
+        try:
+            handler()
+        finally:
+            observe_http(
+                self.path,
+                self.command,
+                self._status or 500,
+                time.perf_counter() - started,
+            )
+
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._observed(self._do_get)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._observed(self._do_post)
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        self._observed(self._do_delete)
+
+    def _do_get(self) -> None:
         executor = self.server.executor
         try:
             if self.path == "/healthz":
                 self._send_json(200, {"status": "ok", "documents": executor.document_count()})
             elif self.path == "/stats":
                 self._send_json(200, executor.stats())
+            elif self.path == "/metrics":
+                self._send_text(200, executor.render_metrics(), METRICS_CONTENT_TYPE)
             elif self.path == "/documents":
                 self._send_json(200, {"documents": executor.describe_documents()})
             else:
@@ -115,7 +157,7 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         except ValueError as error:  # e.g. a sharded backend with a dead worker
             self._send_json(400, {"error": str(error)})
 
-    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+    def _do_post(self) -> None:
         executor = self.server.executor
         payload = self._read_json()
         if payload is None:
@@ -133,7 +175,7 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         except (QueryParseError, XPathTranslationError, XMLParseError, ValueError) as error:
             self._send_json(400, {"error": str(error)})
 
-    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+    def _do_delete(self) -> None:
         executor = self.server.executor
         prefix = "/documents/"
         try:

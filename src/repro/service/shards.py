@@ -38,6 +38,7 @@ import zlib
 from concurrent.futures import Future
 from typing import Optional, Sequence
 
+from ..observability.metrics import REGISTRY, SLOW_LOG, MetricsRegistry
 from .cache import QueryCache
 from .core import REQUEST_ERRORS, Request, RequestResult, run_request
 from .store import DocumentStore
@@ -100,6 +101,12 @@ def _shard_worker_main(
         accel_backend = SQLiteBackend(accel_db)
     store = DocumentStore(capacity=store_capacity, accel_backend=accel_backend)
     cache = QueryCache(capacity=cache_capacity)
+    # A forked worker inherits the parent's process-global metrics registry
+    # *values*; zero them (in place, keeping the families valid) so the
+    # parent's shard-merge never double-counts pre-fork observations.  The
+    # slow-query ring buffer is process-global too.
+    REGISTRY.reset()
+    SLOW_LOG.clear()
     parent = multiprocessing.parent_process()
     requests = 0
     errors = 0
@@ -143,9 +150,15 @@ def _shard_worker_main(
                             "errors": errors,
                             "store": store.stats(),
                             "cache": cache.stats(),
+                            "slow_queries": SLOW_LOG.stats(),
                         },
                     )
                 )
+            elif op == "metrics":
+                # Ship this worker's bucket arrays and counters to the parent,
+                # which sums them into the fleet-wide /metrics exposition.
+                store.refresh_metrics()
+                outbox.put((seq, "ok", REGISTRY.snapshot()))
             else:
                 outbox.put((seq, "error", f"unknown shard op {op!r}"))
         except REQUEST_ERRORS as error:
@@ -395,8 +408,40 @@ class ShardedExecutor:
 
     # -- statistics ------------------------------------------------------------
 
+    def shard_load(self) -> list[dict]:
+        """Per-shard live-load snapshot: queue depth, in-flight ops, liveness.
+
+        Fleet sums hide a hot shard (one worker pegged while the others idle
+        averages out to "fine"); this surfaces the skew per shard.  Queue
+        depths come from the parent's end of each inbox (``None`` on
+        platforms whose queues cannot report a size); in-flight counts are
+        the parent's pending futures per owning shard.  Taken *before* any
+        stats broadcast so the probe does not count itself.
+        """
+        with self._lock:
+            in_flight = {shard: 0 for shard in range(self.shards)}
+            for _future, owner in self._pending.values():
+                in_flight[owner] = in_flight.get(owner, 0) + 1
+            broken = set(self._broken)
+        load = []
+        for shard in range(self.shards):
+            try:
+                depth = self._inboxes[shard].qsize()
+            except NotImplementedError:  # pragma: no cover - macOS qsize
+                depth = None
+            load.append(
+                {
+                    "shard": shard,
+                    "queue_depth": depth,
+                    "in_flight": in_flight[shard],
+                    "alive": shard not in broken,
+                }
+            )
+        return load
+
     def stats(self) -> dict:
         """Aggregated executor/store/cache statistics plus per-shard detail."""
+        shard_load = self.shard_load()
         shard_stats = self._broadcast("stats")
         store_keys = (
             "documents",
@@ -420,6 +465,22 @@ class ShardedExecutor:
         cache["hit_rate"] = (cache["hits"] / lookups) if lookups else 0.0
         with self._lock:
             batches = self._batches
+        # Slow queries merge across shards: flatten, tag with the owning
+        # shard, keep the globally slowest entries up to one ring's capacity.
+        slow_entries = [
+            {**entry, "shard": s["shard"]}
+            for s in shard_stats
+            for entry in s.get("slow_queries", {}).get("entries", ())
+        ]
+        slow_entries.sort(key=lambda entry: entry["elapsed_ms"], reverse=True)
+        slow_queries = {
+            "capacity": SLOW_LOG.capacity,
+            "threshold_ms": SLOW_LOG.threshold_ms,
+            "recorded": sum(
+                s.get("slow_queries", {}).get("recorded", 0) for s in shard_stats
+            ),
+            "entries": slow_entries[: SLOW_LOG.capacity],
+        }
         return {
             "executor": {
                 "backend": "sharded",
@@ -427,11 +488,28 @@ class ShardedExecutor:
                 "requests": sum(s["requests"] for s in shard_stats),
                 "errors": sum(s["errors"] for s in shard_stats),
                 "batches": batches,
+                "shard_load": shard_load,
             },
             "store": store,
             "cache": cache,
+            "slow_queries": slow_queries,
             "shards": shard_stats,
         }
+
+    def render_metrics(self) -> str:
+        """Fleet-wide Prometheus text: every worker's snapshot summed.
+
+        Each worker ships its counter values and histogram bucket arrays over
+        the control channel (the ``metrics`` op); the parent sums them --
+        element-wise for buckets -- together with its own registry (front-end
+        route metrics live in the parent), so one scrape sees fleet totals
+        and true merged latency distributions.
+        """
+        merged = MetricsRegistry()
+        merged.merge_snapshot(REGISTRY.snapshot())
+        for snapshot in self._broadcast("metrics"):
+            merged.merge_snapshot(snapshot)
+        return merged.render()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ShardedExecutor(shards={self.shards}, closed={self._closed})"

@@ -36,10 +36,23 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+from ..observability.metrics import REGISTRY
 from ..trees.builders import parse_sexpr
 from ..trees.structure import TreeStructure
 from ..trees.tree import Tree
 from ..trees.xmlio import from_xml, from_xml_file
+
+STORE_LOOKUPS = REGISTRY.counter(
+    "cqtrees_store_lookups_total",
+    "Resident-document lookups by result (hit / miss).",
+    ("result",),
+)
+#: Refreshed by the executors at metrics-render time (the store itself does
+#: not know when it is being scraped).
+DOCUMENTS_RESIDENT = REGISTRY.gauge(
+    "cqtrees_documents_resident",
+    "Documents resident in this process's serving store.",
+)
 
 
 class DocumentNotFound(KeyError):
@@ -201,9 +214,11 @@ class DocumentStore:
             document = self._documents.get(doc_id)
             if document is None:
                 self._misses += 1
+                STORE_LOOKUPS.inc(result="miss")
                 raise DocumentNotFound(doc_id)
             self._documents.move_to_end(doc_id)
             self._hits += 1
+            STORE_LOOKUPS.inc(result="hit")
             return document
 
     def residency(self, doc_id: str) -> Optional[str]:
@@ -285,6 +300,11 @@ class DocumentStore:
             self._documents.clear()
 
     # -- statistics ------------------------------------------------------------
+
+    def refresh_metrics(self) -> None:
+        """Push point-in-time levels into the metrics registry (pre-scrape)."""
+        with self._lock:
+            DOCUMENTS_RESIDENT.set(len(self._documents))
 
     def stats(self) -> dict:
         with self._lock:

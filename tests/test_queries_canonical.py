@@ -8,7 +8,13 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.evaluation import compile_query, evaluate
-from repro.queries import canonical_key, canonicalize, parse_query, xpath_to_cq
+from repro.queries import (
+    canonical_key,
+    canonicalize,
+    parse_query,
+    simplify_query,
+    xpath_to_cq,
+)
 from repro.queries.atoms import AxisAtom, LabelAtom
 from repro.queries.query import ConjunctiveQuery
 from repro.trees import TreeStructure, random_tree
@@ -144,3 +150,62 @@ class TestCanonicalProperties:
         assert canonicalize(representative) == representative
         structure = TreeStructure(random_tree(18, alphabet=ALPHABET, seed=11))
         assert evaluate(query, structure) == evaluate(representative, structure)
+
+
+class TestSimplifyQuery:
+    def test_xpath_root_step_and_joint_collapse(self):
+        query = xpath_to_cq("//description//listitem")
+        simplified = simplify_query(query)
+        # Child*(x0, x1) is dropped (x0 is a vacuous dangler) and
+        # Child*(x1, x2), Child(x2, x3) composes into Child+(x1, x3).
+        axes = sorted(a.axis for a in simplified.body if isinstance(a, AxisAtom))
+        assert axes == [Axis.CHILD_PLUS]
+        labels = sorted(a.label for a in simplified.body if isinstance(a, LabelAtom))
+        assert labels == ["description", "listitem"]
+        assert simplified.head == query.head
+
+    def test_reflexive_dangler_is_dropped(self):
+        query = parse_query("Q(y) <- A(y), Child*(x, y)")
+        simplified = simplify_query(query)
+        assert simplified.body == (LabelAtom("A", "y"),)
+
+    def test_unsafe_drop_is_refused(self):
+        # Removing the only atom would leave the head variable without a body
+        # occurrence; the rewrite must keep the query safe for evaluate().
+        query = ConjunctiveQuery(("y",), (AxisAtom(Axis.CHILD_STAR, "x", "y"),), "Q")
+        assert simplify_query(query) == query
+
+    def test_labeled_and_head_variables_are_never_projected(self):
+        query = parse_query("Q(m) <- A(a), Child*(a, m), M(m), Child(m, b), B(b)")
+        simplified = simplify_query(query)
+        assert set(simplified.variables()) == {"a", "m", "b"}
+        assert simplified == query
+
+    def test_child_plus_chains_are_not_composed(self):
+        # Child+ . Child+ (grandchild-or-deeper) has no single-axis equivalent.
+        query = parse_query("Q <- A(a), Child+(a, m), Child+(m, b), B(b)")
+        assert simplify_query(query) == query
+
+    def test_idempotent(self):
+        for text in ("//description//listitem", "//NP[NN]", "//VP[VB]/NP"):
+            simplified = simplify_query(xpath_to_cq(text))
+            assert simplify_query(simplified) == simplified
+
+    @SETTINGS
+    @given(random_queries())
+    def test_answer_preserving_on_random_queries(self, query):
+        simplified = simplify_query(query)
+        structure = TreeStructure(random_tree(18, alphabet=ALPHABET, seed=23))
+        assert evaluate(query, structure) == evaluate(simplified, structure)
+
+    @SETTINGS
+    @given(random_queries(), st.integers(min_value=0, max_value=100_000))
+    def test_commutes_with_renaming_up_to_alpha(self, query, seed):
+        rng = random.Random(seed)
+        variables = list(query.variables())
+        targets = [f"renamed_{i}" for i in range(len(variables))]
+        rng.shuffle(targets)
+        twin = query.rename(dict(zip(variables, targets)))
+        assert canonical_key(simplify_query(query)) == canonical_key(
+            simplify_query(twin)
+        )
