@@ -197,6 +197,7 @@ class _TreeLowering:
         query: ConjunctiveQuery,
         pinned: Optional[Mapping[Variable, int]],
         extra_unary: Mapping[str, frozenset[int]],
+        materialize: bool = False,
     ):
         from ..evaluation.compile import compile_query
 
@@ -217,9 +218,27 @@ class _TreeLowering:
         self.temp_tables: list[str] = []
         self.ctes: list[str] = []
         self._sibling_counter = 0
+        # With ``materialize=True`` every bag (and sibling-window) relation is
+        # executed eagerly into an indexed TEMP table instead of staying a
+        # CTE.  SQLite re-evaluates a CTE referenced from correlated
+        # subqueries per probe; when the cost model predicts large bag
+        # relations (the dense-cycle case) a materialized, separator-indexed
+        # table turns those probes into index lookups.  The caller holds the
+        # backend lock for the whole lowering, so bumping the counter here is
+        # race-free; the unique prefix keeps concurrent streams (which release
+        # the lock between batches) from colliding.
+        self.materialize = materialize
+        if materialize:
+            backend._temp_counter += 1
+            self._prefix = f"tmp_plan_{backend._temp_counter}_"
+        else:
+            self._prefix = ""
         self.loops_by_variable: dict[Variable, list] = {}
         for loop in self.compiled.loops:
             self.loops_by_variable.setdefault(loop.source, []).append(loop)
+
+    def _bag_name(self, index: int) -> str:
+        return f"{self._prefix}bag_{index}"
 
     def _reduced_head_tree(
         self,
@@ -375,7 +394,7 @@ class _TreeLowering:
         local: list = []
         conditions = self._unary_conditions(walias, variable, local)
         conditions.extend(
-            f"{walias}.id IN (SELECT c{position} FROM bag_{child})"
+            f"{walias}.id IN (SELECT c{position} FROM {self._bag_name(child)})"
             for child in refining_children
         )
         if len(atoms) == 1 and atoms[0].axis in _GLOBAL_THRESHOLD_AXES:
@@ -415,15 +434,19 @@ class _TreeLowering:
             other = alias[atom.source if dropped_is_target else atom.target]
             where = " AND ".join(conditions)
             self._sibling_counter += 1
-            name = f"sib_{self._sibling_counter}"
+            name = f"{self._prefix}sib_{self._sibling_counter}"
             aggregate = "MAX" if dropped_is_target else "MIN"
-            self.ctes.append(
-                f"{name} AS (SELECT DISTINCT {walias}.parent AS parent, "
+            body = (
+                f"SELECT DISTINCT {walias}.parent AS parent, "
                 f"{aggregate}({walias}.sibling_index) "
                 f"OVER (PARTITION BY {walias}.parent) AS si "
-                f"FROM accel {walias} WHERE {where})"
+                f"FROM accel {walias} WHERE {where}"
             )
-            self.params.extend(local)
+            if self.materialize:
+                self._execute_temp_table(name, body, local)
+            else:
+                self.ctes.append(f"{name} AS ({body})")
+                self.params.extend(local)
             strict = atom.axis is Axis.NEXT_SIBLING_PLUS
             operator = (">" if strict else ">=") if dropped_is_target else ("<" if strict else "<=")
             return (
@@ -494,17 +517,18 @@ class _TreeLowering:
                 continue
             position = vix[variable]
             conditions.extend(
-                f"{alias[variable]}.id IN (SELECT c{position} FROM bag_{child})"
+                f"{alias[variable]}.id IN (SELECT c{position} FROM {self._bag_name(child)})"
                 for child in kids
             )
         for child, separator in exists_children:
+            child_name = self._bag_name(child)
             if separator:
                 equalities = " AND ".join(
-                    f"bag_{child}.c{vix[v]} = {alias[v]}.id" for v in separator
+                    f"{child_name}.c{vix[v]} = {alias[v]}.id" for v in separator
                 )
-                conditions.append(f"EXISTS (SELECT 1 FROM bag_{child} WHERE {equalities})")
+                conditions.append(f"EXISTS (SELECT 1 FROM {child_name} WHERE {equalities})")
             else:
-                conditions.append(f"EXISTS (SELECT 1 FROM bag_{child})")
+                conditions.append(f"EXISTS (SELECT 1 FROM {child_name})")
         for variable in sorted(droppable, key=lambda v: vix[v]):
             own_atoms = [a for a in atoms if variable in (a.source, a.target)]
             if own_atoms:
@@ -519,7 +543,7 @@ class _TreeLowering:
                 walias = f"w{vix[variable]}"
                 unary = self._unary_conditions(walias, variable, local)
                 unary.extend(
-                    f"{walias}.id IN (SELECT c{vix[variable]} FROM bag_{child})"
+                    f"{walias}.id IN (SELECT c{vix[variable]} FROM {self._bag_name(child)})"
                     for child in refining.get(variable, [])
                 )
                 params.extend(local)
@@ -537,8 +561,26 @@ class _TreeLowering:
         else:
             # Witness-only bag (a headless component): one row iff satisfiable.
             body = f"SELECT 1 AS ok{from_clause} WHERE {where} LIMIT 1"
-        self.ctes.append(f"bag_{index} AS ({body})")
-        self.params.extend(params)
+        name = self._bag_name(index)
+        if self.materialize:
+            self._execute_temp_table(name, body, params)
+            if keep:
+                # Index the separator to the parent: that is the column set
+                # the parent's IN / EXISTS probes hit once per parent row.
+                separator = [v for v in separators[index] if v in keep_set]
+                if separator:
+                    index_columns = ", ".join(f"c{vix[v]}" for v in separator)
+                    self.backend._connection.execute(
+                        f"CREATE INDEX idx_{name} ON {name} ({index_columns})"
+                    )
+        else:
+            self.ctes.append(f"{name} AS ({body})")
+            self.params.extend(params)
+
+    def _execute_temp_table(self, name: str, body: str, params: list) -> None:
+        """Eagerly materialize one relation; registered for cleanup."""
+        self.backend._connection.execute(f"CREATE TEMP TABLE {name} AS {body}", params)
+        self.temp_tables.append(name)
 
     # -- whole statements ------------------------------------------------------
 
@@ -600,7 +642,7 @@ class _TreeLowering:
 
         if boolean or not head:
             conditions = " AND ".join(
-                f"EXISTS (SELECT 1 FROM bag_{root})" for root in self.roots
+                f"EXISTS (SELECT 1 FROM {self._bag_name(root)})" for root in self.roots
             )
             final = f"SELECT 1 WHERE {conditions} LIMIT 1"
         else:
@@ -609,21 +651,25 @@ class _TreeLowering:
             for index in kept_order:
                 if parent[index] >= 0:
                     conditions.extend(
-                        f"bag_{index}.c{vix[v]} = bag_{parent[index]}.c{vix[v]}"
+                        f"{self._bag_name(index)}.c{vix[v]} = "
+                        f"{self._bag_name(parent[index])}.c{vix[v]}"
                         for v in separators[index]
                     )
             for root in self.roots:
                 if root not in kept:
-                    conditions.append(f"EXISTS (SELECT 1 FROM bag_{root})")
+                    conditions.append(f"EXISTS (SELECT 1 FROM {self._bag_name(root)})")
             home = {
                 variable: min(i for i in kept_order if variable in set(keep[i]))
                 for variable in head_set
             }
-            columns = ", ".join(f"bag_{home[v]}.c{vix[v]}" for v in head)
-            from_clause = ", ".join(f"bag_{index}" for index in kept_order)
+            columns = ", ".join(f"{self._bag_name(home[v])}.c{vix[v]}" for v in head)
+            from_clause = ", ".join(self._bag_name(index) for index in kept_order)
             where = " AND ".join(conditions) if conditions else "1"
             final = f"SELECT DISTINCT {columns} FROM {from_clause} WHERE {where}"
-        sql = "WITH " + ",\n     ".join(self.ctes) + "\n" + final
+        if self.ctes:
+            sql = "WITH " + ",\n     ".join(self.ctes) + "\n" + final
+        else:  # fully materialized: the final statement reads TEMP tables only
+            sql = final
         return sql, self.params, self.temp_tables
 
 
@@ -732,18 +778,22 @@ class SQLiteBackend:
         extra_unary: Mapping[str, frozenset[int]],
         boolean: bool,
         lowering: str,
+        materialize: bool = False,
     ) -> tuple[str, list, list[str]]:
         """Compile the query to one SQL statement.
 
         Returns ``(sql, parameters, temp_tables)``; the caller drops the temp
-        tables (large extra-unary relations staged out of the ``IN`` list)
+        tables (large extra-unary relations staged out of the ``IN`` list,
+        and -- under ``materialize=True`` -- the eagerly-built bag relations)
         after fetching.
         """
         if lowering == "flat":
             return self._lower_flat(doc_id, query, pinned, extra_unary, boolean)
         if lowering != "tree":
             raise ValueError(f"unknown lowering {lowering!r} (expected one of {LOWERINGS})")
-        return _TreeLowering(self, doc_id, query, pinned, extra_unary).lower(boolean)
+        return _TreeLowering(
+            self, doc_id, query, pinned, extra_unary, materialize=materialize
+        ).lower(boolean)
 
     def _lower_flat(
         self,
@@ -833,6 +883,7 @@ class SQLiteBackend:
         pinned: Optional[Mapping[Variable, int]] = None,
         extra_unary: Optional[Mapping[str, frozenset[int]]] = None,
         lowering: str = "tree",
+        materialize: bool = False,
     ) -> frozenset[Row]:
         """All answers of ``query`` on the registered document.
 
@@ -846,12 +897,15 @@ class SQLiteBackend:
         if query.is_boolean:
             return (
                 frozenset({()})
-                if self.is_satisfied(doc_id, query, pinned, extra_unary, lowering=lowering)
+                if self.is_satisfied(
+                    doc_id, query, pinned, extra_unary,
+                    lowering=lowering, materialize=materialize,
+                )
                 else frozenset()
             )
         with self._lock:
             sql, params, temp_tables = self._lower(
-                doc_id, query, pinned, extras, False, lowering
+                doc_id, query, pinned, extras, False, lowering, materialize
             )
             try:
                 rows = self._connection.execute(sql, params).fetchall()
@@ -869,6 +923,7 @@ class SQLiteBackend:
         limit: Optional[int] = None,
         batch_size: int = STREAM_BATCH_SIZE,
         lowering: str = "tree",
+        materialize: bool = False,
     ) -> Iterator[Row]:
         """Answers in ascending head-tuple order, streamed in cursor batches.
 
@@ -882,12 +937,15 @@ class SQLiteBackend:
         if not query.variables() or query.is_boolean:
             if limit is not None and limit <= 0:
                 return
-            if self.is_satisfied(doc_id, query, pinned, extra_unary, lowering=lowering):
+            if self.is_satisfied(
+                doc_id, query, pinned, extra_unary,
+                lowering=lowering, materialize=materialize,
+            ):
                 yield ()
             return
         with self._lock:
             sql, params, temp_tables = self._lower(
-                doc_id, query, pinned, extras, False, lowering
+                doc_id, query, pinned, extras, False, lowering, materialize
             )
             order = ", ".join(str(k + 1) for k in range(len(query.head)))
             sql += f" ORDER BY {order}"
@@ -928,6 +986,7 @@ class SQLiteBackend:
         pinned: Optional[Mapping[Variable, int]] = None,
         extra_unary: Optional[Mapping[str, frozenset[int]]] = None,
         lowering: str = "tree",
+        materialize: bool = False,
     ) -> int:
         """Exact answer count, without materialising any answers in Python.
 
@@ -937,11 +996,16 @@ class SQLiteBackend:
         extras = extra_unary or {}
         if not query.variables() or query.is_boolean:
             return (
-                1 if self.is_satisfied(doc_id, query, pinned, extra_unary, lowering=lowering) else 0
+                1
+                if self.is_satisfied(
+                    doc_id, query, pinned, extra_unary,
+                    lowering=lowering, materialize=materialize,
+                )
+                else 0
             )
         with self._lock:
             sql, params, temp_tables = self._lower(
-                doc_id, query, pinned, extras, False, lowering
+                doc_id, query, pinned, extras, False, lowering, materialize
             )
             try:
                 (count,) = self._connection.execute(
@@ -958,6 +1022,7 @@ class SQLiteBackend:
         pinned: Optional[Mapping[Variable, int]] = None,
         extra_unary: Optional[Mapping[str, frozenset[int]]] = None,
         lowering: str = "tree",
+        materialize: bool = False,
     ) -> bool:
         """Boolean evaluation (existential closure) of ``query``."""
         extras = extra_unary or {}
@@ -965,7 +1030,7 @@ class SQLiteBackend:
             return True
         with self._lock:
             sql, params, temp_tables = self._lower(
-                doc_id, query, pinned, extras, True, lowering
+                doc_id, query, pinned, extras, True, lowering, materialize
             )
             try:
                 row = self._connection.execute(sql, params).fetchone()
@@ -1036,6 +1101,7 @@ def evaluate_structure(
     structure: TreeStructure,
     pinned: Optional[Mapping[Variable, int]] = None,
     lowering: str = "tree",
+    materialize: bool = False,
 ) -> frozenset[Row]:
     """``Engine.SQL`` entry point: answers of ``query`` over ``structure``."""
     backend = backend_for_tree(structure.tree)
@@ -1045,6 +1111,7 @@ def evaluate_structure(
         pinned=pinned,
         extra_unary=structure.extra_unary_relations(),
         lowering=lowering,
+        materialize=materialize,
     )
 
 
@@ -1053,6 +1120,7 @@ def structure_is_satisfied(
     structure: TreeStructure,
     pinned: Optional[Mapping[Variable, int]] = None,
     lowering: str = "tree",
+    materialize: bool = False,
 ) -> bool:
     """``Engine.SQL`` Boolean entry point."""
     backend = backend_for_tree(structure.tree)
@@ -1062,6 +1130,7 @@ def structure_is_satisfied(
         pinned=pinned,
         extra_unary=structure.extra_unary_relations(),
         lowering=lowering,
+        materialize=materialize,
     )
 
 

@@ -23,7 +23,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from .evaluation import Engine, Propagator, choose_engine, evaluate
+from .evaluation import Engine, Propagator, evaluate
 from .queries import ConjunctiveQuery, parse_query, xpath_to_cq
 from .rewriting import RewriteTrace, to_apq
 from .trees import Tree, TreeStructure, from_xml_file, parse_sexpr
@@ -48,9 +48,13 @@ def _load_query(args: argparse.Namespace) -> ConjunctiveQuery:
 
 
 def _command_evaluate(args: argparse.Namespace) -> int:
+    from .planning import DocumentStats, plan_query
+
     query = _load_query(args)
     requested = Engine(args.engine)
-    propagator = Propagator(args.propagator)
+    propagator_override = (
+        None if args.propagator == "auto" else Propagator(args.propagator)
+    )
     if args.doc is not None and args.accel_db is None:
         raise SystemExit("--doc requires --accel-db (it names a document in the accel database)")
     # Pure out-of-core mode: --doc names an already-materialised document in
@@ -96,26 +100,54 @@ def _command_evaluate(args: argparse.Namespace) -> int:
                     )
                 accel_line = f"accel    : {args.accel_db} (accel-only doc {doc_id!r})"
                 node_count = nodes
-            # Mirrors serving-layer routing: accel residency auto-routes the
-            # planner to the SQL engine; an explicit --engine sql still wins.
-            engine = (
-                choose_engine(query, accel_only=True)
-                if requested is Engine.AUTO
-                else requested
+            # Mirrors serving-layer routing: accel residency plans with
+            # ``accel_only=True`` (pinning the SQL engine); an explicit
+            # ``--engine sql`` still wins, and the plan's lowering knobs
+            # (flat vs tree, TEMP-table materialization) apply to every call.
+            stats = (
+                DocumentStats.of_tree(tree)
+                if tree is not None
+                else DocumentStats.approximate_from_nodes(node_count)
             )
+            plan = plan_query(
+                query,
+                stats,
+                routing=args.routing,
+                engine=None if requested is Engine.AUTO else requested,
+                propagator=propagator_override,
+                accel_only=True,
+            )
+            engine = plan.engine
+            sql_knobs = {"lowering": plan.lowering, "materialize": plan.materialize}
             if query.is_boolean:
-                count = 1 if backend.is_satisfied(doc_id, query) else 0
+                count = 1 if backend.is_satisfied(doc_id, query, **sql_knobs) else 0
                 answers = [()] if count else []
             else:
                 # Streamed + limit pushdown: only the printed prefix is ever
                 # materialised in Python; the exact total is one COUNT(*).
-                count = backend.count_answers(doc_id, query)
-                answers = list(backend.stream_answers(doc_id, query, limit=print_limit))
+                count = backend.count_answers(doc_id, query, **sql_knobs)
+                answers = list(
+                    backend.stream_answers(doc_id, query, limit=print_limit, **sql_knobs)
+                )
         else:
             structure = TreeStructure(tree)
-            engine = choose_engine(query) if requested is Engine.AUTO else requested
+            plan = plan_query(
+                query,
+                DocumentStats.of_tree(tree),
+                routing=args.routing,
+                engine=None if requested is Engine.AUTO else requested,
+                propagator=propagator_override,
+            )
+            engine = plan.engine
             answers = sorted(
-                evaluate(query, structure, engine=requested, propagator=propagator)
+                evaluate(
+                    query,
+                    structure,
+                    engine=plan.engine,
+                    propagator=plan.propagator,
+                    lowering=plan.lowering,
+                    materialize=plan.materialize,
+                )
             )
             count = len(answers)
             node_count = len(tree)
@@ -126,7 +158,12 @@ def _command_evaluate(args: argparse.Namespace) -> int:
     forced = "" if requested is Engine.AUTO else " (forced)"
     print(f"query    : {query}")
     print(f"signature: {query.signature()}  ({classify(query.signature()).value})")
-    print(f"engine   : {engine.value}{forced} (propagator: {propagator.value})")
+    detail = f"propagator: {plan.propagator.value}, routing: {plan.routing}"
+    if engine is Engine.SQL:
+        detail += f", lowering: {plan.lowering}"
+        if plan.materialize:
+            detail += " (materialized)"
+    print(f"engine   : {engine.value}{forced} ({detail})")
     if accel_line is not None:
         print(accel_line)
     print(f"tree     : {node_count} nodes")
@@ -182,6 +219,7 @@ def _command_explain(args: argparse.Namespace) -> int:
         xpath=getattr(args, "xpath", None),
         propagator=args.propagator,
         engine=args.engine if args.engine != Engine.AUTO.value else None,
+        routing=args.routing,
         explain=True,
     )
     result = run_request(store, QueryCache(), request)
@@ -434,9 +472,19 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate_parser.add_argument("--limit", type=int, default=None, help="max answers to print")
     evaluate_parser.add_argument(
         "--propagator",
-        choices=[propagator.value for propagator in Propagator],
-        default=Propagator.AC4.value,
-        help="arc-consistency engine (default: ac4 support counting)",
+        choices=["auto"] + [propagator.value for propagator in Propagator],
+        default="auto",
+        help="arc-consistency engine (default: auto = the plan's choice)",
+    )
+    evaluate_parser.add_argument(
+        "--routing",
+        choices=["cost", "static"],
+        default="cost",
+        help=(
+            "planner routing: 'cost' uses document-statistics estimates "
+            "(default); 'static' keeps the pre-planner shape rules as the "
+            "ablation baseline (answers are byte-identical either way)"
+        ),
     )
     evaluate_parser.add_argument(
         "--engine",
@@ -480,9 +528,15 @@ def build_parser() -> argparse.ArgumentParser:
     explain_parser.add_argument("--xpath", help="query as an XPath expression")
     explain_parser.add_argument(
         "--propagator",
-        choices=[propagator.value for propagator in Propagator],
-        default=Propagator.AC4.value,
-        help="arc-consistency engine the plan would use (default: ac4)",
+        choices=["auto"] + [propagator.value for propagator in Propagator],
+        default="auto",
+        help="arc-consistency engine the plan would use (default: auto)",
+    )
+    explain_parser.add_argument(
+        "--routing",
+        choices=["cost", "static"],
+        default="cost",
+        help="planner routing to explain: 'cost' (default) or 'static' (ablation)",
     )
     explain_parser.add_argument(
         "--engine",

@@ -310,6 +310,69 @@ def decomposition_from_order(
     )
 
 
+def prune_subset_bags(decomposition: TreeDecomposition) -> TreeDecomposition:
+    """Merge every bag contained in a tree neighbour into that neighbour.
+
+    Elimination orders routinely emit redundant bags (eliminating a degree-1
+    vertex of a path yields the chain ``{a} - {a,b} - {a,b,c}``).  They are
+    harmless for width but poisonous for evaluation: a subset bag turns its
+    variables into *separators* of the adjacent bag, forcing the materializer
+    to keep (and the semijoin passes to carry) columns that are really local
+    existentials.  For the four-cycle this is the difference between
+    materializing all O(n^2) ``(a, b, c)`` triples and a first-witness /
+    union-of-ranges search over ``b``.  Merging a bag into a neighbour that
+    contains it preserves all three decomposition properties and never
+    increases the width.
+    """
+    bags = list(decomposition.bags)
+    parent = list(decomposition.parent)
+    alive = [True] * len(bags)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(bags)):
+            if not alive[i]:
+                continue
+            p = parent[i]
+            if p < 0:
+                continue
+            if bags[i] <= bags[p]:
+                # Drop the child; its children reattach to the parent.
+                for j in range(len(bags)):
+                    if alive[j] and parent[j] == i:
+                        parent[j] = p
+                alive[i] = False
+                changed = True
+            elif bags[p] <= bags[i]:
+                # Drop the parent; this bag takes its place in the tree.
+                grandparent = parent[p]
+                for j in range(len(bags)):
+                    if alive[j] and parent[j] == p:
+                        parent[j] = i
+                parent[i] = grandparent
+                alive[p] = False
+                changed = True
+    if all(alive):
+        return decomposition
+    # Re-number in BFS order from the roots so parents precede children
+    # (the class invariant the semijoin passes rely on).
+    order = [i for i in range(len(bags)) if alive[i] and parent[i] < 0]
+    for index in order:  # grows during iteration: a BFS over the pruned tree
+        order.extend(
+            j for j in range(len(bags)) if alive[j] and parent[j] == index
+        )
+    final_index = {old: new for new, old in enumerate(order)}
+    return TreeDecomposition(
+        bags=tuple(bags[old] for old in order),
+        parent=tuple(
+            final_index[parent[old]] if parent[old] >= 0 else -1 for old in order
+        ),
+        width=max(len(bags[old]) for old in order) - 1,
+        method=decomposition.method,
+        exact=decomposition.exact,
+    )
+
+
 # ---------------------------------------------------------------------------
 # Exact treewidth (subset dynamic program over elimination prefixes).
 # ---------------------------------------------------------------------------
@@ -486,6 +549,7 @@ def decompose_hypergraph(
             raise AssertionError(
                 f"exact DP width {width} != bag width {decomposition.width}"
             )
+        decomposition = prune_subset_bags(decomposition)
         decomposition.validate(hypergraph)
         return decomposition
     candidates = [
@@ -499,6 +563,7 @@ def decompose_hypergraph(
             candidates,
             key=lambda d: (d.width, decomposition_cost(d, pair_costs), d.method),
         )
+    decomposition = prune_subset_bags(decomposition)
     decomposition.validate(hypergraph)
     return decomposition
 

@@ -139,8 +139,8 @@ def _materialize_bag(
         default=0,
     )
     # Local existentials *before* the cut (the constraint graph forced them
-    # early) branch the prefix, so projected rows may repeat and need a dedup.
-    must_deduplicate = any(variable not in needed for variable in order[:cut])
+    # early) branch the prefix, so projected rows may repeat and need a dedup
+    # -- unless the union-of-ranges skip below absorbs the branching.
 
     # Per position: how candidates for the variable are produced, given the
     # assigned prefix.  Every connecting atom is used exactly once -- as the
@@ -217,6 +217,59 @@ def _materialize_bag(
         checks.append(residual)
         prefix.add(variable)
 
+    # -- union-of-ranges pruning for mid-bag local existentials ----------------
+    #
+    # A local existential forced *before* the cut branches the prefix: every
+    # one of its witnesses re-enumerates the whole remaining suffix, and the
+    # repeated projected rows are deduplicated afterwards.  When the
+    # existential's only downstream role is anchoring interval windows of the
+    # *immediately following* variable, the branching is unnecessary: merge
+    # the per-witness windows into disjoint intervals and enumerate the next
+    # variable once over the union.  (In the four-cycle's {a, b, c} bag with
+    # order [a, b, c], the union of b's ``Following`` suffixes collapses to a
+    # single suffix from the minimal ``subtree_end(b) + 1``.)
+    def _references(depth: int) -> set[Variable]:
+        referenced: set[Variable] = set()
+        driver = drivers[depth]
+        if driver is not None:
+            atom, forward = driver
+            referenced.add(atom.source if forward else atom.target)
+        for atom, forward in ranges[depth]:
+            referenced.add(atom.source if forward else atom.target)
+        for atom in checks[depth]:
+            referenced.add(atom.source)
+            referenced.add(atom.target)
+        return referenced
+
+    skip: set[int] = set()
+    if columnar:
+        for i in range(cut - 1):
+            variable = order[i]
+            if variable in needed or (i - 1) in skip:
+                continue
+            nxt = i + 1
+            if not ranges[nxt]:
+                continue
+            if not any(
+                (atom.source if forward else atom.target) == variable
+                for atom, forward in ranges[nxt]
+            ):
+                continue
+            # The merged union loses which witness produced which window, so
+            # the skipped variable must not appear in any residual check at
+            # ``nxt`` (this also excludes backward-Following windows anchored
+            # on it) nor anywhere later in the enumeration.
+            if any(variable in (atom.source, atom.target) for atom in checks[nxt]):
+                continue
+            if any(variable in _references(d) for d in range(nxt + 1, len(order))):
+                continue
+            skip.add(i)
+
+    must_deduplicate = any(
+        variable not in needed and i not in skip
+        for i, variable in enumerate(order[:cut])
+    )
+
     position = {variable: i for i, variable in enumerate(order)}
     columns = tuple(variable for variable in order[:cut] if variable in needed)
     keep_positions = tuple(
@@ -283,10 +336,98 @@ def _materialize_bag(
                     return True
         return False
 
+    def extend_union(depth: int) -> None:
+        """Enumerate ``order[depth + 1]`` once over the union of windows.
+
+        ``order[depth]`` is a skipped mid-bag existential: each of its
+        witnesses contributes one pre-order window for the next variable;
+        the windows are merged into disjoint intervals so every candidate of
+        the next variable is produced (and recursed on) exactly once per
+        prefix.  ``current[depth]`` is left stale, which is safe by the skip
+        conditions (nothing at depth > ``depth + 1`` references it).
+        """
+        nxt = depth + 1
+        skipped = order[depth]
+        array = views[order[nxt]].array
+        # Windows from range atoms anchored on *other* prefix variables are
+        # identical for every witness: intersect them once.
+        fixed_lo, fixed_hi = 0, n
+        anchored = []
+        for atom, forward in ranges[nxt]:
+            anchor_variable = atom.source if forward else atom.target
+            if anchor_variable == skipped:
+                anchored.append((atom, forward))
+                continue
+            anchor = current[position[anchor_variable]]
+            if forward:
+                if atom.axis is Axis.CHILD_PLUS:
+                    fixed_lo = max(fixed_lo, anchor + 1)
+                    fixed_hi = min(fixed_hi, subtree_end[anchor] + 1)
+                elif atom.axis is Axis.CHILD_STAR:
+                    fixed_lo = max(fixed_lo, anchor)
+                    fixed_hi = min(fixed_hi, subtree_end[anchor] + 1)
+                elif atom.axis is Axis.FOLLOWING:
+                    fixed_lo = max(fixed_lo, subtree_end[anchor] + 1)
+                else:  # DocumentOrder
+                    fixed_lo = max(fixed_lo, anchor + 1)
+            else:
+                fixed_hi = min(fixed_hi, anchor)
+        intervals: list[tuple[int, int]] = []
+        for node in candidates_at(depth):
+            if not satisfies_checks(depth, node):
+                continue
+            lo, hi = fixed_lo, fixed_hi
+            for atom, forward in anchored:
+                if forward:
+                    if atom.axis is Axis.CHILD_PLUS:
+                        lo = max(lo, node + 1)
+                        hi = min(hi, subtree_end[node] + 1)
+                    elif atom.axis is Axis.CHILD_STAR:
+                        lo = max(lo, node)
+                        hi = min(hi, subtree_end[node] + 1)
+                    elif atom.axis is Axis.FOLLOWING:
+                        lo = max(lo, subtree_end[node] + 1)
+                    else:  # DocumentOrder
+                        lo = max(lo, node + 1)
+                else:
+                    hi = min(hi, node)
+            if lo < hi:
+                intervals.append((lo, hi))
+        if not intervals:
+            return
+        intervals.sort()
+        merged: list[list[int]] = [list(intervals[0])]
+        for lo, hi in intervals[1:]:
+            if lo <= merged[-1][1]:
+                merged[-1][1] = max(merged[-1][1], hi)
+            else:
+                merged.append([lo, hi])
+        if (
+            nxt == cut - 1
+            and cut == len(order)
+            and not checks[nxt]
+            and keep_positions
+            and keep_positions[-1] == nxt
+        ):
+            # Same bulk tail as extend(): every candidate completes a row.
+            head = tuple(current[p] for p in keep_positions[:-1])
+            for lo, hi in merged:
+                chunk = array[bisect_left(array, lo) : bisect_left(array, hi)]
+                rows.extend(head + (node,) for node in chunk)
+            return
+        for lo, hi in merged:
+            for node in array[bisect_left(array, lo) : bisect_left(array, hi)]:
+                if satisfies_checks(nxt, node):
+                    current[nxt] = node
+                    extend(nxt + 1)
+
     def extend(depth: int) -> None:
         if depth == cut:
             if witness(depth):
                 rows.append(tuple(current[p] for p in keep_positions))
+            return
+        if depth in skip:
+            extend_union(depth)
             return
         if (
             columnar

@@ -105,14 +105,27 @@ def is_satisfied(
     engine: Engine = Engine.AUTO,
     pinned: Optional[Mapping[str, int]] = None,
     propagator: PropagatorLike = DEFAULT_PROPAGATOR,
+    lowering: str = "tree",
+    materialize: bool = False,
 ) -> bool:
-    """Boolean evaluation of (the existential closure of) a query."""
+    """Boolean evaluation of (the existential closure of) a query.
+
+    ``lowering`` / ``materialize`` only affect the SQL engine, where they pick
+    the join-tree vs single-block translation and TEMP-table bag
+    materialization; every in-memory engine ignores them.
+    """
     boolean_query = query.as_boolean()
     chosen = choose_engine(boolean_query) if engine is Engine.AUTO else engine
     if chosen is Engine.SQL:
         from ..backends.sqlite import structure_is_satisfied
 
-        return structure_is_satisfied(boolean_query, structure, pinned=pinned)
+        return structure_is_satisfied(
+            boolean_query,
+            structure,
+            pinned=pinned,
+            lowering=lowering,
+            materialize=materialize,
+        )
     if chosen is Engine.XPROPERTY:
         return xprop_evaluator.boolean_query_holds(
             boolean_query, structure, pinned=pinned, propagator=propagator
@@ -155,6 +168,8 @@ def evaluate(
     engine: Engine = Engine.AUTO,
     propagator: PropagatorLike = DEFAULT_PROPAGATOR,
     compiled: Optional[CompiledQuery] = None,
+    lowering: str = "tree",
+    materialize: bool = False,
 ) -> frozenset[tuple[int, ...]]:
     """Compute all answers of a k-ary query.
 
@@ -176,7 +191,14 @@ def evaluate(
     """
     if query.is_boolean:
         with tracing.span("enumerate", strategy="boolean"):
-            satisfied = is_satisfied(query, structure, engine, propagator=propagator)
+            satisfied = is_satisfied(
+                query,
+                structure,
+                engine,
+                propagator=propagator,
+                lowering=lowering,
+                materialize=materialize,
+            )
             tracing.annotate(satisfied=satisfied)
         return frozenset({()}) if satisfied else frozenset()
 
@@ -184,7 +206,9 @@ def evaluate(
         from ..backends.sqlite import evaluate_structure
 
         with tracing.span("sql_execute", engine="sql"):
-            answers = evaluate_structure(query, structure)
+            answers = evaluate_structure(
+                query, structure, lowering=lowering, materialize=materialize
+            )
             tracing.annotate(answers=len(answers))
         return answers
     if compiled is None:

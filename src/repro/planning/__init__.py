@@ -1,0 +1,43 @@
+"""Cost-based query planning: one :class:`QueryPlan` across every consumer.
+
+The dichotomy (acyclic / X-property / bounded width) says *which* algorithm is
+polynomial; this package decides *which is fastest on this document*.  It
+combines cheap per-document statistics collected at registration
+(:class:`~repro.planning.stats.DocumentStats`) with per-axis selectivity
+estimates derived from the pre/post rank characterizations
+(:mod:`repro.planning.cost`) into a single :class:`~repro.planning.plan.QueryPlan`
+value -- engine, propagator, SQL lowering, decomposition, per-bag cardinality
+estimates and an estimated cost -- consumed by the serving layer, the CLI and
+the EXPLAIN surface.  The previous hard-coded rules survive as the
+``routing="static"`` ablation, byte-identical by construction (every engine
+and propagator computes the same answer set).
+"""
+
+from .cost import (
+    MATERIALIZE_ROWS_THRESHOLD,
+    backtracking_cost_estimate,
+    bag_rows_estimate,
+    choose_propagator,
+    decomposition_cost_estimate,
+    fixpoint_cost_estimate,
+    flat_cost_estimate,
+    variable_domain_estimate,
+)
+from .plan import ROUTINGS, QueryPlan, plan_query, validate_routing
+from .stats import DocumentStats
+
+__all__ = [
+    "DocumentStats",
+    "MATERIALIZE_ROWS_THRESHOLD",
+    "QueryPlan",
+    "ROUTINGS",
+    "backtracking_cost_estimate",
+    "bag_rows_estimate",
+    "choose_propagator",
+    "decomposition_cost_estimate",
+    "fixpoint_cost_estimate",
+    "flat_cost_estimate",
+    "plan_query",
+    "validate_routing",
+    "variable_domain_estimate",
+]

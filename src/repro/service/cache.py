@@ -28,8 +28,10 @@ from typing import Optional
 
 from ..evaluation.compile import CompiledQuery, compile_query
 from ..evaluation.planner import Engine, choose_engine
+from ..evaluation.propagation import Propagator
 from ..observability import tracing
 from ..observability.metrics import REGISTRY
+from ..planning import DocumentStats, QueryPlan, plan_query
 from ..queries.canonical import canonical_key, canonicalize
 from ..queries.simplify import simplify_query
 from ..queries.parser import parse_query
@@ -57,6 +59,12 @@ class CachedQuery:
     compiled: CompiledQuery
     engine: Engine
     hits: int = field(default=0)
+    #: Memoized :class:`~repro.planning.plan.QueryPlan` values, keyed by
+    #: (stats bucket, routing, engine override, propagator override,
+    #: accel_only).  Bucket-keying is the invalidation story: re-registering a
+    #: document with different contents moves it to another stats bucket, so
+    #: stale plans are never served (they only age out of the bounded map).
+    plans: dict = field(default_factory=dict)
 
     def describe(self) -> dict:
         # Report the decomposition width only when the lazy cached property
@@ -72,6 +80,7 @@ class CachedQuery:
             "engine": self.engine.value,
             "width": decomposition.width if decomposition is not None else None,
             "hits": self.hits,
+            "plans": len(self.plans),
         }
 
 
@@ -186,6 +195,53 @@ class QueryCache:
                     self._entries.popitem(last=False)
         return entry, False
 
+    #: Distinct plans kept per cache entry.  Plans are small (a dataclass of
+    #: floats over the already-resident decomposition), so the bound only
+    #: guards against a pathological stream of distinct stats buckets.
+    PLANS_PER_ENTRY = 32
+
+    def plan_for(
+        self,
+        entry: CachedQuery,
+        stats: DocumentStats,
+        *,
+        routing: str = "cost",
+        engine: Optional[Engine] = None,
+        propagator: Optional[Propagator] = None,
+        accel_only: bool = False,
+    ) -> QueryPlan:
+        """The :class:`QueryPlan` for ``entry`` on a document in ``stats``'s bucket.
+
+        Plans are pure functions of (canonical query, stats bucket, overrides)
+        -- ``entry`` holds the canonical query, so alpha-equivalent
+        submissions share plans exactly as they share compiled artifacts.
+        """
+        plan_key = (
+            stats.bucket(),
+            routing,
+            engine.value if engine is not None else None,
+            propagator.value if propagator is not None else None,
+            accel_only,
+        )
+        with self._lock:
+            plan = entry.plans.get(plan_key)
+            if plan is not None:
+                return plan
+        plan = plan_query(
+            entry.query,
+            stats,
+            compiled=entry.compiled,
+            routing=routing,
+            engine=engine,
+            propagator=propagator,
+            accel_only=accel_only,
+        )
+        with self._lock:
+            existing = entry.plans.setdefault(plan_key, plan)
+            while len(entry.plans) > self.PLANS_PER_ENTRY:
+                entry.plans.pop(next(iter(entry.plans)))
+        return existing
+
     def entry_for_text(self, text: str, kind: str = "datalog") -> CachedQuery:
         """Convenience wrapper around :meth:`resolve_text`."""
         return self.resolve_text(text, kind)[0]
@@ -213,6 +269,7 @@ class QueryCache:
             return {
                 "entries": len(self._entries),
                 "parse_entries": len(self._parse_cache),
+                "plan_entries": sum(len(e.plans) for e in self._entries.values()),
                 "capacity": self.capacity,
                 "hits": self._hits,
                 "misses": self._misses,

@@ -26,10 +26,11 @@ import time
 from dataclasses import dataclass
 from typing import Optional, Union
 
-from ..evaluation.planner import Engine, choose_engine, evaluate
+from ..evaluation.planner import Engine, evaluate
 from ..evaluation.propagation import DEFAULT_PROPAGATOR, as_propagator
 from ..observability import tracing
 from ..observability.metrics import REGISTRY, SLOW_LOG
+from ..planning import QueryPlan, validate_routing
 from ..queries.parser import QueryParseError
 from ..queries.query import ConjunctiveQuery
 from ..queries.xpath import XPathTranslationError
@@ -50,6 +51,31 @@ REQUEST_SECONDS = REGISTRY.histogram(
     "cqtrees_request_seconds",
     "End-to-end request latency in seconds, by engine and propagator.",
     ("engine", "propagator"),
+)
+#: Planner choices, one increment per routed request: which routing made the
+#: call and where it sent the query.
+PLAN_CHOICES = REGISTRY.counter(
+    "cqtrees_plan_choices_total",
+    "Planner choices by routing, engine and SQL lowering.",
+    ("routing", "engine", "lowering"),
+)
+#: Cost-model estimates span many orders of magnitude (label-selective bags
+#: vs cartesian n^(w+1) terms), so both plan histograms bucket by decade.
+_DECADE_BUCKETS = tuple(10.0**exponent for exponent in range(13))
+PLAN_ESTIMATED_COST = REGISTRY.histogram(
+    "cqtrees_plan_estimated_cost",
+    "Estimated cost (cost-model work units) of the chosen plan, by engine.",
+    ("engine",),
+    buckets=_DECADE_BUCKETS,
+)
+#: Estimated-vs-actual: work units retired per wall-clock second.  A stable
+#: band per engine means the estimates rank plans correctly; drift flags a
+#: mis-modelled workload.
+PLAN_COST_PER_SECOND = REGISTRY.histogram(
+    "cqtrees_plan_cost_per_second",
+    "Estimated plan cost divided by actual request seconds, by engine.",
+    ("engine",),
+    buckets=_DECADE_BUCKETS,
 )
 
 #: Exceptions that are the client's fault; reported verbatim per request.
@@ -118,16 +144,22 @@ class Request:
     given.  ``limit`` truncates the *sorted* answer list; the total count is
     reported either way.  ``engine`` forces a specific evaluation engine
     (``"sql"``, ``"backtracking"``, ...); by default the planner chooses from
-    the query shape and the document's residency (accel-only documents route
-    to SQL automatically).
+    the query shape, the document's statistics and its residency (accel-only
+    documents route to SQL automatically).  ``routing`` selects how the
+    planner chooses: ``"cost"`` (document-statistics estimates, the default)
+    or ``"static"`` (the pre-planner shape rules, kept as the ablation
+    baseline -- answers are byte-identical either way).  ``propagator`` is
+    ``"auto"`` by default (the plan's choice); naming one (``"ac4"``,
+    ``"ac3"``, ``"hybrid"``, ...) forces it.
     """
 
     doc: str
     query: Union[str, ConjunctiveQuery, None] = None
     xpath: Optional[str] = None
-    propagator: str = str(DEFAULT_PROPAGATOR)
+    propagator: str = "auto"
     limit: Optional[int] = None
     engine: Optional[str] = None
+    routing: str = "cost"
     #: Record a tracing span tree for this request (attached as ``trace``).
     debug: bool = False
     #: Explain the plan -- engine, width, bags, SQL -- without executing.
@@ -145,6 +177,7 @@ class Request:
             "propagator",
             "limit",
             "engine",
+            "routing",
             "debug",
             "explain",
         }
@@ -158,9 +191,13 @@ class Request:
         for key in ("query", "xpath"):
             if payload.get(key) is not None and not isinstance(payload[key], str):
                 raise ValueError(f"'{key}' must be a string")
-        propagator = payload.get("propagator", str(DEFAULT_PROPAGATOR))
+        propagator = payload.get("propagator", "auto")
         if not isinstance(propagator, str):
             raise ValueError("'propagator' must be a string")
+        routing = payload.get("routing", "cost")
+        if not isinstance(routing, str):
+            raise ValueError("'routing' must be a string")
+        validate_routing(routing)  # fail fast on unknown routings
         for key in ("debug", "explain"):
             if not isinstance(payload.get(key, False), bool):
                 raise ValueError(f"'{key}' must be a boolean")
@@ -171,6 +208,7 @@ class Request:
             propagator=propagator,
             limit=limit,
             engine=payload.get("engine"),
+            routing=routing,
             debug=bool(payload.get("debug", False)),
             explain=bool(payload.get("explain", False)),
         )
@@ -282,7 +320,7 @@ def resolve_entry(cache: QueryCache, request: Request) -> tuple[CachedQuery, boo
 
 
 def _stream_sql_answers(
-    backend, request: Request, query: ConjunctiveQuery
+    backend, request: Request, query: ConjunctiveQuery, plan: QueryPlan
 ) -> tuple[list[tuple[int, ...]], int, bool]:
     """Streamed ``(answers, count, truncated)`` for an accel-only document.
 
@@ -290,15 +328,24 @@ def _stream_sql_answers(
     ``ORDER BY``) and the ``limit`` is pushed into the statement, so a
     truncated request never materializes the full answer set anywhere --
     streaming ``limit + 1`` rows detects truncation, and the exact total
-    then comes from one ``COUNT(*)`` that needs O(1) result memory.
+    then comes from one ``COUNT(*)`` that needs O(1) result memory.  The
+    plan's SQL knobs (lowering shape, TEMP-table materialization) apply to
+    both the stream and the count.
     """
+    sql_knobs = {"lowering": plan.lowering, "materialize": plan.materialize}
     if request.limit is None:
-        answers = list(backend.stream_answers(request.doc, query))
+        answers = list(backend.stream_answers(request.doc, query, **sql_knobs))
         return answers, len(answers), False
-    answers = list(backend.stream_answers(request.doc, query, limit=request.limit + 1))
+    answers = list(
+        backend.stream_answers(request.doc, query, limit=request.limit + 1, **sql_knobs)
+    )
     if len(answers) <= request.limit:
         return answers, len(answers), False
-    return answers[: request.limit], backend.count_answers(request.doc, query), True
+    return (
+        answers[: request.limit],
+        backend.count_answers(request.doc, query, **sql_knobs),
+        True,
+    )
 
 
 def _resolve_plan(
@@ -306,19 +353,25 @@ def _resolve_plan(
     cache: QueryCache,
     request: Request,
     attribution: Optional[dict] = None,
-):
-    """Shared routing front half: ``(propagator, entry, cache_hit, residency, engine)``.
+) -> tuple[QueryPlan, CachedQuery, bool, str]:
+    """Shared routing front half: ``(plan, entry, cache_hit, residency)``.
 
-    An explicit ``request.engine`` always wins; otherwise the planner's
-    per-query choice applies, except that documents resident only in the
-    accel store auto-route to :attr:`Engine.SQL` (the sole engine that can
-    see them).  Raises :data:`REQUEST_ERRORS` members on routing mistakes;
-    ``attribution`` (when given) is filled as facts are established, so even
-    a routing failure is attributed to the engine it was routed to.
+    Produces the single :class:`~repro.planning.plan.QueryPlan` every entry
+    point runs from, memoized per (canonical query, stats bucket, overrides)
+    in the query cache.  Explicit ``request.engine`` / ``request.propagator``
+    overrides always win; documents resident only in the accel store plan
+    with ``accel_only=True`` and so pin :attr:`Engine.SQL` (the sole engine
+    that can see them).  Raises :data:`REQUEST_ERRORS` members on routing
+    mistakes; ``attribution`` (when given) is filled as facts are
+    established, so even a routing failure is attributed to the engine it
+    was routed to.
     """
-    propagator = as_propagator(request.propagator)
-    if attribution is not None:
-        attribution["propagator"] = propagator.value
+    routing = validate_routing(request.routing)
+    propagator_override = (
+        None if request.propagator == "auto" else as_propagator(request.propagator)
+    )
+    if propagator_override is not None and attribution is not None:
+        attribution["propagator"] = propagator_override.value
     override = validate_engine(request.engine)
     if override is not None and attribution is not None:
         attribution["engine"] = override.value
@@ -327,21 +380,26 @@ def _resolve_plan(
     if residency is None:
         raise DocumentNotFound(request.doc)
     accel_only = residency == "accel"
-    if override is not None:
-        engine = override
-    elif accel_only:
-        engine = choose_engine(entry.query, accel_only=True)
-    else:
-        engine = entry.engine
+    plan = cache.plan_for(
+        entry,
+        store.stats_for(request.doc),
+        routing=routing,
+        engine=override,
+        propagator=propagator_override,
+        accel_only=accel_only,
+    )
     if attribution is not None:
-        attribution["engine"] = engine.value
+        attribution["engine"] = plan.engine.value
+        attribution["propagator"] = plan.propagator.value
         attribution["query_key"] = entry.key
-    if accel_only and engine is not Engine.SQL:
+    if accel_only and plan.engine is not Engine.SQL:
         raise ValueError(
             f"document {request.doc!r} is accel-only; "
-            f"engine {engine.value!r} needs a resident document"
+            f"engine {plan.engine.value!r} needs a resident document"
         )
-    return propagator, entry, cache_hit, residency, engine
+    PLAN_CHOICES.inc(routing=plan.routing, engine=plan.engine.value, lowering=plan.lowering)
+    PLAN_ESTIMATED_COST.observe(plan.estimated_cost, engine=plan.engine.value)
+    return plan, entry, cache_hit, residency
 
 
 def _execute_request(
@@ -353,30 +411,39 @@ def _execute_request(
     caller's error handler can attribute failures to the engine/propagator
     they were (or would have been) routed to.
     """
-    propagator, entry, cache_hit, residency, engine = _resolve_plan(
-        store, cache, request, attribution
-    )
+    plan, entry, cache_hit, residency = _resolve_plan(store, cache, request, attribution)
     if residency == "accel":
-        with tracing.span("sql_execute", doc=request.doc, engine=engine.value):
+        with tracing.span("sql_execute", doc=request.doc, engine=plan.engine.value):
             answers, count, truncated = _stream_sql_answers(
-                store.accel_backend, request, entry.query
+                store.accel_backend, request, entry.query, plan
             )
     else:
         document = store.get(request.doc)
-        with tracing.span("evaluate", engine=engine.value, propagator=propagator.value):
+        with tracing.span(
+            "evaluate", engine=plan.engine.value, propagator=plan.propagator.value
+        ):
             answers = sorted(
                 evaluate(
                     entry.query,
                     document.structure,
-                    engine=engine,
-                    propagator=propagator,
+                    engine=plan.engine,
+                    propagator=plan.propagator,
                     compiled=entry.compiled,
+                    lowering=plan.lowering,
+                    materialize=plan.materialize,
                 )
             )
         count = len(answers)
         truncated = request.limit is not None and count > request.limit
         if truncated:
             answers = answers[: request.limit]
+    elapsed_ms = (time.perf_counter() - started) * 1000.0
+    if elapsed_ms > 0.0:
+        # Estimated-vs-actual: how many estimated work units one second of
+        # this engine's wall-clock retired on this request.
+        PLAN_COST_PER_SECOND.observe(
+            plan.estimated_cost / (elapsed_ms / 1000.0), engine=plan.engine.value
+        )
     return RequestResult(
         doc=request.doc,
         query_key=entry.key,
@@ -384,9 +451,9 @@ def _execute_request(
         count=count,
         truncated=truncated,
         satisfied=(count > 0) if entry.query.is_boolean else None,
-        elapsed_ms=(time.perf_counter() - started) * 1000.0,
-        propagator=propagator.value,
-        engine=engine.value,
+        elapsed_ms=elapsed_ms,
+        propagator=plan.propagator.value,
+        engine=plan.engine.value,
         cache_hit=cache_hit,
     )
 
@@ -476,26 +543,35 @@ def _run_request(store: DocumentStore, cache: QueryCache, request: Request) -> R
 def explain_request(store: DocumentStore, cache: QueryCache, request: Request) -> RequestResult:
     """Describe the plan a request would run -- without executing it.
 
-    The ``explain`` payload reports the chosen engine and propagator, the
-    document's residency, cache state, the compiled decomposition (achieved
-    width, exactness, method, bag structure as sorted variable lists plus the
-    join-tree parent vector) and -- for :attr:`Engine.SQL` -- the generated
-    SQL text (lowered with an empty extra-unary environment: the statement a
-    plain evaluation of the canonical query would execute).  Errors follow
-    the same per-request value contract as :func:`run_request`.
+    The ``explain`` payload reports the full :class:`QueryPlan`: routing,
+    chosen engine and propagator, the SQL lowering that *would actually run*
+    (including TEMP-table materialization), the document's residency and
+    stats bucket, the cost-model estimates that produced the choice, cache
+    state, the compiled decomposition (achieved width, exactness, method,
+    bag structure as sorted variable lists plus the join-tree parent vector,
+    the static per-bag cost the width tie-break uses) and -- for
+    :attr:`Engine.SQL` -- the generated SQL text for the *chosen* lowering
+    (lowered with an empty extra-unary environment: the statement a plain
+    evaluation of the canonical query would execute).  Errors follow the
+    same per-request value contract as :func:`run_request`.
     """
     started = time.perf_counter()
     attribution: dict = {}
     try:
-        propagator, entry, cache_hit, residency, engine = _resolve_plan(
-            store, cache, request, attribution
-        )
-        decomposition = entry.compiled.decomposition
-        plan = {
+        plan, entry, cache_hit, residency = _resolve_plan(store, cache, request, attribution)
+        from ..decomposition.decompose import atom_pair_costs, decomposition_cost
+
+        decomposition = plan.decomposition
+        static_cost = decomposition_cost(decomposition, atom_pair_costs(entry.compiled))
+        payload = {
             "doc": request.doc,
             "residency": residency,
-            "engine": engine.value,
-            "propagator": propagator.value,
+            "routing": plan.routing,
+            "engine": plan.engine.value,
+            "propagator": plan.propagator.value,
+            "lowering": plan.lowering,
+            "materialize": plan.materialize,
+            "stats_bucket": plan.stats_bucket,
             "cache_hit": cache_hit,
             "cache_hits": entry.hits,
             "arity": entry.query.arity,
@@ -503,14 +579,18 @@ def explain_request(store: DocumentStore, cache: QueryCache, request: Request) -
             "width": decomposition.width,
             "width_exact": decomposition.exact,
             "decomposition_method": decomposition.method,
+            "decomposition_static_cost": static_cost,
             "bags": [sorted(bag) for bag in decomposition.bags],
             "bag_parents": list(decomposition.parent),
+            "estimates": plan.describe()["estimates"],
         }
-        if engine is Engine.SQL:
+        if plan.engine is Engine.SQL:
             from ..backends.sqlite import explain_sql
 
             backend = store.accel_backend if residency == "accel" else None
-            plan["sql"] = explain_sql(entry.query, doc_id=request.doc, backend=backend)
+            payload["sql"] = explain_sql(
+                entry.query, doc_id=request.doc, backend=backend, lowering=plan.lowering
+            )
     except REQUEST_ERRORS as error:
         return _error_result(request, attribution, started, str(error))
     except Exception as error:  # noqa: BLE001 - the per-request error contract
@@ -521,8 +601,8 @@ def explain_request(store: DocumentStore, cache: QueryCache, request: Request) -
         doc=request.doc,
         query_key=entry.key,
         elapsed_ms=(time.perf_counter() - started) * 1000.0,
-        propagator=propagator.value,
-        engine=engine.value,
+        propagator=plan.propagator.value,
+        engine=plan.engine.value,
         cache_hit=cache_hit,
-        explain=plan,
+        explain=payload,
     )

@@ -81,6 +81,14 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def _send_bytes(self, status: int, body: bytes, content_type: str) -> None:
         self._status = status
+        # Observe before the body is flushed (as the asyncio front end does):
+        # a client that reads this response and immediately scrapes /metrics
+        # must find the request already counted -- observing in ``_observed``'s
+        # ``finally`` raced that scrape.
+        started = getattr(self, "_observe_started", None)
+        if started is not None:
+            self._observe_started = None
+            observe_http(self.path, self.command, status, time.perf_counter() - started)
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
@@ -122,15 +130,21 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         """
         started = time.perf_counter()
         self._status = 0
+        self._observe_started = started
         try:
             handler()
         finally:
-            observe_http(
-                self.path,
-                self.command,
-                self._status or 500,
-                time.perf_counter() - started,
-            )
+            if self._observe_started is not None:
+                # The handler crashed before sending anything: record the
+                # failure (the connection is about to die anyway, but the
+                # scrape should still see it).
+                self._observe_started = None
+                observe_http(
+                    self.path,
+                    self.command,
+                    self._status or 500,
+                    time.perf_counter() - started,
+                )
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         self._observed(self._do_get)

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from ..observability.metrics import REGISTRY
+from ..planning import DocumentStats
 from ..trees.builders import parse_sexpr
 from ..trees.structure import TreeStructure
 from ..trees.tree import Tree
@@ -74,6 +75,9 @@ class StoredDocument:
     tree: Tree
     structure: TreeStructure
     source: str
+    #: Per-document statistics collected at registration (node count,
+    #: depth/fanout profile, label histogram) -- the cost model's input.
+    stats: Optional[DocumentStats] = None
     registered_at: float = field(default_factory=time.time)
 
     @property
@@ -130,7 +134,7 @@ class DocumentStore:
         structure.index  # force the O(n) interval index build at registration
         for label in tree.alphabet():
             structure.unary_member_set(label)  # warm the label inverted index
-        document = StoredDocument(doc_id, tree, structure, source)
+        document = StoredDocument(doc_id, tree, structure, source, stats=DocumentStats.of_tree(tree))
         if self.accel_backend is not None:
             self.accel_backend.ensure_document(doc_id, tree)
         with self._lock:
@@ -220,6 +224,32 @@ class DocumentStore:
             self._hits += 1
             STORE_LOOKUPS.inc(result="hit")
             return document
+
+    def stats_for(self, doc_id: str) -> DocumentStats:
+        """Planner statistics for a document, wherever it lives.
+
+        Resident documents return the exact registration-time statistics.
+        Accel-only documents only have a node count in the registry (the tree
+        itself was dropped), so they get the approximate profile --
+        ``DocumentStats.approximate_from_nodes`` -- which the estimators treat
+        conservatively (unknown labels fall back to full domains).
+        """
+        with self._lock:
+            document = self._documents.get(doc_id)
+            if document is not None:
+                if document.stats is None:  # documents stored before stats existed
+                    document.stats = DocumentStats.of_tree(document.tree)
+                return document.stats
+        residency = self.residency(doc_id)
+        if residency == "resident":  # registered between the two lookups
+            return self.stats_for(doc_id)
+        if residency == "accel":
+            with self._lock:
+                nodes = self._accel_only.get(doc_id, 0)
+            if not nodes and self.accel_backend is not None:
+                nodes = self.accel_backend.document_nodes(doc_id) or 0
+            return DocumentStats.approximate_from_nodes(max(nodes, 1))
+        raise DocumentNotFound(doc_id)
 
     def residency(self, doc_id: str) -> Optional[str]:
         """Where a document lives: ``"resident"``, ``"accel"`` or ``None``.

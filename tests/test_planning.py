@@ -1,0 +1,435 @@
+"""The cost-model planning subsystem (``repro.planning``).
+
+Covers the :class:`QueryPlan` contract end to end:
+
+* document statistics: exact at registration, approximate for accel-only
+  documents, stable stats buckets;
+* the estimators: domains bounded by label histograms, bag rows >= 1,
+  the propagator rule;
+* ``plan_query`` routing: ``"static"`` reproduces the pre-planner rule bit
+  for bit, ``"cost"`` only arbitrates the cyclic residue, overrides always
+  win, the materialization threshold;
+* the serving layer: plans cached per (canonical query, stats bucket),
+  invalidated by re-registration through the bucket key, EXPLAIN reporting
+  the lowering that actually runs (the satellite bugfix);
+* the property suite: answers byte-identical under ``routing="cost"`` vs
+  ``routing="static"`` across cyclic and acyclic shapes, every engine
+  override and every propagator; plan choice invariant under
+  alpha-renaming.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.decomposition.decompose import prune_subset_bags
+from repro.evaluation import Engine
+from repro.evaluation.propagation import DEFAULT_PROPAGATOR, Propagator
+from repro.planning import (
+    MATERIALIZE_ROWS_THRESHOLD,
+    DocumentStats,
+    QueryPlan,
+    bag_rows_estimate,
+    choose_propagator,
+    plan_query,
+    validate_routing,
+    variable_domain_estimate,
+)
+from repro.evaluation.compile import compile_query
+from repro.evaluation.planner import choose_engine
+from repro.queries import ConjunctiveQuery, parse_query
+from repro.queries.atoms import AxisAtom, LabelAtom
+from repro.service.cache import QueryCache
+from repro.service.core import Request, run_request
+from repro.service.store import DocumentNotFound, DocumentStore
+from repro.trees import Axis, Tree, random_tree
+
+ALPHABET = ("A", "B", "C")
+
+FOUR_CYCLE = (
+    "Q(a) <- A(a), Child+(a, b), B(b), Following(b, c), C(c), "
+    "Child+(d, c), A(d), Following(a, d)"
+)
+ACYCLIC_CHAIN = "Q(a) <- A(a), Child+(a, b), B(b), Following(b, c), C(c)"
+TRIANGLE = "Q(a) <- A(a), Child+(a, b), B(b), Following(a, c), Following(b, c), C(c)"
+
+
+def _tree(size: int = 60, seed: int = 7) -> Tree:
+    return random_tree(size, alphabet=ALPHABET, max_children=3, seed=seed)
+
+
+# -- document statistics -------------------------------------------------------
+
+
+def test_of_tree_counts_labels_exactly():
+    tree = _tree(40, seed=3)
+    stats = DocumentStats.of_tree(tree)
+    assert stats.nodes == len(tree)
+    assert not stats.approximate
+    for label in tree.alphabet():
+        assert stats.label_count(label) == len(tree.nodes_with_label(label))
+    assert stats.label_count("unseen-label") == 0
+
+
+def test_approximate_stats_are_flagged_and_conservative():
+    stats = DocumentStats.approximate_from_nodes(50_000)
+    assert stats.approximate
+    assert stats.nodes == 50_000
+    # Unknown labels must not pretend to be empty: the estimators fall back
+    # to the full domain instead of pruning to zero.
+    assert stats.label_count("A") is None
+    assert stats.bucket().startswith("~")
+
+
+def test_bucket_stable_and_content_sensitive():
+    tree = _tree(60, seed=7)
+    assert DocumentStats.of_tree(tree).bucket() == DocumentStats.of_tree(tree).bucket()
+    other = random_tree(900, alphabet=ALPHABET, max_children=3, seed=8)
+    assert DocumentStats.of_tree(tree).bucket() != DocumentStats.of_tree(other).bucket()
+
+
+# -- estimators ----------------------------------------------------------------
+
+
+def test_domain_estimate_uses_most_selective_label():
+    tree = _tree(60, seed=7)
+    stats = DocumentStats.of_tree(tree)
+    query = parse_query("Q(x) <- A(x), Child(x, y)")
+    compiled = compile_query(query)
+    assert variable_domain_estimate("x", compiled, stats) == float(
+        len(tree.nodes_with_label("A"))
+    )
+    assert variable_domain_estimate("y", compiled, stats) == float(len(tree))
+
+
+def test_bag_rows_at_least_one_and_label_sensitive():
+    tree = _tree(60, seed=7)
+    stats = DocumentStats.of_tree(tree)
+    compiled = compile_query(parse_query(FOUR_CYCLE))
+    for bag in compiled.decomposition.bags:
+        assert bag_rows_estimate(bag, compiled, stats) >= 1.0
+    # An unlabeled clique over Following must estimate more rows than the
+    # label-filtered cycle over the same variable count.
+    loose = compile_query(
+        parse_query("Q(a) <- Following(a, b), Following(b, c), Following(a, c)")
+    )
+    tight = compile_query(
+        parse_query("Q(a) <- A(a), Child(a, b), B(b), Child(b, c), C(c), Child(a, c)")
+    )
+    bag = frozenset({"a", "b", "c"})
+    assert bag_rows_estimate(bag, loose, stats) > bag_rows_estimate(bag, tight, stats)
+
+
+def test_choose_propagator_rule():
+    # Two unlabeled endpoints on a local axis: the hybrid's closed-form
+    # intervals beat AC-4's quadratic support seeding.
+    assert choose_propagator(compile_query(parse_query("Q() <- Child+(x, y)"))) is (
+        Propagator.HYBRID
+    )
+    # Labels on every edge endpoint: AC-4.
+    assert choose_propagator(compile_query(parse_query(ACYCLIC_CHAIN))) is Propagator.AC4
+    # Global axes stay AC-4 even unlabeled (the measured ablation).
+    assert choose_propagator(compile_query(parse_query("Q() <- Following(x, y)"))) is (
+        Propagator.AC4
+    )
+
+
+# -- plan_query routing --------------------------------------------------------
+
+
+def test_validate_routing():
+    assert validate_routing("cost") == "cost"
+    assert validate_routing("static") == "static"
+    with pytest.raises(ValueError):
+        validate_routing("greedy")
+
+
+def test_static_routing_reproduces_pre_planner_rule():
+    stats = DocumentStats.of_tree(_tree())
+    for text in (FOUR_CYCLE, ACYCLIC_CHAIN, TRIANGLE):
+        query = parse_query(text)
+        plan = plan_query(query, stats, routing="static")
+        assert plan.engine is choose_engine(query)
+        assert plan.propagator is DEFAULT_PROPAGATOR
+        assert plan.lowering == "tree"
+        assert plan.materialize is False
+
+
+def test_cost_routing_keeps_static_tiers():
+    stats = DocumentStats.of_tree(_tree())
+    for text in (ACYCLIC_CHAIN, TRIANGLE):
+        query = parse_query(text)
+        assert plan_query(query, stats, routing="cost").engine is choose_engine(query)
+    cyclic = plan_query(parse_query(FOUR_CYCLE), stats, routing="cost")
+    assert cyclic.engine in (Engine.DECOMPOSITION, Engine.BACKTRACKING)
+    assert cyclic.engine is (
+        Engine.DECOMPOSITION
+        if cyclic.decomposition_cost <= cyclic.backtracking_cost
+        else Engine.BACKTRACKING
+    )
+
+
+def test_overrides_always_win():
+    stats = DocumentStats.of_tree(_tree())
+    query = parse_query(FOUR_CYCLE)
+    for routing in ("cost", "static"):
+        plan = plan_query(
+            query,
+            stats,
+            routing=routing,
+            engine=Engine.BACKTRACKING,
+            propagator=Propagator.AC3,
+        )
+        assert plan.engine is Engine.BACKTRACKING
+        assert plan.propagator is Propagator.AC3
+
+
+def test_accel_only_pins_sql_and_materialize_threshold():
+    small = plan_query(
+        parse_query(FOUR_CYCLE), DocumentStats.of_tree(_tree()), accel_only=True
+    )
+    assert small.engine is Engine.SQL
+    assert small.materialize is False  # tiny bags stay plain CTEs
+    big = plan_query(
+        parse_query(FOUR_CYCLE),
+        DocumentStats.approximate_from_nodes(50_000),
+        accel_only=True,
+    )
+    assert big.engine is Engine.SQL
+    assert big.lowering == "tree"
+    assert max(big.bag_rows) > MATERIALIZE_ROWS_THRESHOLD
+    assert big.materialize is True
+    # The ablation baseline never materializes.
+    static = plan_query(
+        parse_query(FOUR_CYCLE),
+        DocumentStats.approximate_from_nodes(50_000),
+        routing="static",
+        accel_only=True,
+    )
+    assert static.materialize is False
+
+
+def test_estimated_cost_tracks_chosen_engine():
+    stats = DocumentStats.of_tree(_tree())
+    plan = plan_query(parse_query(FOUR_CYCLE), stats)
+    expected = (
+        plan.decomposition_cost
+        if plan.engine is Engine.DECOMPOSITION
+        else plan.backtracking_cost
+    )
+    assert plan.estimated_cost == expected
+    sql = plan_query(parse_query(FOUR_CYCLE), stats, accel_only=True)
+    assert sql.estimated_cost == (sql.flat_cost if sql.lowering == "flat" else sql.tree_cost)
+
+
+def test_describe_is_json_friendly():
+    plan = plan_query(parse_query(FOUR_CYCLE), DocumentStats.of_tree(_tree()))
+    assert isinstance(plan, QueryPlan)
+    described = plan.describe()
+    assert described["routing"] == "cost"
+    assert set(described["estimates"]) == {
+        "bag_rows",
+        "decomposition_cost",
+        "backtracking_cost",
+        "tree_cost",
+        "flat_cost",
+        "estimated_cost",
+    }
+
+
+# -- decomposition pruning (union-of-ranges prerequisite) ----------------------
+
+
+def test_prune_subset_bags_no_redundant_neighbours():
+    compiled = compile_query(parse_query(FOUR_CYCLE))
+    decomposition = compiled.decomposition
+    pruned = prune_subset_bags(decomposition)
+    assert pruned.width == decomposition.width
+    for i, bag in enumerate(pruned.bags):
+        parent = pruned.parent[i]
+        assert parent < i  # parents before children
+        if parent >= 0:
+            # The invariant union-of-ranges pruning relies on: no bag is
+            # contained in its tree neighbour (it would make every variable
+            # of the smaller bag a separator).
+            assert not bag <= pruned.bags[parent]
+            assert not pruned.bags[parent] <= bag
+
+
+# -- the serving layer ---------------------------------------------------------
+
+
+def _service(seed: int = 11):
+    from repro.backends.sqlite import SQLiteBackend
+
+    backend = SQLiteBackend()
+    store = DocumentStore(accel_backend=backend)
+    cache = QueryCache()
+    store.register_tree("doc", _tree(80, seed=seed))
+    accel_tree = random_tree(400, alphabet=ALPHABET, max_children=3, seed=seed + 1)
+    store.register_tree_accel_only("accel", accel_tree)
+    return store, cache
+
+
+def test_stats_for_resident_exact_and_accel_approximate():
+    store, _cache = _service()
+    resident = store.stats_for("doc")
+    assert not resident.approximate
+    assert resident.nodes == 80
+    accel = store.stats_for("accel")
+    assert accel.approximate
+    assert accel.nodes == 400
+    with pytest.raises(DocumentNotFound):
+        store.stats_for("missing")
+
+
+def test_plans_cached_per_bucket_and_invalidated_by_reregistration():
+    store, cache = _service()
+    entry, _ = cache.resolve_text(FOUR_CYCLE)
+    first = cache.plan_for(entry, store.stats_for("doc"))
+    again = cache.plan_for(entry, store.stats_for("doc"))
+    assert first is again  # memoized per (canonical query, stats bucket)
+    assert cache.stats()["plan_entries"] >= 1
+    # Re-registration with different contents moves the document to another
+    # stats bucket, so the stale plan can never be served again.
+    store.register_tree("doc", random_tree(2000, alphabet=ALPHABET, max_children=3, seed=99))
+    replanned = cache.plan_for(entry, store.stats_for("doc"))
+    assert replanned is not first
+    assert replanned.stats_bucket != first.stats_bucket
+
+
+def test_explain_reports_chosen_lowering_and_estimates():
+    store, cache = _service()
+    result = run_request(store, cache, Request(doc="accel", query=FOUR_CYCLE, explain=True))
+    assert result.ok
+    explain = result.explain
+    assert explain["routing"] == "cost"
+    assert explain["engine"] == "sql"
+    assert explain["lowering"] in ("tree", "flat")
+    assert isinstance(explain["materialize"], bool)
+    assert explain["stats_bucket"].startswith("~")
+    assert explain["estimates"]["estimated_cost"] == (
+        explain["estimates"]["flat_cost"]
+        if explain["lowering"] == "flat"
+        else explain["estimates"]["tree_cost"]
+    )
+    assert "decomposition_static_cost" in explain
+    # The satellite bugfix: the SQL text matches the lowering that runs.
+    if explain["lowering"] == "flat":
+        assert "bag_0" not in explain["sql"]
+    else:
+        assert "bag_0" in explain["sql"]
+
+
+def test_explain_static_routing_is_the_ablation():
+    store, cache = _service()
+    result = run_request(
+        store, cache, Request(doc="doc", query=FOUR_CYCLE, explain=True, routing="static")
+    )
+    assert result.ok
+    assert result.explain["routing"] == "static"
+    assert result.explain["materialize"] is False
+    assert result.explain["lowering"] == "tree"
+    assert result.explain["propagator"] == DEFAULT_PROPAGATOR.value
+
+
+def test_unknown_routing_is_a_client_error():
+    store, cache = _service()
+    result = run_request(store, cache, Request(doc="doc", query=FOUR_CYCLE, routing="bad"))
+    assert not result.ok
+    assert "unknown routing" in result.error
+
+
+# -- property suite ------------------------------------------------------------
+
+SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+QUERY_AXES = (Axis.CHILD, Axis.CHILD_PLUS, Axis.NEXT_SIBLING, Axis.FOLLOWING)
+
+
+@st.composite
+def small_queries(draw) -> ConjunctiveQuery:
+    num_variables = draw(st.integers(min_value=2, max_value=4))
+    variables = [f"v{i}" for i in range(num_variables)]
+    rng = random.Random(draw(st.integers(min_value=0, max_value=10_000)))
+    num_atoms = draw(st.integers(min_value=1, max_value=num_variables + 2))
+    atoms: list = []
+    for _ in range(num_atoms):
+        source, target = rng.sample(variables, 2)
+        atoms.append(AxisAtom(rng.choice(QUERY_AXES), source, target))
+    for variable in variables:
+        if rng.random() < 0.6:
+            atoms.append(LabelAtom(rng.choice(ALPHABET), variable))
+    arity = draw(st.integers(min_value=0, max_value=min(2, num_variables)))
+    return ConjunctiveQuery(tuple(variables[:arity]), tuple(atoms), "Q")
+
+
+@given(
+    query=small_queries(),
+    size=st.integers(min_value=1, max_value=14),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@SETTINGS
+def test_cost_and_static_routing_are_byte_identical(query, size, seed):
+    """The acceptance invariant: routing never changes answers.
+
+    Exercised through ``run_request`` (the full serving path: cache, plan,
+    evaluate, sort) for the default engine choice under every propagator,
+    and for the two engine overrides that accept every query shape.
+    """
+    store = DocumentStore()
+    cache = QueryCache()
+    store.register_tree("doc", random_tree(size, alphabet=ALPHABET, max_children=3, seed=seed))
+    variants = [{"propagator": p} for p in ("auto", "ac4", "ac3", "hybrid")]
+    variants += [{"engine": e} for e in ("decomposition", "backtracking")]
+    for overrides in variants:
+        results = {
+            routing: run_request(
+                store, cache, Request(doc="doc", query=query, routing=routing, **overrides)
+            )
+            for routing in ("cost", "static")
+        }
+        for result in results.values():
+            assert result.ok, result.error
+        assert results["cost"].answers == results["static"].answers, overrides
+        assert results["cost"].count == results["static"].count
+
+
+@given(
+    query=small_queries(),
+    size=st.integers(min_value=4, max_value=30),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@SETTINGS
+def test_plan_choice_invariant_under_alpha_renaming(query, size, seed):
+    """Alpha-equivalent submissions share one cache entry and one plan."""
+    renamed = ConjunctiveQuery(
+        tuple(f"w{v[1:]}" for v in query.head),
+        tuple(
+            atom.__class__(atom.axis, f"w{atom.source[1:]}", f"w{atom.target[1:]}")
+            if isinstance(atom, AxisAtom)
+            else atom.__class__(atom.label, f"w{atom.variable[1:]}")
+            for atom in query.body
+        ),
+        "R",
+    )
+    store = DocumentStore()
+    cache = QueryCache()
+    store.register_tree("doc", random_tree(size, alphabet=ALPHABET, max_children=3, seed=seed))
+    stats = store.stats_for("doc")
+    entry_a, _ = cache.resolve_query(query)
+    entry_b, _ = cache.resolve_query(renamed)
+    assert entry_a is entry_b
+    plan_a = cache.plan_for(entry_a, stats)
+    plan_b = cache.plan_for(entry_b, stats)
+    assert plan_a is plan_b
+    assert plan_a.engine is plan_b.engine
+    assert plan_a.lowering == plan_b.lowering

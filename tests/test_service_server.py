@@ -166,7 +166,9 @@ class TestServerRoundTrip:
         )
         assert status == 200
         result = payload["results"][0]
-        assert "elapsed_ms" in result and result["propagator"] == "ac4"
+        # No explicit propagator and routing never resolved a plan: the
+        # attribution honestly reports the unresolved "auto" default.
+        assert "elapsed_ms" in result and result["propagator"] == "auto"
 
     def test_batch_errors_stay_per_request(self, server):
         _call(server, "POST", "/documents", {"doc": "d", "sexpr": "(A (B))"})
