@@ -1,0 +1,427 @@
+"""SLO-asserting load harness: concurrent clients against real ``cq-trees serve``.
+
+Closes the observability loop from the *outside*: where ``service_smoke.py``
+checks the protocol, this harness drives real client traffic over the mixed
+workload (``repro.workloads`` auction + linguistics corpus at the ~1k nominal
+size) against a real server process, in two phases per serve mode:
+
+* **load phase** -- N concurrent persistent connections, each issuing its
+  share of the workload.  Every Kth response is cross-checked (count and
+  answers) against precomputed direct ``evaluate()`` results; one wrong
+  answer fails the run regardless of ``--report-only``.  The p50/p99 derived
+  from the ``/metrics`` histogram *delta* over the phase (scraped before and
+  after) are gated against ``--slo-p50-ms`` / ``--slo-p99-ms``.
+* **agreement phase** -- one connection, no queueing.  Client-side p50/p99
+  must agree with the ``/metrics``-derived p50/p99 to within one bucket of
+  the fixed latency grid.  Agreement is asserted *without* concurrency on
+  purpose: the server histogram measures service time (the timer starts when
+  the handler picks the request up), while a concurrent client measures
+  response time including queue wait -- on a loaded box the two legitimately
+  diverge, and conflating them would make the assertion meaningless.  The
+  unqueued phase is precisely the regime where honest telemetry must match
+  the wire, bucket for bucket.
+
+After both phases, ``/stats`` must show a populated plan-vs-actual drift
+table and an HTTP latency summary for ``/query`` -- the closed loop.
+
+Both serve modes run by default: the threaded front end and the async sharded
+front end (``--async --shards N``).  A warm-up pass (one request per workload
+entry, excluded from every measured window) precedes the clock so cold
+parse/compile/plan latencies do not pollute the comparison.
+
+Usage: ``python scripts/service_load.py [--connections 4] [--report-only]``
+(exit code 0 on success).
+"""
+
+from __future__ import annotations
+
+import argparse
+import bisect
+import json
+import math
+import os
+import re
+import socket
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+from http.client import HTTPConnection
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+sys.path.insert(0, SRC)
+
+from repro.evaluation import evaluate  # noqa: E402
+from repro.observability.metrics import percentile_from_buckets  # noqa: E402
+from repro.queries import parse_query, xpath_to_cq  # noqa: E402
+from repro.trees import TreeStructure, to_xml  # noqa: E402
+from repro.workloads import auction_document, random_corpus  # noqa: E402
+
+#: The mixed wire workload: datalog + XPath, monadic + Boolean, mixed
+#: propagators, over both documents (the ~1k-node generator calibration from
+#: ``benchmarks/bench_service.py``).
+WORKLOAD: list[dict] = [
+    {"doc": "auction", "query": "Q(i) <- item(i), Child(i, p), payment(p)"},
+    {"doc": "auction", "xpath": "//description//listitem"},
+    {"doc": "auction", "xpath": "//person[profile/interest]", "propagator": "ac3"},
+    {
+        "doc": "auction",
+        "query": (
+            "Q <- open_auction(a), Child(a, b1), bidder(b1), "
+            "Child(a, b2), bidder(b2), Following(b1, b2)"
+        ),
+    },
+    {"doc": "corpus", "query": "Q(x) <- NP(x), Child(x, y), NN(y)"},
+    {"doc": "corpus", "xpath": "//NP[NN]"},
+    {"doc": "corpus", "query": "Q(v) <- VP(v), Child(v, w), VB(w)", "propagator": "hybrid"},
+    {"doc": "corpus", "xpath": "//VP[VB]/NP", "propagator": "ac3"},
+]
+
+QUERY_BUCKET_RE = re.compile(
+    r'^cqtrees_http_request_seconds_bucket\{route="/query",le="([^"]+)"\} (\d+)$'
+)
+
+
+def build_documents() -> dict:
+    return {
+        "auction": auction_document(seed=42, num_items=55, num_people=30, num_bids=85),
+        "corpus": random_corpus(seed=42, num_sentences=45),
+    }
+
+
+def expected_bodies(documents: dict) -> tuple[list[bytes], list[str], list[int]]:
+    """``(wire bodies, expected answers JSON, expected counts)`` per workload slot."""
+    structures = {doc_id: TreeStructure(tree) for doc_id, tree in documents.items()}
+    bodies, answers, counts = [], [], []
+    for request in WORKLOAD:
+        query = (
+            xpath_to_cq(request["xpath"]) if "xpath" in request else parse_query(request["query"])
+        )
+        direct = sorted(
+            evaluate(query, structures[request["doc"]], propagator=request.get("propagator", "ac4"))
+        )
+        bodies.append(json.dumps(request).encode("utf-8"))
+        answers.append(json.dumps([list(answer) for answer in direct]))
+        counts.append(len(direct))
+    return bodies, answers, counts
+
+
+class ClientWorker(threading.Thread):
+    """One persistent connection issuing its share of the workload."""
+
+    def __init__(self, index, host, port, requests, check_every, prepared, errors):
+        super().__init__(name=f"load-client-{index}", daemon=True)
+        self.index = index
+        self.host, self.port = host, port
+        self.requests = requests
+        self.check_every = check_every
+        self.bodies, self.answers, self.counts = prepared
+        self.errors = errors  # shared; list.append is atomic under the GIL
+        self.latencies: list[float] = []
+
+    def run(self) -> None:
+        connection = HTTPConnection(self.host, self.port, timeout=60)
+        try:
+            # Disable Nagle: http.client writes headers and body separately,
+            # and the resulting Nagle/delayed-ACK interaction can add ~40ms
+            # stalls per request that have nothing to do with the server.
+            connection.connect()
+            connection.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            for position in range(self.requests):
+                slot = (self.index + position) % len(WORKLOAD)
+                started = time.perf_counter()
+                connection.request(
+                    "POST", "/query", self.bodies[slot], {"Content-Type": "application/json"}
+                )
+                response = connection.getresponse()
+                raw = response.read()
+                self.latencies.append(time.perf_counter() - started)
+                if response.status != 200:
+                    self.errors.append(
+                        f"client {self.index}: HTTP {response.status} at request "
+                        f"{position}: {raw[:200]!r}"
+                    )
+                    return
+                if position % self.check_every == 0:
+                    payload = json.loads(raw)
+                    if payload["count"] != self.counts[slot] or (
+                        json.dumps(payload["answers"]) != self.answers[slot]
+                    ):
+                        self.errors.append(
+                            f"client {self.index}: WRONG ANSWER at request {position} "
+                            f"(workload slot {slot}): got count={payload['count']}, "
+                            f"expected {self.counts[slot]}"
+                        )
+                        return
+        except OSError as error:
+            self.errors.append(f"client {self.index}: connection error: {error}")
+        finally:
+            connection.close()
+
+
+def call(base: str, method: str, path: str, payload=None):
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(base + path, data=data, method=method)
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def scrape_query_buckets(base: str) -> dict[float, int]:
+    """Cumulative ``/query`` latency bucket counts keyed by ``le`` bound."""
+    with urllib.request.urlopen(base + "/metrics", timeout=60) as response:
+        text = response.read().decode("utf-8")
+    cumulative: dict[float, int] = {}
+    for line in text.splitlines():
+        match = QUERY_BUCKET_RE.match(line)
+        if match:
+            le = float("inf") if match.group(1) == "+Inf" else float(match.group(1))
+            cumulative[le] = int(match.group(2))
+    return cumulative
+
+
+def bucket_delta(before: dict[float, int], after: dict[float, int]) -> tuple[list, list]:
+    """``(finite bounds, non-cumulative per-bucket deltas)`` for one window."""
+    bounds = sorted(bound for bound in after if bound != float("inf"))
+    cumulative = [after[bound] - before.get(bound, 0) for bound in bounds]
+    cumulative.append(after.get(float("inf"), 0) - before.get(float("inf"), 0))
+    counts = [cumulative[0]] + [b - a for a, b in zip(cumulative, cumulative[1:])]
+    return bounds, counts
+
+
+def empirical_percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending sample."""
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+def bucket_slot(bounds: list[float], value: float) -> int:
+    """Index of the histogram bucket that would hold ``value``."""
+    return bisect.bisect_left(bounds, value)
+
+
+def run_window(base, host, port, connections, requests, check_every, prepared):
+    """One measured window: spawn clients, diff ``/metrics`` around them.
+
+    Returns ``(latencies, bounds, deltas, wall_seconds, errors)``; the caller
+    decides what the window asserts.
+    """
+    before = scrape_query_buckets(base)
+    errors: list[str] = []
+    workers = [
+        ClientWorker(index, host, port, requests, check_every, prepared, errors)
+        for index in range(connections)
+    ]
+    wall_started = time.perf_counter()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    wall_seconds = time.perf_counter() - wall_started
+    after = scrape_query_buckets(base)
+
+    latencies = sorted(latency for worker in workers for latency in worker.latencies)
+    bounds, deltas = bucket_delta(before, after)
+    total = connections * requests
+    if not errors and len(latencies) != total:
+        errors.append(f"measured {len(latencies)} latencies, expected {total}")
+    if not errors and sum(deltas) != total:
+        errors.append(
+            f"/metrics window counted {sum(deltas)} /query request(s), clients sent {total}"
+        )
+    return latencies, bounds, deltas, wall_seconds, errors
+
+
+def run_mode(label: str, extra_args: list[str], args, documents, prepared) -> "dict | None":
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = SRC + os.pathsep + environment.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--host", "127.0.0.1", "--port", "0"]
+        + extra_args,
+        stdout=subprocess.PIPE,
+        text=True,
+        env=environment,
+    )
+    try:
+        banner = process.stdout.readline()
+        match = re.search(r"http://([\d.]+):(\d+)", banner)
+        if not match:
+            print(f"FAIL [{label}]: no port announcement in banner {banner!r}")
+            return None
+        host, port = match.group(1), int(match.group(2))
+        base = f"http://{host}:{port}"
+        print(f"[{label}] server up at {base}")
+
+        for doc_id, tree in documents.items():
+            call(base, "POST", "/documents", {"doc": doc_id, "xml": to_xml(tree)})
+
+        # Warm-up: one pass over the workload, outside every measured window,
+        # so cold parse/compile/plan latencies do not pollute the comparison.
+        for request in WORKLOAD:
+            call(base, "POST", "/query", request)
+
+        report = {"mode": label, "connections": args.connections}
+        soft_failures = []
+
+        # Phase 1 -- concurrent load: correctness under concurrency + SLOs on
+        # the published (service-time) percentiles.
+        latencies, bounds, deltas, wall_seconds, errors = run_window(
+            base, host, port, args.connections, args.requests_per_connection,
+            args.check_every, prepared,
+        )
+        if errors:
+            for message in errors:
+                print(f"FAIL [{label}]: {message}")
+            return None
+        total = args.connections * args.requests_per_connection
+        report["load"] = {
+            "requests": total,
+            "wall_seconds": round(wall_seconds, 3),
+            "throughput_qps": round(total / wall_seconds, 1),
+            "checked": args.connections
+            * sum(1 for p in range(args.requests_per_connection) if p % args.check_every == 0),
+            "wrong_answers": 0,
+        }
+        for name, q in (("p50", 0.5), ("p99", 0.99)):
+            server = percentile_from_buckets(bounds, deltas, q)
+            client = empirical_percentile(latencies, q)
+            slo_ms = getattr(args, f"slo_{name}_ms")
+            entry = {
+                "server_ms": round(server * 1000.0, 3),
+                "client_ms": round(client * 1000.0, 3),
+                "slo_ms": slo_ms,
+                "slo_ok": server * 1000.0 <= slo_ms,
+            }
+            report["load"][name] = entry
+            print(
+                f"[{label}] load {name}: /metrics {server * 1000.0:.2f} ms "
+                f"(SLO {slo_ms:g} ms{' OK' if entry['slo_ok'] else ' VIOLATED'}), "
+                f"client-observed {client * 1000.0:.2f} ms incl. queueing"
+            )
+            if not entry["slo_ok"]:
+                soft_failures.append(
+                    f"SLO {name}: /metrics-derived {server * 1000.0:.2f} ms > {slo_ms:g} ms"
+                )
+        print(
+            f"[{label}] load: {report['load']['throughput_qps']} q/s over "
+            f"{args.connections} connection(s), {report['load']['checked']} "
+            f"response(s) cross-checked, 0 wrong"
+        )
+
+        # Phase 2 -- unqueued agreement: client and /metrics must agree to
+        # within one bucket of the latency grid.
+        latencies, bounds, deltas, _, errors = run_window(
+            base, host, port, 1, args.agreement_requests, args.check_every, prepared
+        )
+        if errors:
+            for message in errors:
+                print(f"FAIL [{label}]: {message}")
+            return None
+        report["agreement"] = {"requests": args.agreement_requests}
+        for name, q in (("p50", 0.5), ("p99", 0.99)):
+            server = percentile_from_buckets(bounds, deltas, q)
+            client = empirical_percentile(latencies, q)
+            client_slot, server_slot = bucket_slot(bounds, client), bucket_slot(bounds, server)
+            agrees = abs(client_slot - server_slot) <= 1
+            report["agreement"][name] = {
+                "client_ms": round(client * 1000.0, 3),
+                "server_ms": round(server * 1000.0, 3),
+                "client_bucket": client_slot,
+                "server_bucket": server_slot,
+                "within_one_bucket": agrees,
+            }
+            print(
+                f"[{label}] agreement {name}: client {client * 1000.0:.2f} ms "
+                f"(bucket {client_slot}) vs /metrics {server * 1000.0:.2f} ms "
+                f"(bucket {server_slot}){' OK' if agrees else ' DISAGREE'}"
+            )
+            if not agrees:
+                soft_failures.append(
+                    f"agreement {name}: client bucket {client_slot} vs server bucket "
+                    f"{server_slot} differ by more than one"
+                )
+
+        # The closed loop: the server must have *accounted* for what it just
+        # served -- a populated drift table and an HTTP latency summary.
+        stats = call(base, "GET", "/stats")
+        accounting = stats.get("plan_accounting", {})
+        if not accounting.get("top_drift"):
+            print(f"FAIL [{label}]: /stats plan_accounting.top_drift is empty after load")
+            return None
+        if "/query" not in stats.get("http", {}):
+            print(f"FAIL [{label}]: /stats http summary lacks the /query route")
+            return None
+        report["drift_entries"] = len(accounting["top_drift"])
+        report["drift_requests"] = accounting.get("requests", 0)
+        print(
+            f"[{label}] drift table: {report['drift_entries']} entrie(s) over "
+            f"{report['drift_requests']} ledgered request(s)"
+        )
+
+        report["soft_failures"] = soft_failures
+        if soft_failures and not args.report_only:
+            for message in soft_failures:
+                print(f"FAIL [{label}]: {message}")
+            return None
+        for message in soft_failures:
+            print(f"WARN [{label}] (report-only): {message}")
+        return report
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:  # pragma: no cover - stuck server
+            process.kill()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--connections", type=int, default=4, help="concurrent client threads")
+    parser.add_argument("--requests-per-connection", type=int, default=25)
+    parser.add_argument(
+        "--agreement-requests", type=int, default=60,
+        help="single-connection requests for the client-vs-/metrics agreement phase",
+    )
+    parser.add_argument(
+        "--check-every", type=int, default=5,
+        help="cross-check every Kth response per connection against evaluate()",
+    )
+    parser.add_argument("--mode", choices=("both", "threaded", "sharded"), default="both")
+    parser.add_argument("--shards", type=int, default=2, help="workers for the sharded mode")
+    parser.add_argument("--slo-p50-ms", type=float, default=250.0)
+    parser.add_argument("--slo-p99-ms", type=float, default=2000.0)
+    parser.add_argument(
+        "--report-only", action="store_true",
+        help="report SLO/agreement violations without failing (wrong answers still fail)",
+    )
+    parser.add_argument("--out", default=None, help="optional JSON report path")
+    args = parser.parse_args(argv)
+
+    documents = build_documents()
+    prepared = expected_bodies(documents)
+    reports = []
+    if args.mode in ("both", "threaded"):
+        report = run_mode("threaded", [], args, documents, prepared)
+        if report is None:
+            return 1
+        reports.append(report)
+    if args.mode in ("both", "sharded"):
+        report = run_mode(
+            "async+sharded", ["--async", "--shards", str(args.shards)], args, documents, prepared
+        )
+        if report is None:
+            return 1
+        reports.append(report)
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump({"harness": "service_load", "modes": reports}, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    print("service load harness PASSED" + (" (report-only)" if args.report_only else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,7 @@ import os
 import re
 import subprocess
 import sys
+import time
 import urllib.request
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -161,6 +162,26 @@ def run_mode(label: str, extra_args: list[str], auction) -> "list | None":
         if not check_metrics(label, base):
             return None
 
+        # Profiler round trip: start at a high rate, let it tick while a query
+        # is served, then stop and check the folded-stack snapshot shape.  In
+        # sharded mode the snapshot merges the parent and both workers.
+        started = call(base, "POST", "/profile", {"action": "start", "hz": 500})
+        if not started.get("running"):
+            print(f"FAIL [{label}]: profiler did not start: {started}")
+            return None
+        call(base, "POST", "/query", BATCH["requests"][0])
+        time.sleep(0.3)
+        snapshot = call(base, "GET", "/profile")
+        if snapshot.get("samples", 0) <= 0 or not isinstance(snapshot.get("stacks"), dict):
+            print(f"FAIL [{label}]: /profile snapshot lacks samples: {snapshot}")
+            return None
+        stopped = call(base, "POST", "/profile", {"action": "stop"})
+        if stopped.get("running") or not stopped.get("changed"):
+            print(f"FAIL [{label}]: profiler did not stop: {stopped}")
+            return None
+        print(f"[{label}] profiler: {snapshot['samples']} sample(s), "
+              f"{len(snapshot['stacks'])} distinct stack(s)")
+
         evicted = call(base, "DELETE", "/documents/sentence")
         if evicted.get("evicted") != "sentence":
             print(f"FAIL [{label}]: eviction failed: {evicted}")
@@ -169,6 +190,16 @@ def run_mode(label: str, extra_args: list[str], auction) -> "list | None":
         if stats["store"]["documents"] != 1:
             print(f"FAIL [{label}]: /stats documents != 1 after eviction: {stats['store']}")
             return None
+        accounting = stats.get("plan_accounting", {})
+        if not accounting.get("top_drift"):
+            print(f"FAIL [{label}]: /stats plan-vs-actual drift table is empty: {accounting}")
+            return None
+        if "/query" not in stats.get("http", {}) or "p50_ms" not in stats["http"]["/query"]:
+            print(f"FAIL [{label}]: /stats http latency summary missing: {stats.get('http')}")
+            return None
+        print(f"[{label}] drift: {len(accounting['top_drift'])} entrie(s) over "
+              f"{accounting['requests']} request(s); http /query p50 "
+              f"{stats['http']['/query']['p50_ms']:.2f}ms")
         print(f"[{label}] stats: backend={stats['executor'].get('backend')}, "
               f"{stats['store']['documents']} document(s), "
               f"cache hit rate {stats['cache']['hit_rate']:.2f}")

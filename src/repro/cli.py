@@ -10,7 +10,8 @@ Usage (after installation, or with ``python -m repro.cli``)::
     python -m repro.cli table1
     python -m repro.cli report --quick
     python -m repro.cli serve --port 8080 --document site=doc.xml
-    python -m repro.cli serve --async --shards 4 --port 8080
+    python -m repro.cli serve --async --shards 4 --port 8080 --profile
+    python -m repro.cli drift --url http://127.0.0.1:8080
     python -m repro.cli batch --input requests.jsonl --output results.jsonl
 
 The CLI is a thin layer over the library; each sub-command maps onto one or
@@ -375,12 +376,75 @@ def _command_serve(args: argparse.Namespace) -> int:
     # noticing the parent died.
     signal.signal(signal.SIGTERM, _graceful_shutdown)
     executor = _build_executor(args)
+    if args.profile is not None:
+        # Fleet-wide under --shards: the broadcast reaches the (already
+        # forked) workers, so every process samples from the first request.
+        try:
+            executor.profile_control("start", args.profile)
+        except ValueError as error:
+            executor.close()
+            raise SystemExit(f"--profile: {error}") from None
     try:
         if args.use_async:
             return _serve_async(executor, args)
         return _serve_threaded(executor, args)
     finally:
         executor.close()
+
+
+def _command_drift(args: argparse.Namespace) -> int:
+    """Show a running server's plan-vs-actual drift table (from ``/stats``).
+
+    The operator face of the accounting layer: per-engine calibration (how
+    many cost-model work units one second of that engine's wall-clock
+    retires) and the worst over/under-estimated requests, worst first.
+    """
+    import json
+    import urllib.error
+    import urllib.request
+
+    url = args.url.rstrip("/") + "/stats"
+    try:
+        with urllib.request.urlopen(url, timeout=args.timeout) as response:
+            stats = json.loads(response.read().decode("utf-8"))
+    except (OSError, ValueError, urllib.error.URLError) as error:
+        raise SystemExit(f"cannot fetch {url}: {error}") from None
+    accounting = stats.get("plan_accounting")
+    if not isinstance(accounting, dict):
+        raise SystemExit(f"{url} has no 'plan_accounting' section (older server?)")
+    if args.json:
+        print(json.dumps(accounting, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"plan-vs-actual accounting: {accounting.get('requests', 0)} request(s) "
+        f"ledgered, {accounting.get('skipped', 0)} skipped"
+    )
+    engines = accounting.get("engines", {})
+    if engines:
+        print("engine calibration (cost units retired per second):")
+        for engine, calibration in sorted(engines.items()):
+            rate = calibration.get("units_per_second")
+            rendered = f"{rate:,.0f}" if isinstance(rate, (int, float)) else "n/a"
+            print(f"    {engine:<14} {rendered:>14}  ({calibration.get('count', 0)} request(s))")
+    entries = accounting.get("top_drift", [])[: args.limit]
+    if not entries:
+        print("top drift: (no executed requests yet)")
+        return 0
+    print(f"top drift (worst {len(entries)} of capacity {accounting.get('capacity')}):")
+    for entry in entries:
+        query = str(entry.get("query", ""))
+        if len(query) > 60:
+            query = query[:57] + "..."
+        stage = entry.get("stage_ms", {})
+        print(
+            f"    x{entry.get('drift'):<9} {entry.get('direction', '?'):<14} "
+            f"{entry.get('engine')}/{entry.get('propagator')}/{entry.get('lowering')} "
+            f"est={entry.get('estimated_cost')} rows={entry.get('rows')} "
+            f"elapsed={entry.get('elapsed_ms')}ms "
+            f"(plan={stage.get('plan')}ms exec={stage.get('execute')}ms)"
+        )
+        print(f"        doc={entry.get('doc')!r} bucket={entry.get('stats_bucket')!r} {query}")
+    return 0
 
 
 def _command_batch(args: argparse.Namespace) -> int:
@@ -647,8 +711,41 @@ def build_parser() -> argparse.ArgumentParser:
         default=64,
         help="bound on concurrently executing requests for --async (default 64)",
     )
+    serve_parser.add_argument(
+        "--profile",
+        type=int,
+        nargs="?",
+        const=97,
+        default=None,
+        metavar="HZ",
+        help=(
+            "start the in-process sampling profiler at startup (optional "
+            "frequency, default 97 Hz); dump/control it at GET/POST /profile. "
+            "With --shards, every worker process samples and /profile merges"
+        ),
+    )
     add_service_arguments(serve_parser)
     serve_parser.set_defaults(handler=_command_serve)
+
+    drift_parser = commands.add_parser(
+        "drift",
+        help="show a running server's plan-vs-actual drift table (reads /stats)",
+    )
+    drift_parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:8080",
+        help="base URL of a running cq-trees serve instance (default http://127.0.0.1:8080)",
+    )
+    drift_parser.add_argument(
+        "--limit", type=int, default=10, help="max drift entries to print (default 10)"
+    )
+    drift_parser.add_argument(
+        "--timeout", type=float, default=10.0, help="HTTP timeout in seconds (default 10)"
+    )
+    drift_parser.add_argument(
+        "--json", action="store_true", help="print the raw plan_accounting JSON instead"
+    )
+    drift_parser.set_defaults(handler=_command_drift)
 
     batch_parser = commands.add_parser(
         "batch", help="evaluate a JSONL request stream over the serving subsystem"

@@ -1,17 +1,23 @@
-"""Dependency-free observability core: metrics, tracing spans, structured logs.
+"""Dependency-free observability core: metrics, tracing, accounting, profiling.
 
-Three pieces, threaded through every layer of the serving stack:
+Five pieces, threaded through every layer of the serving stack:
 
 * :mod:`repro.observability.metrics` -- thread-safe counters/gauges and
   fixed-bucket histograms whose bucket arrays merge across shard worker
   processes, rendered in Prometheus text format at ``GET /metrics``; plus the
   slow-query ring buffer surfaced under ``/stats``.
+* :mod:`repro.observability.accounting` -- plan-vs-actual cost feedback:
+  per-engine calibration, drift-ratio histograms and the bounded top-drift
+  table behind ``/stats`` and ``cq-trees drift``.
+* :mod:`repro.observability.profiler` -- the in-process wall-clock sampling
+  profiler behind ``POST /profile`` / ``GET /profile``.
 * :mod:`repro.observability.tracing` -- context-local span trees attached to
   ``RequestResult`` when a request sets ``debug: true``.
 * :mod:`repro.observability.logging` -- ``key=value`` structured logging for
   runtime output (bare ``print`` in ``src/`` is ruff-banned).
 """
 
+from repro.observability.accounting import ACCOUNTING, PLAN_DRIFT, PlanAccounting
 from repro.observability.logging import get_logger
 from repro.observability.metrics import (
     DEFAULT_LATENCY_BUCKETS,
@@ -22,7 +28,9 @@ from repro.observability.metrics import (
     Histogram,
     MetricsRegistry,
     SlowQueryLog,
+    percentile_from_buckets,
 )
+from repro.observability.profiler import PROFILER, SamplingProfiler, merge_snapshots
 from repro.observability.tracing import Span, annotate, current_span, is_active, span, trace
 
 __all__ = [
@@ -34,6 +42,13 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "REGISTRY",
     "SLOW_LOG",
+    "percentile_from_buckets",
+    "ACCOUNTING",
+    "PLAN_DRIFT",
+    "PlanAccounting",
+    "PROFILER",
+    "SamplingProfiler",
+    "merge_snapshots",
     "Span",
     "annotate",
     "current_span",

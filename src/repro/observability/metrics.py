@@ -47,6 +47,7 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "REGISTRY",
     "SLOW_LOG",
+    "percentile_from_buckets",
 ]
 
 #: Default latency bucket upper bounds, in seconds: 100 microseconds to 10
@@ -96,6 +97,39 @@ def _format_le(bound: float) -> str:
     return _format_value(bound)
 
 
+def percentile_from_buckets(
+    bounds: Sequence[float], counts: Sequence[int], q: float
+) -> Optional[float]:
+    """Estimate the ``q``-percentile from fixed-bucket counts.
+
+    ``bounds`` are the finite ascending upper bounds and ``counts`` the
+    non-cumulative per-bucket tallies (``len(bounds) + 1`` slots, overflow
+    last).  The estimate interpolates linearly *within* the bucket holding the
+    rank -- the same scheme as Prometheus's ``histogram_quantile`` -- so it is
+    exact to within one bucket width, which is all a fixed grid can promise.
+    Observations in the ``+Inf`` overflow slot clamp to the last finite bound.
+    Returns ``None`` on an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("percentile must be in [0, 1]")
+    total = sum(counts)
+    if total == 0:
+        return None
+    rank = q * total
+    cumulative = 0
+    for slot, count in enumerate(counts):
+        previous = cumulative
+        cumulative += count
+        if cumulative >= rank and count:
+            if slot >= len(bounds):
+                return float(bounds[-1])
+            lower = float(bounds[slot - 1]) if slot > 0 else 0.0
+            upper = float(bounds[slot])
+            fraction = max(0.0, rank - previous) / count
+            return lower + (upper - lower) * fraction
+    return float(bounds[-1])  # pragma: no cover - all mass in the overflow slot
+
+
 def _escape_label(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
@@ -125,6 +159,11 @@ class _Family:
                 f"metric {self.name!r} expects labels {self.labelnames}, got {tuple(labels)}"
             )
         return tuple(str(labels[name]) for name in self.labelnames)
+
+    def label_sets(self) -> list[tuple[str, ...]]:
+        """Every label-value combination this family has seen, sorted."""
+        with self._lock:
+            return sorted(self._values)
 
 
 class Counter(_Family):
@@ -254,6 +293,10 @@ class Histogram(_Family):
             if cumulative >= rank:
                 return self.buckets[slot] if slot < len(self.buckets) else float("inf")
         return float("inf")  # pragma: no cover - defensive
+
+    def percentile(self, q: float, **labels: object) -> Optional[float]:
+        """Interpolated quantile (see :func:`percentile_from_buckets`)."""
+        return percentile_from_buckets(self.buckets, self.bucket_counts(**labels), q)
 
     def _render(self) -> Iterable[str]:
         with self._lock:

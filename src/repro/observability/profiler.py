@@ -1,0 +1,229 @@
+"""An in-process wall-clock sampling profiler (stdlib only, fork-aware).
+
+``py-spy`` is the right tool when you can attach from outside, but the serving
+container often can't run a second process (and must not grow a dependency),
+so this samples from *within*: a daemon thread wakes ``hz`` times per second,
+asks ``sys._current_frames()`` for every thread's stack, and folds each stack
+into a ``collapsed`` string (``file:function`` frames joined root-first with
+``;`` -- the flamegraph.pl / speedscope "folded" format), counting samples per
+distinct stack.  Wall-clock sampling, not CPU: a thread blocked on a lock or a
+queue is sampled where it blocks, which is exactly what you want when chasing
+tail latency in a mostly-I/O front end.
+
+Cost model: the sampler sleeps between ticks, each tick is one
+``sys._current_frames()`` call plus a few dict increments, so an idle profiler
+costs nothing and a running one costs roughly ``hz * threads`` frame walks per
+second.  The distinct-stack table is bounded (``max_stacks``); overflow samples
+are still counted (``dropped``) so totals stay honest.
+
+Sharded serving: each worker process runs its own :data:`PROFILER` (the
+parent broadcasts start/stop over the control channel), ships
+:meth:`SamplingProfiler.snapshot` dicts back, and the parent sums them with
+:func:`merge_snapshots` -- folded stacks merge by adding counts, the same trick
+the fixed-bucket histograms use.  Workers call :meth:`SamplingProfiler.reset`
+right after the fork: the inherited sampler thread does not survive ``fork``,
+so the child must forget it rather than try to join a ghost.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from typing import Iterable, Optional
+
+__all__ = ["PROFILER", "SamplingProfiler", "merge_snapshots"]
+
+#: Default sampling frequency.  97 Hz (prime) sidesteps lockstep with common
+#: 10ms/100ms periodic work, the same reason perf defaults to 99.
+DEFAULT_HZ = 97
+
+#: Hard bounds on accepted frequencies: above ~1 kHz the sampler itself
+#: becomes the workload.
+MIN_HZ, MAX_HZ = 1, 1000
+
+#: Stop walking a stack past this depth (recursion guards the table size).
+MAX_FRAMES = 64
+
+
+class SamplingProfiler:
+    """A start/stop wall-clock sampler aggregating collapsed-stack counts.
+
+    ``start``/``stop`` are idempotent (they return whether the call changed
+    anything), so HTTP handlers can be retried safely.  Counts accumulate
+    across start/stop cycles until :meth:`clear`.
+    """
+
+    def __init__(self, hz: int = DEFAULT_HZ, max_stacks: int = 10_000):
+        self.default_hz = hz
+        self.max_stacks = max_stacks
+        self._lock = threading.Lock()
+        self._init_state()
+
+    def _init_state(self) -> None:
+        self._thread: Optional[threading.Thread] = None
+        self._stop_event: Optional[threading.Event] = None
+        self.hz = self.default_hz
+        self._stacks: dict[str, int] = {}
+        self._samples = 0
+        self._dropped = 0
+        self._started_at: Optional[float] = None
+        self._active_seconds = 0.0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        with self._lock:
+            return self._thread is not None
+
+    def start(self, hz: Optional[int] = None) -> bool:
+        """Begin sampling; returns ``False`` (no-op) if already running."""
+        if hz is not None and not MIN_HZ <= int(hz) <= MAX_HZ:
+            raise ValueError(f"profiler hz must be in [{MIN_HZ}, {MAX_HZ}], got {hz}")
+        with self._lock:
+            if self._thread is not None:
+                return False
+            if hz is not None:
+                self.hz = int(hz)
+            stop_event = threading.Event()
+            thread = threading.Thread(
+                target=self._run,
+                args=(stop_event, 1.0 / self.hz),
+                name="cq-trees-profiler",
+                daemon=True,
+            )
+            self._stop_event = stop_event
+            self._thread = thread
+            self._started_at = time.perf_counter()
+            thread.start()
+            return True
+
+    def stop(self) -> bool:
+        """Stop sampling; returns ``False`` (no-op) if not running."""
+        with self._lock:
+            thread, stop_event = self._thread, self._stop_event
+            if thread is None:
+                return False
+            self._thread = None
+            self._stop_event = None
+            if self._started_at is not None:
+                self._active_seconds += time.perf_counter() - self._started_at
+                self._started_at = None
+        stop_event.set()
+        thread.join(timeout=2.0)
+        return True
+
+    def clear(self) -> None:
+        """Drop accumulated samples (a running sampler keeps running)."""
+        with self._lock:
+            self._stacks = {}
+            self._samples = 0
+            self._dropped = 0
+            self._active_seconds = 0.0
+            if self._thread is not None:
+                self._started_at = time.perf_counter()
+
+    def reset(self) -> None:
+        """Forget everything *including* the sampler thread handle.
+
+        For forked children only: the thread object inherited from the parent
+        is not alive in the child, so ``stop`` must not try to join it.
+        """
+        with self._lock:
+            self._init_state()
+
+    # -- sampling --------------------------------------------------------------
+
+    def _run(self, stop_event: threading.Event, interval: float) -> None:
+        own_ident = threading.get_ident()
+        while not stop_event.wait(interval):
+            self._sample(own_ident)
+
+    def _sample(self, skip_ident: int) -> None:
+        folded = []
+        for ident, frame in sys._current_frames().items():
+            if ident == skip_ident:
+                continue
+            parts = []
+            while frame is not None and len(parts) < MAX_FRAMES:
+                code = frame.f_code
+                parts.append(f"{os.path.basename(code.co_filename)}:{code.co_name}")
+                frame = frame.f_back
+            parts.reverse()
+            folded.append(";".join(parts))
+        with self._lock:
+            for stack in folded:
+                self._samples += 1
+                if stack in self._stacks:
+                    self._stacks[stack] += 1
+                elif len(self._stacks) < self.max_stacks:
+                    self._stacks[stack] = 1
+                else:
+                    self._dropped += 1
+
+    # -- reporting -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A plain picklable dict: state + folded-stack counts."""
+        with self._lock:
+            active = self._active_seconds
+            if self._started_at is not None:
+                active += time.perf_counter() - self._started_at
+            return {
+                "running": self._thread is not None,
+                "hz": self.hz,
+                "samples": self._samples,
+                "dropped": self._dropped,
+                "active_seconds": round(active, 3),
+                "stacks": dict(self._stacks),
+            }
+
+    def control(self, action: str, hz: Optional[int] = None) -> dict:
+        """Apply a start/stop/clear action; returns status (stacks omitted)."""
+        if action == "start":
+            changed = self.start(hz)
+        elif action == "stop":
+            changed = self.stop()
+        elif action == "clear":
+            self.clear()
+            changed = True
+        else:
+            raise ValueError(f"unknown profiler action {action!r} (start|stop|clear)")
+        status = self.snapshot()
+        del status["stacks"]
+        return {"action": action, "changed": changed, **status}
+
+
+def merge_snapshots(snapshots: Iterable[dict]) -> dict:
+    """Sum profiler snapshots across a fleet (folded stacks add up).
+
+    ``running`` is true if any member is sampling; ``active_seconds`` is the
+    max (members sample concurrently, so wall-clock does not add).
+    """
+    merged: dict = {
+        "running": False,
+        "hz": None,
+        "samples": 0,
+        "dropped": 0,
+        "active_seconds": 0.0,
+        "stacks": {},
+    }
+    for snapshot in snapshots:
+        merged["running"] = merged["running"] or snapshot.get("running", False)
+        if merged["hz"] is None:
+            merged["hz"] = snapshot.get("hz")
+        merged["samples"] += snapshot.get("samples", 0)
+        merged["dropped"] += snapshot.get("dropped", 0)
+        merged["active_seconds"] = max(
+            merged["active_seconds"], snapshot.get("active_seconds", 0.0)
+        )
+        for stack, count in snapshot.get("stacks", {}).items():
+            merged["stacks"][stack] = merged["stacks"].get(stack, 0) + count
+    return merged
+
+
+#: The process-default profiler (one sampler per process is the model:
+#: shard workers each run their own and the parent merges snapshots).
+PROFILER = SamplingProfiler()

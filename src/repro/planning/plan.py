@@ -89,6 +89,24 @@ class QueryPlan:
     #: The estimate for the engine/lowering actually chosen.
     estimated_cost: float
 
+    def accounting_fields(self) -> dict:
+        """The plan attribution the plan-vs-actual ledger records per request.
+
+        ``estimated_rows`` is the widest bag: the cost model's proxy for the
+        largest intermediate this plan expects to materialize (the quantity
+        the Gottlob-Leone-Scarcello width bound actually controls), which is
+        the number worth comparing against the rows the request enumerated.
+        """
+        return {
+            "engine": self.engine.value,
+            "propagator": self.propagator.value,
+            "lowering": self.lowering,
+            "routing": self.routing,
+            "stats_bucket": self.stats_bucket,
+            "estimated_cost": self.estimated_cost,
+            "estimated_rows": max(self.bag_rows) if self.bag_rows else 0.0,
+        }
+
     def describe(self) -> dict:
         """JSON-friendly rendering for EXPLAIN surfaces."""
         return {

@@ -37,8 +37,8 @@ from ..observability.logging import get_logger
 from ..queries.parser import QueryParseError
 from ..queries.xpath import XPathTranslationError
 from ..trees.xmlio import XMLParseError
-from .core import Request, execute_batch_payload
-from .http_metrics import METRICS_CONTENT_TYPE, observe_http
+from .core import Request, execute_batch_payload, profile_control_payload
+from .http_metrics import METRICS_CONTENT_TYPE, observe_http, route_latency_summary
 from .server import MAX_BODY_BYTES
 
 _LOG = get_logger("repro.service.async")
@@ -238,11 +238,18 @@ class AsyncServiceServer:
                     count = await self._call(executor.document_count)
                     return 200, {"status": "ok", "documents": count}
                 if path == "/stats":
-                    return 200, await self._call(executor.stats)
+                    # HTTP-layer latency summary merged front-end-side, as in
+                    # the threaded server (it is parent-process state under
+                    # both backends).
+                    stats = await self._call(executor.stats)
+                    stats["http"] = route_latency_summary()
+                    return 200, stats
                 if path == "/metrics":
                     return 200, await self._call(executor.render_metrics)
                 if path == "/documents":
                     return 200, {"documents": await self._call(executor.describe_documents)}
+                if path == "/profile":
+                    return 200, await self._call(executor.profile_snapshot)
                 return 404, {"error": f"unknown path {path!r}"}
             if method == "DELETE":
                 prefix = "/documents/"
@@ -269,6 +276,8 @@ class AsyncServiceServer:
                 # The shared helper (validation + execution + rendering) runs
                 # entirely on the pool thread; its ValueErrors surface here.
                 return 200, await self._call(execute_batch_payload, self.executor, payload)
+            if path == "/profile":
+                return 200, await self._call(profile_control_payload, self.executor, payload)
             return 404, {"error": f"unknown path {path!r}"}
         except _CLIENT_ERRORS as error:
             return 400, {"error": str(error)}

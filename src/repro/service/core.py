@@ -29,6 +29,7 @@ from typing import Optional, Union
 from ..evaluation.planner import Engine, evaluate
 from ..evaluation.propagation import DEFAULT_PROPAGATOR, as_propagator
 from ..observability import tracing
+from ..observability.accounting import ACCOUNTING
 from ..observability.metrics import REGISTRY, SLOW_LOG
 from ..planning import QueryPlan, validate_routing
 from ..queries.parser import QueryParseError
@@ -233,6 +234,10 @@ class RequestResult:
     trace: Optional[dict] = None
     #: The plan description of an ``explain: true`` request (JSON dict).
     explain: Optional[dict] = None
+    #: Plan attribution for the slow log (lowering, estimated cost, drift).
+    #: Deliberately NOT serialized: wire bodies must stay byte-identical
+    #: whether or not the accounting layer recorded anything.
+    plan_attribution: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -300,6 +305,25 @@ def execute_batch_payload(executor, payload: dict) -> dict:
         "results": [result.to_json_dict() for result in results],
         "errors": sum(1 for result in results if not result.ok),
     }
+
+
+def profile_control_payload(executor, payload: dict) -> dict:
+    """Validate and apply a ``POST /profile`` wire payload against any backend.
+
+    Shared by both HTTP front ends (like :func:`execute_batch_payload`) so the
+    profiler control surface cannot drift between them.  Raises
+    :class:`ValueError` on malformed payloads (the front ends answer 400).
+    """
+    unknown = set(payload) - {"action", "hz"}
+    if unknown:
+        raise ValueError(f"unknown profile field(s): {', '.join(sorted(unknown))}")
+    action = payload.get("action")
+    if not isinstance(action, str) or not action:
+        raise ValueError("profile body needs an 'action' string (start|stop|clear)")
+    hz = payload.get("hz")
+    if hz is not None and (isinstance(hz, bool) or not isinstance(hz, int)):
+        raise ValueError("'hz' must be an integer")
+    return executor.profile_control(action, hz)
 
 
 def resolve_entry(cache: QueryCache, request: Request) -> tuple[CachedQuery, bool]:
@@ -412,6 +436,7 @@ def _execute_request(
     they were (or would have been) routed to.
     """
     plan, entry, cache_hit, residency = _resolve_plan(store, cache, request, attribution)
+    plan_ready = time.perf_counter()
     if residency == "accel":
         with tracing.span("sql_execute", doc=request.doc, engine=plan.engine.value):
             answers, count, truncated = _stream_sql_answers(
@@ -437,13 +462,29 @@ def _execute_request(
         truncated = request.limit is not None and count > request.limit
         if truncated:
             answers = answers[: request.limit]
-    elapsed_ms = (time.perf_counter() - started) * 1000.0
+    finished = time.perf_counter()
+    elapsed_ms = (finished - started) * 1000.0
     if elapsed_ms > 0.0:
         # Estimated-vs-actual: how many estimated work units one second of
         # this engine's wall-clock retired on this request.
         PLAN_COST_PER_SECOND.observe(
             plan.estimated_cost / (elapsed_ms / 1000.0), engine=plan.engine.value
         )
+    # Close the planning loop: ledger the actuals (elapsed, rows enumerated,
+    # stage split) against the plan's estimates.  The drift ratio feeds the
+    # /metrics histogram, the /stats top-drift table and the slow log.
+    drift = ACCOUNTING.record(
+        query_key=entry.key,
+        query_text=str(entry.query),
+        doc=request.doc,
+        rows=count,
+        elapsed_ms=elapsed_ms,
+        stage_ms={
+            "plan": (plan_ready - started) * 1000.0,
+            "execute": (finished - plan_ready) * 1000.0,
+        },
+        **plan.accounting_fields(),
+    )
     return RequestResult(
         doc=request.doc,
         query_key=entry.key,
@@ -455,6 +496,12 @@ def _execute_request(
         propagator=plan.propagator.value,
         engine=plan.engine.value,
         cache_hit=cache_hit,
+        plan_attribution={
+            "lowering": plan.lowering,
+            "routing": plan.routing,
+            "estimated_cost": round(plan.estimated_cost, 1),
+            "drift": drift if drift is None else round(drift, 4),
+        },
     )
 
 
@@ -483,6 +530,8 @@ def _observe_result(result: RequestResult) -> RequestResult:
         engine=result.engine or "none",
         propagator=result.propagator,
     )
+    # Plan attribution (when execution got far enough to have a plan) lets
+    # the slow log answer "was this slow because the estimate was wrong?".
     SLOW_LOG.maybe_record(
         result.elapsed_ms,
         doc=result.doc,
@@ -490,6 +539,7 @@ def _observe_result(result: RequestResult) -> RequestResult:
         engine=result.engine,
         propagator=result.propagator,
         ok=result.ok,
+        **(result.plan_attribution or {}),
     )
     return result
 

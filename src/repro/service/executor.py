@@ -27,7 +27,9 @@ import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Optional, Sequence
 
+from ..observability.accounting import ACCOUNTING
 from ..observability.metrics import REGISTRY, SLOW_LOG
+from ..observability.profiler import PROFILER
 from .cache import QueryCache
 from .core import REQUEST_ERRORS, Request, RequestResult, run_request
 from .store import DocumentStore
@@ -156,9 +158,20 @@ class BatchExecutor:
             "store": self.store.stats(),
             "cache": self.cache.stats(),
             "slow_queries": SLOW_LOG.stats(),
+            "plan_accounting": ACCOUNTING.stats(),
         }
 
     def render_metrics(self) -> str:
         """The Prometheus text exposition of this process's registry."""
         self.store.refresh_metrics()
         return REGISTRY.render()
+
+    # -- profiling (the serving-backend contract) ------------------------------
+
+    def profile_control(self, action: str, hz: Optional[int] = None) -> dict:
+        """Apply a profiler start/stop/clear action to this process."""
+        return PROFILER.control(action, hz)
+
+    def profile_snapshot(self) -> dict:
+        """The profiler's folded-stack snapshot for this process."""
+        return PROFILER.snapshot()

@@ -15,7 +15,7 @@ from ..observability.metrics import REGISTRY
 METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Routes served by both front ends (label values; see :func:`normalize_route`).
-KNOWN_ROUTES = ("/healthz", "/stats", "/metrics", "/documents", "/query", "/batch")
+KNOWN_ROUTES = ("/healthz", "/stats", "/metrics", "/documents", "/query", "/batch", "/profile")
 
 HTTP_REQUESTS = REGISTRY.counter(
     "cqtrees_http_requests_total",
@@ -43,3 +43,26 @@ def observe_http(path: str, method: str, code: int, seconds: float) -> None:
     route = normalize_route(path)
     HTTP_REQUESTS.inc(route=route, method=method, code=str(code))
     HTTP_SECONDS.observe(seconds, route=route)
+
+
+def route_latency_summary() -> dict:
+    """Interpolated p50/p99 per route, for the ``/stats`` payload.
+
+    Derived from the same fixed-bucket histogram ``/metrics`` exposes, so an
+    operator reading ``/stats`` and a dashboard reading ``/metrics`` agree to
+    within one bucket width.  Front-end latency lives in the parent process in
+    both serve modes, so no shard merge is needed here.
+    """
+    summary = {}
+    for (route,) in HTTP_SECONDS.label_sets():
+        count, _ = HTTP_SECONDS.totals(route=route)
+        if not count:
+            continue
+        p50 = HTTP_SECONDS.percentile(0.5, route=route)
+        p99 = HTTP_SECONDS.percentile(0.99, route=route)
+        summary[route] = {
+            "count": count,
+            "p50_ms": round(p50 * 1000.0, 3),
+            "p99_ms": round(p99 * 1000.0, 3),
+        }
+    return summary

@@ -41,9 +41,9 @@ from typing import Optional
 from ..queries.parser import QueryParseError
 from ..queries.xpath import XPathTranslationError
 from ..trees.xmlio import XMLParseError
-from .core import Request, execute_batch_payload
+from .core import Request, execute_batch_payload, profile_control_payload
 from .executor import BatchExecutor
-from .http_metrics import METRICS_CONTENT_TYPE, observe_http
+from .http_metrics import METRICS_CONTENT_TYPE, observe_http, route_latency_summary
 
 #: Upper bound on accepted request bodies (64 MiB); guards the worker threads.
 MAX_BODY_BYTES = 64 * 1024 * 1024
@@ -65,6 +65,11 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     server: ServiceHTTPServer
     server_version = "cq-trees"
     protocol_version = "HTTP/1.1"
+    # Persistent HTTP/1.1 connections send headers and body as separate
+    # writes; with Nagle on, the body write stalls on the client's delayed
+    # ACK (~40ms per response).  asyncio transports already disable Nagle by
+    # default, so this keeps the two front ends' latency profiles comparable.
+    disable_nagle_algorithm = True
 
     # -- plumbing --------------------------------------------------------------
 
@@ -161,11 +166,18 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             if self.path == "/healthz":
                 self._send_json(200, {"status": "ok", "documents": executor.document_count()})
             elif self.path == "/stats":
-                self._send_json(200, executor.stats())
+                # The HTTP-layer latency summary is front-end state (it lives
+                # in this process under both backends), so it is merged here
+                # rather than inside the executor.
+                payload = executor.stats()
+                payload["http"] = route_latency_summary()
+                self._send_json(200, payload)
             elif self.path == "/metrics":
                 self._send_text(200, executor.render_metrics(), METRICS_CONTENT_TYPE)
             elif self.path == "/documents":
                 self._send_json(200, {"documents": executor.describe_documents()})
+            elif self.path == "/profile":
+                self._send_json(200, executor.profile_snapshot())
             else:
                 self._send_json(404, {"error": f"unknown path {self.path!r}"})
         except ValueError as error:  # e.g. a sharded backend with a dead worker
@@ -184,6 +196,8 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(200 if result.ok else 400, result.to_json_dict())
             elif self.path == "/batch":
                 self._execute_batch(payload)
+            elif self.path == "/profile":
+                self._send_json(200, self._profile_control(payload))
             else:
                 self._send_json(404, {"error": f"unknown path {self.path!r}"})
         except (QueryParseError, XPathTranslationError, XMLParseError, ValueError) as error:
@@ -214,6 +228,9 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def _execute_batch(self, payload: dict) -> None:
         self._send_json(200, execute_batch_payload(self.server.executor, payload))
+
+    def _profile_control(self, payload: dict) -> dict:
+        return profile_control_payload(self.server.executor, payload)
 
 
 def make_server(

@@ -38,7 +38,9 @@ import zlib
 from concurrent.futures import Future
 from typing import Optional, Sequence
 
+from ..observability.accounting import ACCOUNTING, PlanAccounting
 from ..observability.metrics import REGISTRY, SLOW_LOG, MetricsRegistry
+from ..observability.profiler import PROFILER, merge_snapshots
 from .cache import QueryCache
 from .core import REQUEST_ERRORS, Request, RequestResult, run_request
 from .store import DocumentStore
@@ -104,9 +106,13 @@ def _shard_worker_main(
     # A forked worker inherits the parent's process-global metrics registry
     # *values*; zero them (in place, keeping the families valid) so the
     # parent's shard-merge never double-counts pre-fork observations.  The
-    # slow-query ring buffer is process-global too.
+    # slow-query ring buffer, the plan-vs-actual ledger and the sampling
+    # profiler are process-global too (the profiler's sampler thread does not
+    # survive the fork, so the child must forget it, not join it).
     REGISTRY.reset()
     SLOW_LOG.clear()
+    ACCOUNTING.clear()
+    PROFILER.reset()
     parent = multiprocessing.parent_process()
     requests = 0
     errors = 0
@@ -151,6 +157,10 @@ def _shard_worker_main(
                             "store": store.stats(),
                             "cache": cache.stats(),
                             "slow_queries": SLOW_LOG.stats(),
+                            # Shipped as a snapshot (not a rendering): the
+                            # parent merges calibrations and re-ranks the
+                            # union of top-drift tables.
+                            "plan_accounting": ACCOUNTING.snapshot(),
                         },
                     )
                 )
@@ -159,6 +169,11 @@ def _shard_worker_main(
                 # which sums them into the fleet-wide /metrics exposition.
                 store.refresh_metrics()
                 outbox.put((seq, "ok", REGISTRY.snapshot()))
+            elif op == "profile":
+                action, hz = payload
+                outbox.put((seq, "ok", PROFILER.control(action, hz)))
+            elif op == "profile_dump":
+                outbox.put((seq, "ok", PROFILER.snapshot()))
             else:
                 outbox.put((seq, "error", f"unknown shard op {op!r}"))
         except REQUEST_ERRORS as error:
@@ -481,6 +496,16 @@ class ShardedExecutor:
             ),
             "entries": slow_entries[: SLOW_LOG.capacity],
         }
+        # Plan-vs-actual accounting merges like the histograms do: each shard
+        # ships its snapshot inside the stats reply, the parent sums the
+        # calibrations and re-ranks the union of top-drift tables.  The raw
+        # snapshots are popped from the per-shard detail (the merged rendering
+        # supersedes them).
+        accounting = PlanAccounting(capacity=ACCOUNTING.capacity)
+        for s in shard_stats:
+            snapshot = s.pop("plan_accounting", None)
+            if snapshot is not None:
+                accounting.merge_snapshot(snapshot)
         return {
             "executor": {
                 "backend": "sharded",
@@ -493,6 +518,7 @@ class ShardedExecutor:
             "store": store,
             "cache": cache,
             "slow_queries": slow_queries,
+            "plan_accounting": accounting.stats(),
             "shards": shard_stats,
         }
 
@@ -510,6 +536,26 @@ class ShardedExecutor:
         for snapshot in self._broadcast("metrics"):
             merged.merge_snapshot(snapshot)
         return merged.render()
+
+    # -- profiling -------------------------------------------------------------
+
+    def profile_control(self, action: str, hz: Optional[int] = None) -> dict:
+        """Apply a profiler action fleet-wide: the parent *and* every worker.
+
+        Evaluation happens in the workers but the front end, the listener
+        threads and the queue plumbing live in the parent, so both sides
+        sample.  Returns the parent's status annotated with the worker count
+        (a worker whose action disagreed -- e.g. already running -- is fine:
+        the actions are idempotent).
+        """
+        status = PROFILER.control(action, hz)
+        workers = self._broadcast("profile", (action, hz))
+        status["workers"] = len(workers)
+        return status
+
+    def profile_snapshot(self) -> dict:
+        """Fleet-wide folded stacks: the parent's plus every worker's, summed."""
+        return merge_snapshots([PROFILER.snapshot(), *self._broadcast("profile_dump")])
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ShardedExecutor(shards={self.shards}, closed={self._closed})"

@@ -10,7 +10,9 @@ front ends.
 
 from __future__ import annotations
 
+import bisect
 import json
+import math
 import re
 import threading
 import urllib.error
@@ -26,6 +28,7 @@ from repro.observability.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     MetricsRegistry,
     SlowQueryLog,
+    percentile_from_buckets,
 )
 from repro.queries import parse_query
 from repro.service import (
@@ -148,6 +151,78 @@ class TestConcurrentObserve:
         )
         assert total == threads * per_thread
         assert counter.value() == threads * per_thread
+
+
+# ---------------------------------------------------------------------------
+# Interpolated percentiles from fixed-bucket counts.
+# ---------------------------------------------------------------------------
+
+
+class TestPercentileFromBuckets:
+    def test_interpolates_within_the_holding_bucket(self):
+        # Four observations, all in the (1, 2] bucket: the median interpolates
+        # to the bucket's midpoint, Prometheus histogram_quantile style.
+        bounds = (1.0, 2.0, 4.0)
+        counts = [0, 4, 0, 0]
+        assert percentile_from_buckets(bounds, counts, 0.5) == pytest.approx(1.5)
+        assert percentile_from_buckets(bounds, counts, 1.0) == pytest.approx(2.0)
+
+    def test_overflow_mass_clamps_to_the_last_finite_bound(self):
+        assert percentile_from_buckets((1.0, 2.0), [0, 1, 3], 0.9) == pytest.approx(2.0)
+
+    def test_empty_histogram_has_no_percentile(self):
+        assert percentile_from_buckets((1.0, 2.0), [0, 0, 0], 0.5) is None
+        registry = MetricsRegistry()
+        assert registry.histogram("h", "h").percentile(0.5) is None
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+            min_size=1,
+            max_size=80,
+        ),
+        q=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_estimate_lands_in_the_bucket_of_the_true_quantile(self, values, q):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h_seconds", "h")
+        for value in values:
+            histogram.observe(value)
+        estimate = histogram.percentile(q)
+        assert estimate is not None
+
+        bounds = histogram.buckets
+        # The true (nearest-rank) empirical quantile and the bucket it fell in
+        # at observe() time; "exact to within one bucket" means the estimate
+        # may not leave that bucket.
+        rank = max(1, math.ceil(q * len(values)))
+        true_value = sorted(values)[rank - 1]
+        slot = bisect.bisect_left(bounds, true_value)
+        if slot >= len(bounds):
+            assert estimate == pytest.approx(bounds[-1])
+        else:
+            lower = bounds[slot - 1] if slot > 0 else 0.0
+            assert lower - 1e-12 <= estimate <= bounds[slot] + 1e-12
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+            min_size=1,
+            max_size=60,
+        ),
+        qs=st.tuples(
+            st.floats(min_value=0.0, max_value=1.0), st.floats(min_value=0.0, max_value=1.0)
+        ),
+    )
+    def test_estimates_are_monotone_in_q(self, values, qs):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h_seconds", "h")
+        for value in values:
+            histogram.observe(value)
+        low, high = sorted(qs)
+        assert histogram.percentile(low) <= histogram.percentile(high) + 1e-12
 
 
 # ---------------------------------------------------------------------------
@@ -528,6 +603,41 @@ class TestMetricsEndpoint:
                 # Front-end HTTP metrics (parent process) are in the same scrape.
                 http_series = 'cqtrees_http_requests_total{route="/query",method="POST",code="200"}'
                 assert http_series in text
+        finally:
+            backend.close()
+
+
+class TestStatsLatencySummary:
+    def test_stats_expose_per_route_percentiles_on_both_front_ends(self):
+        def check(base: str) -> None:
+            _post(base, "/documents", {"doc": "doc", "sexpr": SEXPR})
+            status, payload = _post(base, "/query", {"doc": "doc", "query": "Q(x) <- b(x)"})
+            assert status == 200
+            with urllib.request.urlopen(base + "/stats", timeout=30) as response:
+                stats = json.loads(response.read().decode("utf-8"))
+            assert "plan_accounting" in stats
+            summary = stats["http"]
+            assert "/query" in summary
+            entry = summary["/query"]
+            assert entry["count"] >= 1
+            assert 0.0 <= entry["p50_ms"] <= entry["p99_ms"]
+
+        httpd = make_server(BatchExecutor(), host="127.0.0.1", port=0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        host, port = httpd.server_address[:2]
+        try:
+            check(f"http://{host}:{port}")
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            thread.join(timeout=5)
+
+        backend = ShardedExecutor(shards=2)
+        try:
+            with AsyncServerThread(backend) as server:
+                host, port = server.address
+                check(f"http://{host}:{port}")
         finally:
             backend.close()
 
